@@ -1,0 +1,37 @@
+//! # vig-baselines — the paper's comparison NFs (§6)
+//!
+//! Three middleboxes the evaluation pits against the Verified NAT:
+//!
+//! * **No-op forwarding** — lives in `netsim` (it is part of the
+//!   testbed definition); re-exported here for convenience.
+//! * [`unverified::UnverifiedNat`] — "implemented on top of DPDK; it
+//!   implements the same RFC as VigNAT and supports the same number of
+//!   flows, but uses the hash table that comes with the DPDK
+//!   distribution" — i.e. **separate chaining**
+//!   ([`chained_map::ChainedMap`]), written in ordinary idiomatic style
+//!   by a developer "with little verification expertise": dynamic
+//!   allocation, `std` containers, no contracts.
+//! * [`netfilter::NetfilterNat`] — the Linux NAT analog: a conntrack
+//!   tuple table over `std::collections::HashMap` (SipHash — the
+//!   general-purpose-hash cost), an iptables-style rule-list walk, skb
+//!   allocation + copy on the kernel path, TTL decrement, and
+//!   timer-tree expiry. Each of these costs is real executed code, and
+//!   together they are why this NF lands well below the DPDK NFs, just
+//!   as NetFilter does in the paper's Fig. 14.
+//!
+//! All three are *functionally correct* NATs (the differential tests
+//! check them against the same RFC 3022 spec as VigNAT) — the paper's
+//! comparison is about performance and assurance, not about the
+//! baselines being broken.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chained_map;
+pub mod netfilter;
+pub mod unverified;
+
+pub use chained_map::ChainedMap;
+pub use netfilter::NetfilterNat;
+pub use netsim::NoopForwarder;
+pub use unverified::UnverifiedNat;

@@ -1,0 +1,143 @@
+//! MICRO — Criterion microbenchmarks for the design choices DESIGN.md
+//! §7 calls out. Not a paper figure; these explain the *causes* behind
+//! Fig. 12/14:
+//!
+//! * open addressing (verified `libvig::Map`) vs separate chaining
+//!   (`ChainedMap`) at moderate and near-full occupancy — the source of
+//!   the verified NAT's last-point uptick in Fig. 12 and the ~10%
+//!   throughput gap in Fig. 14;
+//! * hit vs miss lookups (misses probe the longest in open addressing);
+//! * dchain allocate/rejuvenate/expire — the per-packet bookkeeping;
+//! * incremental (RFC 1624) vs full checksum recomputation — why NATs
+//!   rewrite headers in O(1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use libvig::dchain::DoubleChain;
+use libvig::map::{Map, MapKey};
+use libvig::time::Time;
+use std::hint::black_box;
+use vig_baselines::ChainedMap;
+use vig_packet::checksum::{checksum, Checksum};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Key(u64);
+
+impl MapKey for Key {
+    fn key_hash(&self) -> u64 {
+        self.0.key_hash()
+    }
+}
+
+const CAP: usize = 65_536;
+
+fn filled_open(occupancy: usize) -> Map<Key> {
+    let mut m = Map::new(CAP);
+    for k in 0..occupancy as u64 {
+        m.put(Key(k), k as usize).unwrap();
+    }
+    m
+}
+
+fn filled_chained(occupancy: usize) -> ChainedMap<Key, usize> {
+    let mut m = ChainedMap::with_capacity(CAP);
+    for k in 0..occupancy as u64 {
+        m.insert(Key(k), k as usize);
+    }
+    m
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowtable_lookup");
+    for (label, occ) in [("50pct", CAP / 2), ("99pct", CAP * 99 / 100)] {
+        let open = filled_open(occ);
+        let chained = filled_chained(occ);
+        g.bench_function(format!("open_addressing_hit_{label}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % occ as u64;
+                black_box(open.get(&Key(k)))
+            })
+        });
+        g.bench_function(format!("chaining_hit_{label}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % occ as u64;
+                black_box(chained.get(&Key(k)))
+            })
+        });
+        g.bench_function(format!("open_addressing_miss_{label}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                black_box(open.get(&Key(1_000_000 + k)))
+            })
+        });
+        g.bench_function(format!("chaining_miss_{label}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                black_box(chained.get(&Key(1_000_000 + k)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dchain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dchain");
+    g.bench_function("allocate_expire_cycle", |b| {
+        b.iter_batched_ref(
+            || DoubleChain::new(4096),
+            |ch| {
+                for t in 0..64u64 {
+                    let _ = black_box(ch.allocate(Time(t)));
+                }
+                while ch.expire_one(Time(u64::MAX)).is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("rejuvenate", |b| {
+        let mut ch = DoubleChain::new(4096);
+        for t in 0..4096u64 {
+            ch.allocate(Time(t)).unwrap();
+        }
+        let mut i = 0usize;
+        let mut t = 5_000u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            t += 1;
+            black_box(ch.rejuvenate(i, Time(t)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    let frame = vec![0xabu8; 1500];
+    g.bench_function("full_recompute_1500B", |b| b.iter(|| black_box(checksum(&frame))));
+    g.bench_function("incremental_rfc1624", |b| {
+        b.iter(|| {
+            let c = Checksum::from_field(0x1234)
+                .update_u32(0x0a000001, 0xcb007101)
+                .update_u16(40_000, 61_234);
+            black_box(c.to_field())
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lookup, bench_dchain, bench_checksum
+}
+criterion_main!(benches);

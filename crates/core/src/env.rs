@@ -1,0 +1,186 @@
+//! The effect interface of the stateless NAT code.
+//!
+//! [`NatEnv`] is everything the stateless loop can do to the outside
+//! world: read the clock, receive, branch, query/update the flow table,
+//! transmit, drop. In the paper's architecture this is the boundary at
+//! which Vigor swaps the real libVig + DPDK for symbolic models (§5.2.1)
+//! — so the *entire* behaviour of the NF is determined by the loop body
+//! plus an implementation of this trait:
+//!
+//! * the `netsim` crate implements it over simulated devices and the
+//!   concrete [`crate::flow_manager::FlowManager`];
+//! * [`crate::simple_env::SimpleEnv`] implements it over plain vectors
+//!   for unit and differential testing;
+//! * `vig-validator` implements it over symbolic models, where
+//!   [`NatEnv::branch`] forks execution and the flow operations return
+//!   constrained fresh symbols.
+//!
+//! The trait extends [`Domain`]: an environment *is* a value domain plus
+//! effects, which spares the loop body a borrow dance between the two.
+
+use crate::domain::Domain;
+use vig_packet::{Direction, Proto};
+
+/// Opaque handle to an in-flight packet buffer. The loop body may copy
+/// and compare it but can only consume it through [`NatEnv::tx`] or
+/// [`NatEnv::drop_pkt`] — the paper's buffer-ownership discipline
+/// (§5.2.4), with the leak check performed by the Validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PktHandle(pub usize);
+
+/// Opaque handle to an allocated flow slot. Concrete environments use
+/// the dmap/dchain index; the symbolic environment invents fresh ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub usize);
+
+/// A received packet, presented as domain-valued header fields.
+///
+/// This is the granularity of the C original, which overlays
+/// `ether_hdr`/`ipv4_hdr`/`tcp_hdr` structs on the mbuf: field access
+/// is assumed, *validity checking is not* — every validation branch
+/// (EtherType, version, IHL, fragmenting, lengths, protocol) is taken by
+/// the stateless code on these values. For frames too short to contain
+/// a field, concrete environments supply zeroes; the loop body's
+/// length guards run **before** any semantic use of such fields, and
+/// under the symbolic engine the fields are unconstrained symbols, so
+/// the verification covers the zero-fill behaviour and more.
+#[derive(Debug, Clone)]
+pub struct RxPacket<D: Domain + ?Sized> {
+    /// Buffer ownership token.
+    pub handle: PktHandle,
+    /// Arrival interface (concrete: the NF knows which port fired).
+    pub dir: Direction,
+    /// Total frame length in bytes.
+    pub frame_len: D::U16,
+    /// Ethernet EtherType.
+    pub ethertype: D::U16,
+    /// Raw IPv4 first byte: version (high nibble) + IHL (low nibble).
+    pub version_ihl: D::U8,
+    /// IPv4 `total_len` field.
+    pub total_len: D::U16,
+    /// Raw IPv4 flags+fragment-offset field (bytes 6–7).
+    pub frag_field: D::U16,
+    /// IPv4 TTL (carried for baselines; VigNAT does not use it).
+    pub ttl: D::U8,
+    /// IPv4 protocol number.
+    pub proto: D::U8,
+    /// IPv4 source address.
+    pub src_ip: D::U32,
+    /// IPv4 destination address.
+    pub dst_ip: D::U32,
+    /// L4 source port (zero-filled if the frame is short).
+    pub src_port: D::U16,
+    /// L4 destination port (zero-filled if the frame is short).
+    pub dst_port: D::U16,
+}
+
+/// The internal flow identifier, in domain values. The protocol is
+/// concrete because the loop body has already branched on it.
+#[derive(Debug, Clone)]
+pub struct FidParts<D: Domain + ?Sized> {
+    /// Internal host address.
+    pub src_ip: D::U32,
+    /// Internal host port.
+    pub src_port: D::U16,
+    /// Remote address.
+    pub dst_ip: D::U32,
+    /// Remote port.
+    pub dst_port: D::U16,
+    /// Session protocol (concrete per path).
+    pub proto: Proto,
+}
+
+/// The external-side key, in domain values.
+#[derive(Debug, Clone)]
+pub struct ExtParts<D: Domain + ?Sized> {
+    /// The NAT-allocated port (the return packet's destination port).
+    pub ext_port: D::U16,
+    /// Remote address.
+    pub dst_ip: D::U32,
+    /// Remote port.
+    pub dst_port: D::U16,
+    /// Session protocol (concrete per path).
+    pub proto: Proto,
+}
+
+/// A flow-table match, as seen by the stateless code.
+#[derive(Debug, Clone)]
+pub struct FlowView<D: Domain + ?Sized> {
+    /// The slot handle (for rejuvenation).
+    pub slot: SlotId,
+    /// The allocated external port.
+    pub ext_port: D::U16,
+    /// The internal endpoint address.
+    pub int_ip: D::U32,
+    /// The internal endpoint port.
+    pub int_port: D::U16,
+}
+
+/// The rewritten 5-tuple handed to [`NatEnv::tx`]. The concrete
+/// environment applies it to the packet bytes with incremental checksum
+/// updates; the symbolic environment records it in the trace for the
+/// P1 semantic check.
+#[derive(Debug, Clone)]
+pub struct TxHdr<D: Domain + ?Sized> {
+    /// New source address.
+    pub src_ip: D::U32,
+    /// New source port.
+    pub src_port: D::U16,
+    /// New destination address.
+    pub dst_ip: D::U32,
+    /// New destination port.
+    pub dst_port: D::U16,
+}
+
+/// The NAT's effect interface. See module docs.
+pub trait NatEnv: Domain {
+    /// Current time in nanoseconds (monotonic).
+    fn now(&mut self) -> Self::U64;
+
+    /// Expire every flow with `last_active <= threshold` (Fig. 6 line 2,
+    /// with `threshold = now - Texp` computed — and guarded — by the
+    /// stateless code).
+    fn expire_flows(&mut self, threshold: &Self::U64);
+
+    /// Non-blocking receive. `None` when no packet is pending.
+    fn receive(&mut self) -> Option<RxPacket<Self>>;
+
+    /// Decide a branch. Concrete environments evaluate the condition;
+    /// the symbolic engine forks execution here, recording the
+    /// condition (or its negation) as a path constraint.
+    fn branch(&mut self, cond: Self::B) -> bool;
+
+    /// Look up a flow by internal 5-tuple.
+    fn lookup_internal(&mut self, fid: &FidParts<Self>) -> Option<FlowView<Self>>;
+
+    /// Look up a flow by external key.
+    fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>>;
+
+    /// Refresh a matched flow's timestamp (Fig. 6 lines 10–12).
+    fn rejuvenate(&mut self, slot: SlotId, now: &Self::U64);
+
+    /// Reserve a flow slot, returning its id and its index as a 16-bit
+    /// domain value (VigNAT invariant: `capacity <= 65535`, so slot
+    /// indices fit). `None` when the table is full.
+    ///
+    /// Contract: a successful allocation **must** be followed by
+    /// [`NatEnv::insert_flow`] for the same slot on the same path —
+    /// the Validator's leak check enforces this (P4).
+    fn allocate_slot(&mut self, now: &Self::U64) -> Option<(SlotId, Self::U16)>;
+
+    /// Populate a reserved slot with the new flow (Fig. 6 line 16).
+    fn insert_flow(
+        &mut self,
+        slot: SlotId,
+        fid: FidParts<Self>,
+        ext_port: Self::U16,
+        now: &Self::U64,
+    );
+
+    /// Transmit the packet on `out` with rewritten headers. Consumes the
+    /// buffer.
+    fn tx(&mut self, pkt: PktHandle, out: Direction, hdr: TxHdr<Self>);
+
+    /// Drop the packet. Consumes the buffer.
+    fn drop_pkt(&mut self, pkt: PktHandle);
+}

@@ -1,0 +1,288 @@
+//! The flow manager: VigNAT's stateful half, entirely in libVig
+//! structures.
+//!
+//! State layout (identical to the C VigNAT):
+//!
+//! * a [`DoubleMap`] keyed by internal 5-tuple and external key, holding
+//!   [`Flow`] records in slots `0..capacity`;
+//! * a [`DoubleChain`] allocating those same slot indices and keeping
+//!   their last-activity order for expiry;
+//! * the invariant tying them: slot `i` is chain-allocated **iff** slot
+//!   `i` is dmap-occupied, and the flow in slot `i` has
+//!   `ext_port == start_port + i`.
+//!
+//! That last equality is the trick that removes the need for a separate
+//! port allocator: port uniqueness *is* slot uniqueness, which the
+//! dchain contract guarantees. [`FlowManager::check_coherence`] asserts
+//! the full invariant; the differential and property tests call it
+//! liberally.
+
+use libvig::dchain::DoubleChain;
+use libvig::dmap::DoubleMap;
+use libvig::expirator;
+use libvig::time::Time;
+use vig_packet::{ExtKey, Flow, FlowId};
+use vig_spec::NatConfig;
+
+/// The NAT's flow table + expiry machinery. See module docs.
+#[derive(Debug, Clone)]
+pub struct FlowManager {
+    table: DoubleMap<Flow>,
+    chain: DoubleChain,
+    start_port: u16,
+    capacity: usize,
+}
+
+impl FlowManager {
+    /// Preallocate for `cfg.capacity` flows. Panics if the configuration
+    /// violates [`crate::loop_body::check_config`] — a start-up error,
+    /// never a datapath one.
+    pub fn new(cfg: &NatConfig) -> FlowManager {
+        crate::loop_body::check_config(cfg).expect("invalid NAT configuration");
+        FlowManager {
+            table: DoubleMap::new(cfg.capacity),
+            chain: DoubleChain::new(cfg.capacity),
+            start_port: cfg.start_port,
+            capacity: cfg.capacity,
+        }
+    }
+
+    /// Flow count.
+    pub fn len(&self) -> usize {
+        self.table.size()
+    }
+
+    /// True when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the table is full.
+    pub fn is_full(&self) -> bool {
+        self.chain.is_full()
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The external port assigned to slot `i`.
+    pub fn port_of_slot(&self, slot: usize) -> u16 {
+        debug_assert!(slot < self.capacity);
+        self.start_port + slot as u16
+    }
+
+    /// Expire every flow with `last_active <= threshold`. Returns how
+    /// many were removed.
+    pub fn expire(&mut self, threshold: Time) -> usize {
+        expirator::expire_items(&mut self.chain, &mut self.table, threshold)
+    }
+
+    /// Find a flow by its internal 5-tuple.
+    pub fn lookup_internal(&self, fid: &FlowId) -> Option<(usize, &Flow)> {
+        let slot = self.table.get_by_a(fid)?;
+        self.table.get(slot).map(|f| (slot, f))
+    }
+
+    /// Find a flow by its external key.
+    pub fn lookup_external(&self, ek: &ExtKey) -> Option<(usize, &Flow)> {
+        let slot = self.table.get_by_b(ek)?;
+        self.table.get(slot).map(|f| (slot, f))
+    }
+
+    /// Refresh a flow's activity timestamp.
+    ///
+    /// Precondition (P4, validated by the Vigor pipeline): `slot` was
+    /// returned by a lookup on this same iteration, hence allocated.
+    pub fn rejuvenate(&mut self, slot: usize, now: Time) {
+        let ok = self.chain.rejuvenate(slot, now);
+        debug_assert!(ok, "rejuvenate of unallocated slot {slot}");
+    }
+
+    /// Reserve a slot for a new flow, stamped `now`. `None` when full.
+    ///
+    /// The caller must follow up with [`FlowManager::insert`] for the
+    /// same slot (the loop body does; the Validator checks it).
+    pub fn allocate_slot(&mut self, now: Time) -> Option<usize> {
+        self.chain.allocate(now).ok()
+    }
+
+    /// Populate a reserved slot.
+    ///
+    /// Preconditions (P4): `slot` freshly allocated and empty; `fid` not
+    /// present; `ext_port == start_port + slot`.
+    pub fn insert(&mut self, slot: usize, fid: FlowId, ext_port: u16) {
+        debug_assert_eq!(ext_port, self.port_of_slot(slot), "slot/port bijection violated");
+        let flow = Flow { int_key: fid, ext_port };
+        let ok = self.table.put(slot, flow);
+        debug_assert!(ok.is_ok(), "insert into occupied slot {slot}");
+    }
+
+    /// Convenience: allocate + insert in one step, returning the slot
+    /// and the assigned external port. This is the API examples and
+    /// baselines use; the verified loop body uses the two-step form to
+    /// keep the port arithmetic in stateless code.
+    pub fn allocate(&mut self, fid: FlowId, now: Time) -> Option<(usize, u16)> {
+        if self.lookup_internal(&fid).is_some() {
+            return None; // caller error: flow exists (precondition)
+        }
+        let slot = self.allocate_slot(now)?;
+        let port = self.port_of_slot(slot);
+        self.insert(slot, fid, port);
+        Some((slot, port))
+    }
+
+    /// Iterate over live flows (slot, flow, last_active), oldest first.
+    /// For tests and statistics; the datapath never scans.
+    pub fn iter_lru(&self) -> impl Iterator<Item = (usize, &Flow, Time)> + '_ {
+        self.chain.iter_lru().filter_map(move |(slot, t)| {
+            self.table.get(slot).map(|f| (slot, f, t))
+        })
+    }
+
+    /// Assert the cross-structure coherence invariant. Test/diagnostic
+    /// use; O(capacity).
+    pub fn check_coherence(&self) -> Result<(), String> {
+        if self.table.size() != self.chain.size() {
+            return Err(format!(
+                "size mismatch: dmap {} vs dchain {}",
+                self.table.size(),
+                self.chain.size()
+            ));
+        }
+        for slot in 0..self.capacity {
+            let in_map = self.table.get(slot).is_some();
+            let in_chain = self.chain.is_allocated(slot);
+            if in_map != in_chain {
+                return Err(format!("slot {slot}: dmap={in_map} dchain={in_chain}"));
+            }
+            if let Some(f) = self.table.get(slot) {
+                if f.ext_port != self.port_of_slot(slot) {
+                    return Err(format!(
+                        "slot {slot}: ext_port {} != start+slot {}",
+                        f.ext_port,
+                        self.port_of_slot(slot)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vig_packet::{Ip4, Proto};
+
+    fn cfg() -> NatConfig {
+        NatConfig {
+            capacity: 4,
+            expiry_ns: Time::from_secs(10).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1000,
+        }
+    }
+
+    fn fid(h: u8, p: u16) -> FlowId {
+        FlowId {
+            src_ip: Ip4::new(192, 168, 0, h),
+            src_port: p,
+            dst_ip: Ip4::new(8, 8, 8, 8),
+            dst_port: 53,
+            proto: Proto::Udp,
+        }
+    }
+
+    #[test]
+    fn allocate_assigns_bijective_ports() {
+        let mut fm = FlowManager::new(&cfg());
+        let mut ports = std::collections::HashSet::new();
+        for h in 0..4 {
+            let (slot, port) = fm.allocate(fid(h, 100), Time::from_secs(1)).unwrap();
+            assert_eq!(port, 1000 + slot as u16);
+            assert!(ports.insert(port));
+        }
+        assert!(fm.is_full());
+        assert_eq!(fm.allocate(fid(9, 100), Time::from_secs(1)), None);
+        fm.check_coherence().unwrap();
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut fm = FlowManager::new(&cfg());
+        let (slot, port) = fm.allocate(fid(1, 100), Time::from_secs(1)).unwrap();
+        let (s2, f) = fm.lookup_internal(&fid(1, 100)).unwrap();
+        assert_eq!(s2, slot);
+        let ek = f.ext_key();
+        assert_eq!(ek.ext_port, port);
+        let (s3, _) = fm.lookup_external(&ek).unwrap();
+        assert_eq!(s3, slot);
+    }
+
+    #[test]
+    fn expiry_respects_rejuvenation() {
+        let mut fm = FlowManager::new(&cfg());
+        let (a, _) = fm.allocate(fid(1, 100), Time::from_secs(1)).unwrap();
+        fm.allocate(fid(2, 100), Time::from_secs(2)).unwrap();
+        fm.rejuvenate(a, Time::from_secs(5));
+        // threshold 2: only flow 2 (stamped 2s) dies; flow 1 was refreshed.
+        assert_eq!(fm.expire(Time::from_secs(2)), 1);
+        assert!(fm.lookup_internal(&fid(1, 100)).is_some());
+        assert!(fm.lookup_internal(&fid(2, 100)).is_none());
+        fm.check_coherence().unwrap();
+    }
+
+    #[test]
+    fn expired_slot_reuses_same_port() {
+        let mut fm = FlowManager::new(&cfg());
+        let (slot, port) = fm.allocate(fid(1, 100), Time::from_secs(1)).unwrap();
+        fm.expire(Time::from_secs(1));
+        let (slot2, port2) = fm.allocate(fid(2, 200), Time::from_secs(2)).unwrap();
+        assert_eq!(slot2, slot, "LIFO free list reuses the slot");
+        assert_eq!(port2, port, "and therefore the port");
+        fm.check_coherence().unwrap();
+    }
+
+    #[test]
+    fn duplicate_allocate_is_rejected() {
+        let mut fm = FlowManager::new(&cfg());
+        fm.allocate(fid(1, 100), Time::from_secs(1)).unwrap();
+        assert_eq!(fm.allocate(fid(1, 100), Time::from_secs(2)), None);
+        assert_eq!(fm.len(), 1);
+    }
+
+    proptest! {
+        /// Coherence holds under arbitrary interleavings of allocate,
+        /// rejuvenate (via lookup), and expiry.
+        #[test]
+        fn coherence_under_random_ops(
+            ops in proptest::collection::vec((0u8..3, 0u8..6, 1u64..30), 0..120),
+        ) {
+            let mut fm = FlowManager::new(&cfg());
+            let mut now = Time::ZERO;
+            for (kind, host, dt) in ops {
+                now = now.plus(dt * 1_000_000_000);
+                match kind {
+                    0 => {
+                        if fm.lookup_internal(&fid(host, 100)).is_none() {
+                            fm.allocate(fid(host, 100), now);
+                        }
+                    }
+                    1 => {
+                        if let Some((slot, _)) = fm.lookup_internal(&fid(host, 100)) {
+                            fm.rejuvenate(slot, now);
+                        }
+                    }
+                    _ => {
+                        let thr = now.minus(10_000_000_000);
+                        fm.expire(thr);
+                    }
+                }
+                prop_assert!(fm.check_coherence().is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # vignat — the verified NAT (the paper's primary artifact)
+//!
+//! VigNAT splits into exactly the two halves the paper's methodology
+//! requires (§5):
+//!
+//! * **Stateful half** — [`flow_manager::FlowManager`]: all NAT state,
+//!   held in libVig structures (a [`libvig::DoubleMap`] flow table plus a
+//!   [`libvig::DoubleChain`] slot allocator). Verified against contracts
+//!   in the `libvig` crate (P3).
+//! * **Stateless half** — [`loop_body::nat_loop_iteration`]: one
+//!   iteration of the packet-processing loop, containing *every* branch
+//!   and every piece of arithmetic the NAT performs, but **zero**
+//!   persistent state. It is written once, generically:
+//!
+//!   - over a value [`domain::Domain`] — concrete machine integers on
+//!     the datapath ([`domain::Concrete`]), symbolic terms under the
+//!     verification engine;
+//!   - over an effect interface [`env::NatEnv`] — real devices + real
+//!     libVig in production (the `netsim` crate), *symbolic models* of
+//!     both under verification (the `vig-validator` crate).
+//!
+//! This is the Rust equivalent of the paper's arrangement where the same
+//! C file is compiled against DPDK + libVig for deployment and against
+//! the symbolic models for exhaustive symbolic execution. Because the
+//! loop body is a single generic function, there is no possibility of
+//! the verified code and the deployed code drifting apart — they are
+//! the same monomorphization source, and with [`domain::Concrete`]
+//! every domain operation inlines to a plain machine instruction.
+//!
+//! The slot⇄port bijection VigNAT is known for is preserved: flow slot
+//! `i` always uses external port `start_port + i`, so port uniqueness
+//! follows from slot uniqueness, which the dchain contract provides.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vignat::{FlowManager, NatConfig};
+//! use libvig::time::Time;
+//! use vig_packet::{FlowId, Ip4, Proto};
+//!
+//! let cfg = NatConfig {
+//!     capacity: 1024,
+//!     expiry_ns: Time::from_secs(60).nanos(),
+//!     external_ip: Ip4::new(203, 0, 113, 1),
+//!     start_port: 1024,
+//! };
+//! let mut fm = FlowManager::new(&cfg);
+//! let fid = FlowId {
+//!     src_ip: Ip4::new(192, 168, 0, 2), src_port: 49152,
+//!     dst_ip: Ip4::new(93, 184, 216, 34), dst_port: 80, proto: Proto::Tcp,
+//! };
+//! let (slot, ext_port) = fm.allocate(fid, Time::from_secs(1)).unwrap();
+//! assert_eq!(ext_port, 1024 + slot as u16);
+//! assert_eq!(fm.lookup_internal(&fid).unwrap().0, slot);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod env;
+pub mod flow_manager;
+pub mod loop_body;
+pub mod simple_env;
+
+pub use domain::{Concrete, Domain};
+pub use env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
+pub use flow_manager::FlowManager;
+pub use loop_body::{nat_loop_iteration, IterationOutcome};
+pub use simple_env::SimpleEnv;
+
+/// The NAT configuration — re-exported from the spec crate so that the
+/// implementation and its specification can never disagree about what
+/// the parameters mean.
+pub use vig_spec::NatConfig;

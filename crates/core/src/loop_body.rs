@@ -1,0 +1,341 @@
+//! The stateless NAT loop body — the code Vigor verifies.
+//!
+//! One call = one iteration of the paper's Fig. 1-style event loop,
+//! specialized to the NAT: expire, receive, validate, translate,
+//! forward. **Every** branch the NAT ever takes is in this function, on
+//! domain values, through [`NatEnv::branch`] — which is what lets the
+//! symbolic engine enumerate all feasible paths of exactly this code
+//! (not a model of it), the way the paper's modified KLEE explores the
+//! C loop.
+//!
+//! Reading guide, mapping to the paper's Fig. 6:
+//!
+//! * "Packet P arrives at time t" → [`NatEnv::now`] + [`NatEnv::receive`];
+//!   the validation ladder below realizes "P is accepted" (frames the
+//!   spec never sees are dropped here, covered by low-level properties).
+//! * `expire_flows(t)` → the guarded [`NatEnv::expire_flows`] call;
+//!   the `now >= Texp` guard makes the `now - Texp` subtraction safe,
+//!   which the symbolic domain proves as a P2 obligation.
+//! * `update_flow(P, t)` → the lookup/rejuvenate/allocate/insert calls.
+//! * `forward(P)` → the [`NatEnv::tx`]/[`NatEnv::drop_pkt`] calls with
+//!   Fig. 6's header rewrites, including VigNAT's signature
+//!   `ext_port = start_port + slot` arithmetic (overflow-proven from
+//!   the configuration invariant `start_port + capacity <= 65536`).
+//!
+//! The validation ladder is ordered so that **no header field is used
+//! semantically before the length guard covering it has passed** —
+//! concrete environments zero-fill short reads, and this ordering is
+//! what makes that safe (and is itself visible to the verifier).
+
+use crate::env::{ExtParts, FidParts, NatEnv, RxPacket, TxHdr};
+use vig_packet::{Direction, Proto};
+use vig_spec::NatConfig;
+
+/// What one loop iteration did (ghost data for tests and statistics;
+/// the symbolic engine ignores it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationOutcome {
+    /// No packet was pending.
+    NoPacket,
+    /// A packet was received and dropped.
+    Dropped(DropReason),
+    /// A packet was received, translated and transmitted on this
+    /// interface.
+    Forwarded(Direction),
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Frame shorter than an Ethernet header.
+    ShortL2,
+    /// EtherType is not IPv4.
+    NotIpv4,
+    /// Frame shorter than Ethernet + minimal IPv4 header.
+    ShortL3,
+    /// IP version field is not 4.
+    BadVersion,
+    /// IHL below 20 bytes.
+    BadIhl,
+    /// IPv4 `total_len` inconsistent with the frame.
+    BadTotalLen,
+    /// Fragmented packet (MF set or offset non-zero).
+    Fragment,
+    /// Protocol is neither TCP nor UDP.
+    BadProto,
+    /// IPv4 header longer than the datagram.
+    HeaderOverrun,
+    /// Datagram too short for the L4 header.
+    ShortL4,
+    /// No matching flow for an external packet.
+    NoFlow,
+    /// Flow table full for a new internal flow.
+    TableFull,
+}
+
+/// One iteration of the NAT's packet-processing loop. See module docs.
+///
+/// `cfg` must satisfy the VigNAT configuration invariant
+/// `start_port as usize + capacity <= 65536` and `capacity >= 1`
+/// (checked by [`check_config`]); the port-arithmetic proof relies
+/// on it.
+pub fn nat_loop_iteration<E: NatEnv + ?Sized>(env: &mut E, cfg: &NatConfig) -> IterationOutcome {
+    let now = env.now();
+
+    // --- expire_flows(t): threshold = now - Texp, guarded -------------
+    let texp = env.c_u64(cfg.expiry_ns);
+    let expirable = env.le_u64(&texp, &now);
+    if env.branch(expirable) {
+        let threshold = env.sub_u64(&now, &texp); // safe: texp <= now
+        env.expire_flows(&threshold);
+    }
+
+    // --- receive -------------------------------------------------------
+    let Some(pkt) = env.receive() else {
+        return IterationOutcome::NoPacket;
+    };
+
+    // --- validation ladder ----------------------------------------------
+    // L2: enough bytes for the Ethernet header?
+    let eth_len = env.c_u16(14);
+    let short_l2 = env.lt_u16(&pkt.frame_len, &eth_len);
+    if env.branch(short_l2) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::ShortL2);
+    }
+    // EtherType must be IPv4.
+    let ipv4_ethertype = env.c_u16(0x0800);
+    let is_ipv4 = env.eq_u16(&pkt.ethertype, &ipv4_ethertype);
+    let not_ipv4 = env.not(&is_ipv4);
+    if env.branch(not_ipv4) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::NotIpv4);
+    }
+    // L3: enough bytes for a minimal IPv4 header?
+    let min_l3 = env.c_u16(14 + 20);
+    let short_l3 = env.lt_u16(&pkt.frame_len, &min_l3);
+    if env.branch(short_l3) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::ShortL3);
+    }
+    // Version nibble must be 4.
+    let version = env.shr_u8(&pkt.version_ihl, 4);
+    let four = env.c_u8(4);
+    let is_v4 = env.eq_u8(&version, &four);
+    let not_v4 = env.not(&is_v4);
+    if env.branch(not_v4) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::BadVersion);
+    }
+    // IHL: low nibble * 4 bytes, must be >= 20. (The `& 0x0f` bounds the
+    // shift operand, discharging the shl obligation: result <= 60.)
+    let ihl_nibble = env.and_u8(&pkt.version_ihl, 0x0f);
+    let ihl_bytes8 = env.shl_u8(&ihl_nibble, 2);
+    let ihl = env.u8_to_u16(&ihl_bytes8);
+    let twenty = env.c_u16(20);
+    let bad_ihl = env.lt_u16(&ihl, &twenty);
+    if env.branch(bad_ihl) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::BadIhl);
+    }
+    // total_len must fit in the frame: total_len <= frame_len - 14.
+    // (Subtraction is safe: frame_len >= 34 was just established.)
+    let ip_budget = env.sub_u16(&pkt.frame_len, &eth_len);
+    let fits = env.le_u16(&pkt.total_len, &ip_budget);
+    let overruns = env.not(&fits);
+    if env.branch(overruns) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::BadTotalLen);
+    }
+    // No fragments: MF flag and fragment offset must both be zero
+    // (mask 0x3fff = offset bits 0x1fff | MF bit 0x2000).
+    let frag_bits = env.and_u16(&pkt.frag_field, 0x3fff);
+    let zero16 = env.c_u16(0);
+    let unfragmented = env.eq_u16(&frag_bits, &zero16);
+    let fragmented = env.not(&unfragmented);
+    if env.branch(fragmented) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::Fragment);
+    }
+    // Protocol dispatch: TCP (6) or UDP (17); anything else drops.
+    let tcp_no = env.c_u8(6);
+    let udp_no = env.c_u8(17);
+    let is_tcp = env.eq_u8(&pkt.proto, &tcp_no);
+    let proto = if env.branch(is_tcp) {
+        Proto::Tcp
+    } else {
+        let is_udp = env.eq_u8(&pkt.proto, &udp_no);
+        if env.branch(is_udp) {
+            Proto::Udp
+        } else {
+            env.drop_pkt(pkt.handle);
+            return IterationOutcome::Dropped(DropReason::BadProto);
+        }
+    };
+    // The IPv4 header must fit inside the datagram: ihl <= total_len.
+    let hdr_fits = env.le_u16(&ihl, &pkt.total_len);
+    let hdr_overruns = env.not(&hdr_fits);
+    if env.branch(hdr_overruns) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::HeaderOverrun);
+    }
+    // And the datagram must hold the L4 header (20 for TCP, 8 for UDP).
+    // (Subtraction safe: ihl <= total_len just established. Together
+    // with total_len <= frame_len - 14 this proves the L4 ports lie
+    // within the frame, so the zero-fill fallback is never used on
+    // forwarded packets.)
+    let l4_avail = env.sub_u16(&pkt.total_len, &ihl);
+    let l4_need = env.c_u16(match proto {
+        Proto::Tcp => 20,
+        Proto::Udp => 8,
+    });
+    let short_l4 = env.lt_u16(&l4_avail, &l4_need);
+    if env.branch(short_l4) {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::ShortL4);
+    }
+
+    // --- update_flow + forward (Fig. 6) ---------------------------------
+    match pkt.dir {
+        Direction::Internal => translate_internal(env, cfg, &pkt, proto, now),
+        Direction::External => translate_external(env, &pkt, proto, now),
+    }
+}
+
+/// Internal → external path: match or create, rewrite source to
+/// `(EXT_IP, ext_port)`.
+fn translate_internal<E: NatEnv + ?Sized>(
+    env: &mut E,
+    cfg: &NatConfig,
+    pkt: &RxPacket<E>,
+    proto: Proto,
+    now: E::U64,
+) -> IterationOutcome {
+    let fid = FidParts {
+        src_ip: pkt.src_ip.clone(),
+        src_port: pkt.src_port.clone(),
+        dst_ip: pkt.dst_ip.clone(),
+        dst_port: pkt.dst_port.clone(),
+        proto,
+    };
+    let ext_ip = env.c_u32(cfg.external_ip.raw());
+    match env.lookup_internal(&fid) {
+        Some(flow) => {
+            env.rejuvenate(flow.slot, &now);
+            let hdr = TxHdr {
+                src_ip: ext_ip,
+                src_port: flow.ext_port,
+                dst_ip: pkt.dst_ip.clone(),
+                dst_port: pkt.dst_port.clone(),
+            };
+            env.tx(pkt.handle, Direction::External, hdr);
+            IterationOutcome::Forwarded(Direction::External)
+        }
+        None => match env.allocate_slot(&now) {
+            Some((slot, index)) => {
+                // VigNAT's port arithmetic: ext_port = start_port + slot.
+                // No overflow: index < capacity (dchain contract) and
+                // start_port + capacity <= 65536 (config invariant).
+                let start = env.c_u16(cfg.start_port);
+                let ext_port = env.add_u16(&start, &index);
+                env.insert_flow(slot, fid, ext_port.clone(), &now);
+                let hdr = TxHdr {
+                    src_ip: ext_ip,
+                    src_port: ext_port,
+                    dst_ip: pkt.dst_ip.clone(),
+                    dst_port: pkt.dst_port.clone(),
+                };
+                env.tx(pkt.handle, Direction::External, hdr);
+                IterationOutcome::Forwarded(Direction::External)
+            }
+            None => {
+                env.drop_pkt(pkt.handle);
+                IterationOutcome::Dropped(DropReason::TableFull)
+            }
+        },
+    }
+}
+
+/// External → internal path: match or drop, rewrite destination to the
+/// internal endpoint.
+fn translate_external<E: NatEnv + ?Sized>(
+    env: &mut E,
+    pkt: &RxPacket<E>,
+    proto: Proto,
+    now: E::U64,
+) -> IterationOutcome {
+    let ek = ExtParts {
+        ext_port: pkt.dst_port.clone(),
+        dst_ip: pkt.src_ip.clone(),
+        dst_port: pkt.src_port.clone(),
+        proto,
+    };
+    match env.lookup_external(&ek) {
+        Some(flow) => {
+            env.rejuvenate(flow.slot, &now);
+            let hdr = TxHdr {
+                src_ip: pkt.src_ip.clone(),
+                src_port: pkt.src_port.clone(),
+                dst_ip: flow.int_ip,
+                dst_port: flow.int_port,
+            };
+            env.tx(pkt.handle, Direction::Internal, hdr);
+            IterationOutcome::Forwarded(Direction::Internal)
+        }
+        None => {
+            env.drop_pkt(pkt.handle);
+            IterationOutcome::Dropped(DropReason::NoFlow)
+        }
+    }
+}
+
+/// Validate the VigNAT configuration invariants the loop body's proofs
+/// rely on. Call once at NF start-up (all provided environments do).
+pub fn check_config(cfg: &NatConfig) -> Result<(), String> {
+    if cfg.capacity == 0 {
+        return Err("capacity must be at least 1".into());
+    }
+    if cfg.capacity > 65_535 {
+        return Err(format!("capacity {} exceeds the 16-bit slot space", cfg.capacity));
+    }
+    if cfg.start_port as usize + cfg.capacity > 65_536 {
+        return Err(format!(
+            "port range overflows u16: start_port {} + capacity {} > 65536",
+            cfg.start_port, cfg.capacity
+        ));
+    }
+    if cfg.start_port == 0 {
+        return Err("start_port 0 would allocate the invalid port 0".into());
+    }
+    if cfg.expiry_ns == 0 {
+        return Err("expiry must be non-zero (flows would die instantly)".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libvig::time::Time;
+    use vig_packet::Ip4;
+
+    fn cfg() -> NatConfig {
+        NatConfig {
+            capacity: 8,
+            expiry_ns: Time::from_secs(10).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1000,
+        }
+    }
+
+    #[test]
+    fn config_invariants() {
+        check_config(&cfg()).unwrap();
+        check_config(&NatConfig { capacity: 0, ..cfg() }).unwrap_err();
+        check_config(&NatConfig { capacity: 70_000, ..cfg() }).unwrap_err();
+        check_config(&NatConfig { start_port: 65_000, capacity: 1000, ..cfg() }).unwrap_err();
+        check_config(&NatConfig { start_port: 0, ..cfg() }).unwrap_err();
+        check_config(&NatConfig { expiry_ns: 0, ..cfg() }).unwrap_err();
+        check_config(&NatConfig::paper_default()).unwrap();
+    }
+}

@@ -1,0 +1,488 @@
+//! A minimal concrete [`NatEnv`] over plain vectors — the test harness
+//! the differential suite runs the real loop body in.
+//!
+//! No devices, no buffers: packets are injected as header fields,
+//! outputs are recorded as field-level events. This keeps the
+//! differential tests (loop body + [`FlowManager`] vs. the RFC 3022
+//! [`vig_spec::SpecChecker`]) free of simulator noise — they compare
+//! *decisions*, which is exactly what the spec constrains. Byte-level
+//! behaviour (checksum updates, payload preservation) is covered by the
+//! netsim end-to-end tests.
+//!
+//! The env also enforces the buffer-ownership discipline at runtime:
+//! every received handle must be consumed by exactly one `tx`/`drop_pkt`
+//! before the iteration ends, mirroring the Validator's leak check.
+
+use crate::env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
+use crate::flow_manager::FlowManager;
+use crate::impl_concrete_domain;
+use crate::loop_body::{nat_loop_iteration, IterationOutcome};
+use libvig::time::Time;
+use std::collections::VecDeque;
+use vig_packet::{Direction, FlowFields, FlowId};
+use vig_spec::NatConfig;
+
+/// Raw header fields for an injected packet. Use [`RawRx::well_formed`]
+/// for valid packets; construct directly to exercise the drop paths.
+#[derive(Debug, Clone, Copy)]
+pub struct RawRx {
+    /// Arrival interface.
+    pub dir: Direction,
+    /// Frame length in bytes.
+    pub frame_len: u16,
+    /// EtherType.
+    pub ethertype: u16,
+    /// IPv4 version+IHL byte.
+    pub version_ihl: u8,
+    /// IPv4 total length.
+    pub total_len: u16,
+    /// IPv4 flags+fragment-offset field.
+    pub frag_field: u16,
+    /// IPv4 TTL.
+    pub ttl: u8,
+    /// IPv4 protocol.
+    pub proto: u8,
+    /// Source address.
+    pub src_ip: u32,
+    /// Destination address.
+    pub dst_ip: u32,
+    /// L4 source port.
+    pub src_port: u16,
+    /// L4 destination port.
+    pub dst_port: u16,
+}
+
+impl RawRx {
+    /// A well-formed 64-byte TCP/UDP frame carrying `fields`.
+    pub fn well_formed(dir: Direction, fields: FlowFields) -> RawRx {
+        let l4 = match fields.proto {
+            vig_packet::Proto::Tcp => 20,
+            vig_packet::Proto::Udp => 8,
+        };
+        RawRx {
+            dir,
+            frame_len: 64,
+            ethertype: 0x0800,
+            version_ihl: 0x45,
+            total_len: 20 + l4,
+            frag_field: 0x4000, // DF, not fragmented
+            ttl: 64,
+            proto: fields.proto.number(),
+            src_ip: fields.src_ip.raw(),
+            dst_ip: fields.dst_ip.raw(),
+            src_port: fields.src_port,
+            dst_port: fields.dst_port,
+        }
+    }
+}
+
+/// What the env observed the NF do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvEvent {
+    /// Packet transmitted on `out` with the rewritten tuple.
+    Sent {
+        /// Egress interface.
+        out: Direction,
+        /// Rewritten source ip.
+        src_ip: u32,
+        /// Rewritten source port.
+        src_port: u16,
+        /// Rewritten destination ip.
+        dst_ip: u32,
+        /// Rewritten destination port.
+        dst_port: u16,
+    },
+    /// Packet dropped.
+    Dropped,
+}
+
+/// The vector-backed test environment. See module docs.
+pub struct SimpleEnv {
+    cfg: NatConfig,
+    fm: FlowManager,
+    now_ns: u64,
+    pending: VecDeque<RawRx>,
+    events: Vec<EnvEvent>,
+    next_handle: usize,
+    in_flight: Vec<usize>,
+    expired_total: usize,
+}
+
+impl_concrete_domain!(SimpleEnv);
+
+impl SimpleEnv {
+    /// Fresh env with an empty flow table.
+    pub fn new(cfg: NatConfig) -> SimpleEnv {
+        SimpleEnv {
+            fm: FlowManager::new(&cfg),
+            cfg,
+            now_ns: 0,
+            pending: VecDeque::new(),
+            events: Vec::new(),
+            next_handle: 0,
+            in_flight: Vec::new(),
+            expired_total: 0,
+        }
+    }
+
+    /// The flow manager (for assertions).
+    pub fn flow_manager(&self) -> &FlowManager {
+        &self.fm
+    }
+
+    /// Total flows expired so far.
+    pub fn expired_total(&self) -> usize {
+        self.expired_total
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[EnvEvent] {
+        &self.events
+    }
+
+    /// Set the clock (must be monotone across calls).
+    pub fn set_time(&mut self, t: Time) {
+        debug_assert!(t.nanos() >= self.now_ns, "SimpleEnv clock must be monotone");
+        self.now_ns = t.nanos();
+    }
+
+    /// Queue a packet for the next iteration.
+    pub fn inject(&mut self, raw: RawRx) {
+        self.pending.push_back(raw);
+    }
+
+    /// Run one loop iteration of the *real* stateless code against this
+    /// env, enforcing the buffer-ownership discipline.
+    pub fn run_one(&mut self) -> IterationOutcome {
+        let cfg = self.cfg;
+        let out = nat_loop_iteration(self, &cfg);
+        assert!(
+            self.in_flight.is_empty(),
+            "buffer leak: handles {:?} neither sent nor dropped",
+            self.in_flight
+        );
+        out
+    }
+
+    /// Convenience for differential testing: inject a well-formed packet
+    /// at time `t`, run one iteration, and return the NF's decision in
+    /// the spec's vocabulary.
+    pub fn step(&mut self, dir: Direction, fields: FlowFields, t: Time) -> vig_spec::Output {
+        self.set_time(t);
+        self.inject(RawRx::well_formed(dir, fields));
+        let before = self.events.len();
+        let outcome = self.run_one();
+        assert_eq!(self.events.len(), before + 1, "exactly one event per packet");
+        match (outcome, self.events[before]) {
+            (IterationOutcome::Forwarded(_), EnvEvent::Sent { out, src_ip, src_port, dst_ip, dst_port }) => {
+                vig_spec::Output::Forward {
+                    iface: out,
+                    fields: FlowFields {
+                        src_ip: vig_packet::Ip4(src_ip),
+                        dst_ip: vig_packet::Ip4(dst_ip),
+                        src_port,
+                        dst_port,
+                        proto: fields.proto,
+                    },
+                }
+            }
+            (IterationOutcome::Dropped(_), EnvEvent::Dropped) => vig_spec::Output::Drop,
+            (o, e) => panic!("outcome {o:?} inconsistent with event {e:?}"),
+        }
+    }
+}
+
+impl NatEnv for SimpleEnv {
+    fn now(&mut self) -> u64 {
+        self.now_ns
+    }
+
+    fn expire_flows(&mut self, threshold: &u64) {
+        self.expired_total += self.fm.expire(Time(*threshold));
+    }
+
+    fn receive(&mut self) -> Option<RxPacket<Self>> {
+        let raw = self.pending.pop_front()?;
+        let handle = PktHandle(self.next_handle);
+        self.next_handle += 1;
+        self.in_flight.push(handle.0);
+        Some(RxPacket {
+            handle,
+            dir: raw.dir,
+            frame_len: raw.frame_len,
+            ethertype: raw.ethertype,
+            version_ihl: raw.version_ihl,
+            total_len: raw.total_len,
+            frag_field: raw.frag_field,
+            ttl: raw.ttl,
+            proto: raw.proto,
+            src_ip: raw.src_ip,
+            dst_ip: raw.dst_ip,
+            src_port: raw.src_port,
+            dst_port: raw.dst_port,
+        })
+    }
+
+    fn branch(&mut self, cond: bool) -> bool {
+        cond
+    }
+
+    fn lookup_internal(&mut self, fid: &FidParts<Self>) -> Option<FlowView<Self>> {
+        let key = FlowId {
+            src_ip: vig_packet::Ip4(fid.src_ip),
+            src_port: fid.src_port,
+            dst_ip: vig_packet::Ip4(fid.dst_ip),
+            dst_port: fid.dst_port,
+            proto: fid.proto,
+        };
+        let (slot, flow) = self.fm.lookup_internal(&key)?;
+        Some(FlowView {
+            slot: SlotId(slot),
+            ext_port: flow.ext_port,
+            int_ip: flow.int_key.src_ip.raw(),
+            int_port: flow.int_key.src_port,
+        })
+    }
+
+    fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>> {
+        let key = vig_packet::ExtKey {
+            ext_port: ek.ext_port,
+            dst_ip: vig_packet::Ip4(ek.dst_ip),
+            dst_port: ek.dst_port,
+            proto: ek.proto,
+        };
+        let (slot, flow) = self.fm.lookup_external(&key)?;
+        Some(FlowView {
+            slot: SlotId(slot),
+            ext_port: flow.ext_port,
+            int_ip: flow.int_key.src_ip.raw(),
+            int_port: flow.int_key.src_port,
+        })
+    }
+
+    fn rejuvenate(&mut self, slot: SlotId, now: &u64) {
+        self.fm.rejuvenate(slot.0, Time(*now));
+    }
+
+    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
+        let slot = self.fm.allocate_slot(Time(*now))?;
+        Some((SlotId(slot), slot as u16))
+    }
+
+    fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: u16, _now: &u64) {
+        let key = FlowId {
+            src_ip: vig_packet::Ip4(fid.src_ip),
+            src_port: fid.src_port,
+            dst_ip: vig_packet::Ip4(fid.dst_ip),
+            dst_port: fid.dst_port,
+            proto: fid.proto,
+        };
+        self.fm.insert(slot.0, key, ext_port);
+    }
+
+    fn tx(&mut self, pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
+        let pos = self
+            .in_flight
+            .iter()
+            .position(|&h| h == pkt.0)
+            .expect("tx of a handle not in flight (double send or invented)");
+        self.in_flight.swap_remove(pos);
+        self.events.push(EnvEvent::Sent {
+            out,
+            src_ip: hdr.src_ip,
+            src_port: hdr.src_port,
+            dst_ip: hdr.dst_ip,
+            dst_port: hdr.dst_port,
+        });
+    }
+
+    fn drop_pkt(&mut self, pkt: PktHandle) {
+        let pos = self
+            .in_flight
+            .iter()
+            .position(|&h| h == pkt.0)
+            .expect("drop of a handle not in flight");
+        self.in_flight.swap_remove(pos);
+        self.events.push(EnvEvent::Dropped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loop_body::DropReason;
+    use proptest::prelude::*;
+    use vig_packet::{Ip4, Proto};
+    use vig_spec::{PacketInput, SpecChecker};
+
+    fn cfg() -> NatConfig {
+        NatConfig {
+            capacity: 4,
+            expiry_ns: Time::from_secs(10).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1000,
+        }
+    }
+
+    fn fields(h: u8, sport: u16, proto: Proto) -> FlowFields {
+        FlowFields {
+            src_ip: Ip4::new(192, 168, 0, h),
+            dst_ip: Ip4::new(1, 1, 1, 1),
+            src_port: sport,
+            dst_port: 80,
+            proto,
+        }
+    }
+
+    #[test]
+    fn no_packet_iteration() {
+        let mut env = SimpleEnv::new(cfg());
+        assert_eq!(env.run_one(), IterationOutcome::NoPacket);
+    }
+
+    #[test]
+    fn new_flow_is_translated_and_return_traffic_flows_back() {
+        let mut env = SimpleEnv::new(cfg());
+        let out = env.step(Direction::Internal, fields(2, 5000, Proto::Tcp), Time::from_secs(1));
+        let vig_spec::Output::Forward { iface, fields: f } = out else {
+            panic!("expected forward")
+        };
+        assert_eq!(iface, Direction::External);
+        assert_eq!(f.src_ip, Ip4::new(10, 1, 0, 1));
+        assert_eq!(f.dst_ip, Ip4::new(1, 1, 1, 1));
+        let ext_port = f.src_port;
+        assert!((1000..1004).contains(&ext_port));
+
+        // return packet
+        let back = FlowFields {
+            src_ip: Ip4::new(1, 1, 1, 1),
+            dst_ip: Ip4::new(10, 1, 0, 1),
+            src_port: 80,
+            dst_port: ext_port,
+            proto: Proto::Tcp,
+        };
+        let out = env.step(Direction::External, back, Time::from_secs(2));
+        let vig_spec::Output::Forward { iface, fields: f } = out else {
+            panic!("expected reverse forward")
+        };
+        assert_eq!(iface, Direction::Internal);
+        assert_eq!(f.dst_ip, Ip4::new(192, 168, 0, 2));
+        assert_eq!(f.dst_port, 5000);
+        assert_eq!(f.src_ip, Ip4::new(1, 1, 1, 1));
+    }
+
+    #[test]
+    fn malformed_packets_hit_each_drop_path() {
+        let wf = RawRx::well_formed(Direction::Internal, fields(2, 5000, Proto::Udp));
+        let cases: Vec<(RawRx, DropReason)> = vec![
+            (RawRx { frame_len: 10, ..wf }, DropReason::ShortL2),
+            (RawRx { ethertype: 0x86dd, ..wf }, DropReason::NotIpv4),
+            (RawRx { frame_len: 20, ..wf }, DropReason::ShortL3),
+            (RawRx { version_ihl: 0x65, ..wf }, DropReason::BadVersion),
+            (RawRx { version_ihl: 0x44, ..wf }, DropReason::BadIhl),
+            (RawRx { total_len: 64, ..wf }, DropReason::BadTotalLen),
+            (RawRx { frag_field: 0x2000, ..wf }, DropReason::Fragment),
+            (RawRx { frag_field: 0x0001, ..wf }, DropReason::Fragment),
+            (RawRx { proto: 1, ..wf }, DropReason::BadProto),
+            (RawRx { total_len: 20 + 7, ..wf }, DropReason::ShortL4),
+            // IHL (24) larger than total_len (20): header overrun
+            (RawRx { version_ihl: 0x46, total_len: 20, ..wf }, DropReason::HeaderOverrun),
+        ];
+        for (raw, want) in cases {
+            let mut env = SimpleEnv::new(cfg());
+            env.set_time(Time::from_secs(1));
+            env.inject(raw);
+            assert_eq!(
+                env.run_one(),
+                IterationOutcome::Dropped(want),
+                "case {want:?} mis-dropped for {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_full_drops_new_flows() {
+        let mut env = SimpleEnv::new(cfg());
+        for h in 0..4 {
+            env.step(Direction::Internal, fields(h, 100, Proto::Udp), Time::from_secs(1));
+        }
+        env.set_time(Time::from_secs(2));
+        env.inject(RawRx::well_formed(Direction::Internal, fields(9, 100, Proto::Udp)));
+        assert_eq!(env.run_one(), IterationOutcome::Dropped(DropReason::TableFull));
+    }
+
+    #[test]
+    fn expiry_runs_before_lookup() {
+        let mut env = SimpleEnv::new(cfg());
+        env.step(Direction::Internal, fields(1, 100, Proto::Udp), Time::from_secs(1));
+        assert_eq!(env.flow_manager().len(), 1);
+        // At t=11 the flow (stamped 1, Texp=10) is dead; its return
+        // packet must be dropped by this very iteration.
+        let back = FlowFields {
+            src_ip: Ip4::new(1, 1, 1, 1),
+            dst_ip: Ip4::new(10, 1, 0, 1),
+            src_port: 80,
+            dst_port: 1000,
+            proto: Proto::Udp,
+        };
+        let out = env.step(Direction::External, back, Time::from_secs(11));
+        assert_eq!(out, vig_spec::Output::Drop);
+        assert_eq!(env.flow_manager().len(), 0);
+        assert_eq!(env.expired_total(), 1);
+    }
+
+    /// The workhorse: the real loop body + real libVig vs. the RFC 3022
+    /// spec, on randomized workloads mixing new flows, repeats, valid
+    /// and junk return traffic, and time jumps that trigger expiry.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn differential_vs_rfc3022_spec(
+            steps in proptest::collection::vec(
+                (0u8..4, 0u8..6, 1000u16..1012, any::<bool>(), 0u64..8),
+                1..300,
+            ),
+        ) {
+            let mut env = SimpleEnv::new(cfg());
+            let mut spec = SpecChecker::new(cfg());
+            let mut now = Time::from_secs(1);
+            for (kind, host, ext_port, tcp, dt) in steps {
+                now = now.plus(dt * 1_500_000_000);
+                let proto = if tcp { Proto::Tcp } else { Proto::Udp };
+                let (dir, f) = match kind {
+                    // internal traffic from a small host pool (drives
+                    // repeats and new flows)
+                    0 | 1 => (Direction::Internal, fields(host, 100, proto)),
+                    // return traffic to a port that may or may not be live
+                    2 => (
+                        Direction::External,
+                        FlowFields {
+                            src_ip: Ip4::new(1, 1, 1, 1),
+                            dst_ip: Ip4::new(10, 1, 0, 1),
+                            src_port: 80,
+                            dst_port: ext_port,
+                            proto,
+                        },
+                    ),
+                    // junk external traffic from a different remote
+                    _ => (
+                        Direction::External,
+                        FlowFields {
+                            src_ip: Ip4::new(7, 7, 7, 7),
+                            dst_ip: Ip4::new(10, 1, 0, 1),
+                            src_port: 9999,
+                            dst_port: ext_port,
+                            proto,
+                        },
+                    ),
+                };
+                let output = env.step(dir, f, now);
+                let input = PacketInput { dir, fields: f };
+                spec.observe(&input, now, &output).map_err(|v| {
+                    TestCaseError::fail(format!("spec violation at step {}: {v}", spec.steps()))
+                })?;
+                prop_assert!(env.flow_manager().check_coherence().is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The batcher (`batcher.c`): collects homogeneous items until the
+//! caller drains them all at once.
+//!
+//! VigNAT's TX path groups outgoing packets into bursts before handing
+//! them to DPDK; the batcher is the structure that holds a burst in
+//! flight. Contract: items come back in insertion order, exactly once,
+//! and `take_all` leaves the batcher empty.
+
+use crate::Full;
+use core::fmt::Debug;
+
+/// Preallocated item batcher.
+#[derive(Debug, Clone)]
+pub struct Batcher<T> {
+    items: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> Batcher<T> {
+    /// Preallocate space for `capacity` items per batch.
+    pub fn new(capacity: usize) -> Batcher<T> {
+        assert!(capacity > 0, "batcher capacity must be non-zero");
+        Batcher { items: (0..capacity).map(|_| None).collect(), len: 0 }
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Items currently batched.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is batched.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the batch is complete and must be drained.
+    pub fn is_full(&self) -> bool {
+        self.len == self.items.len()
+    }
+
+    /// Add an item to the batch.
+    pub fn push(&mut self, item: T) -> Result<(), Full> {
+        if self.is_full() {
+            return Err(Full);
+        }
+        self.items[self.len] = Some(item);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Drain the whole batch in insertion order, leaving it empty.
+    pub fn take_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        let n = self.len;
+        self.len = 0;
+        self.items[..n].iter_mut().map(|slot| slot.take().expect("batched slot holds a value"))
+    }
+}
+
+/// Implementation + `Vec` model in lockstep (P3).
+#[derive(Debug, Clone)]
+pub struct CheckedBatcher<T: Clone + PartialEq + Debug> {
+    imp: Batcher<T>,
+    model: Vec<T>,
+}
+
+impl<T: Clone + PartialEq + Debug> CheckedBatcher<T> {
+    /// Preallocate, like [`Batcher::new`].
+    pub fn new(capacity: usize) -> Self {
+        CheckedBatcher { imp: Batcher::new(capacity), model: Vec::new() }
+    }
+
+    /// Contract-checked push.
+    pub fn push(&mut self, item: T) -> Result<(), Full> {
+        let r = self.imp.push(item.clone());
+        match r {
+            Ok(()) => {
+                assert!(self.model.len() < self.imp.capacity(), "impl accepted push when full");
+                self.model.push(item);
+            }
+            Err(Full) => assert_eq!(self.model.len(), self.imp.capacity(), "Full below capacity"),
+        }
+        assert_eq!(self.imp.len(), self.model.len());
+        r
+    }
+
+    /// Contract-checked drain: insertion order, exactly once, empties the
+    /// batcher.
+    pub fn take_all(&mut self) -> Vec<T> {
+        let got: Vec<T> = self.imp.take_all().collect();
+        let spec = core::mem::take(&mut self.model);
+        assert_eq!(got, spec, "take_all diverged from model");
+        assert!(self.imp.is_empty(), "take_all must leave the batcher empty");
+        got
+    }
+
+    /// Contract-checked fullness.
+    pub fn is_full(&self) -> bool {
+        let got = self.imp.is_full();
+        assert_eq!(got, self.model.len() == self.imp.capacity());
+        got
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn batch_and_drain() {
+        let mut b = CheckedBatcher::new(3);
+        b.push(1).unwrap();
+        b.push(2).unwrap();
+        assert_eq!(b.take_all(), vec![1, 2]);
+        assert_eq!(b.take_all(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn full_batch_rejects_then_drains() {
+        let mut b = CheckedBatcher::new(2);
+        b.push(10).unwrap();
+        b.push(20).unwrap();
+        assert!(b.is_full());
+        assert_eq!(b.push(30), Err(Full));
+        assert_eq!(b.take_all(), vec![10, 20]);
+        b.push(30).unwrap();
+        assert_eq!(b.take_all(), vec![30]);
+    }
+
+    #[test]
+    fn reuse_after_drain_many_rounds() {
+        let mut b = CheckedBatcher::new(4);
+        for round in 0..8 {
+            for i in 0..3 {
+                b.push(round * 10 + i).unwrap();
+            }
+            assert_eq!(b.take_all(), vec![round * 10, round * 10 + 1, round * 10 + 2]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn random_ops_refine_model(ops in proptest::collection::vec(any::<Option<u8>>(), 0..150)) {
+            let mut b = CheckedBatcher::new(6);
+            for op in ops {
+                match op {
+                    Some(v) => { let _ = b.push(v); }
+                    None => { b.take_all(); }
+                }
+            }
+        }
+    }
+}

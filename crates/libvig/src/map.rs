@@ -1,0 +1,590 @@
+//! The verified open-addressing hash map.
+//!
+//! This is the algorithm of Vigor's `map.c`, the structure whose formal
+//! contract the paper contrasts with DPDK's separate-chaining table (§6):
+//! linear probing over preallocated arrays, with a **probe-chain counter**
+//! per slot (`chains[i]` = how many stored keys' probe paths *traverse*
+//! slot `i` without stopping there). The counters replace tombstones:
+//! a miss can stop at the first slot that is both free and traversed by
+//! no chain, and deletion just decrements the counters along the probe
+//! path. The price — and the effect the paper's Fig. 12 shows at ~full
+//! occupancy — is that probe sequences grow as the table fills.
+//!
+//! The map stores `usize` values ("indices" in Vigor parlance) because
+//! libVig's composite structures ([`crate::dmap::DoubleMap`]) keep the
+//! real values in a separate preallocated slot array and use maps purely
+//! as key → slot directories.
+//!
+//! ## Contract summary (paper Fig. 8 analog)
+//!
+//! Writing `m` for the abstract association list [`AbstractMap`]:
+//!
+//! * `get(k)`  — requires nothing; ensures result = `m.get(k)` and `m`
+//!   unchanged.
+//! * `put(k,v)` — requires `m.get(k) == None` and `m.len() < cap`;
+//!   ensures post-state `m + [(k,v)]`.
+//! * `erase(k)` — requires `m.get(k) != None`; ensures post-state
+//!   `m - k` and result = old `m.get(k)`.
+//! * `size()` — ensures result = `m.len()`.
+//!
+//! [`CheckedMap`] enforces exactly these, running the implementation and
+//! the model in lockstep (refinement shadowing, property P3).
+
+use crate::Full;
+
+/// Key requirements for the verified map: equality plus a caller-supplied
+/// hash. libVig keys carry their own hash function (`map_key_hash` in the
+/// C code) instead of going through a generic hasher framework, so probing
+/// behaviour is fully determined by the key type.
+pub trait MapKey: Eq + Clone {
+    /// A well-distributed 64-bit hash of the key.
+    fn key_hash(&self) -> u64;
+}
+
+impl MapKey for u64 {
+    fn key_hash(&self) -> u64 {
+        // SplitMix64: cheap and well distributed, good enough for tests
+        // and for port-indexed keys.
+        let mut z = self.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl MapKey for u32 {
+    fn key_hash(&self) -> u64 {
+        (u64::from(*self)).key_hash()
+    }
+}
+
+impl MapKey for u16 {
+    fn key_hash(&self) -> u64 {
+        (u64::from(*self)).key_hash()
+    }
+}
+
+/// The verified open-addressing map. See the module docs for the
+/// algorithm and contract.
+#[derive(Debug, Clone)]
+pub struct Map<K: MapKey> {
+    busybits: Vec<bool>,
+    keys: Vec<Option<K>>,
+    key_hashes: Vec<u64>,
+    chains: Vec<u32>,
+    values: Vec<usize>,
+    size: usize,
+    capacity: usize,
+}
+
+impl<K: MapKey> Map<K> {
+    /// Preallocate a map for up to `capacity` entries. `capacity` must be
+    /// non-zero (libVig asserts the same in `map_allocate`).
+    pub fn new(capacity: usize) -> Map<K> {
+        assert!(capacity > 0, "map capacity must be non-zero");
+        Map {
+            busybits: vec![false; capacity],
+            keys: (0..capacity).map(|_| None).collect(),
+            key_hashes: vec![0; capacity],
+            chains: vec![0; capacity],
+            values: vec![0; capacity],
+            size: 0,
+            capacity,
+        }
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stored entries.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True when no more entries fit.
+    pub fn is_full(&self) -> bool {
+        self.size == self.capacity
+    }
+
+    fn start_of(&self, hash: u64) -> usize {
+        (hash % self.capacity as u64) as usize
+    }
+
+    /// Look up `key`, returning the stored value if present.
+    ///
+    /// Probes linearly from the hash slot; stops early at a slot that is
+    /// free and traversed by no probe chain (`!busy && chains == 0`),
+    /// which is what makes misses cheap at low occupancy and expensive
+    /// near fullness.
+    pub fn get(&self, key: &K) -> Option<usize> {
+        let hash = key.key_hash();
+        let start = self.start_of(hash);
+        for i in 0..self.capacity {
+            let idx = (start + i) % self.capacity;
+            if self.busybits[idx] {
+                if self.key_hashes[idx] == hash {
+                    if let Some(k) = &self.keys[idx] {
+                        if k == key {
+                            return Some(self.values[idx]);
+                        }
+                    }
+                }
+            } else if self.chains[idx] == 0 {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Number of slots a lookup for `key` would inspect. Exposed for the
+    /// occupancy microbenchmarks (DESIGN.md §7); not part of the libVig
+    /// interface.
+    pub fn probe_len(&self, key: &K) -> usize {
+        let hash = key.key_hash();
+        let start = self.start_of(hash);
+        for i in 0..self.capacity {
+            let idx = (start + i) % self.capacity;
+            if self.busybits[idx] {
+                if self.key_hashes[idx] == hash {
+                    if let Some(k) = &self.keys[idx] {
+                        if k == key {
+                            return i + 1;
+                        }
+                    }
+                }
+            } else if self.chains[idx] == 0 {
+                return i + 1;
+            }
+        }
+        self.capacity
+    }
+
+    /// Insert `key -> value`.
+    ///
+    /// Contract precondition (checked by [`CheckedMap`], assumed here, as
+    /// in the C code): `key` is not already present. Returns [`Full`] when
+    /// the size is at capacity — fullness is interface behaviour, not a
+    /// contract violation.
+    pub fn put(&mut self, key: K, value: usize) -> Result<(), Full> {
+        if self.size == self.capacity {
+            return Err(Full);
+        }
+        let hash = key.key_hash();
+        let start = self.start_of(hash);
+        for i in 0..self.capacity {
+            let idx = (start + i) % self.capacity;
+            if !self.busybits[idx] {
+                self.busybits[idx] = true;
+                self.keys[idx] = Some(key);
+                self.key_hashes[idx] = hash;
+                self.values[idx] = value;
+                self.size += 1;
+                // Mark the traversed prefix of the probe path.
+                for j in 0..i {
+                    let t = (start + j) % self.capacity;
+                    self.chains[t] += 1;
+                }
+                return Ok(());
+            }
+        }
+        // Unreachable: size < capacity guarantees a free slot on the path.
+        Err(Full)
+    }
+
+    /// Remove `key`, returning its value.
+    ///
+    /// Contract precondition: `key` is present. Returns `None` (and
+    /// changes nothing) if it is not — the defensive behaviour keeps the
+    /// raw structure total, and the contract layer flags the misuse.
+    pub fn erase(&mut self, key: &K) -> Option<usize> {
+        let hash = key.key_hash();
+        let start = self.start_of(hash);
+        for i in 0..self.capacity {
+            let idx = (start + i) % self.capacity;
+            if self.busybits[idx] {
+                if self.key_hashes[idx] == hash {
+                    let matches = matches!(&self.keys[idx], Some(k) if k == key);
+                    if matches {
+                        self.busybits[idx] = false;
+                        self.keys[idx] = None;
+                        let v = self.values[idx];
+                        self.size -= 1;
+                        for j in 0..i {
+                            let t = (start + j) % self.capacity;
+                            debug_assert!(self.chains[t] > 0, "chain underflow");
+                            self.chains[t] = self.chains[t].saturating_sub(1);
+                        }
+                        return Some(v);
+                    }
+                }
+            } else if self.chains[idx] == 0 {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Iterate over `(key, value)` pairs in slot order. Not part of the
+    /// libVig interface (the NF never scans the table); used by the
+    /// contract layer and tests.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, usize)> + '_ {
+        (0..self.capacity).filter_map(move |i| {
+            if self.busybits[i] {
+                self.keys[i].as_ref().map(|k| (k, self.values[i]))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract model ("fixpoint" spec) and contracts
+// ---------------------------------------------------------------------------
+
+/// The abstract map: an association list, the direct analog of the
+/// `mapp`/`mem`/`map_put_fp` fixpoints in Vigor's VeriFast spec. All
+/// operations are obviously correct by inspection; the implementation is
+/// verified *against* this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractMap<K: Eq + Clone> {
+    entries: Vec<(K, usize)>,
+    capacity: usize,
+}
+
+impl<K: Eq + Clone> AbstractMap<K> {
+    /// Empty abstract map with the given capacity bound.
+    pub fn new(capacity: usize) -> Self {
+        AbstractMap { entries: Vec::new(), capacity }
+    }
+
+    /// Lookup by key.
+    pub fn get(&self, key: &K) -> Option<usize> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Add an entry. Caller must have established `!contains(key)` and
+    /// `len() < capacity` (the `put` contract precondition).
+    pub fn put(&mut self, key: K, value: usize) {
+        debug_assert!(!self.contains(&key));
+        debug_assert!(self.entries.len() < self.capacity);
+        self.entries.push((key, value));
+    }
+
+    /// Remove an entry, returning its value.
+    pub fn erase(&mut self, key: &K) -> Option<usize> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.swap_remove(pos).1)
+    }
+
+    /// The entries as an unordered set (for equivalence checks).
+    pub fn entries(&self) -> &[(K, usize)] {
+        &self.entries
+    }
+}
+
+/// The implementation and the abstract model in lockstep, asserting the
+/// operation contracts on every call. This is the executable form of the
+/// paper's P3 proof obligation for the map.
+#[derive(Debug, Clone)]
+pub struct CheckedMap<K: MapKey> {
+    imp: Map<K>,
+    model: AbstractMap<K>,
+}
+
+impl<K: MapKey + core::fmt::Debug> CheckedMap<K> {
+    /// Preallocate, like [`Map::new`].
+    pub fn new(capacity: usize) -> Self {
+        CheckedMap { imp: Map::new(capacity), model: AbstractMap::new(capacity) }
+    }
+
+    /// Contract-checked `get`.
+    pub fn get(&self, key: &K) -> Option<usize> {
+        let got = self.imp.get(key);
+        let spec = self.model.get(key);
+        assert_eq!(got, spec, "map.get({key:?}) diverged from abstract model");
+        got
+    }
+
+    /// Contract-checked `put`. Panics on contract violation (duplicate
+    /// key); propagates [`Full`].
+    pub fn put(&mut self, key: K, value: usize) -> Result<(), Full> {
+        let dup = self.model.contains(&key);
+        assert!(!dup, "map.put precondition violated: key {key:?} already present");
+        let r = self.imp.put(key.clone(), value);
+        match r {
+            Ok(()) => {
+                assert!(
+                    self.model.len() < self.model.capacity(),
+                    "impl accepted put into a full map"
+                );
+                self.model.put(key, value);
+            }
+            Err(Full) => {
+                assert_eq!(
+                    self.model.len(),
+                    self.model.capacity(),
+                    "impl reported Full below capacity"
+                );
+            }
+        }
+        self.check_equiv();
+        r
+    }
+
+    /// Contract-checked `erase`.
+    pub fn erase(&mut self, key: &K) -> Option<usize> {
+        let spec_had = self.model.get(key);
+        let got = self.imp.erase(key);
+        let spec = self.model.erase(key);
+        assert_eq!(got, spec, "map.erase({key:?}) diverged from abstract model");
+        assert_eq!(got, spec_had);
+        self.check_equiv();
+        got
+    }
+
+    /// Contract-checked `size`.
+    pub fn size(&self) -> usize {
+        let s = self.imp.size();
+        assert_eq!(s, self.model.len(), "map.size diverged from abstract model");
+        s
+    }
+
+    /// Access the underlying implementation (read-only).
+    pub fn raw(&self) -> &Map<K> {
+        &self.imp
+    }
+
+    /// Full-state refinement check: the implementation's visible entries
+    /// equal the abstract map's, as sets.
+    pub fn check_equiv(&self) {
+        assert_eq!(self.imp.size(), self.model.len(), "size mismatch");
+        let mut imp_entries: Vec<(K, usize)> =
+            self.imp.iter().map(|(k, v)| (k.clone(), v)).collect();
+        for (k, v) in self.model.entries() {
+            let pos = imp_entries
+                .iter()
+                .position(|(ik, iv)| ik == k && iv == v)
+                .unwrap_or_else(|| panic!("model entry missing from impl"));
+            imp_entries.swap_remove(pos);
+        }
+        assert!(imp_entries.is_empty(), "impl has entries the model lacks");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A key type whose hash collides in a controlled way, to stress the
+    /// chain counters. `group` determines the hash; `id` distinguishes
+    /// keys within the group.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct CollidingKey {
+        group: u8,
+        id: u32,
+    }
+
+    impl MapKey for CollidingKey {
+        fn key_hash(&self) -> u64 {
+            u64::from(self.group) // all keys in a group collide perfectly
+        }
+    }
+
+    #[test]
+    fn put_get_erase_roundtrip() {
+        let mut m = CheckedMap::<u64>::new(8);
+        m.put(10, 100).unwrap();
+        m.put(20, 200).unwrap();
+        assert_eq!(m.get(&10), Some(100));
+        assert_eq!(m.get(&20), Some(200));
+        assert_eq!(m.get(&30), None);
+        assert_eq!(m.erase(&10), Some(100));
+        assert_eq!(m.get(&10), None);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn fills_to_capacity_then_rejects() {
+        let mut m = CheckedMap::<u64>::new(4);
+        for k in 0..4 {
+            m.put(k, k as usize).unwrap();
+        }
+        assert_eq!(m.put(99, 9), Err(Full));
+        assert_eq!(m.size(), 4);
+        // every key still reachable at 100% occupancy
+        for k in 0..4u64 {
+            assert_eq!(m.get(&k), Some(k as usize));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precondition violated")]
+    fn duplicate_put_violates_contract() {
+        let mut m = CheckedMap::<u64>::new(4);
+        m.put(1, 1).unwrap();
+        let _ = m.put(1, 2);
+    }
+
+    #[test]
+    fn erase_missing_is_noop_in_raw_map() {
+        let mut m = Map::<u64>::new(4);
+        m.put(1, 1).unwrap();
+        assert_eq!(m.erase(&2), None);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.get(&1), Some(1));
+    }
+
+    #[test]
+    fn colliding_keys_all_found() {
+        let mut m = CheckedMap::<CollidingKey>::new(8);
+        for id in 0..8 {
+            m.put(CollidingKey { group: 3, id }, id as usize).unwrap();
+        }
+        for id in 0..8 {
+            assert_eq!(m.get(&CollidingKey { group: 3, id }), Some(id as usize));
+        }
+    }
+
+    #[test]
+    fn erase_in_middle_of_chain_keeps_later_keys_reachable() {
+        // The classic open-addressing deletion hazard the chain counters
+        // solve: delete a key in the middle of a probe chain, then look
+        // up a key stored beyond it.
+        let mut m = CheckedMap::<CollidingKey>::new(8);
+        let k = |id| CollidingKey { group: 5, id };
+        for id in 0..5 {
+            m.put(k(id), id as usize).unwrap();
+        }
+        assert_eq!(m.erase(&k(1)), Some(1)); // hole in the chain
+        assert_eq!(m.get(&k(4)), Some(4), "key past the hole must stay reachable");
+        assert_eq!(m.get(&k(1)), None);
+        // and a fresh insert reuses the hole without breaking anything
+        m.put(k(40), 40).unwrap();
+        for id in [0u32, 2, 3, 4, 40] {
+            assert!(m.get(&k(id)).is_some());
+        }
+    }
+
+    #[test]
+    fn miss_probe_is_short_when_sparse_and_long_when_full() {
+        // Quantifies the paper's Fig. 12 last-point effect.
+        let mut m = Map::<u64>::new(1024);
+        let probe_miss = |m: &Map<u64>| {
+            // average probe length over many absent keys
+            let total: usize = (1_000_000..1_000_256u64).map(|k| m.probe_len(&k)).sum();
+            total as f64 / 256.0
+        };
+        for k in 0..512u64 {
+            m.put(k, 0).unwrap(); // 50% occupancy
+        }
+        let half = probe_miss(&m);
+        for k in 512..1016u64 {
+            m.put(k, 0).unwrap(); // ~99% occupancy
+        }
+        let full = probe_miss(&m);
+        assert!(
+            full > 4.0 * half,
+            "probe length must grow sharply near fullness (half={half}, full={full})"
+        );
+    }
+
+    #[test]
+    fn wraparound_probing_works() {
+        // Force a probe path that wraps past the end of the array.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        struct TailKey(u32);
+        impl MapKey for TailKey {
+            fn key_hash(&self) -> u64 {
+                7 // last slot of capacity 8
+            }
+        }
+        let mut m = CheckedMap::<TailKey>::new(8);
+        for id in 0..4 {
+            m.put(TailKey(id), id as usize).unwrap();
+        }
+        for id in 0..4 {
+            assert_eq!(m.get(&TailKey(id)), Some(id as usize));
+        }
+        assert_eq!(m.erase(&TailKey(0)), Some(0));
+        assert_eq!(m.get(&TailKey(3)), Some(3));
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Put(u8, usize),
+        Get(u8),
+        Erase(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), any::<usize>()).prop_map(|(k, v)| Op::Put(k % 16, v)),
+            any::<u8>().prop_map(|k| Op::Get(k % 16)),
+            any::<u8>().prop_map(|k| Op::Erase(k % 16)),
+        ]
+    }
+
+    proptest! {
+        /// Random op sequences never diverge from the abstract model.
+        /// (Contract-violating ops are filtered to their legal variants.)
+        #[test]
+        fn random_ops_refine_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+            let mut m = CheckedMap::<u64>::new(8);
+            for op in ops {
+                match op {
+                    Op::Put(k, v) => {
+                        let k = u64::from(k);
+                        if m.get(&k).is_none() {
+                            let _ = m.put(k, v);
+                        }
+                    }
+                    Op::Get(k) => { m.get(&u64::from(k)); }
+                    Op::Erase(k) => {
+                        let k = u64::from(k);
+                        if m.get(&k).is_some() {
+                            m.erase(&k);
+                        }
+                    }
+                }
+                m.check_equiv();
+            }
+        }
+
+        /// probe_len(get-hit) is always within capacity and >= 1.
+        #[test]
+        fn probe_len_bounds(keys in proptest::collection::hash_set(any::<u64>(), 0..32)) {
+            let mut m = Map::<u64>::new(64);
+            for &k in &keys {
+                m.put(k, 1).unwrap();
+            }
+            for &k in &keys {
+                let p = m.probe_len(&k);
+                prop_assert!(p >= 1 && p <= 64);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The standalone port allocator.
+//!
+//! The paper lists "a port allocator to keep track of allocated ports"
+//! among libVig's structures. VigNAT itself derives ports from flow-table
+//! slot indices (`port = start_port + index`), but other NFs — and our
+//! unverified-NAT baseline — want a free-standing allocator. Contract:
+//! every allocated port is in `[start, start+count)`, no port is handed
+//! out twice without an intervening release, and allocation fails exactly
+//! when all ports are taken.
+
+use crate::Full;
+
+/// Fixed-range port allocator backed by a free list + occupancy bitmap.
+#[derive(Debug, Clone)]
+pub struct PortAllocator {
+    start: u16,
+    taken: Vec<bool>,
+    free: Vec<u16>, // stack of free offsets
+}
+
+impl PortAllocator {
+    /// Manage the range `[start, start + count)`. The range must fit in
+    /// `u16` and be non-empty.
+    pub fn new(start: u16, count: u16) -> PortAllocator {
+        assert!(count > 0, "port range must be non-empty");
+        assert!(
+            u32::from(start) + u32::from(count) <= 0x1_0000,
+            "port range must fit in u16"
+        );
+        PortAllocator {
+            start,
+            taken: vec![false; count as usize],
+            // Pop from the back: allocate in ascending order for
+            // determinism (nice for tests and traces).
+            free: (0..count).rev().collect(),
+        }
+    }
+
+    /// First port of the managed range.
+    pub fn range_start(&self) -> u16 {
+        self.start
+    }
+
+    /// Number of managed ports.
+    pub fn range_len(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Number of currently allocated ports.
+    pub fn allocated_count(&self) -> usize {
+        self.taken.len() - self.free.len()
+    }
+
+    /// Is `port` currently allocated?
+    pub fn is_allocated(&self, port: u16) -> bool {
+        self.offset_of(port).map(|o| self.taken[o]).unwrap_or(false)
+    }
+
+    /// Allocate a free port.
+    pub fn allocate(&mut self) -> Result<u16, Full> {
+        let off = self.free.pop().ok_or(Full)?;
+        self.taken[off as usize] = true;
+        Ok(self.start + off)
+    }
+
+    /// Release an allocated port. Returns `false` (no change) if the port
+    /// is outside the range or not allocated — contract misuse surfaced
+    /// to the caller rather than panicking on the datapath.
+    pub fn release(&mut self, port: u16) -> bool {
+        let Some(off) = self.offset_of(port) else { return false };
+        if !self.taken[off] {
+            return false;
+        }
+        self.taken[off] = false;
+        self.free.push(off as u16);
+        true
+    }
+
+    fn offset_of(&self, port: u16) -> Option<usize> {
+        let off = usize::from(port).checked_sub(usize::from(self.start))?;
+        (off < self.taken.len()).then_some(off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn allocates_unique_ports_in_range() {
+        let mut pa = PortAllocator::new(1000, 10);
+        let mut seen = HashSet::new();
+        for _ in 0..10 {
+            let p = pa.allocate().unwrap();
+            assert!((1000..1010).contains(&p));
+            assert!(seen.insert(p), "port {p} handed out twice");
+        }
+        assert_eq!(pa.allocate(), Err(Full));
+    }
+
+    #[test]
+    fn release_enables_reuse() {
+        let mut pa = PortAllocator::new(50000, 2);
+        let a = pa.allocate().unwrap();
+        let b = pa.allocate().unwrap();
+        assert_eq!(pa.allocate(), Err(Full));
+        assert!(pa.release(a));
+        let c = pa.allocate().unwrap();
+        assert_eq!(c, a);
+        assert!(pa.is_allocated(b));
+    }
+
+    #[test]
+    fn release_out_of_range_or_free_is_false() {
+        let mut pa = PortAllocator::new(100, 5);
+        assert!(!pa.release(99));
+        assert!(!pa.release(105));
+        assert!(!pa.release(102), "not allocated yet");
+        let p = pa.allocate().unwrap();
+        assert!(pa.release(p));
+        assert!(!pa.release(p), "double release rejected");
+    }
+
+    #[test]
+    fn full_u16_top_range() {
+        let mut pa = PortAllocator::new(65534, 2);
+        assert_eq!(pa.allocate().unwrap(), 65534);
+        assert_eq!(pa.allocate().unwrap(), 65535);
+        assert_eq!(pa.allocate(), Err(Full));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in u16")]
+    fn overflowing_range_rejected() {
+        let _ = PortAllocator::new(65535, 2);
+    }
+
+    proptest! {
+        /// Invariant: allocated set and free list always partition the
+        /// range; counts agree.
+        #[test]
+        fn alloc_release_partition(ops in proptest::collection::vec(any::<Option<u16>>(), 0..200)) {
+            let mut pa = PortAllocator::new(40000, 16);
+            let mut held: HashSet<u16> = HashSet::new();
+            for op in ops {
+                match op {
+                    None => {
+                        if let Ok(p) = pa.allocate() {
+                            prop_assert!((40000..40016).contains(&p));
+                            prop_assert!(held.insert(p), "duplicate allocation");
+                        } else {
+                            prop_assert_eq!(held.len(), 16);
+                        }
+                    }
+                    Some(raw) => {
+                        let p = 40000 + raw % 16;
+                        let was_held = held.remove(&p);
+                        prop_assert_eq!(pa.release(p), was_held);
+                    }
+                }
+                prop_assert_eq!(pa.allocated_count(), held.len());
+            }
+        }
+    }
+}

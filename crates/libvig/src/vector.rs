@@ -1,0 +1,159 @@
+//! The preallocated vector (`vector.c`).
+//!
+//! A fixed-size array of values with checked indexed access. In libVig
+//! the vector's interesting property is its *borrow discipline*: the C
+//! code hands out a pointer with `vector_borrow` and requires it back
+//! with `vector_return` before the next libVig call, enforced by the
+//! Validator. In Rust the borrow checker enforces exactly this — a
+//! `&mut` borrow of a cell cannot coexist with another use of the vector
+//! — so the discipline needs no runtime machinery. The contract that
+//! remains is index validity and value persistence, checked by
+//! [`CheckedVector`].
+
+use core::fmt::Debug;
+
+/// Fixed-capacity vector of `T`, fully initialized at construction.
+#[derive(Debug, Clone)]
+pub struct Vector<T> {
+    cells: Vec<T>,
+}
+
+impl<T: Clone> Vector<T> {
+    /// Allocate `capacity` cells, each initialized to `init`.
+    pub fn new(capacity: usize, init: T) -> Vector<T> {
+        assert!(capacity > 0, "vector capacity must be non-zero");
+        Vector { cells: vec![init; capacity] }
+    }
+}
+
+impl<T> Vector<T> {
+    /// Allocate from an initializer function (for non-`Clone` cells).
+    pub fn from_fn(capacity: usize, mut f: impl FnMut(usize) -> T) -> Vector<T> {
+        assert!(capacity > 0, "vector capacity must be non-zero");
+        Vector { cells: (0..capacity).map(&mut f).collect() }
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Borrow cell `index` immutably (`vector_borrow` in the C code).
+    pub fn borrow(&self, index: usize) -> Option<&T> {
+        self.cells.get(index)
+    }
+
+    /// Borrow cell `index` mutably. The Rust borrow checker enforces the
+    /// "return before next call" discipline at compile time.
+    pub fn borrow_mut(&mut self, index: usize) -> Option<&mut T> {
+        self.cells.get_mut(index)
+    }
+
+    /// Overwrite cell `index`, returning the old value; `None` (no
+    /// change) if out of range.
+    pub fn replace(&mut self, index: usize, value: T) -> Option<T> {
+        let cell = self.cells.get_mut(index)?;
+        Some(core::mem::replace(cell, value))
+    }
+
+    /// Iterate over the cells.
+    pub fn iter(&self) -> core::slice::Iter<'_, T> {
+        self.cells.iter()
+    }
+}
+
+/// Contract-checked vector: shadows a plain `Vec` model and asserts each
+/// operation's result matches (trivially for this structure, but it keeps
+/// the P3 methodology uniform and exercises the bounds contract).
+#[derive(Debug, Clone)]
+pub struct CheckedVector<T: Clone + PartialEq + Debug> {
+    imp: Vector<T>,
+    model: Vec<T>,
+}
+
+impl<T: Clone + PartialEq + Debug> CheckedVector<T> {
+    /// Allocate like [`Vector::new`].
+    pub fn new(capacity: usize, init: T) -> Self {
+        CheckedVector { imp: Vector::new(capacity, init.clone()), model: vec![init; capacity] }
+    }
+
+    /// Contract-checked read.
+    pub fn borrow(&self, index: usize) -> Option<&T> {
+        let got = self.imp.borrow(index);
+        assert_eq!(got, self.model.get(index), "vector.borrow diverged");
+        got
+    }
+
+    /// Contract-checked write.
+    pub fn replace(&mut self, index: usize, value: T) -> Option<T> {
+        let got = self.imp.replace(index, value.clone());
+        let spec = if index < self.model.len() {
+            Some(core::mem::replace(&mut self.model[index], value))
+        } else {
+            None
+        };
+        assert_eq!(got, spec, "vector.replace diverged");
+        got
+    }
+
+    /// Full refinement check.
+    pub fn check_equiv(&self) {
+        assert_eq!(self.imp.capacity(), self.model.len());
+        for (i, m) in self.model.iter().enumerate() {
+            assert_eq!(self.imp.borrow(i), Some(m), "cell {i} diverged");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn init_and_replace() {
+        let mut v = CheckedVector::new(3, 0u32);
+        assert_eq!(v.borrow(0), Some(&0));
+        assert_eq!(v.replace(1, 42), Some(0));
+        assert_eq!(v.borrow(1), Some(&42));
+        v.check_equiv();
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let mut v = CheckedVector::new(2, 0u32);
+        assert_eq!(v.borrow(2), None);
+        assert_eq!(v.replace(5, 1), None);
+        v.check_equiv();
+    }
+
+    #[test]
+    fn borrow_mut_updates_in_place() {
+        let mut v = Vector::new(2, String::from("a"));
+        v.borrow_mut(0).unwrap().push('b');
+        assert_eq!(v.borrow(0).unwrap(), "ab");
+    }
+
+    #[test]
+    fn from_fn_initializer() {
+        let v = Vector::from_fn(4, |i| i * i);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 4, 9]);
+    }
+
+    proptest! {
+        #[test]
+        fn random_ops_refine_model(
+            ops in proptest::collection::vec((any::<bool>(), 0usize..6, any::<u16>()), 0..100),
+        ) {
+            let mut v = CheckedVector::new(4, 0u16);
+            for (write, idx, val) in ops {
+                if write {
+                    v.replace(idx, val);
+                } else {
+                    v.borrow(idx);
+                }
+            }
+            v.check_equiv();
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The DPDK-analog runtime: mempool, rings, devices.
+//!
+//! Faithful to the parts of DPDK the paper's NFs relied on:
+//!
+//! * **all memory preallocated** — `Mempool::new` grabs every buffer up
+//!   front, `get`/`put` are free-list pushes/pops, nothing allocates on
+//!   the datapath (the property §5.1.1 of the paper builds on);
+//! * **fixed-capacity rings** — like `rte_ring`, excess traffic is
+//!   dropped at the RX ring and counted, which is where "loss" in the
+//!   RFC 2544 throughput experiments comes from;
+//! * **port statistics** — rx/tx/drop counters per device, the numbers
+//!   the harness reads to compute loss rates.
+
+/// Default buffer size: one standard mbuf data room (holds any frame the
+/// evaluation uses; the paper's experiments are 64-byte frames).
+pub const MBUF_SIZE: usize = 2048;
+
+/// A handle to a mempool buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufIdx(pub usize);
+
+/// Preallocated packet-buffer pool (DPDK `rte_mempool` analog).
+#[derive(Debug)]
+pub struct Mempool {
+    bufs: Vec<Vec<u8>>,
+    lens: Vec<usize>,
+    free: Vec<usize>,
+}
+
+impl Mempool {
+    /// Preallocate `count` buffers of [`MBUF_SIZE`] bytes.
+    pub fn new(count: usize) -> Mempool {
+        assert!(count > 0, "mempool must hold at least one buffer");
+        Mempool {
+            bufs: (0..count).map(|_| vec![0u8; MBUF_SIZE]).collect(),
+            lens: vec![0; count],
+            free: (0..count).rev().collect(),
+        }
+    }
+
+    /// Total buffers.
+    pub fn capacity(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Buffers currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Take a buffer. `None` when exhausted (DPDK returns `ENOMEM`; NFs
+    /// must treat it as packet loss, never crash — the leak Vigor caught
+    /// in VigNAT was exactly a buffer that never came back here).
+    pub fn get(&mut self) -> Option<BufIdx> {
+        self.free.pop().map(BufIdx)
+    }
+
+    /// Return a buffer.
+    ///
+    /// Panics on double-free — on the datapath this is a bug class the
+    /// paper proves absent (P2); the simulator enforces it dynamically.
+    pub fn put(&mut self, idx: BufIdx) {
+        assert!(idx.0 < self.bufs.len(), "foreign buffer returned to mempool");
+        assert!(!self.free.contains(&idx.0), "double free of mempool buffer {}", idx.0);
+        self.lens[idx.0] = 0;
+        self.free.push(idx.0);
+    }
+
+    /// Write a frame into a buffer, recording its length.
+    pub fn write_frame(&mut self, idx: BufIdx, frame: &[u8]) {
+        assert!(frame.len() <= MBUF_SIZE, "frame exceeds mbuf data room");
+        self.bufs[idx.0][..frame.len()].copy_from_slice(frame);
+        self.lens[idx.0] = frame.len();
+    }
+
+    /// The valid bytes of a buffer.
+    pub fn frame(&self, idx: BufIdx) -> &[u8] {
+        &self.bufs[idx.0][..self.lens[idx.0]]
+    }
+
+    /// Mutable access to the valid bytes of a buffer.
+    pub fn frame_mut(&mut self, idx: BufIdx) -> &mut [u8] {
+        let len = self.lens[idx.0];
+        &mut self.bufs[idx.0][..len]
+    }
+}
+
+/// Fixed-capacity FIFO of `(buffer, length-at-enqueue)` — the
+/// `rte_ring` analog backing RX/TX queues.
+#[derive(Debug)]
+pub struct Ring {
+    slots: Vec<BufIdx>,
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    /// Ring with room for `capacity` descriptors.
+    pub fn new(capacity: usize) -> Ring {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        Ring { slots: vec![BufIdx(0); capacity], head: 0, len: 0 }
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied descriptors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when full.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Enqueue; `false` when full (caller counts a drop).
+    pub fn push(&mut self, buf: BufIdx) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let tail = (self.head + self.len) % self.slots.len();
+        self.slots[tail] = buf;
+        self.len += 1;
+        true
+    }
+
+    /// Dequeue.
+    pub fn pop(&mut self) -> Option<BufIdx> {
+        if self.len == 0 {
+            return None;
+        }
+        let buf = self.slots[self.head];
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        Some(buf)
+    }
+}
+
+/// Per-port statistics (DPDK `rte_eth_stats` analog).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Frames accepted into the RX ring.
+    pub rx: u64,
+    /// Frames dropped at the RX ring (imissed).
+    pub rx_dropped: u64,
+    /// Frames transmitted.
+    pub tx: u64,
+}
+
+/// A simulated NIC port: an RX ring the tester feeds, a TX ring the NF
+/// fills, and counters.
+#[derive(Debug)]
+pub struct Device {
+    /// Inbound queue.
+    pub rx: Ring,
+    /// Outbound queue.
+    pub tx: Ring,
+    /// Counters.
+    pub stats: PortStats,
+}
+
+impl Device {
+    /// Device with the given ring sizes (the paper's setup used default
+    /// DPDK rings; 512 descriptors is representative).
+    pub fn new(ring_size: usize) -> Device {
+        Device { rx: Ring::new(ring_size), tx: Ring::new(ring_size), stats: PortStats::default() }
+    }
+
+    /// Tester-side: offer a frame to the port. Returns `false` (and
+    /// counts a drop) when the RX ring is full — this is packet loss.
+    pub fn offer(&mut self, buf: BufIdx) -> bool {
+        if self.rx.push(buf) {
+            self.stats.rx += 1;
+            true
+        } else {
+            self.stats.rx_dropped += 1;
+            false
+        }
+    }
+
+    /// NF-side: take the next received frame.
+    pub fn rx_burst_one(&mut self) -> Option<BufIdx> {
+        self.rx.pop()
+    }
+
+    /// NF-side: queue a frame for transmission.
+    pub fn tx_put(&mut self, buf: BufIdx) -> bool {
+        let ok = self.tx.push(buf);
+        if ok {
+            self.stats.tx += 1;
+        }
+        ok
+    }
+
+    /// Tester-side: collect a transmitted frame.
+    pub fn tx_take(&mut self) -> Option<BufIdx> {
+        self.tx.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mempool_get_put_roundtrip() {
+        let mut p = Mempool::new(2);
+        let a = p.get().unwrap();
+        let b = p.get().unwrap();
+        assert_ne!(a, b);
+        assert!(p.get().is_none(), "exhausted pool yields None");
+        p.put(a);
+        assert_eq!(p.available(), 1);
+        let c = p.get().unwrap();
+        assert_eq!(c, a, "free list reuses buffers");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn mempool_double_free_is_caught() {
+        let mut p = Mempool::new(2);
+        let a = p.get().unwrap();
+        p.put(a);
+        p.put(a);
+    }
+
+    #[test]
+    fn mempool_frames_roundtrip() {
+        let mut p = Mempool::new(1);
+        let a = p.get().unwrap();
+        p.write_frame(a, &[1, 2, 3, 4]);
+        assert_eq!(p.frame(a), &[1, 2, 3, 4]);
+        p.frame_mut(a)[0] = 9;
+        assert_eq!(p.frame(a), &[9, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_fifo_and_overflow() {
+        let mut r = Ring::new(2);
+        assert!(r.push(BufIdx(1)));
+        assert!(r.push(BufIdx(2)));
+        assert!(!r.push(BufIdx(3)), "full ring rejects");
+        assert_eq!(r.pop(), Some(BufIdx(1)));
+        assert!(r.push(BufIdx(3)));
+        assert_eq!(r.pop(), Some(BufIdx(2)));
+        assert_eq!(r.pop(), Some(BufIdx(3)));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn device_counts_loss() {
+        let mut d = Device::new(1);
+        assert!(d.offer(BufIdx(0)));
+        assert!(!d.offer(BufIdx(1)), "second offer overflows the 1-slot ring");
+        assert_eq!(d.stats.rx, 1);
+        assert_eq!(d.stats.rx_dropped, 1);
+        let got = d.rx_burst_one().unwrap();
+        assert!(d.tx_put(got));
+        assert_eq!(d.stats.tx, 1);
+        assert_eq!(d.tx_take(), Some(BufIdx(0)));
+    }
+
+    #[test]
+    fn ring_wraps_many_times() {
+        let mut r = Ring::new(3);
+        for i in 0..100 {
+            assert!(r.push(BufIdx(i)));
+            assert_eq!(r.pop(), Some(BufIdx(i)));
+        }
+    }
+}

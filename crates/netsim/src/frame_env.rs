@@ -1,0 +1,379 @@
+//! `FrameEnv`: runs the verified loop body over real packet bytes.
+//!
+//! This is the production instantiation of `vignat`'s [`NatEnv`]: header
+//! fields are read straight off the frame (zero-filled where the frame
+//! is too short — the loop body's length guards run before any semantic
+//! use, a property the symbolic engine checks), and [`NatEnv::tx`]
+//! applies the rewrite to the same buffer using the RFC 1624
+//! incremental checksum updates from `vig-packet`.
+//!
+//! One `FrameEnv` serves exactly one loop iteration for one frame; it
+//! borrows the flow manager and the buffer, so constructing it costs
+//! nothing and the datapath stays allocation-free.
+
+use libvig::time::Time;
+use vig_packet::checksum::Checksum;
+use vig_packet::{Direction, Ip4};
+use vignat::env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
+use vignat::impl_concrete_domain;
+use vignat::FlowManager;
+
+/// What the loop body decided to do with the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameVerdict {
+    /// Forward the (rewritten, in place) frame out of this interface.
+    Forward(Direction),
+    /// Drop the frame.
+    Drop,
+}
+
+/// Per-frame environment. See module docs.
+pub struct FrameEnv<'a> {
+    fm: &'a mut FlowManager,
+    frame: &'a mut [u8],
+    dir: Direction,
+    now_ns: u64,
+    delivered: bool,
+    verdict: Option<FrameVerdict>,
+    expired: usize,
+}
+
+/// Read a big-endian u16 at `off`, zero if out of bounds.
+fn rd16(b: &[u8], off: usize) -> u16 {
+    match b.get(off..off + 2) {
+        Some(w) => u16::from_be_bytes([w[0], w[1]]),
+        None => 0,
+    }
+}
+
+/// Read a big-endian u32 at `off`, zero if out of bounds.
+fn rd32(b: &[u8], off: usize) -> u32 {
+    match b.get(off..off + 4) {
+        Some(w) => u32::from_be_bytes([w[0], w[1], w[2], w[3]]),
+        None => 0,
+    }
+}
+
+/// Read a byte at `off`, zero if out of bounds.
+fn rd8(b: &[u8], off: usize) -> u8 {
+    b.get(off).copied().unwrap_or(0)
+}
+
+impl<'a> FrameEnv<'a> {
+    /// Build the env for one frame arriving on `dir` at `now`.
+    pub fn new(
+        fm: &'a mut FlowManager,
+        frame: &'a mut [u8],
+        dir: Direction,
+        now: Time,
+    ) -> FrameEnv<'a> {
+        FrameEnv {
+            fm,
+            frame,
+            dir,
+            now_ns: now.nanos(),
+            delivered: false,
+            verdict: None,
+            expired: 0,
+        }
+    }
+
+    /// The decision, after the loop body ran.
+    pub fn verdict(&self) -> Option<FrameVerdict> {
+        self.verdict
+    }
+
+    /// Flows expired during this iteration.
+    pub fn expired(&self) -> usize {
+        self.expired
+    }
+
+    /// Offset of the L4 header, parsed from the frame (used by `tx` to
+    /// place the port rewrites). Falls back to IHL 20 if the frame is
+    /// short — harmless, since `tx` is only reached on validated frames.
+    fn l4_offset(&self) -> usize {
+        let ihl = usize::from(rd8(self.frame, 14) & 0x0f) * 4;
+        14 + ihl
+    }
+}
+
+impl_concrete_domain!(FrameEnv<'_>);
+
+impl NatEnv for FrameEnv<'_> {
+    fn now(&mut self) -> u64 {
+        self.now_ns
+    }
+
+    fn expire_flows(&mut self, threshold: &u64) {
+        self.expired += self.fm.expire(Time(*threshold));
+    }
+
+    fn receive(&mut self) -> Option<RxPacket<Self>> {
+        if self.delivered {
+            return None;
+        }
+        self.delivered = true;
+        let f: &[u8] = self.frame;
+        Some(RxPacket {
+            handle: PktHandle(0),
+            dir: self.dir,
+            frame_len: f.len().min(usize::from(u16::MAX)) as u16,
+            ethertype: rd16(f, 12),
+            version_ihl: rd8(f, 14),
+            total_len: rd16(f, 16),
+            frag_field: rd16(f, 20),
+            ttl: rd8(f, 22),
+            proto: rd8(f, 23),
+            src_ip: rd32(f, 26),
+            dst_ip: rd32(f, 30),
+            // L4 ports at 14 + IHL; zero-filled when absent.
+            src_port: rd16(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4),
+            dst_port: rd16(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4 + 2),
+        })
+    }
+
+    fn branch(&mut self, cond: bool) -> bool {
+        cond
+    }
+
+    fn lookup_internal(&mut self, fid: &FidParts<Self>) -> Option<FlowView<Self>> {
+        let key = vig_packet::FlowId {
+            src_ip: Ip4(fid.src_ip),
+            src_port: fid.src_port,
+            dst_ip: Ip4(fid.dst_ip),
+            dst_port: fid.dst_port,
+            proto: fid.proto,
+        };
+        let (slot, flow) = self.fm.lookup_internal(&key)?;
+        Some(FlowView {
+            slot: SlotId(slot),
+            ext_port: flow.ext_port,
+            int_ip: flow.int_key.src_ip.raw(),
+            int_port: flow.int_key.src_port,
+        })
+    }
+
+    fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>> {
+        let key = vig_packet::ExtKey {
+            ext_port: ek.ext_port,
+            dst_ip: Ip4(ek.dst_ip),
+            dst_port: ek.dst_port,
+            proto: ek.proto,
+        };
+        let (slot, flow) = self.fm.lookup_external(&key)?;
+        Some(FlowView {
+            slot: SlotId(slot),
+            ext_port: flow.ext_port,
+            int_ip: flow.int_key.src_ip.raw(),
+            int_port: flow.int_key.src_port,
+        })
+    }
+
+    fn rejuvenate(&mut self, slot: SlotId, now: &u64) {
+        self.fm.rejuvenate(slot.0, Time(*now));
+    }
+
+    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
+        let slot = self.fm.allocate_slot(Time(*now))?;
+        Some((SlotId(slot), slot as u16))
+    }
+
+    fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: u16, _now: &u64) {
+        let key = vig_packet::FlowId {
+            src_ip: Ip4(fid.src_ip),
+            src_port: fid.src_port,
+            dst_ip: Ip4(fid.dst_ip),
+            dst_port: fid.dst_port,
+            proto: fid.proto,
+        };
+        self.fm.insert(slot.0, key, ext_port);
+    }
+
+    fn tx(&mut self, _pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
+        debug_assert!(self.verdict.is_none(), "double consume of frame");
+        // Apply the rewrite by fixed-offset field surgery with RFC 1624
+        // incremental checksum maintenance — exactly the C original's
+        // struct-overlay writes. The loop body's validation ladder
+        // guarantees every offset touched here lies inside the frame
+        // (frame >= 14 + IHL + 20/8); deliberately *no* typed-view
+        // re-parse, whose stricter checks (e.g. TCP data offset) could
+        // reject a frame the NAT can translate perfectly well.
+        let l4 = self.l4_offset();
+        let proto = rd8(self.frame, 23);
+        let old_src_ip = rd32(self.frame, 26);
+        let old_dst_ip = rd32(self.frame, 30);
+
+        // IPv4 addresses + header checksum (field at 14+10).
+        self.frame[26..30].copy_from_slice(&hdr.src_ip.to_be_bytes());
+        self.frame[30..34].copy_from_slice(&hdr.dst_ip.to_be_bytes());
+        let ip_csum = Checksum::from_field(rd16(self.frame, 24))
+            .update_u32(old_src_ip, hdr.src_ip)
+            .update_u32(old_dst_ip, hdr.dst_ip)
+            .to_field();
+        self.frame[24..26].copy_from_slice(&ip_csum.to_be_bytes());
+
+        // L4 ports.
+        let old_src_port = rd16(self.frame, l4);
+        let old_dst_port = rd16(self.frame, l4 + 2);
+        self.frame[l4..l4 + 2].copy_from_slice(&hdr.src_port.to_be_bytes());
+        self.frame[l4 + 2..l4 + 4].copy_from_slice(&hdr.dst_port.to_be_bytes());
+
+        // L4 checksum: pseudo-header (both addresses) + both ports.
+        let is_udp = proto == vig_packet::ipv4::PROTO_UDP;
+        let csum_off = if is_udp { l4 + 6 } else { l4 + 16 };
+        let old_csum = rd16(self.frame, csum_off);
+        if !(is_udp && old_csum == 0) {
+            let mut c = Checksum::from_field(old_csum)
+                .update_u32(old_src_ip, hdr.src_ip)
+                .update_u32(old_dst_ip, hdr.dst_ip)
+                .update_u16(old_src_port, hdr.src_port)
+                .update_u16(old_dst_port, hdr.dst_port)
+                .to_field();
+            if is_udp && c == 0 {
+                c = 0xffff; // RFC 768: transmitted zero means "no checksum"
+            }
+            self.frame[csum_off..csum_off + 2].copy_from_slice(&c.to_be_bytes());
+        }
+        self.verdict = Some(FrameVerdict::Forward(out));
+    }
+
+    fn drop_pkt(&mut self, _pkt: PktHandle) {
+        debug_assert!(self.verdict.is_none(), "double consume of frame");
+        self.verdict = Some(FrameVerdict::Drop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vig_packet::{builder::PacketBuilder, parse_l3l4, Proto};
+    use vig_spec::NatConfig;
+    use vignat::nat_loop_iteration;
+
+    fn cfg() -> NatConfig {
+        NatConfig {
+            capacity: 16,
+            expiry_ns: Time::from_secs(10).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 2000,
+        }
+    }
+
+    fn run(fm: &mut FlowManager, frame: &mut [u8], dir: Direction, t: Time) -> FrameVerdict {
+        let c = cfg();
+        let mut env = FrameEnv::new(fm, frame, dir, t);
+        nat_loop_iteration(&mut env, &c);
+        env.verdict().expect("one packet => one verdict")
+    }
+
+    #[test]
+    fn end_to_end_translation_preserves_checksums_and_payload() {
+        let mut fm = FlowManager::new(&cfg());
+        let mut frame = PacketBuilder::tcp(
+            Ip4::new(192, 168, 0, 7),
+            Ip4::new(93, 184, 216, 34),
+            40000,
+            443,
+        )
+        .payload(b"GET / HTTP/1.1")
+        .build();
+
+        let v = run(&mut fm, &mut frame, Direction::Internal, Time::from_secs(1));
+        assert_eq!(v, FrameVerdict::Forward(Direction::External));
+
+        // The translated frame must still parse, with rewritten source.
+        let (_, ff) = parse_l3l4(&frame).unwrap();
+        assert_eq!(ff.src_ip, Ip4::new(10, 1, 0, 1));
+        assert_eq!(ff.src_port, 2000, "first slot -> start_port");
+        assert_eq!(ff.dst_ip, Ip4::new(93, 184, 216, 34));
+        assert_eq!(ff.dst_port, 443);
+
+        // IPv4 checksum still verifies after the incremental update.
+        let ip = vig_packet::ipv4::Ipv4Packet::parse(&frame[14..]).unwrap();
+        assert!(ip.verify_checksum());
+
+        // TCP checksum verifies against the *new* pseudo-header.
+        let l4 = &frame[34..];
+        let mut copy = l4.to_vec();
+        copy[16] = 0;
+        copy[17] = 0;
+        let want = vig_packet::checksum::l4_checksum(
+            ff.src_ip.raw(),
+            ff.dst_ip.raw(),
+            6,
+            &copy,
+        );
+        assert_eq!(
+            vig_packet::tcp::TcpSegment::parse(l4).unwrap().checksum(),
+            want,
+            "TCP checksum must verify after NAT rewrite"
+        );
+
+        // Payload untouched (S.data = P.data).
+        assert_eq!(&frame[34 + 20..], b"GET / HTTP/1.1");
+    }
+
+    #[test]
+    fn return_path_restores_original_tuple() {
+        let mut fm = FlowManager::new(&cfg());
+        let mut out = PacketBuilder::udp(Ip4::new(192, 168, 0, 9), Ip4::new(8, 8, 8, 8), 5353, 53)
+            .payload(b"query")
+            .build();
+        run(&mut fm, &mut out, Direction::Internal, Time::from_secs(1));
+        let (_, outf) = parse_l3l4(&out).unwrap();
+
+        // Craft the reply the remote host would send.
+        let mut back = PacketBuilder::udp(
+            Ip4::new(8, 8, 8, 8),
+            Ip4::new(10, 1, 0, 1),
+            53,
+            outf.src_port,
+        )
+        .payload(b"answer")
+        .build();
+        let v = run(&mut fm, &mut back, Direction::External, Time::from_secs(2));
+        assert_eq!(v, FrameVerdict::Forward(Direction::Internal));
+        let (_, backf) = parse_l3l4(&back).unwrap();
+        assert_eq!(backf.dst_ip, Ip4::new(192, 168, 0, 9), "restored host");
+        assert_eq!(backf.dst_port, 5353, "restored port");
+        assert_eq!(backf.src_ip, Ip4::new(8, 8, 8, 8));
+        // UDP checksum verifies post-rewrite
+        let l4 = &back[34..];
+        let mut copy = l4.to_vec();
+        copy[6] = 0;
+        copy[7] = 0;
+        let want = vig_packet::checksum::l4_checksum(
+            backf.src_ip.raw(),
+            backf.dst_ip.raw(),
+            17,
+            &copy,
+        );
+        assert_eq!(vig_packet::udp::UdpDatagram::parse(l4).unwrap().checksum(), want);
+    }
+
+    #[test]
+    fn garbage_frames_are_dropped_not_crashed() {
+        let mut fm = FlowManager::new(&cfg());
+        // every prefix length of a valid packet, plus pure noise
+        let valid = PacketBuilder::tcp(Ip4::new(192, 168, 0, 1), Ip4::new(1, 1, 1, 1), 1, 2)
+            .build();
+        for cut in 0..valid.len() - 1 {
+            let mut frame = valid[..cut].to_vec();
+            let v = run(&mut fm, &mut frame, Direction::Internal, Time::from_secs(1));
+            assert_eq!(v, FrameVerdict::Drop, "truncated frame at {cut} must drop");
+        }
+        let mut noise = vec![0xa5u8; 60];
+        let v = run(&mut fm, &mut noise, Direction::External, Time::from_secs(1));
+        assert_eq!(v, FrameVerdict::Drop);
+    }
+
+    #[test]
+    fn unsolicited_external_frame_is_dropped() {
+        let mut fm = FlowManager::new(&cfg());
+        let mut frame =
+            PacketBuilder::tcp(Ip4::new(6, 6, 6, 6), Ip4::new(10, 1, 0, 1), 80, 2000).build();
+        let v = run(&mut fm, &mut frame, Direction::External, Time::from_secs(1));
+        assert_eq!(v, FrameVerdict::Drop);
+        assert!(fm.is_empty(), "external packets never create flows");
+    }
+}

@@ -1,0 +1,509 @@
+//! The RFC 2544 measurement harness (paper §6, Fig. 11's methodology).
+//!
+//! Two experiment drivers reproduce the paper's figures:
+//!
+//! * [`probe_latency`] — Fig. 12/13: measure per-packet middlebox
+//!   residence time of *probe* packets (worst case: flow-table miss,
+//!   expiry work, allocation) while N background flows occupy the
+//!   table;
+//! * [`throughput_search`] — Fig. 14: the RFC 2544 loss-bounded maximum
+//!   throughput — measure the NF's per-packet service times on the
+//!   steady-state (all-hits) workload, then binary-search the highest
+//!   offered rate whose queue simulation loses ≤ 0.1% of packets at the
+//!   device's RX-ring depth.
+//!
+//! Every frame goes through the same mempool→RX-ring→NF→TX-ring→mempool
+//! transaction ([`Testbed::shoot`]), so ring and buffer costs are inside
+//! the measurement uniformly for every NF — mirroring how every paper NF
+//! pays the same DPDK rx/tx cost.
+
+use crate::dpdk::{Device, Mempool};
+use crate::middlebox::{Middlebox, Verdict};
+use crate::dpdk::MBUF_SIZE;
+use crate::tester::{FlowGen, WorkloadMix};
+use libvig::time::Time;
+use vig_packet::Direction;
+
+/// The simulated two-port testbed.
+pub struct Testbed {
+    pool: Mempool,
+    int_dev: Device,
+    ext_dev: Device,
+    scratch: Box<[u8; MBUF_SIZE]>,
+}
+
+impl Testbed {
+    /// Testbed with the given RX/TX ring depth (512 descriptors is the
+    /// representative DPDK default used throughout the benches).
+    pub fn new(ring_size: usize) -> Testbed {
+        Testbed {
+            pool: Mempool::new(ring_size * 4),
+            int_dev: Device::new(ring_size),
+            ext_dev: Device::new(ring_size),
+            scratch: Box::new([0u8; MBUF_SIZE]),
+        }
+    }
+
+    fn dev(&mut self, d: Direction) -> &mut Device {
+        match d {
+            Direction::Internal => &mut self.int_dev,
+            Direction::External => &mut self.ext_dev,
+        }
+    }
+
+    /// Push one frame through the full path, returning the verdict and
+    /// the middlebox residence time in nanoseconds (RX-ring pop →
+    /// process → TX-ring push, i.e. excluding the tester's own work).
+    /// `inspect` (if any) sees the output frame after transmission.
+    pub fn shoot(
+        &mut self,
+        nf: &mut dyn Middlebox,
+        dir: Direction,
+        fields_writer: impl FnOnce(&mut [u8]) -> usize,
+        now: Time,
+        mut inspect: Option<&mut dyn FnMut(&[u8], Direction)>,
+    ) -> (Verdict, u64) {
+        // Tester side: buffer + frame + offer to the NIC.
+        let len = fields_writer(&mut self.scratch[..]);
+        let buf = self.pool.get().expect("testbed pool sized for one in flight");
+        self.pool.write_frame(buf, &self.scratch[..len]);
+        assert!(self.dev(dir).offer(buf), "single-packet offer cannot overflow");
+
+        // Middlebox side: the timed region.
+        let t0 = std::time::Instant::now();
+        let got = self.dev(dir).rx_burst_one().expect("frame was just offered");
+        let frame = self.pool.frame_mut(got);
+        let verdict = nf.process(dir, frame, now);
+        if let Verdict::Forward(out) = verdict {
+            assert!(self.dev(out).tx_put(got), "tx ring sized for one in flight");
+        }
+        let elapsed = t0.elapsed().as_nanos() as u64;
+
+        // Tester side: collect or reclaim.
+        match verdict {
+            Verdict::Forward(out) => {
+                let sent = self.dev(out).tx_take().expect("frame was just queued");
+                if let Some(f) = inspect.as_mut() {
+                    f(self.pool.frame(sent), out);
+                }
+                self.pool.put(sent);
+            }
+            Verdict::Drop => self.pool.put(got),
+        }
+        (verdict, elapsed)
+    }
+}
+
+impl Testbed {
+    /// Burst variant: stage up to `count` frames (ring-capacity bound)
+    /// into the RX ring, then time one run-to-completion drain loop —
+    /// the way a DPDK NF actually executes (`rte_eth_rx_burst` → process
+    /// → `rte_eth_tx_burst`). Returns (forwarded, dropped, elapsed ns
+    /// for the whole burst). Timing a burst amortizes clock-read
+    /// overhead across `count` packets, which matters when per-packet
+    /// service time is tens of nanoseconds.
+    pub fn shoot_burst(
+        &mut self,
+        nf: &mut dyn Middlebox,
+        dir: Direction,
+        count: usize,
+        mut fields_writer: impl FnMut(usize, &mut [u8]) -> usize,
+        now: Time,
+    ) -> (usize, usize, u64) {
+        let count = count.min(self.dev(dir).rx.capacity());
+        // Tester side: stage the burst.
+        for i in 0..count {
+            let len = fields_writer(i, &mut self.scratch[..]);
+            let buf = self.pool.get().expect("pool sized for a full ring");
+            self.pool.write_frame(buf, &self.scratch[..len]);
+            assert!(self.dev(dir).offer(buf), "staged within ring capacity");
+        }
+        // Middlebox side: the timed run-to-completion loop.
+        let mut forwarded = 0usize;
+        let mut dropped = 0usize;
+        let t0 = std::time::Instant::now();
+        while let Some(buf) = self.dev(dir).rx_burst_one() {
+            let frame = self.pool.frame_mut(buf);
+            match nf.process(dir, frame, now) {
+                Verdict::Forward(out) => {
+                    assert!(self.dev(out).tx_put(buf), "tx ring holds a full burst");
+                    forwarded += 1;
+                }
+                Verdict::Drop => {
+                    self.pool.put(buf);
+                    dropped += 1;
+                }
+            }
+        }
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        // Tester side: reclaim transmitted buffers.
+        for d in [Direction::Internal, Direction::External] {
+            while let Some(buf) = self.dev(d).tx_take() {
+                self.pool.put(buf);
+            }
+        }
+        (forwarded, dropped, elapsed)
+    }
+}
+
+/// Latency samples with the summary statistics the paper reports.
+#[derive(Debug, Clone)]
+pub struct LatencySamples {
+    /// Raw per-packet middlebox residence times, nanoseconds.
+    pub ns: Vec<u64>,
+}
+
+impl LatencySamples {
+    /// Arithmetic mean (Fig. 12's y-axis).
+    pub fn mean(&self) -> f64 {
+        if self.ns.is_empty() {
+            return 0.0;
+        }
+        self.ns.iter().sum::<u64>() as f64 / self.ns.len() as f64
+    }
+
+    /// The p-th percentile (0.0..=1.0), by nearest-rank.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// CCDF points `(latency_ns, P[latency > x])` at each distinct
+    /// sample value (Fig. 13's curve).
+    pub fn ccdf(&self) -> Vec<(u64, f64)> {
+        if self.ns.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted = self.ns.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let v = sorted[i];
+            let mut j = i;
+            while j < sorted.len() && sorted[j] == v {
+                j += 1;
+            }
+            out.push((v, (sorted.len() - j) as f64 / n));
+            i = j;
+        }
+        out
+    }
+}
+
+/// Fig. 12 driver. Builds `mix.background_flows` flows, keeps every one
+/// of them refreshed at least once per `2/3 · Texp` of virtual time, and
+/// measures `mix.probe_packets` probe packets. With the default 2 s
+/// expiry each probe flow's own packet gap exceeds `Texp`, so every
+/// probe is the paper's worst case: a table miss that triggers expiry
+/// work and a fresh allocation. Returns the probe samples.
+pub fn probe_latency(nf: &mut dyn Middlebox, tb: &mut Testbed, mix: &WorkloadMix) -> LatencySamples {
+    let gen = FlowGen::new(vig_packet::Proto::Udp);
+    let mut now = Time::from_secs(1);
+    let bg = mix.background_flows as u32;
+    let batch = mix.probe_batch.max(1);
+    let pool = mix.probe_pool.max(1) as u32;
+
+    // Populate background flows.
+    for i in 0..bg {
+        now = now.plus(1_000); // 1 µs apart
+        let f = gen.background(i);
+        tb.shoot(nf, Direction::Internal, |b| gen.write_frame(&f, b), now, None);
+    }
+
+    // One window = Texp/2 of virtual time, in three equal sections: two
+    // full refresh passes, then the probe batch. No background flow
+    // goes unrefreshed for more than Texp/3, and a probe flow that
+    // recurs within one window (pool <= batch) is refreshed at most
+    // Texp/2 apart — both safely inside the expiry, while fresh-tuple
+    // probes (huge pool) still miss every time.
+    let third = mix.texp_ns / 6;
+    let mut samples = Vec::with_capacity(mix.probe_packets);
+    let mut probe_id = 0u32;
+    'outer: loop {
+        for _pass in 0..2 {
+            now = now.plus(third);
+            for i in 0..bg {
+                let f = gen.background(i);
+                now = now.plus(2); // keep the clock strictly monotone
+                tb.shoot(nf, Direction::Internal, |b| gen.write_frame(&f, b), now, None);
+            }
+        }
+        let probe_gap = third / (batch as u64 + 1);
+        for _ in 0..batch {
+            if samples.len() >= mix.probe_packets {
+                break 'outer;
+            }
+            now = now.plus(probe_gap.max(1));
+            let f = gen.probe(probe_id % pool);
+            probe_id += 1;
+            let (_, ns) =
+                tb.shoot(nf, Direction::Internal, |b| gen.write_frame(&f, b), now, None);
+            samples.push(ns);
+        }
+        now = now.plus(third - probe_gap * batch as u64);
+    }
+    LatencySamples { ns: samples }
+}
+
+/// Measure steady-state per-packet service times: all flows exist, every
+/// packet is a hit that refreshes its flow (Fig. 14's workload: "a fixed
+/// number of flows that never expire"). Measurement is per 64-packet
+/// burst (DPDK run-to-completion granularity); each packet in a burst
+/// is assigned the burst's mean, which keeps clock-read overhead out of
+/// the service times while preserving burst-scale variance for the
+/// queue simulation.
+pub fn steady_state_service_times(
+    nf: &mut dyn Middlebox,
+    tb: &mut Testbed,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+) -> LatencySamples {
+    const BURST: usize = 64;
+    let gen = FlowGen::new(vig_packet::Proto::Udp);
+    let mut now = Time::from_secs(1);
+    for i in 0..flows as u32 {
+        now = now.plus(1_000);
+        let f = gen.background(i);
+        tb.shoot(nf, Direction::Internal, |b| gen.write_frame(&f, b), now, None);
+    }
+    // Round-robin over the flows; advance time slowly enough that no
+    // flow ever expires (refresh interval << Texp by construction).
+    let bursts_estimate = packets.div_ceil(BURST.min(64)) as u64;
+    let step = (texp_ns / 4) / (bursts_estimate * 8 + 1);
+    let mut samples = Vec::with_capacity(packets);
+    let mut next_flow = 0u32;
+    while samples.len() < packets {
+        now = now.plus(step.max(1));
+        let base = next_flow;
+        let (fwd, drop, ns) = tb.shoot_burst(
+            nf,
+            Direction::Internal,
+            BURST,
+            |i, b| {
+                let f = gen.background((base + i as u32) % flows as u32);
+                gen.write_frame(&f, b)
+            },
+            now,
+        );
+        // shoot_burst clamps the burst to the ring capacity; use what
+        // actually went through.
+        let staged = fwd + drop;
+        debug_assert!(staged > 0);
+        debug_assert_eq!(drop, 0, "steady state must be all hits");
+        next_flow = (base + staged as u32) % flows as u32;
+        let per_packet = ns / staged as u64;
+        samples.extend(std::iter::repeat(per_packet.max(1)).take(staged));
+    }
+    samples.truncate(packets);
+    LatencySamples { ns: samples }
+}
+
+/// FIFO queue simulation: deterministic arrivals at `rate_pps`, service
+/// times drawn cyclically from `service_ns`, queue bounded at
+/// `ring_cap`. Returns the fraction of arrivals dropped.
+pub fn queue_loss(service_ns: &[u64], rate_pps: f64, ring_cap: usize) -> f64 {
+    assert!(!service_ns.is_empty());
+    assert!(rate_pps > 0.0);
+    let inter_ns = 1e9 / rate_pps;
+    // Long enough that the bounded ring's transient absorption (it can
+    // swallow `ring_cap` packets before any loss shows) cannot hide a
+    // 0.1% steady-state loss — the reason RFC 2544 mandates long trials.
+    let n = (service_ns.len() * 4).max(ring_cap * 400).max(200_000);
+    let mut dropped = 0usize;
+    // completion times of queued-but-unfinished packets
+    let mut busy_until = 0.0f64;
+    let mut queue: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+    for k in 0..n {
+        let arrival = k as f64 * inter_ns;
+        // retire completed packets
+        while let Some(&done) = queue.front() {
+            if done <= arrival {
+                queue.pop_front();
+            } else {
+                break;
+            }
+        }
+        if queue.len() >= ring_cap {
+            dropped += 1;
+            continue;
+        }
+        let s = service_ns[k % service_ns.len()] as f64;
+        let start = busy_until.max(arrival);
+        busy_until = start + s;
+        queue.push_back(busy_until);
+    }
+    dropped as f64 / n as f64
+}
+
+/// RFC 2544 binary search: the highest rate (pps) with loss ≤
+/// `loss_bound` under [`queue_loss`]. Search window `[lo, hi]` pps.
+pub fn max_rate_with_loss(
+    service_ns: &[u64],
+    ring_cap: usize,
+    loss_bound: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    let mut lo = lo;
+    let mut hi = hi;
+    // If even `lo` loses, report 0 — the NF can't sustain the floor.
+    if queue_loss(service_ns, lo, ring_cap) > loss_bound {
+        return 0.0;
+    }
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if queue_loss(service_ns, mid, ring_cap) <= loss_bound {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Fig. 14 driver: measure steady-state service times, then search for
+/// the maximum rate at ≤ 0.1% loss. Returns (Mpps, mean service ns).
+pub fn throughput_search(
+    nf: &mut dyn Middlebox,
+    tb: &mut Testbed,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+    ring_cap: usize,
+) -> (f64, f64) {
+    let svc = steady_state_service_times(nf, tb, flows, packets, texp_ns);
+    let mean = svc.mean();
+    let pps = max_rate_with_loss(&svc.ns, ring_cap, 0.001, 1e4, 1e9);
+    (pps / 1e6, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middlebox::{NoopForwarder, VigNatMb};
+    use vig_packet::{Ip4, Proto};
+    use vig_spec::NatConfig;
+
+    fn cfg(cap: usize) -> NatConfig {
+        NatConfig {
+            capacity: cap,
+            expiry_ns: Time::from_secs(2).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1,
+        }
+    }
+
+    #[test]
+    fn shoot_roundtrip_reclaims_buffers() {
+        let mut tb = Testbed::new(16);
+        let mut nf = NoopForwarder::new();
+        let gen = FlowGen::new(Proto::Udp);
+        let before = tb.pool.available();
+        for i in 0..100 {
+            let f = gen.background(i);
+            let (v, ns) = tb.shoot(
+                &mut nf,
+                Direction::Internal,
+                |b| gen.write_frame(&f, b),
+                Time::from_secs(1),
+                None,
+            );
+            assert_eq!(v, Verdict::Forward(Direction::External));
+            assert!(ns < 1_000_000_000, "sane timing");
+        }
+        assert_eq!(tb.pool.available(), before, "no buffer leaks through the path");
+    }
+
+    #[test]
+    fn probe_latency_keeps_occupancy_stable() {
+        let mut tb = Testbed::new(16);
+        let mut nf = VigNatMb::new(cfg(512));
+        let mix = WorkloadMix {
+            background_flows: 64,
+            probe_packets: 24,
+            probe_batch: 4,
+            texp_ns: Time::from_secs(2).nanos(),
+            probe_pool: 1_000,
+        };
+        let s = probe_latency(&mut nf, &mut tb, &mix);
+        assert_eq!(s.ns.len(), 24);
+        // Occupancy: 64 background + at most ~4 windows' worth of
+        // probes still inside Texp (window = Texp/2).
+        assert!(
+            (64..=64 + 16).contains(&nf.occupancy()),
+            "occupancy {} drifted",
+            nf.occupancy()
+        );
+        assert!(nf.expired_total() >= 8, "old probe flows must have expired");
+    }
+
+    #[test]
+    fn probe_latency_with_long_expiry_turns_probes_into_hits() {
+        // The paper's in-text 60 s-expiry experiment: probe flows cycle
+        // through a small pool and never expire, so after the first
+        // round every probe is a lookup hit. (NF expiry must match the
+        // workload's 60 s — they describe the same NAT parameter.)
+        let mut tb = Testbed::new(16);
+        let mut nf = VigNatMb::new(NatConfig {
+            expiry_ns: Time::from_secs(60).nanos(),
+            ..cfg(512)
+        });
+        let mix = WorkloadMix {
+            background_flows: 32,
+            probe_packets: 40,
+            probe_batch: 10, // batch >= pool: probes recur every window
+            texp_ns: Time::from_secs(60).nanos(),
+            probe_pool: 10,
+        };
+        let s = probe_latency(&mut nf, &mut tb, &mix);
+        assert_eq!(s.ns.len(), 40);
+        assert_eq!(nf.expired_total(), 0, "nothing expires at 60 s");
+        assert_eq!(nf.occupancy(), 32 + 10, "background + probe pool all resident");
+    }
+
+    #[test]
+    fn steady_state_is_all_hits() {
+        let mut tb = Testbed::new(16);
+        let mut nf = VigNatMb::new(cfg(128));
+        let s = steady_state_service_times(&mut nf, &mut tb, 32, 500, Time::from_secs(2).nanos());
+        assert_eq!(s.ns.len(), 500);
+        assert_eq!(nf.occupancy(), 32, "no flow may expire mid-experiment");
+        assert_eq!(nf.expired_total(), 0);
+    }
+
+    #[test]
+    fn queue_loss_is_zero_below_capacity_and_high_above() {
+        let svc = vec![1_000u64; 256]; // 1 µs per packet => 1 Mpps capacity
+        assert_eq!(queue_loss(&svc, 0.5e6, 512), 0.0);
+        assert!(queue_loss(&svc, 2.0e6, 512) > 0.3, "2x overload loses heavily");
+    }
+
+    #[test]
+    fn rate_search_finds_the_knee() {
+        let svc = vec![1_000u64; 256]; // capacity exactly 1 Mpps
+        let rate = max_rate_with_loss(&svc, 512, 0.001, 1e4, 1e8);
+        assert!(
+            (0.9e6..=1.1e6).contains(&rate),
+            "search found {rate} pps, expected ~1e6"
+        );
+    }
+
+    #[test]
+    fn latency_stats() {
+        let s = LatencySamples { ns: vec![10, 20, 30, 40] };
+        assert_eq!(s.mean(), 25.0);
+        assert_eq!(s.percentile(0.5), 20);
+        assert_eq!(s.percentile(1.0), 40);
+        let ccdf = s.ccdf();
+        assert_eq!(ccdf[0], (10, 0.75));
+        assert_eq!(ccdf[3], (40, 0.0));
+    }
+}

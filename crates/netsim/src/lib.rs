@@ -1,0 +1,42 @@
+//! # netsim — the evaluation substrate (DPDK + testbed analog)
+//!
+//! The paper evaluates on two Xeon machines with 10 GbE NICs: a Tester
+//! running MoonGen fires 64-byte frames at a Middlebox running one of
+//! four NFs over DPDK (§6, Fig. 11). None of that hardware exists here,
+//! so this crate builds the closest pure-Rust equivalent (see DESIGN.md
+//! §5 for the substitution argument):
+//!
+//! * [`dpdk`] — the runtime: a preallocated buffer [`dpdk::Mempool`]
+//!   (DPDK's mbuf pool), fixed-capacity [`dpdk::Ring`]s, and
+//!   [`dpdk::Device`]s with RX/TX queues and port statistics;
+//! * [`frame_env`] — the bridge that runs the **verified loop body**
+//!   (`vignat::nat_loop_iteration`) over real packet bytes: header
+//!   fields in, incremental-checksum rewrites out;
+//! * [`middlebox`] — the uniform NF interface the harness measures
+//!   ([`middlebox::Middlebox`]), plus the VigNAT and no-op instances;
+//! * [`tester`] — the MoonGen analog: background/probe flow workloads,
+//!   deterministic and reproducible via seeds;
+//! * [`harness`] — the RFC 2544 measurement methodology: per-packet
+//!   latency sampling through the full mempool→ring→NF→ring path, and
+//!   loss-bounded maximum-throughput search.
+//!
+//! What is real and what is modeled: the per-packet CPU work — parsing,
+//! flow-table probes, expiry, rewrites, checksum updates, ring and
+//! mempool traffic — is all real Rust running on the host CPU, and it is
+//! what the experiments measure. Wire time, PCIe, and NIC DMA are *not*
+//! modeled; benches that reproduce the paper's absolute latency scale
+//! add a single documented constant for them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dpdk;
+pub mod frame_env;
+pub mod harness;
+pub mod middlebox;
+pub mod tester;
+
+pub use dpdk::{Device, Mempool, PortStats, Ring};
+pub use frame_env::FrameEnv;
+pub use middlebox::{Middlebox, NoopForwarder, Verdict, VigNatMb};
+pub use tester::{FlowGen, WorkloadMix};

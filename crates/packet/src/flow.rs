@@ -1,0 +1,184 @@
+//! Flow identifiers — the keys of the RFC 3022 translation table.
+//!
+//! A Traditional NAT keys its state two ways:
+//!
+//! * packets arriving on the **internal** interface are matched by the full
+//!   internal 5-tuple ([`FlowId`]);
+//! * packets arriving on the **external** interface are matched by the
+//!   *translated* tuple ([`ExtKey`]): the allocated external port plus the
+//!   remote endpoint.
+//!
+//! This is exactly why libVig's flow table is a *double-keyed* map.
+
+use crate::ipv4::Ip4;
+
+/// L4 protocol of a translated session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// TCP (IP protocol 6).
+    Tcp,
+    /// UDP (IP protocol 17).
+    Udp,
+}
+
+impl Proto {
+    /// The IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Tcp => crate::ipv4::PROTO_TCP,
+            Proto::Udp => crate::ipv4::PROTO_UDP,
+        }
+    }
+
+    /// From an IP protocol number.
+    pub fn from_number(n: u8) -> Option<Proto> {
+        match n {
+            crate::ipv4::PROTO_TCP => Some(Proto::Tcp),
+            crate::ipv4::PROTO_UDP => Some(Proto::Udp),
+            _ => None,
+        }
+    }
+}
+
+/// Which NAT interface a packet arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From the private network (the "inside").
+    Internal,
+    /// From the public network (the "outside").
+    External,
+}
+
+impl Direction {
+    /// The opposite interface — where a forwarded packet leaves.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Internal => Direction::External,
+            Direction::External => Direction::Internal,
+        }
+    }
+}
+
+/// The internal-side flow identifier: the 5-tuple as seen on the private
+/// network. This is `F(P)` for internal packets in the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId {
+    /// Private host address.
+    pub src_ip: Ip4,
+    /// Private host port.
+    pub src_port: u16,
+    /// Remote (public) address.
+    pub dst_ip: Ip4,
+    /// Remote port.
+    pub dst_port: u16,
+    /// Session protocol.
+    pub proto: Proto,
+}
+
+impl core::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:?} {}:{} -> {}:{}",
+            self.proto, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// The external-side flow identifier: how a *return* packet addresses the
+/// session. `ext_port` is the port the NAT allocated; the remote endpoint
+/// is the packet's source on the external side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExtKey {
+    /// The NAT-allocated external port (the return packet's dst port).
+    pub ext_port: u16,
+    /// Remote address (the return packet's src ip).
+    pub dst_ip: Ip4,
+    /// Remote port (the return packet's src port).
+    pub dst_port: u16,
+    /// Session protocol.
+    pub proto: Proto,
+}
+
+impl core::fmt::Display for ExtKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:?} ext:{} <- {}:{}",
+            self.proto, self.ext_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// A complete translation-table entry: the internal 5-tuple plus the
+/// allocated external port. The external key is derived, never stored
+/// separately, so the two views can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flow {
+    /// Internal-side identifier.
+    pub int_key: FlowId,
+    /// Allocated external port.
+    pub ext_port: u16,
+}
+
+impl Flow {
+    /// The external-side key under which return traffic finds this flow.
+    pub fn ext_key(&self) -> ExtKey {
+        ExtKey {
+            ext_port: self.ext_port,
+            dst_ip: self.int_key.dst_ip,
+            dst_port: self.int_key.dst_port,
+            proto: self.int_key.proto,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid() -> FlowId {
+        FlowId {
+            src_ip: Ip4::new(192, 168, 0, 10),
+            src_port: 41000,
+            dst_ip: Ip4::new(1, 2, 3, 4),
+            dst_port: 80,
+            proto: Proto::Tcp,
+        }
+    }
+
+    #[test]
+    fn ext_key_mirrors_remote_endpoint() {
+        let flow = Flow { int_key: fid(), ext_port: 61234 };
+        let ek = flow.ext_key();
+        assert_eq!(ek.ext_port, 61234);
+        assert_eq!(ek.dst_ip, fid().dst_ip);
+        assert_eq!(ek.dst_port, fid().dst_port);
+        assert_eq!(ek.proto, Proto::Tcp);
+    }
+
+    #[test]
+    fn direction_flip_is_involution() {
+        assert_eq!(Direction::Internal.flip(), Direction::External);
+        assert_eq!(Direction::External.flip().flip(), Direction::External);
+    }
+
+    #[test]
+    fn proto_number_roundtrip() {
+        for p in [Proto::Tcp, Proto::Udp] {
+            assert_eq!(Proto::from_number(p.number()), Some(p));
+        }
+        assert_eq!(Proto::from_number(1), None);
+    }
+
+    #[test]
+    fn flow_ids_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(fid());
+        let mut other = fid();
+        other.src_port = 41001;
+        assert!(!s.contains(&other));
+        assert!(s.contains(&fid()));
+    }
+}

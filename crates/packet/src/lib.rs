@@ -1,0 +1,302 @@
+//! Packet formats for the VigNAT reproduction.
+//!
+//! This crate provides the wire-format substrate the NAT operates on:
+//!
+//! * typed, bounds-checked **views** over raw byte buffers for Ethernet,
+//!   IPv4, TCP and UDP headers (in the style of `smoltcp`: no allocation,
+//!   no copying, every accessor reads/writes big-endian fields in place);
+//! * the **internet checksum** ([`checksum`]), including the RFC 1624
+//!   incremental-update rules a NAT relies on when it rewrites addresses
+//!   and ports without touching the payload;
+//! * **flow identifiers** ([`flow::FlowId`]) — the 5-tuple plus receiving
+//!   interface that RFC 3022 keys its translation table on;
+//! * small **builders** for synthesizing valid packets in tests, examples
+//!   and the traffic generator.
+//!
+//! Everything is `#![forbid(unsafe_code)]` and panic-free on untrusted
+//! input: parsing returns [`ParseError`] instead of slicing out of bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod flow;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use builder::PacketBuilder;
+pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
+pub use flow::{Direction, ExtKey, Flow, FlowId, Proto};
+pub use ipv4::{Ip4, Ipv4Packet, IPV4_MIN_HEADER_LEN};
+pub use tcp::{TcpSegment, TCP_MIN_HEADER_LEN};
+pub use udp::{UdpDatagram, UDP_HEADER_LEN};
+
+/// Errors returned when parsing a packet from raw bytes.
+///
+/// The NAT's stateless code treats every variant as "drop the packet";
+/// none of them abort processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed part of the header.
+    Truncated {
+        /// Header that failed to parse.
+        layer: Layer,
+        /// Bytes that were available.
+        have: usize,
+        /// Bytes that were required.
+        need: usize,
+    },
+    /// A length field inside the header is inconsistent with the buffer.
+    BadLength {
+        /// Header whose length field is inconsistent.
+        layer: Layer,
+    },
+    /// The EtherType is not IPv4 (the only L3 protocol the NAT handles).
+    NotIpv4,
+    /// The IPv4 version field is not 4.
+    BadVersion,
+    /// The IP protocol is neither TCP nor UDP (RFC 3022 NAT translates
+    /// only TCP/UDP sessions; everything else is dropped).
+    UnsupportedProto(u8),
+    /// The IPv4 header checksum does not verify.
+    BadChecksum {
+        /// Header whose checksum failed.
+        layer: Layer,
+    },
+    /// The packet is an IPv4 fragment with a non-zero offset; the port
+    /// fields are not present so the flow cannot be identified.
+    Fragment,
+}
+
+/// Protocol layer names used in [`ParseError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Ethernet II framing.
+    Ethernet,
+    /// IPv4 header.
+    Ipv4,
+    /// TCP header.
+    Tcp,
+    /// UDP header.
+    Udp,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::Truncated { layer, have, need } => {
+                write!(f, "{layer:?} header truncated: have {have} bytes, need {need}")
+            }
+            ParseError::BadLength { layer } => write!(f, "{layer:?} length field inconsistent"),
+            ParseError::NotIpv4 => write!(f, "EtherType is not IPv4"),
+            ParseError::BadVersion => write!(f, "IP version is not 4"),
+            ParseError::UnsupportedProto(p) => write!(f, "unsupported IP protocol {p}"),
+            ParseError::BadChecksum { layer } => write!(f, "{layer:?} checksum mismatch"),
+            ParseError::Fragment => write!(f, "non-first IPv4 fragment"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A fully parsed TCP/UDP-over-IPv4-over-Ethernet packet: the header
+/// offsets within one contiguous buffer.
+///
+/// This is what VigNAT's stateless code extracts once per packet; all
+/// subsequent header rewrites go through these offsets so no re-parsing
+/// is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderOffsets {
+    /// Offset of the IPv4 header (== Ethernet header length).
+    pub l3: usize,
+    /// Offset of the TCP/UDP header.
+    pub l4: usize,
+    /// IP protocol (TCP or UDP).
+    pub proto: Proto,
+    /// Total frame length that was validated.
+    pub frame_len: usize,
+}
+
+/// Parse and validate an Ethernet/IPv4/{TCP,UDP} frame, returning the
+/// header offsets and the flow 5-tuple fields.
+///
+/// Checks performed (each failure is a distinct, testable path — these are
+/// exactly the parse branches the symbolic-execution engine enumerates):
+///
+/// 1. frame long enough for Ethernet + minimal IPv4;
+/// 2. EtherType is IPv4;
+/// 3. IP version is 4 and IHL is within bounds;
+/// 4. IPv4 `total_len` consistent with the buffer;
+/// 5. protocol is TCP or UDP;
+/// 6. not a non-first fragment;
+/// 7. frame long enough for the L4 header.
+///
+/// The IPv4 header checksum is *not* verified here (DPDK NICs verify it in
+/// hardware; VigNAT assumes it). [`Ipv4Packet::verify_checksum`] is
+/// available for callers that want the software check.
+pub fn parse_l3l4(frame: &[u8]) -> Result<(HeaderOffsets, FlowFields), ParseError> {
+    let eth = EthernetFrame::parse(frame)?;
+    if eth.ethertype() != EtherType::IPV4 {
+        return Err(ParseError::NotIpv4);
+    }
+    let l3 = ETHERNET_HEADER_LEN;
+    let ip = Ipv4Packet::parse(&frame[l3..])?;
+    if ip.more_fragments() || ip.fragment_offset() != 0 {
+        return Err(ParseError::Fragment);
+    }
+    let proto = match ip.protocol() {
+        ipv4::PROTO_TCP => Proto::Tcp,
+        ipv4::PROTO_UDP => Proto::Udp,
+        other => return Err(ParseError::UnsupportedProto(other)),
+    };
+    let l4 = l3 + ip.header_len();
+    let l4_need = match proto {
+        Proto::Tcp => TCP_MIN_HEADER_LEN,
+        Proto::Udp => UDP_HEADER_LEN,
+    };
+    let l4_have = frame.len().saturating_sub(l4);
+    if l4_have < l4_need {
+        return Err(ParseError::Truncated {
+            layer: if proto == Proto::Tcp { Layer::Tcp } else { Layer::Udp },
+            have: l4_have,
+            need: l4_need,
+        });
+    }
+    let (src_port, dst_port) = match proto {
+        Proto::Tcp => {
+            let seg = TcpSegment::parse(&frame[l4..])?;
+            (seg.src_port(), seg.dst_port())
+        }
+        Proto::Udp => {
+            let dg = UdpDatagram::parse(&frame[l4..])?;
+            (dg.src_port(), dg.dst_port())
+        }
+    };
+    Ok((
+        HeaderOffsets { l3, l4, proto, frame_len: frame.len() },
+        FlowFields {
+            src_ip: ip.src(),
+            dst_ip: ip.dst(),
+            src_port,
+            dst_port,
+            proto,
+        },
+    ))
+}
+
+/// The five fields of the classic 5-tuple, as parsed off the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowFields {
+    /// IPv4 source address.
+    pub src_ip: Ip4,
+    /// IPv4 destination address.
+    pub dst_ip: Ip4,
+    /// L4 source port.
+    pub src_port: u16,
+    /// L4 destination port.
+    pub dst_port: u16,
+    /// L4 protocol.
+    pub proto: Proto,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    fn sample() -> Vec<u8> {
+        PacketBuilder::udp(
+            Ip4::new(10, 0, 0, 1),
+            Ip4::new(93, 184, 216, 34),
+            5555,
+            80,
+        )
+        .payload(b"hello")
+        .build()
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let frame = sample();
+        let (off, ff) = parse_l3l4(&frame).expect("valid frame parses");
+        assert_eq!(off.l3, ETHERNET_HEADER_LEN);
+        assert_eq!(off.l4, ETHERNET_HEADER_LEN + IPV4_MIN_HEADER_LEN);
+        assert_eq!(ff.src_ip, Ip4::new(10, 0, 0, 1));
+        assert_eq!(ff.dst_ip, Ip4::new(93, 184, 216, 34));
+        assert_eq!(ff.src_port, 5555);
+        assert_eq!(ff.dst_port, 80);
+        assert_eq!(ff.proto, Proto::Udp);
+    }
+
+    #[test]
+    fn truncated_ethernet_rejected() {
+        let frame = sample();
+        for cut in 0..ETHERNET_HEADER_LEN {
+            assert!(parse_l3l4(&frame[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn truncated_l4_rejected() {
+        let frame = sample();
+        let l4_end = ETHERNET_HEADER_LEN + IPV4_MIN_HEADER_LEN + UDP_HEADER_LEN;
+        for cut in ETHERNET_HEADER_LEN..l4_end {
+            assert!(parse_l3l4(&frame[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // Exactly the L4 boundary parses (UDP length field still covers
+        // payload, but header-only access is validated).
+        let mut exact = frame[..l4_end].to_vec();
+        // Fix up IPv4 total_len + UDP length to make the truncation
+        // self-consistent. Patch total_len raw first: the typed view
+        // refuses to parse while the stale length exceeds the buffer.
+        {
+            let new_total = (IPV4_MIN_HEADER_LEN + UDP_HEADER_LEN) as u16;
+            exact[ETHERNET_HEADER_LEN + 2..ETHERNET_HEADER_LEN + 4]
+                .copy_from_slice(&new_total.to_be_bytes());
+            let mut ip = Ipv4Packet::parse_mut(&mut exact[ETHERNET_HEADER_LEN..]).unwrap();
+            ip.fill_checksum();
+        }
+        {
+            let l4 = ETHERNET_HEADER_LEN + IPV4_MIN_HEADER_LEN;
+            exact[l4 + 4..l4 + 6].copy_from_slice(&(UDP_HEADER_LEN as u16).to_be_bytes());
+            let mut udp = UdpDatagram::parse_mut(&mut exact[l4..]).unwrap();
+            udp.set_checksum(0); // checksum optional for UDP/IPv4
+        }
+        parse_l3l4(&exact).expect("header-only UDP frame parses");
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let mut frame = sample();
+        frame[12] = 0x86; // EtherType -> 0x86dd (IPv6)
+        frame[13] = 0xdd;
+        assert_eq!(parse_l3l4(&frame), Err(ParseError::NotIpv4));
+    }
+
+    #[test]
+    fn unsupported_proto_rejected() {
+        let mut frame = sample();
+        frame[ETHERNET_HEADER_LEN + 9] = 1; // ICMP
+        // (checksum now stale; parse_l3l4 does not verify it, per DPDK offload)
+        assert_eq!(parse_l3l4(&frame), Err(ParseError::UnsupportedProto(1)));
+    }
+
+    #[test]
+    fn fragment_rejected() {
+        let mut frame = sample();
+        // fragment offset = 1 (8-byte units)
+        frame[ETHERNET_HEADER_LEN + 6] = 0x00;
+        frame[ETHERNET_HEADER_LEN + 7] = 0x01;
+        assert_eq!(parse_l3l4(&frame), Err(ParseError::Fragment));
+    }
+
+    #[test]
+    fn more_fragments_rejected() {
+        let mut frame = sample();
+        frame[ETHERNET_HEADER_LEN + 6] = 0x20; // MF flag
+        assert_eq!(parse_l3l4(&frame), Err(ParseError::Fragment));
+    }
+}

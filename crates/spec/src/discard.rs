@@ -1,0 +1,201 @@
+//! Specification of the paper's §3 example NF: the discard protocol
+//! (RFC 863) filter.
+//!
+//! The NF receives packets on one interface, discards those addressed to
+//! port 9, and forwards the rest through another interface, buffering
+//! bursts in a ring. The paper proves two properties; this module states
+//! both, in trace form:
+//!
+//! 1. **Safety** (the paper's headline): no emitted packet has target
+//!    port 9.
+//! 2. **FIFO faithfulness** (implied by the ring contracts): the emitted
+//!    sequence is exactly the subsequence of accepted (non-port-9)
+//!    received packets, in order, each at most once, never invented.
+//!
+//! The checker is deliberately generic over a packet summary type so the
+//! same spec drives the concrete NF (netsim) and the symbolic validator.
+
+use std::collections::VecDeque;
+
+/// Trace events of the discard NF, at the spec's level of abstraction:
+/// receive/send with the packet's target port and an opaque identity tag
+/// (the payload stand-in — lets the spec detect reordering/duplication
+/// even between packets with equal ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscardEvent {
+    /// The NF received a packet with this target port and identity.
+    Received {
+        /// Target port.
+        port: u16,
+        /// Opaque packet identity.
+        tag: u64,
+    },
+    /// The NF emitted a packet.
+    Sent {
+        /// Target port.
+        port: u16,
+        /// Opaque packet identity.
+        tag: u64,
+    },
+}
+
+/// How a discard-NF trace can violate the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscardViolation {
+    /// A packet with target port 9 was emitted — the paper's headline
+    /// property broken.
+    SentPort9 {
+        /// Identity of the offending packet.
+        tag: u64,
+    },
+    /// An emitted packet was never received, or was received but already
+    /// emitted (duplication), or overtook an earlier accepted packet
+    /// (reordering).
+    NotHeadOfLine {
+        /// Identity of the offending packet.
+        tag: u64,
+    },
+    /// An emitted packet had been received with a different port —
+    /// storage altered the packet.
+    Altered {
+        /// Identity of the offending packet.
+        tag: u64,
+        /// Port at receive time.
+        received_port: u16,
+        /// Port at send time.
+        sent_port: u16,
+    },
+}
+
+impl core::fmt::Display for DiscardViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DiscardViolation::SentPort9 { tag } => {
+                write!(f, "packet {tag:#x} with target port 9 was emitted")
+            }
+            DiscardViolation::NotHeadOfLine { tag } => {
+                write!(f, "packet {tag:#x} emitted out of order / duplicated / invented")
+            }
+            DiscardViolation::Altered { tag, received_port, sent_port } => write!(
+                f,
+                "packet {tag:#x} altered in storage: received port {received_port}, sent {sent_port}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiscardViolation {}
+
+/// Online checker for discard-NF traces.
+#[derive(Debug, Clone, Default)]
+pub struct DiscardSpec {
+    /// Accepted (non-port-9) packets not yet emitted, in arrival order.
+    pending: VecDeque<(u16, u64)>,
+}
+
+impl DiscardSpec {
+    /// Fresh checker.
+    pub fn new() -> DiscardSpec {
+        DiscardSpec::default()
+    }
+
+    /// Packets accepted but not yet emitted.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feed one trace event.
+    pub fn observe(&mut self, ev: DiscardEvent) -> Result<(), DiscardViolation> {
+        match ev {
+            DiscardEvent::Received { port, tag } => {
+                if port != 9 {
+                    self.pending.push_back((port, tag));
+                }
+                // port-9 packets are discarded: the spec forgets them,
+                // so emitting one later trips NotHeadOfLine or SentPort9.
+                Ok(())
+            }
+            DiscardEvent::Sent { port, tag } => {
+                if port == 9 {
+                    return Err(DiscardViolation::SentPort9 { tag });
+                }
+                match self.pending.pop_front() {
+                    Some((rx_port, rx_tag)) if rx_tag == tag => {
+                        if rx_port != port {
+                            Err(DiscardViolation::Altered {
+                                tag,
+                                received_port: rx_port,
+                                sent_port: port,
+                            })
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    _ => Err(DiscardViolation::NotHeadOfLine { tag }),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DiscardEvent::{Received, Sent};
+
+    #[test]
+    fn clean_trace_passes() {
+        let mut s = DiscardSpec::new();
+        s.observe(Received { port: 80, tag: 1 }).unwrap();
+        s.observe(Received { port: 9, tag: 2 }).unwrap(); // discarded
+        s.observe(Received { port: 443, tag: 3 }).unwrap();
+        s.observe(Sent { port: 80, tag: 1 }).unwrap();
+        s.observe(Sent { port: 443, tag: 3 }).unwrap();
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn emitting_port9_is_caught() {
+        let mut s = DiscardSpec::new();
+        s.observe(Received { port: 9, tag: 7 }).unwrap();
+        assert_eq!(
+            s.observe(Sent { port: 9, tag: 7 }),
+            Err(DiscardViolation::SentPort9 { tag: 7 })
+        );
+    }
+
+    #[test]
+    fn reordering_is_caught() {
+        let mut s = DiscardSpec::new();
+        s.observe(Received { port: 80, tag: 1 }).unwrap();
+        s.observe(Received { port: 81, tag: 2 }).unwrap();
+        assert_eq!(
+            s.observe(Sent { port: 81, tag: 2 }),
+            Err(DiscardViolation::NotHeadOfLine { tag: 2 })
+        );
+    }
+
+    #[test]
+    fn duplication_is_caught() {
+        let mut s = DiscardSpec::new();
+        s.observe(Received { port: 80, tag: 1 }).unwrap();
+        s.observe(Sent { port: 80, tag: 1 }).unwrap();
+        assert!(s.observe(Sent { port: 80, tag: 1 }).is_err());
+    }
+
+    #[test]
+    fn invention_is_caught() {
+        let mut s = DiscardSpec::new();
+        assert!(s.observe(Sent { port: 80, tag: 99 }).is_err());
+    }
+
+    #[test]
+    fn alteration_is_caught() {
+        let mut s = DiscardSpec::new();
+        s.observe(Received { port: 80, tag: 1 }).unwrap();
+        assert_eq!(
+            s.observe(Sent { port: 8080, tag: 1 }),
+            Err(DiscardViolation::Altered { tag: 1, received_port: 80, sent_port: 8080 })
+        );
+    }
+}

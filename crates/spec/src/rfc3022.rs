@@ -1,0 +1,575 @@
+//! The RFC 3022 decision tree (paper Fig. 6), as an executable relation.
+//!
+//! Fig. 6 defines, for a packet `P` arriving at time `t`:
+//!
+//! ```text
+//! expire_flows(t);  update_flow(P, t);  forward(P)
+//! ```
+//!
+//! where `forward` either rewrites and emits exactly one packet `S` on
+//! the opposite interface or drops `P`. The *only* nondeterminism is the
+//! external port chosen for a fresh flow, so the spec is a relation:
+//! [`step_allows`] checks an observed output against the tree and, when
+//! admissible, returns the unique post-state it implies.
+//!
+//! ## Faithfulness notes
+//!
+//! * External packets are matched purely by `(ext_port, remote ip,
+//!   remote port, proto)` — Fig. 6 does not test the packet's
+//!   destination address against `EXT_IP` (on the paper's testbed, L2
+//!   delivery guarantees it). We mirror that exactly.
+//! * `S.data = P.data` (payload untouched) is a byte-level property the
+//!   field-level relation cannot see; the differential tester checks it
+//!   on concrete packets, and the Validator checks it symbolically via
+//!   the payload-tag mechanism.
+
+use crate::state::{AbstractNat, InsertError};
+use libvig::time::Time;
+use vig_packet::{Direction, ExtKey, FlowFields, FlowId};
+
+/// A packet presented to the NAT: which interface it arrived on plus its
+/// 5-tuple. (Non-TCP/UDP and malformed packets never reach the spec —
+/// Fig. 6's "P is accepted" premise; the parse-and-drop paths are
+/// covered by the low-level properties, not the semantic ones.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketInput {
+    /// Arrival interface.
+    pub dir: Direction,
+    /// The packet's 5-tuple as read off the wire.
+    pub fields: FlowFields,
+}
+
+impl PacketInput {
+    /// `F(P)` for an internal packet: the 5-tuple is the flow id.
+    pub fn internal_fid(&self) -> FlowId {
+        FlowId {
+            src_ip: self.fields.src_ip,
+            src_port: self.fields.src_port,
+            dst_ip: self.fields.dst_ip,
+            dst_port: self.fields.dst_port,
+            proto: self.fields.proto,
+        }
+    }
+
+    /// `F(P)` for an external (return) packet: keyed by the port we
+    /// allocated (the packet's destination port) and the remote endpoint
+    /// (the packet's source).
+    pub fn external_key(&self) -> ExtKey {
+        ExtKey {
+            ext_port: self.fields.dst_port,
+            dst_ip: self.fields.src_ip,
+            dst_port: self.fields.src_port,
+            proto: self.fields.proto,
+        }
+    }
+}
+
+/// What the NF did with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Output {
+    /// Emitted one packet with these fields on this interface.
+    Forward {
+        /// Egress interface.
+        iface: Direction,
+        /// The emitted packet's 5-tuple.
+        fields: FlowFields,
+    },
+    /// Dropped the packet; nothing was emitted.
+    Drop,
+}
+
+/// A divergence between observed NF behaviour and the RFC 3022 tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecViolation {
+    /// The spec requires forwarding (a flow matched, or a fresh internal
+    /// flow fit in the table) but the NF dropped.
+    ShouldForward {
+        /// The matched or insertable flow id.
+        fid: FlowId,
+    },
+    /// The spec requires a drop (no match and not insertable) but the NF
+    /// forwarded.
+    ShouldDrop,
+    /// Forwarded on the wrong interface.
+    WrongInterface {
+        /// Interface the spec requires.
+        expected: Direction,
+        /// Interface the NF used.
+        got: Direction,
+    },
+    /// A rewritten field differs from what Fig. 6 prescribes.
+    FieldMismatch {
+        /// Which field (for diagnostics).
+        field: &'static str,
+        /// Expected value (numeric form).
+        expected: u64,
+        /// Observed value.
+        got: u64,
+    },
+    /// A freshly allocated external port violates its constraints
+    /// (zero, or already in use by another flow).
+    BadPortAllocation {
+        /// The offending port.
+        port: u16,
+        /// Why it is rejected.
+        reason: &'static str,
+    },
+    /// Internal bookkeeping failure — indicates a bug in the spec
+    /// client, not the NF (e.g. feeding packets out of time order).
+    StateError(&'static str),
+}
+
+impl core::fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecViolation::ShouldForward { fid } => {
+                write!(f, "spec requires forwarding flow {fid}, NF dropped")
+            }
+            SpecViolation::ShouldDrop => write!(f, "spec requires a drop, NF forwarded"),
+            SpecViolation::WrongInterface { expected, got } => {
+                write!(f, "forwarded on {got:?}, spec requires {expected:?}")
+            }
+            SpecViolation::FieldMismatch { field, expected, got } => {
+                write!(f, "field {field}: expected {expected:#x}, got {got:#x}")
+            }
+            SpecViolation::BadPortAllocation { port, reason } => {
+                write!(f, "bad external port {port}: {reason}")
+            }
+            SpecViolation::StateError(m) => write!(f, "spec-state error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+fn expect_field(
+    field: &'static str,
+    expected: u64,
+    got: u64,
+) -> Result<(), SpecViolation> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(SpecViolation::FieldMismatch { field, expected, got })
+    }
+}
+
+fn check_forward_fields(
+    expected_iface: Direction,
+    expected: &FlowFields,
+    observed: &Output,
+    matched_fid: FlowId,
+) -> Result<(), SpecViolation> {
+    match observed {
+        Output::Drop => Err(SpecViolation::ShouldForward { fid: matched_fid }),
+        Output::Forward { iface, fields } => {
+            if *iface != expected_iface {
+                return Err(SpecViolation::WrongInterface {
+                    expected: expected_iface,
+                    got: *iface,
+                });
+            }
+            expect_field("src_ip", u64::from(expected.src_ip.raw()), u64::from(fields.src_ip.raw()))?;
+            expect_field("dst_ip", u64::from(expected.dst_ip.raw()), u64::from(fields.dst_ip.raw()))?;
+            expect_field("src_port", u64::from(expected.src_port), u64::from(fields.src_port))?;
+            expect_field("dst_port", u64::from(expected.dst_port), u64::from(fields.dst_port))?;
+            expect_field(
+                "proto",
+                u64::from(expected.proto.number()),
+                u64::from(fields.proto.number()),
+            )?;
+            Ok(())
+        }
+    }
+}
+
+/// The Fig. 6 relation: does `observed` conform to RFC 3022 for packet
+/// `input` arriving at `now` in state `pre`? On success, returns the
+/// implied post-state.
+pub fn step_allows(
+    pre: &AbstractNat,
+    input: &PacketInput,
+    now: Time,
+    observed: &Output,
+) -> Result<AbstractNat, SpecViolation> {
+    let mut state = pre.clone();
+
+    // Fig. 6 line 2: expire_flows(t).
+    state.expire_flows(now);
+
+    match input.dir {
+        Direction::Internal => {
+            let fid = input.internal_fid();
+            if let Some(flow) = state.lookup_internal(&fid).copied() {
+                // Match: rewrite src to (EXT_IP, ext_port), forward east.
+                let expected = FlowFields {
+                    src_ip: state.config().external_ip,
+                    src_port: flow.ext_port,
+                    dst_ip: input.fields.dst_ip,
+                    dst_port: input.fields.dst_port,
+                    proto: input.fields.proto,
+                };
+                check_forward_fields(Direction::External, &expected, observed, fid)?;
+                if !state.refresh(&fid, now) {
+                    return Err(SpecViolation::StateError("refresh of matched flow failed"));
+                }
+                Ok(state)
+            } else if !state.is_full() {
+                // Fig. 6 lines 14–16 + 20–28: insert then forward. The
+                // port is the NF's choice; validate its constraints.
+                match observed {
+                    Output::Drop => Err(SpecViolation::ShouldForward { fid }),
+                    Output::Forward { iface, fields } => {
+                        if *iface != Direction::External {
+                            return Err(SpecViolation::WrongInterface {
+                                expected: Direction::External,
+                                got: *iface,
+                            });
+                        }
+                        let port = fields.src_port;
+                        let expected = FlowFields {
+                            src_ip: state.config().external_ip,
+                            src_port: port, // the NF's choice, constrained below
+                            dst_ip: input.fields.dst_ip,
+                            dst_port: input.fields.dst_port,
+                            proto: input.fields.proto,
+                        };
+                        check_forward_fields(Direction::External, &expected, observed, fid)?;
+                        match state.insert(fid, port, now) {
+                            Ok(()) => Ok(state),
+                            Err(InsertError::PortZero) => Err(SpecViolation::BadPortAllocation {
+                                port,
+                                reason: "port zero",
+                            }),
+                            Err(InsertError::PortInUse(_)) => {
+                                Err(SpecViolation::BadPortAllocation {
+                                    port,
+                                    reason: "port already allocated to another flow",
+                                })
+                            }
+                            Err(InsertError::TableFull) => {
+                                Err(SpecViolation::StateError("insert into full table"))
+                            }
+                            Err(InsertError::DuplicateFlowId) => {
+                                Err(SpecViolation::StateError("duplicate fid on insert"))
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Table full, no match: update_flow is a no-op, forward
+                // finds nothing, the packet is dropped (Fig. 6 line 39).
+                match observed {
+                    Output::Drop => Ok(state),
+                    Output::Forward { .. } => Err(SpecViolation::ShouldDrop),
+                }
+            }
+        }
+        Direction::External => {
+            let ek = input.external_key();
+            if let Some(flow) = state.lookup_external(&ek).copied() {
+                // Match: rewrite dst to the internal endpoint, forward west.
+                let expected = FlowFields {
+                    src_ip: input.fields.src_ip,
+                    src_port: input.fields.src_port,
+                    dst_ip: flow.fid.src_ip,
+                    dst_port: flow.fid.src_port,
+                    proto: input.fields.proto,
+                };
+                let fid = flow.fid;
+                check_forward_fields(Direction::Internal, &expected, observed, fid)?;
+                if !state.refresh(&fid, now) {
+                    return Err(SpecViolation::StateError("refresh of matched flow failed"));
+                }
+                Ok(state)
+            } else {
+                // Fig. 6 line 13-19: external packets never create flows.
+                match observed {
+                    Output::Drop => Ok(state),
+                    Output::Forward { .. } => Err(SpecViolation::ShouldDrop),
+                }
+            }
+        }
+    }
+}
+
+/// Trace-level spec checking: feeds [`step_allows`] one packet at a
+/// time, carrying the abstract state along. The first violation is
+/// sticky (subsequent calls keep returning it) so a long differential
+/// run reports the earliest divergence.
+#[derive(Debug, Clone)]
+pub struct SpecChecker {
+    state: AbstractNat,
+    last_time: Time,
+    steps: u64,
+    violation: Option<(u64, SpecViolation)>,
+}
+
+impl SpecChecker {
+    /// Start checking from an empty NAT.
+    pub fn new(config: crate::state::NatConfig) -> SpecChecker {
+        SpecChecker {
+            state: AbstractNat::new(config),
+            last_time: Time::ZERO,
+            steps: 0,
+            violation: None,
+        }
+    }
+
+    /// The abstract state the spec believes the NAT is in.
+    pub fn state(&self) -> &AbstractNat {
+        &self.state
+    }
+
+    /// Packets checked so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The first violation, if any, with the 0-based step it occurred at.
+    pub fn violation(&self) -> Option<&(u64, SpecViolation)> {
+        self.violation.as_ref()
+    }
+
+    /// Check one observed step. Time must be non-decreasing across calls.
+    pub fn observe(
+        &mut self,
+        input: &PacketInput,
+        now: Time,
+        output: &Output,
+    ) -> Result<(), SpecViolation> {
+        if let Some((_, v)) = &self.violation {
+            return Err(v.clone());
+        }
+        if now < self.last_time {
+            let v = SpecViolation::StateError("time went backwards in trace");
+            self.violation = Some((self.steps, v.clone()));
+            return Err(v);
+        }
+        self.last_time = now;
+        match step_allows(&self.state, input, now, output) {
+            Ok(post) => {
+                self.state = post;
+                self.steps += 1;
+                Ok(())
+            }
+            Err(v) => {
+                self.violation = Some((self.steps, v.clone()));
+                Err(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NatConfig;
+    use vig_packet::{Ip4, Proto};
+
+    const EXT_IP: Ip4 = Ip4::new(10, 1, 0, 1);
+
+    fn cfg() -> NatConfig {
+        NatConfig {
+            capacity: 2,
+            expiry_ns: Time::from_secs(10).nanos(),
+            external_ip: EXT_IP,
+            start_port: 1000,
+        }
+    }
+
+    fn internal_pkt(host: u8, sport: u16) -> PacketInput {
+        PacketInput {
+            dir: Direction::Internal,
+            fields: FlowFields {
+                src_ip: Ip4::new(192, 168, 0, host),
+                dst_ip: Ip4::new(1, 1, 1, 1),
+                src_port: sport,
+                dst_port: 80,
+                proto: Proto::Tcp,
+            },
+        }
+    }
+
+    fn return_pkt(ext_port: u16) -> PacketInput {
+        PacketInput {
+            dir: Direction::External,
+            fields: FlowFields {
+                src_ip: Ip4::new(1, 1, 1, 1),
+                dst_ip: EXT_IP,
+                src_port: 80,
+                dst_port: ext_port,
+                proto: Proto::Tcp,
+            },
+        }
+    }
+
+    fn fwd_ext(src_port: u16, input: &PacketInput) -> Output {
+        Output::Forward {
+            iface: Direction::External,
+            fields: FlowFields {
+                src_ip: EXT_IP,
+                src_port,
+                dst_ip: input.fields.dst_ip,
+                dst_port: input.fields.dst_port,
+                proto: input.fields.proto,
+            },
+        }
+    }
+
+    #[test]
+    fn new_internal_flow_is_translated() {
+        let pre = AbstractNat::new(cfg());
+        let input = internal_pkt(5, 4000);
+        let post = step_allows(&pre, &input, Time::from_secs(1), &fwd_ext(1000, &input)).unwrap();
+        assert_eq!(post.len(), 1);
+        assert_eq!(post.flows()[0].ext_port, 1000);
+    }
+
+    #[test]
+    fn dropping_a_translatable_packet_violates() {
+        let pre = AbstractNat::new(cfg());
+        let input = internal_pkt(5, 4000);
+        let err = step_allows(&pre, &input, Time::from_secs(1), &Output::Drop).unwrap_err();
+        assert!(matches!(err, SpecViolation::ShouldForward { .. }));
+    }
+
+    #[test]
+    fn repeated_packet_must_reuse_port() {
+        let pre = AbstractNat::new(cfg());
+        let input = internal_pkt(5, 4000);
+        let mid = step_allows(&pre, &input, Time::from_secs(1), &fwd_ext(1000, &input)).unwrap();
+        // same flow again: must use the same port, any other is a violation
+        assert!(step_allows(&mid, &input, Time::from_secs(2), &fwd_ext(1000, &input)).is_ok());
+        let err =
+            step_allows(&mid, &input, Time::from_secs(2), &fwd_ext(1001, &input)).unwrap_err();
+        assert!(matches!(err, SpecViolation::FieldMismatch { field: "src_port", .. }));
+    }
+
+    #[test]
+    fn port_reuse_across_flows_violates() {
+        let pre = AbstractNat::new(cfg());
+        let a = internal_pkt(5, 4000);
+        let mid = step_allows(&pre, &a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
+        let b = internal_pkt(6, 4000);
+        let err = step_allows(&mid, &b, Time::from_secs(2), &fwd_ext(1000, &b)).unwrap_err();
+        assert!(matches!(err, SpecViolation::BadPortAllocation { port: 1000, .. }));
+    }
+
+    #[test]
+    fn return_traffic_is_reverse_translated() {
+        let pre = AbstractNat::new(cfg());
+        let out = internal_pkt(5, 4000);
+        let mid = step_allows(&pre, &out, Time::from_secs(1), &fwd_ext(1000, &out)).unwrap();
+        let back = return_pkt(1000);
+        let expected = Output::Forward {
+            iface: Direction::Internal,
+            fields: FlowFields {
+                src_ip: Ip4::new(1, 1, 1, 1),
+                src_port: 80,
+                dst_ip: Ip4::new(192, 168, 0, 5),
+                dst_port: 4000,
+                proto: Proto::Tcp,
+            },
+        };
+        step_allows(&mid, &back, Time::from_secs(2), &expected).unwrap();
+    }
+
+    #[test]
+    fn unsolicited_external_packet_must_drop() {
+        let pre = AbstractNat::new(cfg());
+        let back = return_pkt(1000);
+        assert!(step_allows(&pre, &back, Time::from_secs(1), &Output::Drop).is_ok());
+        let err = step_allows(
+            &pre,
+            &back,
+            Time::from_secs(1),
+            &Output::Forward { iface: Direction::Internal, fields: back.fields },
+        )
+        .unwrap_err();
+        assert_eq!(err, SpecViolation::ShouldDrop);
+    }
+
+    #[test]
+    fn full_table_drops_new_flows_but_serves_old() {
+        let pre = AbstractNat::new(cfg());
+        let a = internal_pkt(1, 1);
+        let b = internal_pkt(2, 2);
+        let s1 = step_allows(&pre, &a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
+        let s2 = step_allows(&s1, &b, Time::from_secs(1), &fwd_ext(1001, &b)).unwrap();
+        assert!(s2.is_full());
+        let c = internal_pkt(3, 3);
+        assert!(step_allows(&s2, &c, Time::from_secs(2), &Output::Drop).is_ok());
+        // old flow still translates
+        assert!(step_allows(&s2, &a, Time::from_secs(2), &fwd_ext(1000, &a)).is_ok());
+    }
+
+    #[test]
+    fn expiry_frees_capacity_and_kills_translation() {
+        let pre = AbstractNat::new(cfg());
+        let a = internal_pkt(1, 1);
+        let s1 = step_allows(&pre, &a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
+        // at t=11s the flow (stamped 1s, Texp=10s) is dead: its return
+        // packet must now be dropped...
+        let back = return_pkt(1000);
+        assert!(step_allows(&s1, &back, Time::from_secs(11), &Output::Drop).is_ok());
+        // ...and the same internal packet is a *new* flow, free to get a
+        // new port.
+        let s2 = step_allows(&s1, &a, Time::from_secs(11), &fwd_ext(1007, &a)).unwrap();
+        assert_eq!(s2.flows()[0].ext_port, 1007);
+    }
+
+    #[test]
+    fn wrong_interface_is_flagged() {
+        let pre = AbstractNat::new(cfg());
+        let input = internal_pkt(5, 4000);
+        let out = Output::Forward {
+            iface: Direction::Internal, // should be External
+            fields: fwd_fields(&input),
+        };
+        fn fwd_fields(i: &PacketInput) -> FlowFields {
+            FlowFields {
+                src_ip: EXT_IP,
+                src_port: 1000,
+                dst_ip: i.fields.dst_ip,
+                dst_port: i.fields.dst_port,
+                proto: i.fields.proto,
+            }
+        }
+        let err = step_allows(&pre, &input, Time::from_secs(1), &out).unwrap_err();
+        assert!(matches!(err, SpecViolation::WrongInterface { .. }));
+    }
+
+    #[test]
+    fn checker_reports_first_violation_and_sticks() {
+        let mut chk = SpecChecker::new(cfg());
+        let a = internal_pkt(1, 1);
+        chk.observe(&a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
+        assert!(chk.observe(&a, Time::from_secs(2), &Output::Drop).is_err());
+        let (step, _) = chk.violation().unwrap().clone();
+        assert_eq!(step, 1);
+        // sticky
+        assert!(chk.observe(&a, Time::from_secs(3), &fwd_ext(1000, &a)).is_err());
+    }
+
+    #[test]
+    fn checker_rejects_time_reversal() {
+        let mut chk = SpecChecker::new(cfg());
+        let a = internal_pkt(1, 1);
+        chk.observe(&a, Time::from_secs(5), &fwd_ext(1000, &a)).unwrap();
+        let err = chk.observe(&a, Time::from_secs(4), &fwd_ext(1000, &a)).unwrap_err();
+        assert!(matches!(err, SpecViolation::StateError(_)));
+    }
+
+    #[test]
+    fn udp_and_tcp_flows_are_distinct() {
+        let pre = AbstractNat::new(cfg());
+        let mut tcp = internal_pkt(1, 1);
+        let s1 = step_allows(&pre, &tcp, Time::from_secs(1), &fwd_ext(1000, &tcp)).unwrap();
+        tcp.fields.proto = Proto::Udp;
+        let udp = tcp;
+        // same 4-tuple, different proto: a distinct flow needing a port
+        let s2 = step_allows(&s1, &udp, Time::from_secs(1), &fwd_ext(1001, &udp)).unwrap();
+        assert_eq!(s2.len(), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! The abstract NAT state: the paper's `flow_table` plus configuration.
+//!
+//! Everything here is deliberately naive — linear scans, owned vectors —
+//! because this is the *specification*. Its job is to be obviously
+//! correct, not fast; the verified implementation (the `vignat` crate)
+//! is what has to be fast, and the whole point of the methodology is to
+//! prove the fast thing refines this slow, obvious thing.
+
+use libvig::time::Time;
+use vig_packet::{ExtKey, FlowId, Ip4};
+
+/// The three static configuration parameters of the paper's Fig. 6,
+/// plus the first external port (a VigNAT implementation parameter the
+/// spec needs in order to state port-range facts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatConfig {
+    /// `CAP`: flow-table capacity.
+    pub capacity: usize,
+    /// `Texp` in nanoseconds: a flow expires when
+    /// `timestamp + expiry <= now`.
+    pub expiry_ns: u64,
+    /// `EXT_IP`: the address of the external interface.
+    pub external_ip: Ip4,
+    /// First port of the NAT's external port range. VigNAT maps flow
+    /// slot `i` to port `start_port + i`.
+    pub start_port: u16,
+}
+
+impl NatConfig {
+    /// The paper's evaluation configuration: 65,535 flows, 2 s expiry.
+    pub fn paper_default() -> NatConfig {
+        NatConfig {
+            capacity: 65_535,
+            expiry_ns: Time::from_secs(2).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1, // slots 0..65534 -> ports 1..65535, like VigNAT
+        }
+    }
+
+    /// Expiry threshold for packets arriving at `now`: flows stamped at
+    /// or before this are dead (Fig. 6 line 7: `timestamp + Texp <= t`).
+    /// `None` while `now < Texp`, when nothing can have expired yet.
+    pub fn expiry_threshold(&self, now: Time) -> Option<Time> {
+        now.nanos().checked_sub(self.expiry_ns).map(Time)
+    }
+}
+
+/// One abstract flow-table entry: the internal 5-tuple, the allocated
+/// external port, and the last-activity timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbstractFlow {
+    /// Internal-side flow identifier.
+    pub fid: FlowId,
+    /// Allocated external port.
+    pub ext_port: u16,
+    /// Last time a packet of this flow was seen.
+    pub last_active: Time,
+}
+
+impl AbstractFlow {
+    /// The external key under which return traffic matches this flow.
+    pub fn ext_key(&self) -> ExtKey {
+        ExtKey {
+            ext_port: self.ext_port,
+            dst_ip: self.fid.dst_ip,
+            dst_port: self.fid.dst_port,
+            proto: self.fid.proto,
+        }
+    }
+}
+
+/// The abstract NAT state: configuration plus the flow table.
+///
+/// Invariants (checked by [`AbstractNat::check_invariants`], maintained
+/// by construction):
+///
+/// * at most `capacity` flows;
+/// * internal flow ids are pairwise distinct;
+/// * external ports are pairwise distinct (the strong uniqueness VigNAT
+///   provides; RFC 3022 NAPT only requires distinct external *keys*);
+/// * no flow uses external port 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractNat {
+    config: NatConfig,
+    flows: Vec<AbstractFlow>,
+}
+
+impl AbstractNat {
+    /// Fresh NAT with an empty flow table.
+    pub fn new(config: NatConfig) -> AbstractNat {
+        AbstractNat { config, flows: Vec::new() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NatConfig {
+        &self.config
+    }
+
+    /// Current flow count.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// True when the table is full (`size(flow_table) == CAP`).
+    pub fn is_full(&self) -> bool {
+        self.flows.len() >= self.config.capacity
+    }
+
+    /// The flows (unspecified order).
+    pub fn flows(&self) -> &[AbstractFlow] {
+        &self.flows
+    }
+
+    /// Fig. 6 `expire_flows(t)`: remove every flow with
+    /// `timestamp + Texp <= t`. Returns the removed flows.
+    pub fn expire_flows(&mut self, now: Time) -> Vec<AbstractFlow> {
+        let Some(threshold) = self.config.expiry_threshold(now) else {
+            return Vec::new();
+        };
+        let (dead, live): (Vec<_>, Vec<_>) =
+            self.flows.iter().copied().partition(|f| f.last_active <= threshold);
+        self.flows = live;
+        dead
+    }
+
+    /// Find a flow by its internal 5-tuple (`F(P)` for internal packets).
+    pub fn lookup_internal(&self, fid: &FlowId) -> Option<&AbstractFlow> {
+        self.flows.iter().find(|f| f.fid == *fid)
+    }
+
+    /// Find a flow by its external key (`F(P)` for external packets).
+    pub fn lookup_external(&self, ek: &ExtKey) -> Option<&AbstractFlow> {
+        self.flows.iter().find(|f| f.ext_key() == *ek)
+    }
+
+    /// Is this external port already allocated to some flow?
+    pub fn port_in_use(&self, port: u16) -> bool {
+        self.flows.iter().any(|f| f.ext_port == port)
+    }
+
+    /// Fig. 6 lines 10–12: refresh the timestamp of an existing flow.
+    /// Returns `false` if the flow is absent (caller error).
+    pub fn refresh(&mut self, fid: &FlowId, now: Time) -> bool {
+        match self.flows.iter_mut().find(|f| f.fid == *fid) {
+            Some(f) => {
+                f.last_active = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fig. 6 line 16: insert a new flow. Enforces the state invariants;
+    /// an `Err` here means the *caller* (the NF under test, or a buggy
+    /// spec client) violated the RFC.
+    pub fn insert(&mut self, fid: FlowId, ext_port: u16, now: Time) -> Result<(), InsertError> {
+        if self.is_full() {
+            return Err(InsertError::TableFull);
+        }
+        if self.lookup_internal(&fid).is_some() {
+            return Err(InsertError::DuplicateFlowId);
+        }
+        if ext_port == 0 {
+            return Err(InsertError::PortZero);
+        }
+        if self.port_in_use(ext_port) {
+            return Err(InsertError::PortInUse(ext_port));
+        }
+        self.flows.push(AbstractFlow { fid, ext_port, last_active: now });
+        Ok(())
+    }
+
+    /// Verify the state invariants hold (used by tests and after
+    /// deserialization-like operations; `insert` maintains them).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.flows.len() > self.config.capacity {
+            return Err(format!(
+                "flow table over capacity: {} > {}",
+                self.flows.len(),
+                self.config.capacity
+            ));
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.ext_port == 0 {
+                return Err("flow uses external port 0".into());
+            }
+            for g in &self.flows[i + 1..] {
+                if f.fid == g.fid {
+                    return Err(format!("duplicate internal flow id: {}", f.fid));
+                }
+                if f.ext_port == g.ext_port {
+                    return Err(format!("duplicate external port: {}", f.ext_port));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why an [`AbstractNat::insert`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// `size(flow_table) == CAP`.
+    TableFull,
+    /// The internal 5-tuple is already mapped.
+    DuplicateFlowId,
+    /// Port 0 is never a valid translation.
+    PortZero,
+    /// The external port is already allocated.
+    PortInUse(u16),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vig_packet::Proto;
+
+    fn cfg() -> NatConfig {
+        NatConfig {
+            capacity: 3,
+            expiry_ns: Time::from_secs(10).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1000,
+        }
+    }
+
+    fn fid(h: u8) -> FlowId {
+        FlowId {
+            src_ip: Ip4::new(192, 168, 0, h),
+            src_port: 5000,
+            dst_ip: Ip4::new(1, 1, 1, 1),
+            dst_port: 80,
+            proto: Proto::Udp,
+        }
+    }
+
+    #[test]
+    fn insert_until_full() {
+        let mut n = AbstractNat::new(cfg());
+        n.insert(fid(1), 1000, Time::from_secs(1)).unwrap();
+        n.insert(fid(2), 1001, Time::from_secs(1)).unwrap();
+        n.insert(fid(3), 1002, Time::from_secs(1)).unwrap();
+        assert!(n.is_full());
+        assert_eq!(n.insert(fid(4), 1003, Time::from_secs(1)), Err(InsertError::TableFull));
+        n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let mut n = AbstractNat::new(cfg());
+        n.insert(fid(1), 1000, Time::from_secs(1)).unwrap();
+        assert_eq!(
+            n.insert(fid(1), 1001, Time::from_secs(1)),
+            Err(InsertError::DuplicateFlowId)
+        );
+        assert_eq!(n.insert(fid(2), 1000, Time::from_secs(1)), Err(InsertError::PortInUse(1000)));
+        assert_eq!(n.insert(fid(2), 0, Time::from_secs(1)), Err(InsertError::PortZero));
+    }
+
+    #[test]
+    fn expiry_is_exact_per_fig6() {
+        let mut n = AbstractNat::new(cfg());
+        n.insert(fid(1), 1000, Time::from_secs(5)).unwrap();
+        // timestamp + Texp = 15s; at t=14.999..9 it survives, at 15 it dies
+        assert!(n.expire_flows(Time(Time::from_secs(15).nanos() - 1)).is_empty());
+        assert_eq!(n.expire_flows(Time::from_secs(15)).len(), 1);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn early_clock_expires_nothing() {
+        // now < Texp: threshold undefined, nothing expires — including
+        // flows stamped at t=0 (the saturating-subtraction bug this
+        // guards against would wrongly kill them).
+        let mut n = AbstractNat::new(cfg());
+        n.insert(fid(1), 1000, Time::ZERO).unwrap();
+        assert!(n.expire_flows(Time::from_secs(9)).is_empty());
+        assert_eq!(n.expire_flows(Time::from_secs(10)).len(), 1);
+    }
+
+    #[test]
+    fn refresh_rescues_flow() {
+        let mut n = AbstractNat::new(cfg());
+        n.insert(fid(1), 1000, Time::from_secs(0)).unwrap();
+        assert!(n.refresh(&fid(1), Time::from_secs(8)));
+        assert!(n.expire_flows(Time::from_secs(10)).is_empty(), "refreshed at 8s, dies at 18s");
+        assert_eq!(n.expire_flows(Time::from_secs(18)).len(), 1);
+        assert!(!n.refresh(&fid(1), Time::from_secs(19)), "gone now");
+    }
+
+    #[test]
+    fn lookup_by_both_keys() {
+        let mut n = AbstractNat::new(cfg());
+        n.insert(fid(7), 1002, Time::from_secs(1)).unwrap();
+        let f = n.lookup_internal(&fid(7)).copied().unwrap();
+        assert_eq!(n.lookup_external(&f.ext_key()).unwrap().fid, fid(7));
+        assert!(n.lookup_external(&ExtKey { ext_port: 9999, ..f.ext_key() }).is_none());
+    }
+
+    #[test]
+    fn threshold_none_before_texp() {
+        let c = cfg();
+        assert_eq!(c.expiry_threshold(Time::from_secs(9)), None);
+        assert_eq!(c.expiry_threshold(Time::from_secs(10)), Some(Time::ZERO));
+        assert_eq!(c.expiry_threshold(Time::from_secs(12)), Some(Time::from_secs(2)));
+    }
+}

@@ -1,0 +1,59 @@
+//! # vig-validator — the Vigor Validator (lazy proofs, paper §5.2)
+//!
+//! This crate closes the loop of the paper's Fig. 7:
+//!
+//! ```text
+//! P1  VigNAT satisfies RFC 3022 semantics      (Validator + solver)   <- P2, P3, P4
+//! P2  VigNAT satisfies low-level properties    (ESE + solver)         <- P3, P4, P5
+//! P3  libVig refines its contracts             (libvig crate's checked/exhaustive layer)
+//! P4  stateless code uses libVig correctly     (Validator + solver)
+//! P5  libVig models faithful to the contracts  (Validator + solver)
+//! ```
+//!
+//! The pipeline ([`run_verification`]):
+//!
+//! 1. **ESE** ([`ese`]): the *actual* `vignat::nat_loop_iteration` is
+//!    executed exhaustively under [`sym_env::SymEnv`] — a symbolic
+//!    environment whose libVig **models** fork execution (lookup
+//!    hit/miss, allocation success/failure) and return constrained
+//!    fresh symbols, exactly like the paper's symbolic models (§5.1.4).
+//!    Every feasible path yields a [`trace::SymTrace`].
+//! 2. **P2** ([`checks::check_p2`]): each arithmetic obligation the
+//!    domain emitted (no overflow/underflow, shifts in range) is
+//!    discharged against that path's constraints.
+//! 3. **P4** ([`checks::check_p4`]): buffer ownership (every received
+//!    packet is sent or dropped exactly once — the leak check that
+//!    caught a real bug in VigNAT, §5.2.4), allocate→insert pairing,
+//!    the slot/port arithmetic discipline, rejuvenate-only-after-hit,
+//!    and the guarded-expiry discipline.
+//! 4. **P5** ([`checks::check_p5`]): for every model call on the path,
+//!    the constraints the model emitted are *entailed by the libVig
+//!    contract postconditions* — the lazy model validation of §5.2.3
+//!    (validity only for the calls actually observed, not universally).
+//! 5. **P1** ([`checks::check_p1`]): the RFC 3022 decision tree is
+//!    woven into the trace: parse-drop paths must be provably
+//!    unacceptable frames; accepted paths must forward/drop with
+//!    exactly the Fig. 6 rewrites, proven field-by-field by the solver.
+//!
+//! Deliberately-broken models (paper §3's over- and under-approximate
+//! ring models) are reproduced via [`sym_env::ModelStyle`]: the
+//! over-approximate model breaks the P2 overflow proof, the
+//! under-approximate one fails P5 — and the tests pin both failures.
+//!
+//! Trace validation is embarrassingly parallel; [`run_verification`]
+//! validates traces across threads like the paper's 4-core run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod discard;
+pub mod ese;
+pub mod report;
+pub mod sym_env;
+pub mod trace;
+
+pub use ese::{run_ese, EseResult};
+pub use report::{run_verification, VerificationReport};
+pub use sym_env::ModelStyle;
+pub use trace::{Event, SymTrace};

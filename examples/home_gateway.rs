@@ -1,0 +1,118 @@
+//! Home-gateway scenario: many internal hosts behind one public IP.
+//!
+//! The workload the paper's introduction motivates — a NAT in a home /
+//! small-office router: dozens of devices, bursts of short flows, a
+//! small translation table that fills up and must recycle ports through
+//! expiry. Demonstrates:
+//!
+//! * port multiplexing (distinct hosts sharing the external address),
+//! * table exhaustion behaviour (new flows dropped, existing flows
+//!   unharmed — exactly Fig. 6's semantics),
+//! * port recycling after expiry,
+//! * the occupancy statistics the operator would watch.
+//!
+//! ```sh
+//! cargo run --example home_gateway
+//! ```
+
+use vignat_repro::libvig::time::Time;
+use vignat_repro::nat::NatConfig;
+use vignat_repro::packet::{builder::PacketBuilder, parse_l3l4, Direction, Ip4, Proto};
+use vignat_repro::sim::middlebox::{Middlebox, Verdict, VigNatMb};
+
+fn udp_frame(host: u8, src_port: u16, dst: Ip4, dst_port: u16) -> Vec<u8> {
+    PacketBuilder::udp(Ip4::new(192, 168, 1, host), dst, src_port, dst_port).build()
+}
+
+fn main() {
+    // A deliberately small gateway: 64 concurrent flows, 30 s expiry.
+    let cfg = NatConfig {
+        capacity: 64,
+        expiry_ns: Time::from_secs(30).nanos(),
+        external_ip: Ip4::new(198, 51, 100, 9),
+        start_port: 50_000,
+    };
+    let mut nat = VigNatMb::new(cfg);
+    let dns = Ip4::new(9, 9, 9, 9);
+
+    println!("home gateway: {} flows max, ports {}..{}", cfg.capacity, cfg.start_port, cfg.start_port as usize + cfg.capacity - 1);
+
+    // Ten devices each open five DNS flows.
+    let mut translated = 0;
+    for host in 1..=10u8 {
+        for q in 0..5u16 {
+            let mut f = udp_frame(host, 40_000 + q, dns, 53);
+            match nat.process(Direction::Internal, &mut f, Time::from_secs(1)) {
+                Verdict::Forward(Direction::External) => {
+                    let (_, out) = parse_l3l4(&f).unwrap();
+                    assert_eq!(out.src_ip, cfg.external_ip);
+                    translated += 1;
+                }
+                v => panic!("unexpected verdict {v:?}"),
+            }
+        }
+    }
+    println!("50 flows from 10 devices translated; occupancy {}/{}", nat.occupancy(), cfg.capacity);
+    assert_eq!(translated, 50);
+
+    // A burst from one more device hits the capacity wall at 64.
+    let mut dropped = 0;
+    for q in 0..20u16 {
+        let mut f = udp_frame(11, 42_000 + q, dns, 53);
+        match nat.process(Direction::Internal, &mut f, Time::from_secs(2)) {
+            Verdict::Forward(_) => {}
+            Verdict::Drop => dropped += 1,
+        }
+    }
+    println!("burst of 20 more flows: {} admitted, {} dropped (table full)", 20 - dropped, dropped);
+    assert_eq!(nat.occupancy(), 64);
+    assert_eq!(dropped, 6, "64 - 50 = 14 admitted, 6 dropped");
+
+    // Existing flows keep working while the table is full.
+    let mut again = udp_frame(1, 40_000, dns, 53);
+    assert_eq!(
+        nat.process(Direction::Internal, &mut again, Time::from_secs(3)),
+        Verdict::Forward(Direction::External),
+        "established flows survive table pressure"
+    );
+
+    // Return traffic for one flow, proving the reverse mapping.
+    let (_, probe) = {
+        let mut f = udp_frame(2, 40_001, dns, 53);
+        nat.process(Direction::Internal, &mut f, Time::from_secs(3));
+        parse_l3l4(&f).map(|(o, ff)| (o, ff)).unwrap()
+    };
+    let mut reply = PacketBuilder::udp(dns, cfg.external_ip, 53, probe.src_port).build();
+    assert_eq!(
+        nat.process(Direction::External, &mut reply, Time::from_secs(3)),
+        Verdict::Forward(Direction::Internal)
+    );
+    let (_, back) = parse_l3l4(&reply).unwrap();
+    println!("reply to ext port {} delivered to {}:{}", probe.src_port, back.dst_ip, back.dst_port);
+    assert_eq!(back.dst_ip, Ip4::new(192, 168, 1, 2));
+
+    // Half a minute of silence: everything expires, ports recycle.
+    let mut fresh = udp_frame(12, 47_000, dns, 53);
+    assert_eq!(
+        nat.process(Direction::Internal, &mut fresh, Time::from_secs(40)),
+        Verdict::Forward(Direction::External)
+    );
+    println!(
+        "after 30 s idle: {} flows expired, occupancy back to {}",
+        nat.expired_total(),
+        nat.occupancy()
+    );
+    assert_eq!(nat.occupancy(), 1);
+
+    // TCP and UDP flows with identical tuples coexist (distinct proto).
+    let mut t = PacketBuilder::tcp(Ip4::new(192, 168, 1, 12), dns, 47_000, 53).build();
+    assert_eq!(
+        nat.process(Direction::Internal, &mut t, Time::from_secs(40)),
+        Verdict::Forward(Direction::External)
+    );
+    assert_eq!(nat.occupancy(), 2);
+    let (_, tf) = parse_l3l4(&t).unwrap();
+    assert_eq!(tf.proto, Proto::Tcp);
+
+    println!("\nok — gateway semantics hold under pressure, expiry and recycling.");
+}

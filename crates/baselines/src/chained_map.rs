@@ -86,7 +86,9 @@ impl<K: MapKey, V> ChainedMap<K, V> {
         let sig = Self::sig_of(hash);
         let mut cur = self.heads[self.index_of(hash)];
         while cur != NIL {
-            let slot = self.slots[cur as usize].as_ref().expect("chained slot is live");
+            let slot = self.slots[cur as usize]
+                .as_ref()
+                .expect("chained slot is live");
             if slot.sig == sig && slot.key == *key {
                 return Some(&slot.value);
             }
@@ -103,7 +105,9 @@ impl<K: MapKey, V> ChainedMap<K, V> {
         // Replace in place if present.
         let mut cur = self.heads[bucket];
         while cur != NIL {
-            let slot = self.slots[cur as usize].as_mut().expect("chained slot is live");
+            let slot = self.slots[cur as usize]
+                .as_mut()
+                .expect("chained slot is live");
             if slot.sig == sig && slot.key == key {
                 return Some(core::mem::replace(&mut slot.value, value));
             }
@@ -117,8 +121,12 @@ impl<K: MapKey, V> ChainedMap<K, V> {
                 (self.slots.len() - 1) as u32
             }
         };
-        self.slots[idx as usize] =
-            Some(Slot { key, value, sig, next: self.heads[bucket] });
+        self.slots[idx as usize] = Some(Slot {
+            key,
+            value,
+            sig,
+            next: self.heads[bucket],
+        });
         self.heads[bucket] = idx;
         self.len += 1;
         None
@@ -132,13 +140,17 @@ impl<K: MapKey, V> ChainedMap<K, V> {
         let mut prev = NIL;
         let mut cur = self.heads[bucket];
         while cur != NIL {
-            let slot = self.slots[cur as usize].as_ref().expect("chained slot is live");
+            let slot = self.slots[cur as usize]
+                .as_ref()
+                .expect("chained slot is live");
             if slot.sig == sig && slot.key == *key {
                 let next = slot.next;
                 if prev == NIL {
                     self.heads[bucket] = next;
                 } else {
-                    let p = self.slots[prev as usize].as_mut().expect("prev slot is live");
+                    let p = self.slots[prev as usize]
+                        .as_mut()
+                        .expect("prev slot is live");
                     p.next = next;
                 }
                 let taken = self.slots[cur as usize].take().expect("slot was live");

@@ -201,8 +201,16 @@ impl NetfilterNat {
                 ifindex: (i % 4) as u8,
             });
         }
-        fib.push(FibRoute { prefix: 0xc0a8_0000, mask: 0xffff_0000, ifindex: 1 }); // 192.168/16
-        fib.push(FibRoute { prefix: 0, mask: 0, ifindex: 2 }); // default
+        fib.push(FibRoute {
+            prefix: 0xc0a8_0000,
+            mask: 0xffff_0000,
+            ifindex: 1,
+        }); // 192.168/16
+        fib.push(FibRoute {
+            prefix: 0,
+            mask: 0,
+            ifindex: 2,
+        }); // default
         NetfilterNat {
             conns: HashMap::new(),
             slab: (0..cfg.capacity).map(|_| None).collect(),
@@ -280,15 +288,15 @@ impl NetfilterNat {
     }
 
     fn expire(&mut self, now: Time) {
-        loop {
-            let Some((&(deadline, idx), ())) = self.timers.iter().next() else { break };
+        while let Some((&(deadline, idx), ())) = self.timers.iter().next() {
             if deadline > now.nanos() {
                 break;
             }
             self.timers.remove(&(deadline, idx));
             let conn = self.slab[idx].take().expect("timer points at live conn");
             self.conns.remove(&Self::orig_tuple(&conn.fid));
-            self.conns.remove(&self.reply_tuple(&conn.fid, conn.ext_port));
+            self.conns
+                .remove(&self.reply_tuple(&conn.fid, conn.ext_port));
             self.used_ports.remove(&conn.ext_port);
             self.free.push(idx);
             self.len -= 1;
@@ -321,7 +329,11 @@ impl NetfilterNat {
                 p = self.cfg.start_port;
             }
             if !self.used_ports.contains(&p) {
-                self.next_port_hint = if in_range(p + 1) { p + 1 } else { self.cfg.start_port };
+                self.next_port_hint = if in_range(p + 1) {
+                    p + 1
+                } else {
+                    self.cfg.start_port
+                };
                 return Some(p);
             }
             p = p.wrapping_add(1);
@@ -337,10 +349,15 @@ impl NetfilterNat {
         };
         self.used_ports.insert(port);
         let deadline = now.nanos().saturating_add(self.cfg.expiry_ns);
-        self.slab[idx] = Some(Conn { fid, ext_port: port, deadline });
+        self.slab[idx] = Some(Conn {
+            fid,
+            ext_port: port,
+            deadline,
+        });
         self.timers.insert((deadline, idx), ());
         self.conns.insert(Self::orig_tuple(&fid), (idx, Hand::Orig));
-        self.conns.insert(self.reply_tuple(&fid, port), (idx, Hand::Reply));
+        self.conns
+            .insert(self.reply_tuple(&fid, port), (idx, Hand::Reply));
         self.len += 1;
         Some(port)
     }
@@ -518,7 +535,10 @@ mod tests {
             Verdict::Forward(Direction::External)
         );
         let (_, out) = parse_l3l4(&f).unwrap();
-        assert_eq!(out.src_port, 5555, "kernel masquerade keeps the source port");
+        assert_eq!(
+            out.src_port, 5555,
+            "kernel masquerade keeps the source port"
+        );
         assert_eq!(out.src_ip, Ip4::new(10, 1, 0, 1));
     }
 
@@ -540,10 +560,9 @@ mod tests {
     #[test]
     fn reply_path_and_ttl() {
         let mut nat = NetfilterNat::new(cfg());
-        let mut out =
-            PacketBuilder::tcp(Ip4::new(192, 168, 0, 1), Ip4::new(9, 9, 9, 9), 4000, 80)
-                .ttl(64)
-                .build();
+        let mut out = PacketBuilder::tcp(Ip4::new(192, 168, 0, 1), Ip4::new(9, 9, 9, 9), 4000, 80)
+            .ttl(64)
+            .build();
         nat.process(Direction::Internal, &mut out, Time::from_secs(1));
         let ip = Ipv4Packet::parse(&out[14..]).unwrap();
         assert_eq!(ip.ttl(), 63, "router decrements TTL");
@@ -567,12 +586,14 @@ mod tests {
         let mut nat = NetfilterNat::new(cfg());
         let mut stray =
             PacketBuilder::udp(Ip4::new(9, 9, 9, 9), Ip4::new(10, 1, 0, 1), 53, 3000).build();
-        assert_eq!(nat.process(Direction::External, &mut stray, Time::from_secs(1)), Verdict::Drop);
+        assert_eq!(
+            nat.process(Direction::External, &mut stray, Time::from_secs(1)),
+            Verdict::Drop
+        );
 
         for h in 0..8u8 {
             let mut f =
-                PacketBuilder::udp(Ip4::new(192, 168, 1, h), Ip4::new(9, 9, 9, 9), 100, 53)
-                    .build();
+                PacketBuilder::udp(Ip4::new(192, 168, 1, h), Ip4::new(9, 9, 9, 9), 100, 53).build();
             assert_eq!(
                 nat.process(Direction::Internal, &mut f, Time::from_secs(1)),
                 Verdict::Forward(Direction::External)

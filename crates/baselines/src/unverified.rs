@@ -65,7 +65,10 @@ impl UnverifiedNat {
             free: (0..cfg.capacity).rev().collect(),
             by_int: ChainedMap::with_capacity(cfg.capacity),
             by_ext: ChainedMap::with_capacity(cfg.capacity),
-            free_ports: (0..cfg.capacity as u16).rev().map(|o| cfg.start_port + o).collect(),
+            free_ports: (0..cfg.capacity as u16)
+                .rev()
+                .map(|o| cfg.start_port + o)
+                .collect(),
             port_used: vec![false; cfg.capacity],
             head: NIL,
             tail: NIL,
@@ -167,8 +170,13 @@ impl UnverifiedNat {
             self.free.push(idx);
             return None;
         };
-        self.slab[idx] =
-            Some(Entry { fid, ext_port: port, last: now, prev: NIL, next: NIL });
+        self.slab[idx] = Some(Entry {
+            fid,
+            ext_port: port,
+            last: now,
+            prev: NIL,
+            next: NIL,
+        });
         self.lru_append(idx);
         self.by_int.insert(fid, idx);
         self.by_ext.insert(ext_key_of(&fid, port), idx);
@@ -178,7 +186,12 @@ impl UnverifiedNat {
 }
 
 fn ext_key_of(fid: &FlowId, ext_port: u16) -> ExtKey {
-    ExtKey { ext_port, dst_ip: fid.dst_ip, dst_port: fid.dst_port, proto: fid.proto }
+    ExtKey {
+        ext_port,
+        dst_ip: fid.dst_ip,
+        dst_port: fid.dst_port,
+        proto: fid.proto,
+    }
 }
 
 /// Rewrite the frame's source to `(new_ip, new_port)` with incremental
@@ -329,8 +342,8 @@ mod tests {
     fn capacity_and_expiry() {
         let mut nat = UnverifiedNat::new(cfg());
         for h in 0..8u8 {
-            let mut f = PacketBuilder::udp(Ip4::new(192, 168, 1, h), Ip4::new(9, 9, 9, 9), 1, 2)
-                .build();
+            let mut f =
+                PacketBuilder::udp(Ip4::new(192, 168, 1, h), Ip4::new(9, 9, 9, 9), 1, 2).build();
             assert_eq!(
                 nat.process(Direction::Internal, &mut f, Time::from_secs(1)),
                 Verdict::Forward(Direction::External)
@@ -340,7 +353,10 @@ mod tests {
         // full: new flow dropped
         let mut f9 =
             PacketBuilder::udp(Ip4::new(192, 168, 2, 1), Ip4::new(9, 9, 9, 9), 1, 2).build();
-        assert_eq!(nat.process(Direction::Internal, &mut f9, Time::from_secs(1)), Verdict::Drop);
+        assert_eq!(
+            nat.process(Direction::Internal, &mut f9, Time::from_secs(1)),
+            Verdict::Drop
+        );
         // after expiry all 8 go and the new one fits
         let mut f9b =
             PacketBuilder::udp(Ip4::new(192, 168, 2, 1), Ip4::new(9, 9, 9, 9), 1, 2).build();
@@ -371,7 +387,10 @@ mod tests {
     fn malformed_frames_drop() {
         let mut nat = UnverifiedNat::new(cfg());
         let mut junk = vec![0u8; 10];
-        assert_eq!(nat.process(Direction::Internal, &mut junk, Time::from_secs(1)), Verdict::Drop);
+        assert_eq!(
+            nat.process(Direction::Internal, &mut junk, Time::from_secs(1)),
+            Verdict::Drop
+        );
         let mut short = vec![0u8; 40];
         assert_eq!(
             nat.process(Direction::External, &mut short, Time::from_secs(1)),

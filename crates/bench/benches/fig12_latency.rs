@@ -107,7 +107,11 @@ fn main() {
     println!("\nshape checks:");
     println!(
         "  ordering No-op < Unverified <= Verified: {} ({m_noop:.0} / {m_unv:.0} / {m_ver:.0} ns)",
-        if m_noop < m_unv && m_unv <= m_ver * 1.15 { "ok" } else { "DEVIATION" },
+        if m_noop < m_unv && m_unv <= m_ver * 1.15 {
+            "ok"
+        } else {
+            "DEVIATION"
+        },
     );
     // Flatness at the paper's scale: the paper reads the curve with the
     // wire/NIC base included (its y-axis starts at the no-op floor), so

@@ -82,10 +82,18 @@ fn main() {
     let tail_unv = unv.percentile(0.95);
     println!(
         "  Verified p95 >= Unverified p95 (heavier tail): {} ({tail_ver} vs {tail_unv} ns)",
-        if tail_ver * 10 >= tail_unv * 9 { "ok" } else { "DEVIATION" }
+        if tail_ver * 10 >= tail_unv * 9 {
+            "ok"
+        } else {
+            "DEVIATION"
+        }
     );
     let far_ver = ver.percentile(0.999) as f64;
     let far_unv = unv.percentile(0.999) as f64;
-    let merge = if far_unv > 0.0 { far_ver / far_unv } else { 1.0 };
+    let merge = if far_unv > 0.0 {
+        far_ver / far_unv
+    } else {
+        1.0
+    };
     println!("  far-tail ratio Verified/Unverified at p99.9: {merge:.2} (paper: ~1, shared-environment outliers)");
 }

@@ -16,10 +16,13 @@
 //! Run: `cargo bench -p vig-bench --bench fig14_throughput`
 
 use libvig::time::Time;
-use netsim::harness::{throughput_search, Testbed};
+use netsim::harness::{
+    steady_state_service_times, steady_state_service_times_batched, throughput_search,
+    throughput_search_batched, Testbed,
+};
 use netsim::middlebox::{Middlebox, NoopForwarder, VigNatMb};
 use vig_baselines::{NetfilterNat, UnverifiedNat};
-use vig_bench::{flow_sweep, print_table, throughput_packets};
+use vig_bench::{flow_sweep, print_table, throughput_packets, write_result_json};
 use vig_packet::Ip4;
 use vig_spec::NatConfig;
 
@@ -44,47 +47,123 @@ fn measure(nf: &mut dyn Middlebox, flows: usize) -> (f64, f64) {
     )
 }
 
+fn measure_batched(nf: &mut dyn Middlebox, flows: usize) -> (f64, f64) {
+    let mut tb = Testbed::new(512);
+    throughput_search_batched(
+        nf,
+        &mut tb,
+        flows,
+        throughput_packets(),
+        Time::from_secs(60).nanos(),
+        512,
+    )
+}
+
 fn main() {
     let sweep = flow_sweep();
     let mut rows = Vec::new();
-    let mut series: [Vec<f64>; 4] = Default::default();
+    let mut series: [Vec<f64>; 5] = Default::default();
 
     for &n in &sweep {
         let (noop, _) = measure(&mut NoopForwarder::new(), n);
         let (unv, _) = measure(&mut UnverifiedNat::new(cfg()), n);
         let (ver, _) = measure(&mut VigNatMb::new(cfg()), n);
+        let (verb, _) = measure_batched(&mut VigNatMb::new(cfg()), n);
         let (lin, _) = measure(&mut NetfilterNat::new(cfg()), n);
         series[0].push(noop);
         series[1].push(unv);
         series[2].push(ver);
         series[3].push(lin);
+        series[4].push(verb);
         rows.push(vec![
             format!("{}", n / 1000),
             format!("{noop:.2}"),
             format!("{unv:.2}"),
             format!("{ver:.2}"),
+            format!("{verb:.2}"),
             format!("{lin:.2}"),
         ]);
     }
     print_table(
         "FIG14: max throughput at <=0.1% loss (Mpps) vs flows",
-        &["flows (k)", "No-op", "Unverified NAT", "Verified NAT", "Linux NAT"],
+        &[
+            "flows (k)",
+            "No-op",
+            "Unverified NAT",
+            "Verified NAT",
+            "Verified (batched)",
+            "Linux NAT",
+        ],
         &rows,
     );
-    println!("paper reference: No-op > Unverified 2.0 > Verified 1.8 (-10%) >> Linux 0.6 Mpps, flat");
+    println!(
+        "paper reference: No-op > Unverified 2.0 > Verified 1.8 (-10%) >> Linux 0.6 Mpps, flat"
+    );
+
+    // Machine-readable trajectory: Mpps per flow count for all series,
+    // plus p50/p99 steady-state service times for the verified NAT in
+    // both modes at the largest flow count.
+    let (p50_seq, p99_seq, p50_bat, p99_bat) = {
+        let flows = *sweep.last().expect("non-empty sweep");
+        let texp = Time::from_secs(60).nanos();
+        let pkts = throughput_packets() / 4;
+        let mut tb = Testbed::new(512);
+        let mut nf = VigNatMb::new(cfg());
+        let s = steady_state_service_times(&mut nf, &mut tb, flows, pkts, texp);
+        let mut tb = Testbed::new(512);
+        let mut nf = VigNatMb::new(cfg());
+        let b = steady_state_service_times_batched(&mut nf, &mut tb, flows, pkts, texp);
+        (
+            s.percentile(0.5),
+            s.percentile(0.99),
+            b.percentile(0.5),
+            b.percentile(0.99),
+        )
+    };
+    let fmt_series = |name: &str, v: &[f64]| {
+        format!(
+            r#"{{"name":"{name}","mpps_per_flow_count":[{}]}}"#,
+            v.iter()
+                .map(|x| format!("{x:.3}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"fig14_throughput\",\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}}\n}}\n",
+        sweep.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
+        fmt_series("noop", &series[0]),
+        fmt_series("unverified", &series[1]),
+        fmt_series("verified", &series[2]),
+        fmt_series("verified_batched", &series[4]),
+        fmt_series("linux", &series[3]),
+    );
+    write_result_json("BENCH_throughput.json", &json);
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let (m_noop, m_unv, m_ver, m_lin) =
-        (mean(&series[0]), mean(&series[1]), mean(&series[2]), mean(&series[3]));
+    let (m_noop, m_unv, m_ver, m_lin) = (
+        mean(&series[0]),
+        mean(&series[1]),
+        mean(&series[2]),
+        mean(&series[3]),
+    );
     println!("\nshape checks:");
     println!(
         "  No-op fastest: {} ({m_noop:.2} Mpps)",
-        if m_noop >= m_unv && m_noop >= m_ver { "ok" } else { "DEVIATION" }
+        if m_noop >= m_unv && m_noop >= m_ver {
+            "ok"
+        } else {
+            "DEVIATION"
+        }
     );
     let gap = (m_unv - m_ver) / m_unv * 100.0;
     println!(
         "  Verified within ~10-20% of Unverified: {} (gap {gap:.1}%, paper 10%)",
-        if gap > -5.0 && gap < 25.0 { "ok" } else { "DEVIATION" }
+        if gap > -5.0 && gap < 25.0 {
+            "ok"
+        } else {
+            "DEVIATION"
+        }
     );
     let factor = m_unv / m_lin;
     println!(
@@ -92,5 +171,18 @@ fn main() {
         if factor > 1.8 { "ok" } else { "DEVIATION" }
     );
     let flat = series[2].iter().all(|&v| (v - m_ver).abs() / m_ver < 0.5);
-    println!("  Verified flat in flow count: {}", if flat { "ok" } else { "DEVIATION" });
+    println!(
+        "  Verified flat in flow count: {}",
+        if flat { "ok" } else { "DEVIATION" }
+    );
+    let m_verb = mean(&series[4]);
+    println!(
+        "  Batched fast path vs single-packet Verified: {:.2}x ({m_verb:.2} vs {m_ver:.2} Mpps)",
+        m_verb / m_ver
+    );
+    println!(
+        "  (note: the simulator's virtual clock and free NIC descriptors remove exactly the\n   \
+         per-packet fixed costs a burst amortizes; with the per-iteration clock read modeled,\n   \
+         micro_flowtable measures the batched NAT step at >2x the single-packet step)"
+    );
 }

@@ -1,143 +1,351 @@
-//! MICRO — Criterion microbenchmarks for the design choices DESIGN.md
-//! §7 calls out. Not a paper figure; these explain the *causes* behind
-//! Fig. 12/14:
+//! MICRO — flow-table microbenchmarks for the design choices DESIGN.md
+//! §7 calls out, plus the **batched fast path headline**: the
+//! steady-state NAT step (clock read, guarded expiry scan, flow lookup,
+//! rejuvenate) executed single-packet vs batched at ≥50% occupancy —
+//! the number this repo's batching work is gated on
+//! (`BENCH_flowtable.json`).
 //!
+//! What the series explain:
+//!
+//! * **natstep single vs batched** — the burst path reads the clock and
+//!   runs `expire_flows` once per 32-packet burst instead of once per
+//!   packet (a clock read alone is ~25-40 ns on commodity hosts, on the
+//!   order of the probe itself), and issues the burst's directory
+//!   probes back to back;
+//! * **single vs batched lookups** — the probe cost in isolation
+//!   (`Map::get_batch_with_hash` hashes a burst in one pass and
+//!   first-touches every start slot before probing);
 //! * open addressing (verified `libvig::Map`) vs separate chaining
 //!   (`ChainedMap`) at moderate and near-full occupancy — the source of
-//!   the verified NAT's last-point uptick in Fig. 12 and the ~10%
-//!   throughput gap in Fig. 14;
+//!   the verified NAT's last-point uptick in Fig. 12;
 //! * hit vs miss lookups (misses probe the longest in open addressing);
-//! * dchain allocate/rejuvenate/expire — the per-packet bookkeeping;
-//! * incremental (RFC 1624) vs full checksum recomputation — why NATs
-//!   rewrite headers in O(1).
+//! * dchain allocate/rejuvenate — the per-packet bookkeeping;
+//! * incremental (RFC 1624) vs full checksum recomputation.
+//!
+//! Run: `cargo bench -p vig-bench --bench micro_flowtable`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use libvig::dchain::DoubleChain;
-use libvig::map::{Map, MapKey};
+use libvig::map::MapKey;
 use libvig::time::Time;
 use std::hint::black_box;
+use std::time::Instant;
 use vig_baselines::ChainedMap;
+use vig_bench::{print_table, write_result_json, Series};
 use vig_packet::checksum::{checksum, Checksum};
+use vig_packet::{FlowId, Ip4, Proto};
+use vignat::{FlowManager, NatConfig, MAX_BURST};
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Key(u64);
+/// Table capacity: the paper-scale flow table (also the largest the
+/// VigNAT config invariant allows).
+const CAP: usize = 65_535;
 
-impl MapKey for Key {
-    fn key_hash(&self) -> u64 {
-        self.0.key_hash()
+fn cfg() -> NatConfig {
+    NatConfig {
+        capacity: CAP,
+        expiry_ns: Time::from_secs(3600).nanos(),
+        external_ip: Ip4::new(203, 0, 113, 1),
+        start_port: 1,
     }
 }
 
-const CAP: usize = 65_536;
-
-fn filled_open(occupancy: usize) -> Map<Key> {
-    let mut m = Map::new(CAP);
-    for k in 0..occupancy as u64 {
-        m.put(Key(k), k as usize).unwrap();
+fn fid(i: u32) -> FlowId {
+    FlowId {
+        src_ip: Ip4(0x0a00_0000 | i),
+        src_port: 10_000 + (i % 40_000) as u16,
+        dst_ip: Ip4::new(1, 1, 1, 1),
+        dst_port: 80,
+        proto: Proto::Udp,
     }
-    m
 }
 
-fn filled_chained(occupancy: usize) -> ChainedMap<Key, usize> {
-    let mut m = ChainedMap::with_capacity(CAP);
-    for k in 0..occupancy as u64 {
-        m.insert(Key(k), k as usize);
-    }
-    m
+/// Deterministic pseudo-random permutation walk over `0..n` (LCG with
+/// odd stride), so consecutive queries hit unrelated cache lines the
+/// way real traffic does.
+fn scrambled(n: usize, len: usize) -> Vec<u32> {
+    let stride = (n / 2 + 13) | 1;
+    (0..len).map(|i| ((i * stride + 7) % n) as u32).collect()
 }
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flowtable_lookup");
-    for (label, occ) in [("50pct", CAP / 2), ("99pct", CAP * 99 / 100)] {
-        let open = filled_open(occ);
-        let chained = filled_chained(occ);
-        g.bench_function(format!("open_addressing_hit_{label}"), |b| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k = (k + 1) % occ as u64;
-                black_box(open.get(&Key(k)))
-            })
-        });
-        g.bench_function(format!("chaining_hit_{label}"), |b| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k = (k + 1) % occ as u64;
-                black_box(chained.get(&Key(k)))
-            })
-        });
-        g.bench_function(format!("open_addressing_miss_{label}"), |b| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k += 1;
-                black_box(open.get(&Key(1_000_000 + k)))
-            })
-        });
-        g.bench_function(format!("chaining_miss_{label}"), |b| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k += 1;
-                black_box(chained.get(&Key(1_000_000 + k)))
-            })
-        });
+/// The headline: the **steady-state NAT step** per packet — clock read,
+/// guarded expiry scan, flow-table lookup, rejuvenate (Fig. 6's hit
+/// path, everything but the header rewrite) — executed the single-packet
+/// way (each packet pays each cost, as in `nat_loop_iteration`) vs the
+/// batched way (clock and expiry amortized to once per `MAX_BURST`
+/// burst, lookups through the batched directory probe, as in
+/// `nat_process_batch`). Chunked identically so both series' samples
+/// are per-chunk means over `MAX_BURST` packets.
+fn bench_nat_step(occupancy: usize, rounds: usize) -> (Series, Series) {
+    use libvig::time::{Clock, SystemClock};
+    let clock = SystemClock::new();
+    let texp = Time::from_secs(3600).nanos();
+    let mut fm = FlowManager::new(&cfg());
+    for i in 0..occupancy as u32 {
+        fm.allocate(fid(i), clock.now()).expect("below capacity");
     }
-    g.finish();
-}
+    let queries = scrambled(occupancy, rounds * MAX_BURST);
 
-fn bench_dchain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dchain");
-    g.bench_function("allocate_expire_cycle", |b| {
-        b.iter_batched_ref(
-            || DoubleChain::new(4096),
-            |ch| {
-                for t in 0..64u64 {
-                    let _ = black_box(ch.allocate(Time(t)));
-                }
-                while ch.expire_one(Time(u64::MAX)).is_some() {}
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("rejuvenate", |b| {
-        let mut ch = DoubleChain::new(4096);
-        for t in 0..4096u64 {
-            ch.allocate(Time(t)).unwrap();
+    let mut single_ns: Vec<f64> = Vec::with_capacity(rounds);
+    let mut batched_ns: Vec<f64> = Vec::with_capacity(rounds);
+
+    // Reusable buffers, as the burst datapath keeps them (BurstScratch).
+    let mut keys: Vec<FlowId> = Vec::with_capacity(MAX_BURST);
+    let mut hashes: Vec<u64> = Vec::with_capacity(MAX_BURST);
+    let mut slots: Vec<Option<usize>> = Vec::with_capacity(MAX_BURST);
+    let mut out: Vec<Option<(usize, vig_packet::Flow)>> = Vec::with_capacity(MAX_BURST);
+
+    // Interleave the two measurements chunk by chunk so frequency
+    // scaling and cache pressure hit both paths alike.
+    for chunk in queries.chunks_exact(MAX_BURST) {
+        keys.clear();
+        keys.extend(chunk.iter().map(|&i| fid(i)));
+
+        // Single-packet path: every packet reads the clock, runs the
+        // expiry scan, probes, rejuvenates — one nat_loop_iteration's
+        // steady-state stateful work per packet.
+        let t0 = Instant::now();
+        for k in &keys {
+            let now = clock.now();
+            fm.expire(now.minus(texp));
+            let (slot, _) = fm
+                .lookup_internal(black_box(k))
+                .expect("steady state: all hits");
+            fm.rejuvenate(slot, now);
         }
-        let mut i = 0usize;
-        let mut t = 5_000u64;
-        b.iter(|| {
+        single_ns.push(t0.elapsed().as_nanos() as f64 / MAX_BURST as f64);
+
+        // Batched path: one clock read + one expiry scan per burst,
+        // one batched probe, per-packet rejuvenate — nat_process_batch's
+        // steady-state stateful work.
+        out.clear();
+        let t0 = Instant::now();
+        let now = clock.now();
+        fm.expire(now.minus(texp));
+        hashes.clear();
+        hashes.extend(keys.iter().map(MapKey::key_hash));
+        fm.lookup_internal_batch(black_box(&keys), black_box(&hashes), &mut slots, &mut out);
+        for r in &out {
+            let (slot, _) = r.expect("steady state: all hits");
+            fm.rejuvenate(slot, now);
+        }
+        batched_ns.push(t0.elapsed().as_nanos() as f64 / MAX_BURST as f64);
+        black_box(&out);
+    }
+
+    let pct = occupancy * 100 / CAP;
+    (
+        Series::from_samples(format!("natstep_single_{pct}pct"), &mut single_ns),
+        Series::from_samples(format!("natstep_batched_{pct}pct"), &mut batched_ns),
+    )
+}
+
+/// Pure flow-table lookups, single vs batched (no clock, no expiry, no
+/// rejuvenation) — isolates the directory-probe cost.
+fn bench_lookup_paths(occupancy: usize, rounds: usize) -> (Series, Series) {
+    let mut fm = FlowManager::new(&cfg());
+    for i in 0..occupancy as u32 {
+        fm.allocate(fid(i), Time::from_secs(1))
+            .expect("below capacity");
+    }
+    let queries = scrambled(occupancy, rounds * MAX_BURST);
+
+    let mut single_ns: Vec<f64> = Vec::with_capacity(rounds);
+    let mut batched_ns: Vec<f64> = Vec::with_capacity(rounds);
+    let mut keys: Vec<FlowId> = Vec::with_capacity(MAX_BURST);
+    let mut hashes: Vec<u64> = Vec::with_capacity(MAX_BURST);
+    let mut slots: Vec<Option<usize>> = Vec::with_capacity(MAX_BURST);
+    let mut out = Vec::with_capacity(MAX_BURST);
+
+    for chunk in queries.chunks_exact(MAX_BURST) {
+        keys.clear();
+        keys.extend(chunk.iter().map(|&i| fid(i)));
+
+        let t0 = Instant::now();
+        let mut hits = 0usize;
+        for k in &keys {
+            if fm.lookup_internal(black_box(k)).is_some() {
+                hits += 1;
+            }
+        }
+        single_ns.push(t0.elapsed().as_nanos() as f64 / MAX_BURST as f64);
+        assert_eq!(hits, MAX_BURST, "steady state must be all hits");
+
+        out.clear();
+        let t0 = Instant::now();
+        hashes.clear();
+        hashes.extend(keys.iter().map(MapKey::key_hash));
+        fm.lookup_internal_batch(black_box(&keys), black_box(&hashes), &mut slots, &mut out);
+        batched_ns.push(t0.elapsed().as_nanos() as f64 / MAX_BURST as f64);
+        assert!(
+            out.iter().all(Option::is_some),
+            "batched lookups must hit too"
+        );
+        black_box(&out);
+    }
+
+    let pct = occupancy * 100 / CAP;
+    (
+        Series::from_samples(format!("lookup_single_{pct}pct"), &mut single_ns),
+        Series::from_samples(format!("lookup_batched_{pct}pct"), &mut batched_ns),
+    )
+}
+
+/// Open addressing vs separate chaining, hits and misses, as per-op ns.
+fn bench_open_vs_chained(occupancy: usize, rounds: usize) -> Vec<Series> {
+    let mut open = libvig::map::Map::new(CAP);
+    let mut chained: ChainedMap<u64, usize> = ChainedMap::with_capacity(CAP);
+    for k in 0..occupancy as u64 {
+        open.put(k, k as usize).unwrap();
+        chained.insert(k, k as usize);
+    }
+    let pct = occupancy * 100 / CAP;
+    let n = rounds * MAX_BURST;
+    let mut out = Vec::new();
+    let mut run = |name: String, mut f: Box<dyn FnMut(u64) -> bool>| {
+        let mut samples: Vec<f64> = Vec::with_capacity(rounds);
+        let mut q = 0u64;
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for _ in 0..MAX_BURST {
+                q = (q + 0x9e37) % n as u64;
+                black_box(f(q));
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / MAX_BURST as f64);
+        }
+        out.push(Series::from_samples(name, &mut samples));
+    };
+    {
+        let open_hit = open.clone();
+        let occ = occupancy as u64;
+        run(
+            format!("open_addressing_hit_{pct}pct"),
+            Box::new(move |q| open_hit.get(&(q % occ)).is_some()),
+        );
+    }
+    {
+        let chained_hit = chained.clone();
+        let occ = occupancy as u64;
+        run(
+            format!("chaining_hit_{pct}pct"),
+            Box::new(move |q| chained_hit.get(&(q % occ)).is_some()),
+        );
+    }
+    {
+        let open_miss = open.clone();
+        run(
+            format!("open_addressing_miss_{pct}pct"),
+            Box::new(move |q| open_miss.get(&(1_000_000 + q)).is_some()),
+        );
+    }
+    {
+        let chained_miss = chained.clone();
+        run(
+            format!("chaining_miss_{pct}pct"),
+            Box::new(move |q| chained_miss.get(&(1_000_000 + q)).is_some()),
+        );
+    }
+    out
+}
+
+/// dchain allocate/rejuvenate and checksum strategies (per-op ns).
+fn bench_bookkeeping(rounds: usize) -> Vec<Series> {
+    let mut out = Vec::new();
+
+    let mut ch = libvig::dchain::DoubleChain::new(4096);
+    for t in 0..4096u64 {
+        ch.allocate(Time(t)).unwrap();
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(rounds);
+    let mut t = 5_000u64;
+    let mut i = 0usize;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..MAX_BURST {
             i = (i + 1) % 4096;
             t += 1;
-            black_box(ch.rejuvenate(i, Time(t)))
-        })
-    });
-    g.finish();
-}
+            black_box(ch.rejuvenate(i, Time(t)));
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / MAX_BURST as f64);
+    }
+    out.push(Series::from_samples("dchain_rejuvenate", &mut samples));
 
-fn bench_checksum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checksum");
     let frame = vec![0xabu8; 1500];
-    g.bench_function("full_recompute_1500B", |b| b.iter(|| black_box(checksum(&frame))));
-    g.bench_function("incremental_rfc1624", |b| {
-        b.iter(|| {
+    let mut samples: Vec<f64> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        black_box(checksum(black_box(&frame)));
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    out.push(Series::from_samples("checksum_full_1500B", &mut samples));
+
+    let mut samples: Vec<f64> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..MAX_BURST {
             let c = Checksum::from_field(0x1234)
                 .update_u32(0x0a000001, 0xcb007101)
                 .update_u16(40_000, 61_234);
-            black_box(c.to_field())
-        })
-    });
-    g.finish();
+            black_box(c.to_field());
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / MAX_BURST as f64);
+    }
+    out.push(Series::from_samples(
+        "checksum_incremental_rfc1624",
+        &mut samples,
+    ));
+    out
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600))
-}
+fn main() {
+    let rounds = if vig_bench::full_mode() {
+        20_000
+    } else {
+        4_000
+    };
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_lookup, bench_dchain, bench_checksum
+    // Warm up, then measure: the batched-vs-single headline (the full
+    // steady-state NAT step) at 50% and 99% occupancy.
+    let _ = bench_nat_step(CAP / 8, rounds / 8);
+    let (single_50, batched_50) = bench_nat_step(CAP / 2, rounds);
+    let (single_99, batched_99) = bench_nat_step(CAP * 99 / 100, rounds);
+    let speedup_50 = batched_50.ops_per_sec / single_50.ops_per_sec;
+    let speedup_99 = batched_99.ops_per_sec / single_99.ops_per_sec;
+
+    let mut all = vec![single_50, batched_50, single_99, batched_99];
+    let (ls50, lb50) = bench_lookup_paths(CAP / 2, rounds / 2);
+    let (ls99, lb99) = bench_lookup_paths(CAP * 99 / 100, rounds / 2);
+    all.extend([ls50, lb50, ls99, lb99]);
+    all.extend(bench_open_vs_chained(CAP / 2, rounds / 4));
+    all.extend(bench_open_vs_chained(CAP * 99 / 100, rounds / 4));
+    all.extend(bench_bookkeeping(rounds / 4));
+
+    print_table(
+        "MICRO: flow-table and bookkeeping costs (per-op)",
+        &["series", "Mops/s", "p50 ns", "p99 ns"],
+        &all.iter()
+            .map(|s| {
+                vec![
+                    s.name.clone(),
+                    format!("{:.2}", s.ops_per_sec / 1e6),
+                    format!("{:.1}", s.p50_ns),
+                    format!("{:.1}", s.p99_ns),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nbatched speedup over the single-packet NAT step (clock + expiry + lookup + rejuvenate):"
+    );
+    println!("  at 50% occupancy: {speedup_50:.2}x (gate: >= 1.3x)");
+    println!("  at 99% occupancy: {speedup_99:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"micro_flowtable\",\n  \"table_capacity\": {CAP},\n  \"burst\": {MAX_BURST},\n  \"batched_speedup_at_50pct\": {speedup_50:.3},\n  \"batched_speedup_at_99pct\": {speedup_99:.3},\n  \"series\": [\n    {}\n  ]\n}}\n",
+        all.iter().map(Series::to_json).collect::<Vec<_>>().join(",\n    ")
+    );
+    write_result_json("BENCH_flowtable.json", &json);
+
+    assert!(
+        speedup_50 >= 1.3,
+        "batched lookup path must be >= 1.3x the single-packet path at 50% occupancy \
+         (measured {speedup_50:.2}x)"
+    );
 }
-criterion_main!(benches);

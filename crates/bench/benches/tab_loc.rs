@@ -21,14 +21,19 @@ use std::path::{Path, PathBuf};
 use vig_bench::print_table;
 
 fn repo_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
 }
 
 /// Count (impl_lines, test_lines) of one Rust file: code lines before
 /// vs inside `#[cfg(test)]`-gated modules; blank lines and pure comment
 /// lines excluded.
 fn count_file(p: &Path) -> (usize, usize) {
-    let Ok(src) = std::fs::read_to_string(p) else { return (0, 0) };
+    let Ok(src) = std::fs::read_to_string(p) else {
+        return (0, 0);
+    };
     let mut impl_lines = 0;
     let mut test_lines = 0;
     let mut in_tests = false;
@@ -51,7 +56,9 @@ fn count_file(p: &Path) -> (usize, usize) {
 
 fn count_dir(dir: &Path) -> (usize, usize) {
     let mut totals = (0, 0);
-    let Ok(entries) = std::fs::read_dir(dir) else { return totals };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return totals;
+    };
     for e in entries.flatten() {
         let p = e.path();
         if p.is_dir() {
@@ -70,14 +77,30 @@ fn count_dir(dir: &Path) -> (usize, usize) {
 fn main() {
     let root = repo_root();
     let layers: &[(&str, &str, &str)] = &[
-        ("packet formats", "crates/packet/src", "(DPDK header structs)"),
+        (
+            "packet formats",
+            "crates/packet/src",
+            "(DPDK header structs)",
+        ),
         ("libVig analog", "crates/libvig/src", "libVig: 2.2 KLOC C"),
-        ("RFC 3022 spec", "crates/spec/src", "spec: 300 lines sep. logic"),
+        (
+            "RFC 3022 spec",
+            "crates/spec/src",
+            "spec: 300 lines sep. logic",
+        ),
         ("VigNAT", "crates/core/src", "VigNAT stateless + glue"),
         ("symbex engine", "crates/symbex/src", "(modified KLEE)"),
-        ("Validator", "crates/validator/src", "Validator + VeriFast glue"),
+        (
+            "Validator",
+            "crates/validator/src",
+            "Validator + VeriFast glue",
+        ),
         ("testbed sim", "crates/netsim/src", "(MoonGen + testbed)"),
-        ("baseline NFs", "crates/baselines/src", "Unverified NAT, NetFilter"),
+        (
+            "baseline NFs",
+            "crates/baselines/src",
+            "Unverified NAT, NetFilter",
+        ),
         ("bench harness", "crates/bench", "(eval scripts)"),
         ("integration tests", "tests", "(n/a)"),
         ("examples", "examples", "(n/a)"),
@@ -105,7 +128,12 @@ fn main() {
     ]);
     print_table(
         "TAB-LOC: artifact-size inventory (code lines, comments/blank excluded)",
-        &["layer", "impl+contracts", "inline tests", "paper counterpart"],
+        &[
+            "layer",
+            "impl+contracts",
+            "inline tests",
+            "paper counterpart",
+        ],
         &rows,
     );
     println!(

@@ -33,7 +33,9 @@ fn cfg() -> NatConfig {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let seq = run_verification(&cfg(), ModelStyle::Faithful, 1);
     assert!(seq.ok(), "verification must pass: {:#?}", seq.failures);
@@ -41,11 +43,7 @@ fn main() {
     assert!(par.ok(), "parallel verification must pass");
 
     let rows = vec![
-        vec![
-            "ESE paths".into(),
-            format!("{}", seq.paths),
-            "108".into(),
-        ],
+        vec!["ESE paths".into(), format!("{}", seq.paths), "108".into()],
         vec![
             "traces (incl. prefixes)".into(),
             format!("{}", seq.traces_with_prefixes),
@@ -99,18 +97,24 @@ fn main() {
     println!("\nshape checks:");
     println!(
         "  paths of order 10^2: {} ({})",
-        if (10..1000).contains(&seq.paths) { "ok" } else { "DEVIATION" },
+        if (10..1000).contains(&seq.paths) {
+            "ok"
+        } else {
+            "DEVIATION"
+        },
         seq.paths
     );
     println!(
         "  traces > paths via prefix closure: {} ({} > {})",
-        if seq.traces_with_prefixes > seq.paths { "ok" } else { "DEVIATION" },
+        if seq.traces_with_prefixes > seq.paths {
+            "ok"
+        } else {
+            "DEVIATION"
+        },
         seq.traces_with_prefixes,
         seq.paths
     );
-    println!(
-        "  parallel speedup: {speedup:.1}x on {cores} cores (paper: 3.5x on 4 cores)"
-    );
+    println!("  parallel speedup: {speedup:.1}x on {cores} cores (paper: 3.5x on 4 cores)");
 
     // The invalid-model experiments, timed as well (paper §3).
     let over = run_verification(&cfg(), ModelStyle::OverApproximate, cores);

@@ -81,7 +81,13 @@ fn main() {
     ];
     print_table(
         "TEXT-LAT60: probe latency with 2 s vs 60 s expiry (30k background flows)",
-        &["experiment", "Unverified ns", "Verified ns", "Unverified us*", "Verified us*"],
+        &[
+            "experiment",
+            "Unverified ns",
+            "Verified ns",
+            "Unverified us*",
+            "Verified us*",
+        ],
         &rows,
     );
     println!("(*) +{WIRE_BASE_NS} ns wire/NIC offset");
@@ -93,7 +99,11 @@ fn main() {
     println!("\nshape checks:");
     println!(
         "  Verified 60 s <= Verified 2 s (hit path cheaper than miss path): {} ({:.0} vs {:.0} ns)",
-        if ver_60s <= ver_2s * 1.05 { "ok" } else { "DEVIATION" },
+        if ver_60s <= ver_2s * 1.05 {
+            "ok"
+        } else {
+            "DEVIATION"
+        },
         ver_60s,
         ver_2s
     );

@@ -20,14 +20,18 @@ pub const WIRE_BASE_NS: u64 = 4_650;
 /// Run benches in full (paper-scale) mode when `VIGNAT_BENCH_FULL=1`;
 /// default is a quick mode sized to finish the whole suite in minutes.
 pub fn full_mode() -> bool {
-    std::env::var("VIGNAT_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("VIGNAT_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Background-flow counts for the x-axis of Fig. 12/13/14.
 /// Paper: 1k .. 64k. Quick mode trims the sweep.
 pub fn flow_sweep() -> Vec<usize> {
     if full_mode() {
-        vec![1_000, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 64_000]
+        vec![
+            1_000, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 64_000,
+        ]
     } else {
         vec![1_000, 8_000, 24_000, 48_000, 64_000]
     }
@@ -70,7 +74,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -79,6 +86,66 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Format nanoseconds as microseconds with two decimals.
 pub fn us(ns: f64) -> String {
     format!("{:.2}", ns / 1_000.0)
+}
+
+/// The workspace root (where `BENCH_*.json` results land), resolved
+/// from this crate's manifest directory so it works no matter which
+/// directory `cargo bench` runs the target from.
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| std::path::PathBuf::from("."))
+}
+
+/// Write a machine-readable result file at the workspace root and echo
+/// its path, so every bench run leaves a perf-trajectory artifact for
+/// later PRs to compare against.
+pub fn write_result_json(filename: &str, json: &str) {
+    let path = workspace_root().join(filename);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\nwrote {}", path.display());
+}
+
+/// Summary statistics of one benchmark series, JSON-serializable via
+/// [`Series::to_json`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series name (e.g. "lookup_single_50pct").
+    pub name: String,
+    /// Operations per second (packets, lookups — the series' unit).
+    pub ops_per_sec: f64,
+    /// Median per-op latency, nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile per-op latency, nanoseconds.
+    pub p99_ns: f64,
+}
+
+impl Series {
+    /// Build a series from per-op nanosecond samples.
+    pub fn from_samples(name: impl Into<String>, per_op_ns: &mut [f64]) -> Series {
+        assert!(!per_op_ns.is_empty(), "series needs samples");
+        per_op_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let pick = |p: f64| {
+            let rank = ((p * per_op_ns.len() as f64).ceil() as usize).clamp(1, per_op_ns.len());
+            per_op_ns[rank - 1]
+        };
+        let mean = per_op_ns.iter().sum::<f64>() / per_op_ns.len() as f64;
+        Series {
+            name: name.into(),
+            ops_per_sec: if mean > 0.0 { 1e9 / mean } else { 0.0 },
+            p50_ns: pick(0.50),
+            p99_ns: pick(0.99),
+        }
+    }
+
+    /// One JSON object line for this series.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"name":"{}","ops_per_sec":{:.1},"p50_ns":{:.1},"p99_ns":{:.1}}}"#,
+            self.name, self.ops_per_sec, self.p50_ns, self.p99_ns
+        )
+    }
 }
 
 #[cfg(test)]

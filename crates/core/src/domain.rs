@@ -209,7 +209,10 @@ impl Domain for Concrete {
     }
     #[inline(always)]
     fn shl_u8(&mut self, a: &u8, shift: u32) -> u8 {
-        debug_assert!(a.checked_shl(shift).map_or(false, |r| r == (a << shift)), "shl_u8 obligation");
+        debug_assert!(
+            a.checked_shl(shift).is_some_and(|r| r == (a << shift)),
+            "shl_u8 obligation"
+        );
         a << shift
     }
     #[inline(always)]

@@ -132,6 +132,83 @@ pub struct TxHdr<D: Domain + ?Sized> {
     pub dst_port: D::U16,
 }
 
+/// Helpers shared by the *concrete* environments (machine-integer
+/// domains): key construction from domain-valued packet parts, flow
+/// views, and the per-packet `FlowId` hash memo. Kept here so the three
+/// concrete envs (`SimpleEnv`, netsim's `FrameEnv` and `BurstEnv`)
+/// cannot drift apart in how they hash and convert.
+pub mod concrete {
+    use super::{ExtParts, FidParts, FlowView, NatEnv, SlotId};
+    use libvig::map::MapKey;
+    use vig_packet::{ExtKey, Flow, FlowId, Ip4};
+
+    /// The internal 5-tuple as a flow-table key.
+    pub fn fid_key<E>(fid: &FidParts<E>) -> FlowId
+    where
+        E: NatEnv<B = bool, U8 = u8, U16 = u16, U32 = u32, U64 = u64> + ?Sized,
+    {
+        FlowId {
+            src_ip: Ip4(fid.src_ip),
+            src_port: fid.src_port,
+            dst_ip: Ip4(fid.dst_ip),
+            dst_port: fid.dst_port,
+            proto: fid.proto,
+        }
+    }
+
+    /// The external-side key as a flow-table key.
+    pub fn ext_key<E>(ek: &ExtParts<E>) -> ExtKey
+    where
+        E: NatEnv<B = bool, U8 = u8, U16 = u16, U32 = u32, U64 = u64> + ?Sized,
+    {
+        ExtKey {
+            ext_port: ek.ext_port,
+            dst_ip: Ip4(ek.dst_ip),
+            dst_port: ek.dst_port,
+            proto: ek.proto,
+        }
+    }
+
+    /// A matched flow as the loop body sees it.
+    pub fn view<E>(slot: usize, flow: &Flow) -> FlowView<E>
+    where
+        E: NatEnv<B = bool, U8 = u8, U16 = u16, U32 = u32, U64 = u64> + ?Sized,
+    {
+        FlowView {
+            slot: SlotId(slot),
+            ext_port: flow.ext_port,
+            int_ip: flow.int_key.src_ip.raw(),
+            int_port: flow.int_key.src_port,
+        }
+    }
+
+    /// Per-packet `FlowId` hash memo: the lookup that precedes every
+    /// insert hashes the key once; the insert reuses that hash. Falls
+    /// back to rehashing if the memo doesn't match (an env driven in a
+    /// nonstandard order), so it can slow down but never corrupt.
+    #[derive(Debug, Default)]
+    pub struct FidMemo(Option<(FlowId, u64)>);
+
+    impl FidMemo {
+        /// Hash `key` for a lookup, remembering it for the insert that
+        /// may follow on the same packet.
+        pub fn hash_for_lookup(&mut self, key: FlowId) -> u64 {
+            let h = key.key_hash();
+            self.0 = Some((key, h));
+            h
+        }
+
+        /// Hash for the insert of `key`: the memoized value when it
+        /// matches, a fresh hash otherwise.
+        pub fn hash_for_insert(&mut self, key: &FlowId) -> u64 {
+            match self.0 {
+                Some((memo_key, memo_hash)) if memo_key == *key => memo_hash,
+                _ => key.key_hash(),
+            }
+        }
+    }
+}
+
 /// The NAT's effect interface. See module docs.
 pub trait NatEnv: Domain {
     /// Current time in nanoseconds (monotonic).
@@ -145,6 +222,20 @@ pub trait NatEnv: Domain {
     /// Non-blocking receive. `None` when no packet is pending.
     fn receive(&mut self) -> Option<RxPacket<Self>>;
 
+    /// Pull up to `max` pending packets into `out` (the
+    /// `rte_eth_rx_burst` analog). The default delegates to
+    /// [`NatEnv::receive`], so environments that model one packet per
+    /// iteration — including the symbolic one — are unaffected; burst
+    /// environments override it to drain their RX ring in one call.
+    fn receive_burst(&mut self, max: usize, out: &mut Vec<RxPacket<Self>>) {
+        while out.len() < max {
+            match self.receive() {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+    }
+
     /// Decide a branch. Concrete environments evaluate the condition;
     /// the symbolic engine forks execution here, recording the
     /// condition (or its negation) as a path constraint.
@@ -152,6 +243,29 @@ pub trait NatEnv: Domain {
 
     /// Look up a flow by internal 5-tuple.
     fn lookup_internal(&mut self, fid: &FidParts<Self>) -> Option<FlowView<Self>>;
+
+    /// Resolve a burst of internal-key lookups, appending one result
+    /// per query to `out` in query order. Must be observationally
+    /// identical to calling [`NatEnv::lookup_internal`] per query — the
+    /// default does exactly that; concrete environments override it
+    /// with the flow table's batched probe
+    /// (`libvig::DoubleMap::lookup_batch`) so a burst's directory
+    /// probes issue back to back.
+    ///
+    /// The burst loop body ([`crate::loop_body::nat_process_batch`])
+    /// only *trusts* hits from this call: burst-mate packets can insert
+    /// flows (turning a stale miss into a hit) but never remove one, so
+    /// misses are re-checked at their sequence point.
+    fn lookup_internal_batch(
+        &mut self,
+        fids: &[FidParts<Self>],
+        out: &mut Vec<Option<FlowView<Self>>>,
+    ) {
+        for fid in fids {
+            let r = self.lookup_internal(fid);
+            out.push(r);
+        }
+    }
 
     /// Look up a flow by external key.
     fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>>;

@@ -20,6 +20,7 @@
 use libvig::dchain::DoubleChain;
 use libvig::dmap::DoubleMap;
 use libvig::expirator;
+use libvig::map::MapKey;
 use libvig::time::Time;
 use vig_packet::{ExtKey, Flow, FlowId};
 use vig_spec::NatConfig;
@@ -81,13 +82,48 @@ impl FlowManager {
 
     /// Find a flow by its internal 5-tuple.
     pub fn lookup_internal(&self, fid: &FlowId) -> Option<(usize, &Flow)> {
-        let slot = self.table.get_by_a(fid)?;
+        self.lookup_internal_hashed(fid, fid.key_hash())
+    }
+
+    /// [`FlowManager::lookup_internal`] with a caller-computed hash
+    /// (`hash == fid.key_hash()`). The environments hash each packet's
+    /// `FlowId` exactly once and reuse it here and in
+    /// [`FlowManager::insert_hashed`].
+    pub fn lookup_internal_hashed(&self, fid: &FlowId, hash: u64) -> Option<(usize, &Flow)> {
+        let slot = self.table.get_by_a_with_hash(fid, hash)?;
         self.table.get(slot).map(|f| (slot, f))
+    }
+
+    /// Resolve a burst of internal-key lookups with one batched
+    /// directory probe ([`libvig::DoubleMap::lookup_batch`]), appending
+    /// `(slot, flow)` per query to `out` in query order. `hashes[i]`
+    /// must equal `fids[i].key_hash()`. `slots_scratch` is a reusable
+    /// buffer (cleared here) so steady-state bursts allocate nothing.
+    pub fn lookup_internal_batch(
+        &self,
+        fids: &[FlowId],
+        hashes: &[u64],
+        slots_scratch: &mut Vec<Option<usize>>,
+        out: &mut Vec<Option<(usize, Flow)>>,
+    ) {
+        slots_scratch.clear();
+        self.table.lookup_batch(fids, hashes, slots_scratch);
+        out.extend(
+            slots_scratch
+                .iter()
+                .map(|s| s.and_then(|slot| self.table.get(slot).map(|f| (slot, *f)))),
+        );
     }
 
     /// Find a flow by its external key.
     pub fn lookup_external(&self, ek: &ExtKey) -> Option<(usize, &Flow)> {
-        let slot = self.table.get_by_b(ek)?;
+        self.lookup_external_hashed(ek, ek.key_hash())
+    }
+
+    /// [`FlowManager::lookup_external`] with a caller-computed hash
+    /// (`hash == ek.key_hash()`).
+    pub fn lookup_external_hashed(&self, ek: &ExtKey, hash: u64) -> Option<(usize, &Flow)> {
+        let slot = self.table.get_by_b_with_hash(ek, hash)?;
         self.table.get(slot).map(|f| (slot, f))
     }
 
@@ -113,9 +149,25 @@ impl FlowManager {
     /// Preconditions (P4): `slot` freshly allocated and empty; `fid` not
     /// present; `ext_port == start_port + slot`.
     pub fn insert(&mut self, slot: usize, fid: FlowId, ext_port: u16) {
-        debug_assert_eq!(ext_port, self.port_of_slot(slot), "slot/port bijection violated");
-        let flow = Flow { int_key: fid, ext_port };
-        let ok = self.table.put(slot, flow);
+        let hash = fid.key_hash();
+        self.insert_hashed(slot, fid, ext_port, hash);
+    }
+
+    /// [`FlowManager::insert`] with a caller-computed `FlowId` hash
+    /// (`fid_hash == fid.key_hash()`): the lookup miss that precedes
+    /// every insert already hashed the key, and this entry point reuses
+    /// that work instead of hashing a second time.
+    pub fn insert_hashed(&mut self, slot: usize, fid: FlowId, ext_port: u16, fid_hash: u64) {
+        debug_assert_eq!(
+            ext_port,
+            self.port_of_slot(slot),
+            "slot/port bijection violated"
+        );
+        let flow = Flow {
+            int_key: fid,
+            ext_port,
+        };
+        let ok = self.table.put_with_hash(slot, flow, fid_hash);
         debug_assert!(ok.is_ok(), "insert into occupied slot {slot}");
     }
 
@@ -136,9 +188,9 @@ impl FlowManager {
     /// Iterate over live flows (slot, flow, last_active), oldest first.
     /// For tests and statistics; the datapath never scans.
     pub fn iter_lru(&self) -> impl Iterator<Item = (usize, &Flow, Time)> + '_ {
-        self.chain.iter_lru().filter_map(move |(slot, t)| {
-            self.table.get(slot).map(|f| (slot, f, t))
-        })
+        self.chain
+            .iter_lru()
+            .filter_map(move |(slot, t)| self.table.get(slot).map(|f| (slot, f, t)))
     }
 
     /// Assert the cross-structure coherence invariant. Test/diagnostic

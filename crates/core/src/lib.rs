@@ -66,7 +66,7 @@ pub mod simple_env;
 pub use domain::{Concrete, Domain};
 pub use env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
 pub use flow_manager::FlowManager;
-pub use loop_body::{nat_loop_iteration, IterationOutcome};
+pub use loop_body::{nat_loop_iteration, nat_process_batch, IterationOutcome, MAX_BURST};
 pub use simple_env::SimpleEnv;
 
 /// The NAT configuration — re-exported from the spec crate so that the

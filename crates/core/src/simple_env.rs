@@ -13,10 +13,12 @@
 //! every received handle must be consumed by exactly one `tx`/`drop_pkt`
 //! before the iteration ends, mirroring the Validator's leak check.
 
+use crate::env::concrete::{ext_key, fid_key, view, FidMemo};
 use crate::env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
 use crate::flow_manager::FlowManager;
 use crate::impl_concrete_domain;
-use crate::loop_body::{nat_loop_iteration, IterationOutcome};
+use crate::loop_body::{nat_loop_iteration, nat_process_batch, IterationOutcome};
+use libvig::map::MapKey;
 use libvig::time::Time;
 use std::collections::VecDeque;
 use vig_packet::{Direction, FlowFields, FlowId};
@@ -106,6 +108,8 @@ pub struct SimpleEnv {
     next_handle: usize,
     in_flight: Vec<usize>,
     expired_total: usize,
+    /// Per-packet `FlowId` hash memo (each `FlowId` is hashed once).
+    fid_memo: FidMemo,
 }
 
 impl_concrete_domain!(SimpleEnv);
@@ -122,6 +126,7 @@ impl SimpleEnv {
             next_handle: 0,
             in_flight: Vec::new(),
             expired_total: 0,
+            fid_memo: FidMemo::default(),
         }
     }
 
@@ -164,6 +169,21 @@ impl SimpleEnv {
         out
     }
 
+    /// Run one *burst* of the real stateless code
+    /// ([`nat_process_batch`]): up to
+    /// [`crate::loop_body::MAX_BURST`] pending packets in one call,
+    /// with the same buffer-ownership enforcement.
+    pub fn run_burst(&mut self) -> Vec<IterationOutcome> {
+        let cfg = self.cfg;
+        let out = nat_process_batch(self, &cfg);
+        assert!(
+            self.in_flight.is_empty(),
+            "buffer leak: handles {:?} neither sent nor dropped",
+            self.in_flight
+        );
+        out
+    }
+
     /// Convenience for differential testing: inject a well-formed packet
     /// at time `t`, run one iteration, and return the NF's decision in
     /// the spec's vocabulary.
@@ -172,20 +192,31 @@ impl SimpleEnv {
         self.inject(RawRx::well_formed(dir, fields));
         let before = self.events.len();
         let outcome = self.run_one();
-        assert_eq!(self.events.len(), before + 1, "exactly one event per packet");
+        assert_eq!(
+            self.events.len(),
+            before + 1,
+            "exactly one event per packet"
+        );
         match (outcome, self.events[before]) {
-            (IterationOutcome::Forwarded(_), EnvEvent::Sent { out, src_ip, src_port, dst_ip, dst_port }) => {
-                vig_spec::Output::Forward {
-                    iface: out,
-                    fields: FlowFields {
-                        src_ip: vig_packet::Ip4(src_ip),
-                        dst_ip: vig_packet::Ip4(dst_ip),
-                        src_port,
-                        dst_port,
-                        proto: fields.proto,
-                    },
-                }
-            }
+            (
+                IterationOutcome::Forwarded(_),
+                EnvEvent::Sent {
+                    out,
+                    src_ip,
+                    src_port,
+                    dst_ip,
+                    dst_port,
+                },
+            ) => vig_spec::Output::Forward {
+                iface: out,
+                fields: FlowFields {
+                    src_ip: vig_packet::Ip4(src_ip),
+                    dst_ip: vig_packet::Ip4(dst_ip),
+                    src_port,
+                    dst_port,
+                    proto: fields.proto,
+                },
+            },
             (IterationOutcome::Dropped(_), EnvEvent::Dropped) => vig_spec::Output::Drop,
             (o, e) => panic!("outcome {o:?} inconsistent with event {e:?}"),
         }
@@ -228,36 +259,35 @@ impl NatEnv for SimpleEnv {
     }
 
     fn lookup_internal(&mut self, fid: &FidParts<Self>) -> Option<FlowView<Self>> {
-        let key = FlowId {
-            src_ip: vig_packet::Ip4(fid.src_ip),
-            src_port: fid.src_port,
-            dst_ip: vig_packet::Ip4(fid.dst_ip),
-            dst_port: fid.dst_port,
-            proto: fid.proto,
-        };
-        let (slot, flow) = self.fm.lookup_internal(&key)?;
-        Some(FlowView {
-            slot: SlotId(slot),
-            ext_port: flow.ext_port,
-            int_ip: flow.int_key.src_ip.raw(),
-            int_port: flow.int_key.src_port,
-        })
+        let key = fid_key(fid);
+        // Hash once per packet; a following insert_flow reuses it.
+        let hash = self.fid_memo.hash_for_lookup(key);
+        let (slot, flow) = self.fm.lookup_internal_hashed(&key, hash)?;
+        Some(view(slot, flow))
+    }
+
+    fn lookup_internal_batch(
+        &mut self,
+        fids: &[FidParts<Self>],
+        out: &mut Vec<Option<FlowView<Self>>>,
+    ) {
+        let keys: Vec<FlowId> = fids.iter().map(fid_key).collect();
+        let hashes: Vec<u64> = keys.iter().map(MapKey::key_hash).collect();
+        let mut slots = Vec::with_capacity(keys.len());
+        let mut found = Vec::with_capacity(keys.len());
+        self.fm
+            .lookup_internal_batch(&keys, &hashes, &mut slots, &mut found);
+        out.extend(
+            found
+                .into_iter()
+                .map(|r| r.map(|(slot, flow)| view(slot, &flow))),
+        );
     }
 
     fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>> {
-        let key = vig_packet::ExtKey {
-            ext_port: ek.ext_port,
-            dst_ip: vig_packet::Ip4(ek.dst_ip),
-            dst_port: ek.dst_port,
-            proto: ek.proto,
-        };
+        let key = ext_key(ek);
         let (slot, flow) = self.fm.lookup_external(&key)?;
-        Some(FlowView {
-            slot: SlotId(slot),
-            ext_port: flow.ext_port,
-            int_ip: flow.int_key.src_ip.raw(),
-            int_port: flow.int_key.src_port,
-        })
+        Some(view(slot, flow))
     }
 
     fn rejuvenate(&mut self, slot: SlotId, now: &u64) {
@@ -270,14 +300,11 @@ impl NatEnv for SimpleEnv {
     }
 
     fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: u16, _now: &u64) {
-        let key = FlowId {
-            src_ip: vig_packet::Ip4(fid.src_ip),
-            src_port: fid.src_port,
-            dst_ip: vig_packet::Ip4(fid.dst_ip),
-            dst_port: fid.dst_port,
-            proto: fid.proto,
-        };
-        self.fm.insert(slot.0, key, ext_port);
+        let key = fid_key(&fid);
+        // Reuse the hash memoized by the lookup miss that precedes
+        // every insert on the same packet.
+        let hash = self.fid_memo.hash_for_insert(&key);
+        self.fm.insert_hashed(slot.0, key, ext_port, hash);
     }
 
     fn tx(&mut self, pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
@@ -343,7 +370,11 @@ mod tests {
     #[test]
     fn new_flow_is_translated_and_return_traffic_flows_back() {
         let mut env = SimpleEnv::new(cfg());
-        let out = env.step(Direction::Internal, fields(2, 5000, Proto::Tcp), Time::from_secs(1));
+        let out = env.step(
+            Direction::Internal,
+            fields(2, 5000, Proto::Tcp),
+            Time::from_secs(1),
+        );
         let vig_spec::Output::Forward { iface, fields: f } = out else {
             panic!("expected forward")
         };
@@ -375,18 +406,79 @@ mod tests {
     fn malformed_packets_hit_each_drop_path() {
         let wf = RawRx::well_formed(Direction::Internal, fields(2, 5000, Proto::Udp));
         let cases: Vec<(RawRx, DropReason)> = vec![
-            (RawRx { frame_len: 10, ..wf }, DropReason::ShortL2),
-            (RawRx { ethertype: 0x86dd, ..wf }, DropReason::NotIpv4),
-            (RawRx { frame_len: 20, ..wf }, DropReason::ShortL3),
-            (RawRx { version_ihl: 0x65, ..wf }, DropReason::BadVersion),
-            (RawRx { version_ihl: 0x44, ..wf }, DropReason::BadIhl),
-            (RawRx { total_len: 64, ..wf }, DropReason::BadTotalLen),
-            (RawRx { frag_field: 0x2000, ..wf }, DropReason::Fragment),
-            (RawRx { frag_field: 0x0001, ..wf }, DropReason::Fragment),
+            (
+                RawRx {
+                    frame_len: 10,
+                    ..wf
+                },
+                DropReason::ShortL2,
+            ),
+            (
+                RawRx {
+                    ethertype: 0x86dd,
+                    ..wf
+                },
+                DropReason::NotIpv4,
+            ),
+            (
+                RawRx {
+                    frame_len: 20,
+                    ..wf
+                },
+                DropReason::ShortL3,
+            ),
+            (
+                RawRx {
+                    version_ihl: 0x65,
+                    ..wf
+                },
+                DropReason::BadVersion,
+            ),
+            (
+                RawRx {
+                    version_ihl: 0x44,
+                    ..wf
+                },
+                DropReason::BadIhl,
+            ),
+            (
+                RawRx {
+                    total_len: 64,
+                    ..wf
+                },
+                DropReason::BadTotalLen,
+            ),
+            (
+                RawRx {
+                    frag_field: 0x2000,
+                    ..wf
+                },
+                DropReason::Fragment,
+            ),
+            (
+                RawRx {
+                    frag_field: 0x0001,
+                    ..wf
+                },
+                DropReason::Fragment,
+            ),
             (RawRx { proto: 1, ..wf }, DropReason::BadProto),
-            (RawRx { total_len: 20 + 7, ..wf }, DropReason::ShortL4),
+            (
+                RawRx {
+                    total_len: 20 + 7,
+                    ..wf
+                },
+                DropReason::ShortL4,
+            ),
             // IHL (24) larger than total_len (20): header overrun
-            (RawRx { version_ihl: 0x46, total_len: 20, ..wf }, DropReason::HeaderOverrun),
+            (
+                RawRx {
+                    version_ihl: 0x46,
+                    total_len: 20,
+                    ..wf
+                },
+                DropReason::HeaderOverrun,
+            ),
         ];
         for (raw, want) in cases {
             let mut env = SimpleEnv::new(cfg());
@@ -404,17 +496,31 @@ mod tests {
     fn table_full_drops_new_flows() {
         let mut env = SimpleEnv::new(cfg());
         for h in 0..4 {
-            env.step(Direction::Internal, fields(h, 100, Proto::Udp), Time::from_secs(1));
+            env.step(
+                Direction::Internal,
+                fields(h, 100, Proto::Udp),
+                Time::from_secs(1),
+            );
         }
         env.set_time(Time::from_secs(2));
-        env.inject(RawRx::well_formed(Direction::Internal, fields(9, 100, Proto::Udp)));
-        assert_eq!(env.run_one(), IterationOutcome::Dropped(DropReason::TableFull));
+        env.inject(RawRx::well_formed(
+            Direction::Internal,
+            fields(9, 100, Proto::Udp),
+        ));
+        assert_eq!(
+            env.run_one(),
+            IterationOutcome::Dropped(DropReason::TableFull)
+        );
     }
 
     #[test]
     fn expiry_runs_before_lookup() {
         let mut env = SimpleEnv::new(cfg());
-        env.step(Direction::Internal, fields(1, 100, Proto::Udp), Time::from_secs(1));
+        env.step(
+            Direction::Internal,
+            fields(1, 100, Proto::Udp),
+            Time::from_secs(1),
+        );
         assert_eq!(env.flow_manager().len(), 1);
         // At t=11 the flow (stamped 1, Texp=10) is dead; its return
         // packet must be dropped by this very iteration.
@@ -431,9 +537,80 @@ mod tests {
         assert_eq!(env.expired_total(), 1);
     }
 
-    /// The workhorse: the real loop body + real libVig vs. the RFC 3022
-    /// spec, on randomized workloads mixing new flows, repeats, valid
-    /// and junk return traffic, and time jumps that trigger expiry.
+    #[test]
+    fn burst_matches_sequential_iterations() {
+        // Same traffic, same instant: one nat_process_batch call vs N
+        // nat_loop_iteration calls must produce identical outcomes,
+        // events, and flow-table state. Includes a duplicate flow in
+        // the burst (second packet must hit the flow the first one
+        // inserted) and junk return traffic.
+        let traffic: Vec<(Direction, FlowFields)> = vec![
+            (Direction::Internal, fields(1, 100, Proto::Udp)),
+            (Direction::Internal, fields(2, 200, Proto::Tcp)),
+            (Direction::Internal, fields(1, 100, Proto::Udp)), // repeat
+            (
+                Direction::External,
+                FlowFields {
+                    src_ip: Ip4::new(9, 9, 9, 9),
+                    dst_ip: Ip4::new(10, 1, 0, 1),
+                    src_port: 1,
+                    dst_port: 1001,
+                    proto: Proto::Udp,
+                },
+            ),
+        ];
+        let mut seq = SimpleEnv::new(cfg());
+        let mut bat = SimpleEnv::new(cfg());
+        let t = Time::from_secs(3);
+        seq.set_time(t);
+        bat.set_time(t);
+        let mut raws: Vec<RawRx> = traffic
+            .iter()
+            .map(|(dir, f)| RawRx::well_formed(*dir, *f))
+            .collect();
+        // A malformed frame *between* forwarded ones: its drop event
+        // must land at its own sequence point, not be hoisted ahead of
+        // earlier packets' tx (the event order below checks this).
+        raws.insert(
+            1,
+            RawRx {
+                ethertype: 0x86dd,
+                ..RawRx::well_formed(Direction::Internal, fields(9, 900, Proto::Udp))
+            },
+        );
+        for raw in &raws {
+            seq.inject(*raw);
+            bat.inject(*raw);
+        }
+        let traffic = raws;
+        let seq_out: Vec<_> = traffic.iter().map(|_| seq.run_one()).collect();
+        let bat_out = bat.run_burst();
+        assert_eq!(seq_out, bat_out);
+        assert_eq!(seq.events(), bat.events());
+        assert_eq!(seq.flow_manager().len(), bat.flow_manager().len());
+        let a: Vec<_> = seq
+            .flow_manager()
+            .iter_lru()
+            .map(|(s, f, t)| (s, *f, t))
+            .collect();
+        let b: Vec<_> = bat
+            .flow_manager()
+            .iter_lru()
+            .map(|(s, f, t)| (s, *f, t))
+            .collect();
+        assert_eq!(a, b, "LRU order must match sequential execution");
+        bat.flow_manager().check_coherence().unwrap();
+    }
+
+    #[test]
+    fn empty_burst_is_noop() {
+        let mut env = SimpleEnv::new(cfg());
+        assert!(env.run_burst().is_empty());
+    }
+
+    // The workhorse: the real loop body + real libVig vs. the RFC 3022
+    // spec, on randomized workloads mixing new flows, repeats, valid
+    // and junk return traffic, and time jumps that trigger expiry.
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]

@@ -20,7 +20,10 @@ impl<T> Batcher<T> {
     /// Preallocate space for `capacity` items per batch.
     pub fn new(capacity: usize) -> Batcher<T> {
         assert!(capacity > 0, "batcher capacity must be non-zero");
-        Batcher { items: (0..capacity).map(|_| None).collect(), len: 0 }
+        Batcher {
+            items: (0..capacity).map(|_| None).collect(),
+            len: 0,
+        }
     }
 
     /// Capacity fixed at construction.
@@ -57,7 +60,9 @@ impl<T> Batcher<T> {
     pub fn take_all(&mut self) -> impl Iterator<Item = T> + '_ {
         let n = self.len;
         self.len = 0;
-        self.items[..n].iter_mut().map(|slot| slot.take().expect("batched slot holds a value"))
+        self.items[..n]
+            .iter_mut()
+            .map(|slot| slot.take().expect("batched slot holds a value"))
     }
 }
 
@@ -71,7 +76,10 @@ pub struct CheckedBatcher<T: Clone + PartialEq + Debug> {
 impl<T: Clone + PartialEq + Debug> CheckedBatcher<T> {
     /// Preallocate, like [`Batcher::new`].
     pub fn new(capacity: usize) -> Self {
-        CheckedBatcher { imp: Batcher::new(capacity), model: Vec::new() }
+        CheckedBatcher {
+            imp: Batcher::new(capacity),
+            model: Vec::new(),
+        }
     }
 
     /// Contract-checked push.
@@ -79,7 +87,10 @@ impl<T: Clone + PartialEq + Debug> CheckedBatcher<T> {
         let r = self.imp.push(item.clone());
         match r {
             Ok(()) => {
-                assert!(self.model.len() < self.imp.capacity(), "impl accepted push when full");
+                assert!(
+                    self.model.len() < self.imp.capacity(),
+                    "impl accepted push when full"
+                );
                 self.model.push(item);
             }
             Err(Full) => assert_eq!(self.model.len(), self.imp.capacity(), "Full below capacity"),
@@ -139,7 +150,10 @@ mod tests {
             for i in 0..3 {
                 b.push(round * 10 + i).unwrap();
             }
-            assert_eq!(b.take_all(), vec![round * 10, round * 10 + 1, round * 10 + 2]);
+            assert_eq!(
+                b.take_all(),
+                vec![round * 10, round * 10 + 1, round * 10 + 2]
+            );
         }
     }
 

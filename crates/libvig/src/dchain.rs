@@ -176,7 +176,10 @@ impl DoubleChain {
     /// Allocated indices oldest-first (the expiry order). For contracts
     /// and tests; the NF never iterates.
     pub fn iter_lru(&self) -> impl Iterator<Item = (usize, Time)> + '_ {
-        LruIter { chain: self, cur: self.al_head }
+        LruIter {
+            chain: self,
+            cur: self.al_head,
+        }
     }
 
     fn append_allocated(&mut self, idx: usize, time: Time) {
@@ -243,7 +246,10 @@ pub struct AbstractChain {
 impl AbstractChain {
     /// Empty chain over `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        AbstractChain { seq: Vec::new(), capacity }
+        AbstractChain {
+            seq: Vec::new(),
+            capacity,
+        }
     }
 
     /// Allocated count.
@@ -329,19 +335,28 @@ pub struct CheckedChain {
 impl CheckedChain {
     /// Preallocate, like [`DoubleChain::new`].
     pub fn new(capacity: usize) -> Self {
-        CheckedChain { imp: DoubleChain::new(capacity), model: AbstractChain::new(capacity) }
+        CheckedChain {
+            imp: DoubleChain::new(capacity),
+            model: AbstractChain::new(capacity),
+        }
     }
 
     /// Contract-checked `allocate`.
     pub fn allocate(&mut self, time: Time) -> Result<usize, Full> {
         if let Some(mx) = self.model.max_timestamp() {
-            assert!(time >= mx, "dchain.allocate precondition: time monotonicity violated");
+            assert!(
+                time >= mx,
+                "dchain.allocate precondition: time monotonicity violated"
+            );
         }
         let r = self.imp.allocate(time);
         match r {
             Ok(i) => {
                 assert!(i < self.imp.capacity(), "allocated index out of range");
-                assert!(!self.model.is_allocated(i), "impl allocated an in-use index");
+                assert!(
+                    !self.model.is_allocated(i),
+                    "impl allocated an in-use index"
+                );
                 self.model.allocate_as(i, time);
             }
             Err(Full) => {
@@ -357,7 +372,10 @@ impl CheckedChain {
         let was = self.model.is_allocated(index);
         if was {
             if let Some(mx) = self.model.max_timestamp() {
-                assert!(time >= mx, "dchain.rejuvenate precondition: time monotonicity");
+                assert!(
+                    time >= mx,
+                    "dchain.rejuvenate precondition: time monotonicity"
+                );
             }
         }
         let r = self.imp.rejuvenate(index, time);
@@ -407,7 +425,10 @@ impl CheckedChain {
         assert_eq!(self.imp.size(), self.model.len());
         let mut prev = Time::ZERO;
         for &(_, t) in self.model.seq() {
-            assert!(t >= prev, "LRU invariant broken: timestamps must be non-decreasing");
+            assert!(
+                t >= prev,
+                "LRU invariant broken: timestamps must be non-decreasing"
+            );
             prev = t;
         }
     }
@@ -452,7 +473,11 @@ mod tests {
         assert!(c.rejuvenate(a, Time::from_secs(10)));
         // now b is the oldest
         assert_eq!(c.expire_one(Time::from_secs(5)), Some(b));
-        assert_eq!(c.expire_one(Time::from_secs(5)), None, "a was rejuvenated past threshold");
+        assert_eq!(
+            c.expire_one(Time::from_secs(5)),
+            None,
+            "a was rejuvenated past threshold"
+        );
         assert!(c.is_allocated(a));
     }
 

@@ -95,9 +95,32 @@ impl<V: DmapValue + Clone> DoubleMap<V> {
         self.map_a.get(ka)
     }
 
+    /// [`DoubleMap::get_by_a`] with a caller-computed hash
+    /// (`hash == ka.key_hash()`), for hash memoization across a
+    /// lookup→insert pair.
+    pub fn get_by_a_with_hash(&self, ka: &V::KeyA, hash: u64) -> Option<usize> {
+        self.map_a.get_with_hash(ka, hash)
+    }
+
     /// Find the slot holding the value with B-key `kb`.
     pub fn get_by_b(&self, kb: &V::KeyB) -> Option<usize> {
         self.map_b.get(kb)
+    }
+
+    /// [`DoubleMap::get_by_b`] with a caller-computed hash
+    /// (`hash == kb.key_hash()`).
+    pub fn get_by_b_with_hash(&self, kb: &V::KeyB, hash: u64) -> Option<usize> {
+        self.map_b.get_with_hash(kb, hash)
+    }
+
+    /// Resolve a burst of A-key lookups at once, appending one slot
+    /// result per query to `out` in query order. `hashes[i]` must equal
+    /// `keys[i].key_hash()`. Results are exactly `get_by_a` per query;
+    /// the batch form exists so the burst datapath gets the A-directory
+    /// probes issued back to back (see
+    /// [`crate::map::Map::get_batch_with_hash`] for the cache argument).
+    pub fn lookup_batch(&self, keys: &[V::KeyA], hashes: &[u64], out: &mut Vec<Option<usize>>) {
+        self.map_a.get_batch_with_hash(keys, hashes, out);
     }
 
     /// Read the value in slot `index`.
@@ -112,6 +135,15 @@ impl<V: DmapValue + Clone> DoubleMap<V> {
     /// Returns [`Full`] if `index` is out of range or occupied — the
     /// defensive behaviour for the raw structure.
     pub fn put(&mut self, index: usize, value: V) -> Result<(), Full> {
+        let ka_hash = value.key_a().key_hash();
+        self.put_with_hash(index, value, ka_hash)
+    }
+
+    /// [`DoubleMap::put`] with a caller-computed A-key hash
+    /// (`ka_hash == value.key_a().key_hash()`). VigNAT computes each
+    /// `FlowId` hash once per packet: the miss that precedes an insert
+    /// already hashed the A-key, and this entry point reuses it.
+    pub fn put_with_hash(&mut self, index: usize, value: V, ka_hash: u64) -> Result<(), Full> {
         if index >= self.slots.len() || self.slots[index].is_some() {
             return Err(Full);
         }
@@ -119,7 +151,7 @@ impl<V: DmapValue + Clone> DoubleMap<V> {
         // the structure is never left torn.
         let ka = value.key_a();
         let kb = value.key_b();
-        self.map_a.put(ka.clone(), index)?;
+        self.map_a.put_with_hash(ka.clone(), ka_hash, index)?;
         if self.map_b.put(kb, index).is_err() {
             self.map_a.erase(&ka);
             return Err(Full);
@@ -143,7 +175,10 @@ impl<V: DmapValue + Clone> DoubleMap<V> {
 
     /// Iterate over `(index, value)` pairs. For contracts/tests only.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &V)> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
     }
 }
 
@@ -221,13 +256,22 @@ pub struct CheckedDmap<V: DmapValue + Clone + PartialEq + core::fmt::Debug> {
 impl<V: DmapValue + Clone + PartialEq + core::fmt::Debug> CheckedDmap<V> {
     /// Preallocate, like [`DoubleMap::new`].
     pub fn new(capacity: usize) -> Self {
-        CheckedDmap { imp: DoubleMap::new(capacity), model: AbstractDmap::new(capacity) }
+        CheckedDmap {
+            imp: DoubleMap::new(capacity),
+            model: AbstractDmap::new(capacity),
+        }
     }
 
     /// Contract-checked `put`.
     pub fn put(&mut self, index: usize, value: V) -> Result<(), Full> {
-        assert!(index < self.imp.capacity(), "dmap.put precondition: index in range");
-        assert!(self.model.get(index).is_none(), "dmap.put precondition: slot empty");
+        assert!(
+            index < self.imp.capacity(),
+            "dmap.put precondition: index in range"
+        );
+        assert!(
+            self.model.get(index).is_none(),
+            "dmap.put precondition: slot empty"
+        );
         assert!(
             self.model.get_by_a(&value.key_a()).is_none(),
             "dmap.put precondition: A-key fresh"
@@ -259,11 +303,66 @@ impl<V: DmapValue + Clone + PartialEq + core::fmt::Debug> CheckedDmap<V> {
         got
     }
 
+    /// Contract-checked hashed A-key lookup (adds the memoized-hash
+    /// precondition `hash == ka.key_hash()`).
+    pub fn get_by_a_with_hash(&self, ka: &V::KeyA, hash: u64) -> Option<usize> {
+        assert_eq!(
+            hash,
+            ka.key_hash(),
+            "get_by_a_with_hash precondition: stale hash"
+        );
+        let got = self.imp.get_by_a_with_hash(ka, hash);
+        assert_eq!(got, self.model.get_by_a(ka), "get_by_a_with_hash diverged");
+        got
+    }
+
     /// Contract-checked B-key lookup.
     pub fn get_by_b(&self, kb: &V::KeyB) -> Option<usize> {
         let got = self.imp.get_by_b(kb);
         assert_eq!(got, self.model.get_by_b(kb), "get_by_b diverged");
         got
+    }
+
+    /// Contract-checked hashed B-key lookup.
+    pub fn get_by_b_with_hash(&self, kb: &V::KeyB, hash: u64) -> Option<usize> {
+        assert_eq!(
+            hash,
+            kb.key_hash(),
+            "get_by_b_with_hash precondition: stale hash"
+        );
+        let got = self.imp.get_by_b_with_hash(kb, hash);
+        assert_eq!(got, self.model.get_by_b(kb), "get_by_b_with_hash diverged");
+        got
+    }
+
+    /// Contract-checked batch lookup: must equal element-wise
+    /// `get_by_a` against the model (batching is a pure optimization).
+    pub fn lookup_batch(&self, keys: &[V::KeyA], hashes: &[u64]) -> Vec<Option<usize>> {
+        for (k, &h) in keys.iter().zip(hashes) {
+            assert_eq!(h, k.key_hash(), "lookup_batch precondition: stale hash");
+        }
+        let mut got = Vec::new();
+        self.imp.lookup_batch(keys, hashes, &mut got);
+        assert_eq!(got.len(), keys.len(), "lookup_batch result count mismatch");
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                got[i],
+                self.model.get_by_a(k),
+                "lookup_batch diverged from abstract model at query {i}"
+            );
+        }
+        got
+    }
+
+    /// Contract-checked `put_with_hash` (the `put` contract plus the
+    /// memoized-hash precondition on the A-key).
+    pub fn put_with_hash(&mut self, index: usize, value: V, ka_hash: u64) -> Result<(), Full> {
+        assert_eq!(
+            ka_hash,
+            value.key_a().key_hash(),
+            "put_with_hash precondition: stale A-key hash"
+        );
+        self.put(index, value)
     }
 
     /// Contract-checked slot read.
@@ -286,8 +385,16 @@ impl<V: DmapValue + Clone + PartialEq + core::fmt::Debug> CheckedDmap<V> {
         for i in 0..self.imp.capacity() {
             assert_eq!(self.imp.get(i), self.model.get(i), "slot {i} mismatch");
             if let Some(v) = self.imp.get(i) {
-                assert_eq!(self.imp.get_by_a(&v.key_a()), Some(i), "dir A incoherent at {i}");
-                assert_eq!(self.imp.get_by_b(&v.key_b()), Some(i), "dir B incoherent at {i}");
+                assert_eq!(
+                    self.imp.get_by_a(&v.key_a()),
+                    Some(i),
+                    "dir A incoherent at {i}"
+                );
+                assert_eq!(
+                    self.imp.get_by_b(&v.key_b()),
+                    Some(i),
+                    "dir B incoherent at {i}"
+                );
             }
         }
     }
@@ -319,7 +426,11 @@ mod tests {
     }
 
     fn pair(a: u64, b: u64) -> Pair {
-        Pair { a, b, payload: (a * 1000 + b) as u32 }
+        Pair {
+            a,
+            b,
+            payload: (a * 1000 + b) as u32,
+        }
     }
 
     #[test]
@@ -382,6 +493,37 @@ mod tests {
         let mut d: DoubleMap<Pair> = DoubleMap::new(2);
         assert_eq!(d.erase(0), None);
         assert_eq!(d.erase(99), None);
+    }
+
+    #[test]
+    fn hashed_lookups_and_put_match_plain_ones() {
+        use crate::map::MapKey;
+        let mut d = CheckedDmap::new(8);
+        for i in 0..6u64 {
+            let v = pair(i, 100 + i);
+            let h = v.key_a().key_hash();
+            d.put_with_hash(i as usize, v, h).unwrap();
+        }
+        for i in 0..8u64 {
+            assert_eq!(d.get_by_a_with_hash(&i, i.key_hash()), d.get_by_a(&i));
+            let b = 100 + i;
+            assert_eq!(d.get_by_b_with_hash(&b, b.key_hash()), d.get_by_b(&b));
+        }
+    }
+
+    #[test]
+    fn lookup_batch_equals_sequential() {
+        use crate::map::MapKey;
+        let mut d = CheckedDmap::new(8);
+        for i in 0..5u64 {
+            d.put(i as usize, pair(i * 2, 50 + i)).unwrap();
+        }
+        let queries: Vec<u64> = (0..12).collect();
+        let hashes: Vec<u64> = queries.iter().map(|k| k.key_hash()).collect();
+        let batch = d.lookup_batch(&queries, &hashes);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], d.get_by_a(q), "query {i} diverged");
+        }
     }
 
     proptest! {

@@ -121,7 +121,10 @@ mod tests {
             ChainOp::Free(0),
             ChainOp::Free(1),
         ];
-        let init = ChainState { chain: CheckedChain::new(2), now: Time::ZERO };
+        let init = ChainState {
+            chain: CheckedChain::new(2),
+            now: Time::ZERO,
+        };
         let n = check_all_sequences(&init, &universe, 5, &|s, op| {
             s.now = s.now.plus(1);
             match *op {

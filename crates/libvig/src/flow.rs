@@ -71,7 +71,10 @@ mod tests {
     #[test]
     fn flow_table_double_lookup() {
         let mut table: DoubleMap<Flow> = DoubleMap::new(16);
-        let flow = Flow { int_key: fid(10, 4242), ext_port: 60001 };
+        let flow = Flow {
+            int_key: fid(10, 4242),
+            ext_port: 60001,
+        };
         table.put(3, flow).unwrap();
         assert_eq!(table.get_by_a(&fid(10, 4242)), Some(3));
         assert_eq!(table.get_by_b(&flow.ext_key()), Some(3));
@@ -89,7 +92,11 @@ mod tests {
                 hashes.insert(fid(host, port).key_hash());
             }
         }
-        assert!(hashes.len() > 1000, "hash must separate nearby tuples: {}", hashes.len());
+        assert!(
+            hashes.len() > 1000,
+            "hash must separate nearby tuples: {}",
+            hashes.len()
+        );
     }
 
     proptest! {

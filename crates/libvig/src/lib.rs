@@ -9,8 +9,8 @@
 //!
 //! | module | structure | paper counterpart |
 //! |--------|-----------|-------------------|
-//! | [`map`] | open-addressing hash map with probe-chain counters | `map.c` / `map.h` |
-//! | [`dmap`] | double-keyed map over preallocated value slots | the flow table (`double-map.c`) |
+//! | [`map`] | open-addressing hash map with probe-chain counters; single-allocation slot layout, `get/put_with_hash` memoized-hash ops, `get_batch_with_hash` burst probe | `map.c` / `map.h` |
+//! | [`dmap`] | double-keyed map over preallocated value slots; `get_by_*_with_hash`, `put_with_hash`, batched `lookup_batch` | the flow table (`double-map.c`) |
 //! | [`dchain`] | index allocator with LRU timestamp order | `double-chain.c` (expirator substrate) |
 //! | [`vector`] | preallocated value vector | `vector.c` |
 //! | [`ring`] | bounded FIFO ring (the paper's §3 example) | `ring.c` |
@@ -33,7 +33,11 @@
 //!    in the paper's Fig. 8;
 //! 3. a **`Checked*` wrapper** that runs the real implementation and the
 //!    abstract model in lockstep, asserting the contract on every call —
-//!    refinement shadowing;
+//!    refinement shadowing. The batched and memoized-hash operations are
+//!    covered too: `Checked*` asserts the caller-supplied hash equals
+//!    the key's hash and that a batch result equals element-wise model
+//!    lookups, so the fast path cannot drift from the verified
+//!    semantics;
 //! 4. property-based tests (long random op sequences) and
 //!    **bounded-exhaustive** tests (every op sequence up to a depth on
 //!    small capacities) in [`exhaustive`] — the executable analog of the

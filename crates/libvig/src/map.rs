@@ -15,6 +15,29 @@
 //! real values in a separate preallocated slot array and use maps purely
 //! as key → slot directories.
 //!
+//! ## Memory layout (cache-conscious)
+//!
+//! The table is a **single allocation** of [`Slot`]s: hash, value, key
+//! and metadata for one probe position live side by side, so one probe
+//! step touches one cache line instead of scattering across five
+//! parallel arrays (the original layout paid up to five cache misses per
+//! step). The busybit is folded into the high bit of the chain-counter
+//! word ([`Slot::meta`]); the remaining 31 bits count traversing probe
+//! chains, which bounds chains at 2^31 — far above any reachable
+//! occupancy (capacity itself is bounded by memory long before).
+//!
+//! ## Batched lookups
+//!
+//! [`Map::get_with_hash`] / [`Map::put_with_hash`] accept a caller-
+//! computed hash so composite structures can hash a key **once** and
+//! reuse it across several probes (VigNAT: lookup miss → insert reuses
+//! the same `FlowId` hash). [`Map::get_batch_with_hash`] resolves a
+//! burst of keys in two passes — a hash/first-touch pass that issues all
+//! the initial slot loads back to back (memory-level parallelism: the
+//! misses overlap instead of serializing), then a probe pass that mostly
+//! hits warm lines. This is what makes the burst path's flow-table cost
+//! sublinear in burst size on large tables.
+//!
 //! ## Contract summary (paper Fig. 8 analog)
 //!
 //! Writing `m` for the abstract association list [`AbstractMap`]:
@@ -64,15 +87,43 @@ impl MapKey for u16 {
     }
 }
 
+/// One probe position of the table: everything a probe step needs, in
+/// one place (one cache line for NAT-sized keys). The busybit lives in
+/// the high bit of `meta`; the low 31 bits are the probe-chain counter.
+#[derive(Debug, Clone)]
+struct Slot<K> {
+    /// Cached hash of the stored key (valid only when busy).
+    key_hash: u64,
+    /// Stored value (valid only when busy).
+    value: usize,
+    /// Busybit (bit 31) | probe-chain counter (bits 0..31).
+    meta: u32,
+    /// The stored key, inline in the slot allocation.
+    key: Option<K>,
+}
+
+/// Busybit mask within [`Slot::meta`].
+const BUSY: u32 = 1 << 31;
+/// Chain-counter mask within [`Slot::meta`].
+const CHAIN: u32 = BUSY - 1;
+
+impl<K> Slot<K> {
+    #[inline(always)]
+    fn busy(&self) -> bool {
+        self.meta & BUSY != 0
+    }
+
+    #[inline(always)]
+    fn chain(&self) -> u32 {
+        self.meta & CHAIN
+    }
+}
+
 /// The verified open-addressing map. See the module docs for the
-/// algorithm and contract.
+/// algorithm, contract, and memory layout.
 #[derive(Debug, Clone)]
 pub struct Map<K: MapKey> {
-    busybits: Vec<bool>,
-    keys: Vec<Option<K>>,
-    key_hashes: Vec<u64>,
-    chains: Vec<u32>,
-    values: Vec<usize>,
+    slots: Vec<Slot<K>>,
     size: usize,
     capacity: usize,
 }
@@ -82,12 +133,19 @@ impl<K: MapKey> Map<K> {
     /// non-zero (libVig asserts the same in `map_allocate`).
     pub fn new(capacity: usize) -> Map<K> {
         assert!(capacity > 0, "map capacity must be non-zero");
+        assert!(
+            capacity <= CHAIN as usize,
+            "map capacity must fit the 31-bit chain counters"
+        );
         Map {
-            busybits: vec![false; capacity],
-            keys: (0..capacity).map(|_| None).collect(),
-            key_hashes: vec![0; capacity],
-            chains: vec![0; capacity],
-            values: vec![0; capacity],
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    key_hash: 0,
+                    value: 0,
+                    meta: 0,
+                    key: None,
+                })
+                .collect(),
             size: 0,
             capacity,
         }
@@ -115,27 +173,69 @@ impl<K: MapKey> Map<K> {
     /// Look up `key`, returning the stored value if present.
     ///
     /// Probes linearly from the hash slot; stops early at a slot that is
-    /// free and traversed by no probe chain (`!busy && chains == 0`),
+    /// free and traversed by no probe chain (`!busy && chain == 0`),
     /// which is what makes misses cheap at low occupancy and expensive
     /// near fullness.
     pub fn get(&self, key: &K) -> Option<usize> {
-        let hash = key.key_hash();
+        self.get_with_hash(key, key.key_hash())
+    }
+
+    /// [`Map::get`] with a caller-computed hash.
+    ///
+    /// Contract precondition (checked by [`CheckedMap`], assumed here):
+    /// `hash == key.key_hash()`. Callers that already hold the hash
+    /// (hash memoization across a lookup→insert pair, or a batch pass)
+    /// skip recomputing it.
+    pub fn get_with_hash(&self, key: &K, hash: u64) -> Option<usize> {
+        debug_assert_eq!(hash, key.key_hash(), "get_with_hash: stale hash");
         let start = self.start_of(hash);
         for i in 0..self.capacity {
             let idx = (start + i) % self.capacity;
-            if self.busybits[idx] {
-                if self.key_hashes[idx] == hash {
-                    if let Some(k) = &self.keys[idx] {
+            let slot = &self.slots[idx];
+            if slot.busy() {
+                if slot.key_hash == hash {
+                    if let Some(k) = &slot.key {
                         if k == key {
-                            return Some(self.values[idx]);
+                            return Some(slot.value);
                         }
                     }
                 }
-            } else if self.chains[idx] == 0 {
+            } else if slot.chain() == 0 {
                 return None;
             }
         }
         None
+    }
+
+    /// Resolve a burst of lookups, writing one result per query into
+    /// `out` (appended in query order).
+    ///
+    /// Two passes: the first touches every query's **start slot**
+    /// back-to-back, so on tables larger than cache the initial-probe
+    /// misses overlap in the memory system instead of serializing one
+    /// lookup at a time; the second finishes each probe on the warmed
+    /// lines. Results are exactly `get_with_hash` per query (the
+    /// contract layer checks this). `hashes[i]` must equal
+    /// `keys[i].key_hash()`.
+    pub fn get_batch_with_hash(&self, keys: &[K], hashes: &[u64], out: &mut Vec<Option<usize>>) {
+        assert_eq!(
+            keys.len(),
+            hashes.len(),
+            "get_batch: keys/hashes length mismatch"
+        );
+        // Pass 1: first-touch every start slot (group prefetch). The
+        // fold prevents the loads from being optimized away.
+        let mut touch = 0u64;
+        for &h in hashes {
+            let slot = &self.slots[self.start_of(h)];
+            touch = touch.wrapping_add(u64::from(slot.meta));
+        }
+        std::hint::black_box(touch);
+        // Pass 2: complete each probe.
+        out.reserve(keys.len());
+        for (k, &h) in keys.iter().zip(hashes) {
+            out.push(self.get_with_hash(k, h));
+        }
     }
 
     /// Number of slots a lookup for `key` would inspect. Exposed for the
@@ -146,15 +246,16 @@ impl<K: MapKey> Map<K> {
         let start = self.start_of(hash);
         for i in 0..self.capacity {
             let idx = (start + i) % self.capacity;
-            if self.busybits[idx] {
-                if self.key_hashes[idx] == hash {
-                    if let Some(k) = &self.keys[idx] {
+            let slot = &self.slots[idx];
+            if slot.busy() {
+                if slot.key_hash == hash {
+                    if let Some(k) = &slot.key {
                         if k == key {
                             return i + 1;
                         }
                     }
                 }
-            } else if self.chains[idx] == 0 {
+            } else if slot.chain() == 0 {
                 return i + 1;
             }
         }
@@ -168,23 +269,31 @@ impl<K: MapKey> Map<K> {
     /// the size is at capacity — fullness is interface behaviour, not a
     /// contract violation.
     pub fn put(&mut self, key: K, value: usize) -> Result<(), Full> {
+        let hash = key.key_hash();
+        self.put_with_hash(key, hash, value)
+    }
+
+    /// [`Map::put`] with a caller-computed hash (same contract, plus
+    /// `hash == key.key_hash()`).
+    pub fn put_with_hash(&mut self, key: K, hash: u64, value: usize) -> Result<(), Full> {
+        debug_assert_eq!(hash, key.key_hash(), "put_with_hash: stale hash");
         if self.size == self.capacity {
             return Err(Full);
         }
-        let hash = key.key_hash();
         let start = self.start_of(hash);
         for i in 0..self.capacity {
             let idx = (start + i) % self.capacity;
-            if !self.busybits[idx] {
-                self.busybits[idx] = true;
-                self.keys[idx] = Some(key);
-                self.key_hashes[idx] = hash;
-                self.values[idx] = value;
+            if !self.slots[idx].busy() {
+                let slot = &mut self.slots[idx];
+                slot.meta |= BUSY;
+                slot.key = Some(key);
+                slot.key_hash = hash;
+                slot.value = value;
                 self.size += 1;
                 // Mark the traversed prefix of the probe path.
                 for j in 0..i {
                     let t = (start + j) % self.capacity;
-                    self.chains[t] += 1;
+                    self.slots[t].meta += 1; // chain bits; cannot carry into BUSY
                 }
                 return Ok(());
             }
@@ -203,23 +312,27 @@ impl<K: MapKey> Map<K> {
         let start = self.start_of(hash);
         for i in 0..self.capacity {
             let idx = (start + i) % self.capacity;
-            if self.busybits[idx] {
-                if self.key_hashes[idx] == hash {
-                    let matches = matches!(&self.keys[idx], Some(k) if k == key);
+            let slot = &self.slots[idx];
+            if slot.busy() {
+                if slot.key_hash == hash {
+                    let matches = matches!(&slot.key, Some(k) if k == key);
                     if matches {
-                        self.busybits[idx] = false;
-                        self.keys[idx] = None;
-                        let v = self.values[idx];
+                        let slot = &mut self.slots[idx];
+                        slot.meta &= !BUSY;
+                        slot.key = None;
+                        let v = slot.value;
                         self.size -= 1;
                         for j in 0..i {
                             let t = (start + j) % self.capacity;
-                            debug_assert!(self.chains[t] > 0, "chain underflow");
-                            self.chains[t] = self.chains[t].saturating_sub(1);
+                            debug_assert!(self.slots[t].chain() > 0, "chain underflow");
+                            if self.slots[t].chain() > 0 {
+                                self.slots[t].meta -= 1;
+                            }
                         }
                         return Some(v);
                     }
                 }
-            } else if self.chains[idx] == 0 {
+            } else if slot.chain() == 0 {
                 return None;
             }
         }
@@ -230,9 +343,9 @@ impl<K: MapKey> Map<K> {
     /// libVig interface (the NF never scans the table); used by the
     /// contract layer and tests.
     pub fn iter(&self) -> impl Iterator<Item = (&K, usize)> + '_ {
-        (0..self.capacity).filter_map(move |i| {
-            if self.busybits[i] {
-                self.keys[i].as_ref().map(|k| (k, self.values[i]))
+        self.slots.iter().filter_map(|s| {
+            if s.busy() {
+                s.key.as_ref().map(|k| (k, s.value))
             } else {
                 None
             }
@@ -257,7 +370,10 @@ pub struct AbstractMap<K: Eq + Clone> {
 impl<K: Eq + Clone> AbstractMap<K> {
     /// Empty abstract map with the given capacity bound.
     pub fn new(capacity: usize) -> Self {
-        AbstractMap { entries: Vec::new(), capacity }
+        AbstractMap {
+            entries: Vec::new(),
+            capacity,
+        }
     }
 
     /// Lookup by key.
@@ -317,7 +433,10 @@ pub struct CheckedMap<K: MapKey> {
 impl<K: MapKey + core::fmt::Debug> CheckedMap<K> {
     /// Preallocate, like [`Map::new`].
     pub fn new(capacity: usize) -> Self {
-        CheckedMap { imp: Map::new(capacity), model: AbstractMap::new(capacity) }
+        CheckedMap {
+            imp: Map::new(capacity),
+            model: AbstractMap::new(capacity),
+        }
     }
 
     /// Contract-checked `get`.
@@ -328,11 +447,66 @@ impl<K: MapKey + core::fmt::Debug> CheckedMap<K> {
         got
     }
 
+    /// Contract-checked `get_with_hash`: additionally asserts the
+    /// memoized-hash precondition `hash == key.key_hash()`.
+    pub fn get_with_hash(&self, key: &K, hash: u64) -> Option<usize> {
+        assert_eq!(
+            hash,
+            key.key_hash(),
+            "get_with_hash precondition: stale hash for {key:?}"
+        );
+        let got = self.imp.get_with_hash(key, hash);
+        let spec = self.model.get(key);
+        assert_eq!(
+            got, spec,
+            "map.get_with_hash({key:?}) diverged from abstract model"
+        );
+        got
+    }
+
+    /// Contract-checked batch lookup: the batch must equal element-wise
+    /// `get` against the abstract model (batching is a pure optimization
+    /// and may not change any result).
+    pub fn get_batch_with_hash(&self, keys: &[K], hashes: &[u64]) -> Vec<Option<usize>> {
+        for (k, &h) in keys.iter().zip(hashes) {
+            assert_eq!(
+                h,
+                k.key_hash(),
+                "get_batch precondition: stale hash for {k:?}"
+            );
+        }
+        let mut got = Vec::new();
+        self.imp.get_batch_with_hash(keys, hashes, &mut got);
+        assert_eq!(got.len(), keys.len(), "batch result count mismatch");
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                got[i],
+                self.model.get(k),
+                "map.get_batch_with_hash diverged from abstract model at query {i} ({k:?})"
+            );
+        }
+        got
+    }
+
+    /// Contract-checked `put_with_hash` (the `put` contract plus the
+    /// memoized-hash precondition).
+    pub fn put_with_hash(&mut self, key: K, hash: u64, value: usize) -> Result<(), Full> {
+        assert_eq!(
+            hash,
+            key.key_hash(),
+            "put_with_hash precondition: stale hash for {key:?}"
+        );
+        self.put(key, value)
+    }
+
     /// Contract-checked `put`. Panics on contract violation (duplicate
     /// key); propagates [`Full`].
     pub fn put(&mut self, key: K, value: usize) -> Result<(), Full> {
         let dup = self.model.contains(&key);
-        assert!(!dup, "map.put precondition violated: key {key:?} already present");
+        assert!(
+            !dup,
+            "map.put precondition violated: key {key:?} already present"
+        );
         let r = self.imp.put(key.clone(), value);
         match r {
             Ok(()) => {
@@ -480,7 +654,11 @@ mod tests {
             m.put(k(id), id as usize).unwrap();
         }
         assert_eq!(m.erase(&k(1)), Some(1)); // hole in the chain
-        assert_eq!(m.get(&k(4)), Some(4), "key past the hole must stay reachable");
+        assert_eq!(
+            m.get(&k(4)),
+            Some(4),
+            "key past the hole must stay reachable"
+        );
         assert_eq!(m.get(&k(1)), None);
         // and a fresh insert reuses the hole without breaking anything
         m.put(k(40), 40).unwrap();
@@ -510,6 +688,55 @@ mod tests {
             full > 4.0 * half,
             "probe length must grow sharply near fullness (half={half}, full={full})"
         );
+    }
+
+    #[test]
+    fn hashed_variants_match_plain_ones() {
+        let mut m = CheckedMap::<u64>::new(16);
+        for k in 0..10u64 {
+            m.put_with_hash(k, k.key_hash(), k as usize).unwrap();
+        }
+        for k in 0..12u64 {
+            assert_eq!(m.get_with_hash(&k, k.key_hash()), m.get(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale hash")]
+    fn stale_hash_violates_contract() {
+        let m = CheckedMap::<u64>::new(4);
+        let _ = m.get_with_hash(&1, 2u64.key_hash());
+    }
+
+    #[test]
+    fn batch_lookup_equals_sequential() {
+        let mut m = CheckedMap::<u64>::new(64);
+        for k in 0..40u64 {
+            m.put(k, (k * 3) as usize).unwrap();
+        }
+        // mix of hits and misses, including duplicates
+        let queries: Vec<u64> = (0..60u64).chain([5, 5, 39]).collect();
+        let hashes: Vec<u64> = queries.iter().map(|k| k.key_hash()).collect();
+        let batch = m.get_batch_with_hash(&queries, &hashes);
+        for (i, k) in queries.iter().enumerate() {
+            assert_eq!(batch[i], m.get(k));
+        }
+    }
+
+    #[test]
+    fn batch_lookup_with_collisions() {
+        let mut m = CheckedMap::<CollidingKey>::new(16);
+        let k = |id| CollidingKey { group: 2, id };
+        for id in 0..8 {
+            m.put(k(id), id as usize).unwrap();
+        }
+        m.erase(&k(3)); // hole in the chain
+        let queries: Vec<CollidingKey> = (0..10).map(k).collect();
+        let hashes: Vec<u64> = queries.iter().map(|q| q.key_hash()).collect();
+        let batch = m.get_batch_with_hash(&queries, &hashes);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], m.get(q), "query {i} diverged");
+        }
     }
 
     #[test]
@@ -583,7 +810,7 @@ mod tests {
             }
             for &k in &keys {
                 let p = m.probe_len(&k);
-                prop_assert!(p >= 1 && p <= 64);
+                prop_assert!((1..=64).contains(&p));
             }
         }
     }

@@ -67,7 +67,9 @@ impl PortAllocator {
     /// is outside the range or not allocated — contract misuse surfaced
     /// to the caller rather than panicking on the datapath.
     pub fn release(&mut self, port: u16) -> bool {
-        let Some(off) = self.offset_of(port) else { return false };
+        let Some(off) = self.offset_of(port) else {
+            return false;
+        };
         if !self.taken[off] {
             return false;
         }

@@ -28,7 +28,11 @@ impl<T> Ring<T> {
     /// `ring_create(CAP)`).
     pub fn new(capacity: usize) -> Ring<T> {
         assert!(capacity > 0, "ring capacity must be non-zero");
-        Ring { cells: (0..capacity).map(|_| None).collect(), begin: 0, len: 0 }
+        Ring {
+            cells: (0..capacity).map(|_| None).collect(),
+            begin: 0,
+            len: 0,
+        }
     }
 
     /// Capacity fixed at construction.
@@ -115,7 +119,11 @@ impl<T: Clone + PartialEq + Debug> CheckedRing<T> {
     /// Ring whose elements must all satisfy `constraint` (checked as a
     /// push precondition and re-asserted as a pop postcondition).
     pub fn with_constraint(capacity: usize, constraint: fn(&T) -> bool) -> Self {
-        CheckedRing { imp: Ring::new(capacity), model: VecDeque::new(), constraint }
+        CheckedRing {
+            imp: Ring::new(capacity),
+            model: VecDeque::new(),
+            constraint,
+        }
     }
 
     /// Contract-checked push.
@@ -127,7 +135,10 @@ impl<T: Clone + PartialEq + Debug> CheckedRing<T> {
         let r = self.imp.push_back(item.clone());
         match r {
             Ok(()) => {
-                assert!(self.model.len() < self.imp.capacity(), "impl accepted push when full");
+                assert!(
+                    self.model.len() < self.imp.capacity(),
+                    "impl accepted push when full"
+                );
                 self.model.push_back(item);
             }
             Err(Full) => assert_eq!(self.model.len(), self.imp.capacity(), "Full below capacity"),
@@ -173,7 +184,10 @@ impl<T: Clone + PartialEq + Debug> CheckedRing<T> {
         let spec: Vec<&T> = self.model.iter().collect();
         assert_eq!(imp, spec, "ring contents diverged");
         for v in &imp {
-            assert!((self.constraint)(v), "stored element violates ring invariant");
+            assert!(
+                (self.constraint)(v),
+                "stored element violates ring invariant"
+            );
         }
     }
 }
@@ -214,7 +228,11 @@ mod tests {
         r.push_back(1).unwrap();
         r.push_back(2).unwrap();
         assert_eq!(r.push_back(3), Err(Full));
-        assert_eq!(r.pop_front(), Some(1), "failed push must not disturb contents");
+        assert_eq!(
+            r.pop_front(),
+            Some(1),
+            "failed push must not disturb contents"
+        );
     }
 
     /// The paper's §3 target property, in miniature: with the discard

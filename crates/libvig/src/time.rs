@@ -55,7 +55,12 @@ impl Time {
 
 impl core::fmt::Display for Time {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}.{:09}s", self.0 / 1_000_000_000, self.0 % 1_000_000_000)
+        write!(
+            f,
+            "{}.{:09}s",
+            self.0 / 1_000_000_000,
+            self.0 % 1_000_000_000
+        )
     }
 }
 
@@ -78,7 +83,9 @@ pub struct VirtualClock {
 impl VirtualClock {
     /// A clock starting at `t`.
     pub fn starting_at(t: Time) -> VirtualClock {
-        VirtualClock { t: Rc::new(Cell::new(t.0)) }
+        VirtualClock {
+            t: Rc::new(Cell::new(t.0)),
+        }
     }
 
     /// Advance by `nanos`. Advancing is the only mutation — the clock can
@@ -110,7 +117,9 @@ pub struct SystemClock {
 impl SystemClock {
     /// A clock whose epoch is "now".
     pub fn new() -> SystemClock {
-        SystemClock { origin: std::time::Instant::now() }
+        SystemClock {
+            origin: std::time::Instant::now(),
+        }
     }
 }
 

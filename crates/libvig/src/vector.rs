@@ -22,7 +22,9 @@ impl<T: Clone> Vector<T> {
     /// Allocate `capacity` cells, each initialized to `init`.
     pub fn new(capacity: usize, init: T) -> Vector<T> {
         assert!(capacity > 0, "vector capacity must be non-zero");
-        Vector { cells: vec![init; capacity] }
+        Vector {
+            cells: vec![init; capacity],
+        }
     }
 }
 
@@ -30,7 +32,9 @@ impl<T> Vector<T> {
     /// Allocate from an initializer function (for non-`Clone` cells).
     pub fn from_fn(capacity: usize, mut f: impl FnMut(usize) -> T) -> Vector<T> {
         assert!(capacity > 0, "vector capacity must be non-zero");
-        Vector { cells: (0..capacity).map(&mut f).collect() }
+        Vector {
+            cells: (0..capacity).map(&mut f).collect(),
+        }
     }
 
     /// Capacity fixed at construction.
@@ -74,7 +78,10 @@ pub struct CheckedVector<T: Clone + PartialEq + Debug> {
 impl<T: Clone + PartialEq + Debug> CheckedVector<T> {
     /// Allocate like [`Vector::new`].
     pub fn new(capacity: usize, init: T) -> Self {
-        CheckedVector { imp: Vector::new(capacity, init.clone()), model: vec![init; capacity] }
+        CheckedVector {
+            imp: Vector::new(capacity, init.clone()),
+            model: vec![init; capacity],
+        }
     }
 
     /// Contract-checked read.

@@ -60,8 +60,15 @@ impl Mempool {
     /// Panics on double-free — on the datapath this is a bug class the
     /// paper proves absent (P2); the simulator enforces it dynamically.
     pub fn put(&mut self, idx: BufIdx) {
-        assert!(idx.0 < self.bufs.len(), "foreign buffer returned to mempool");
-        assert!(!self.free.contains(&idx.0), "double free of mempool buffer {}", idx.0);
+        assert!(
+            idx.0 < self.bufs.len(),
+            "foreign buffer returned to mempool"
+        );
+        assert!(
+            !self.free.contains(&idx.0),
+            "double free of mempool buffer {}",
+            idx.0
+        );
         self.lens[idx.0] = 0;
         self.free.push(idx.0);
     }
@@ -98,7 +105,11 @@ impl Ring {
     /// Ring with room for `capacity` descriptors.
     pub fn new(capacity: usize) -> Ring {
         assert!(capacity > 0, "ring capacity must be non-zero");
-        Ring { slots: vec![BufIdx(0); capacity], head: 0, len: 0 }
+        Ring {
+            slots: vec![BufIdx(0); capacity],
+            head: 0,
+            len: 0,
+        }
     }
 
     /// Capacity fixed at construction.
@@ -171,7 +182,11 @@ impl Device {
     /// Device with the given ring sizes (the paper's setup used default
     /// DPDK rings; 512 descriptors is representative).
     pub fn new(ring_size: usize) -> Device {
-        Device { rx: Ring::new(ring_size), tx: Ring::new(ring_size), stats: PortStats::default() }
+        Device {
+            rx: Ring::new(ring_size),
+            tx: Ring::new(ring_size),
+            stats: PortStats::default(),
+        }
     }
 
     /// Tester-side: offer a frame to the port. Returns `false` (and
@@ -189,6 +204,22 @@ impl Device {
     /// NF-side: take the next received frame.
     pub fn rx_burst_one(&mut self) -> Option<BufIdx> {
         self.rx.pop()
+    }
+
+    /// NF-side: drain up to `max` received frames into `out` (the
+    /// `rte_eth_rx_burst` analog). Returns how many were taken.
+    pub fn rx_burst(&mut self, max: usize, out: &mut Vec<BufIdx>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.rx.pop() {
+                Some(b) => {
+                    out.push(b);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
     }
 
     /// NF-side: queue a frame for transmission.
@@ -259,7 +290,10 @@ mod tests {
     fn device_counts_loss() {
         let mut d = Device::new(1);
         assert!(d.offer(BufIdx(0)));
-        assert!(!d.offer(BufIdx(1)), "second offer overflows the 1-slot ring");
+        assert!(
+            !d.offer(BufIdx(1)),
+            "second offer overflows the 1-slot ring"
+        );
         assert_eq!(d.stats.rx, 1);
         assert_eq!(d.stats.rx_dropped, 1);
         let got = d.rx_burst_one().unwrap();

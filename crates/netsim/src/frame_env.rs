@@ -11,9 +11,12 @@
 //! borrows the flow manager and the buffer, so constructing it costs
 //! nothing and the datapath stays allocation-free.
 
+use crate::dpdk::{BufIdx, Mempool};
+use libvig::map::MapKey;
 use libvig::time::Time;
 use vig_packet::checksum::Checksum;
-use vig_packet::{Direction, Ip4};
+use vig_packet::{Direction, FlowId};
+use vignat::env::concrete::{ext_key, fid_key, view, FidMemo};
 use vignat::env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
 use vignat::impl_concrete_domain;
 use vignat::FlowManager;
@@ -36,6 +39,7 @@ pub struct FrameEnv<'a> {
     delivered: bool,
     verdict: Option<FrameVerdict>,
     expired: usize,
+    fid_memo: FidMemo,
 }
 
 /// Read a big-endian u16 at `off`, zero if out of bounds.
@@ -75,6 +79,7 @@ impl<'a> FrameEnv<'a> {
             delivered: false,
             verdict: None,
             expired: 0,
+            fid_memo: FidMemo::default(),
         }
     }
 
@@ -87,13 +92,77 @@ impl<'a> FrameEnv<'a> {
     pub fn expired(&self) -> usize {
         self.expired
     }
+}
 
-    /// Offset of the L4 header, parsed from the frame (used by `tx` to
-    /// place the port rewrites). Falls back to IHL 20 if the frame is
-    /// short — harmless, since `tx` is only reached on validated frames.
-    fn l4_offset(&self) -> usize {
-        let ihl = usize::from(rd8(self.frame, 14) & 0x0f) * 4;
-        14 + ihl
+/// Read a frame's header fields into an [`RxPacket`] (shared by the
+/// per-frame and burst environments). Fields beyond the frame are
+/// zero-filled; the loop body's length guards run before any semantic
+/// use of them.
+fn read_rx_fields<E>(f: &[u8], handle: usize, dir: Direction) -> RxPacket<E>
+where
+    E: NatEnv<B = bool, U8 = u8, U16 = u16, U32 = u32, U64 = u64> + ?Sized,
+{
+    RxPacket {
+        handle: PktHandle(handle),
+        dir,
+        frame_len: f.len().min(usize::from(u16::MAX)) as u16,
+        ethertype: rd16(f, 12),
+        version_ihl: rd8(f, 14),
+        total_len: rd16(f, 16),
+        frag_field: rd16(f, 20),
+        ttl: rd8(f, 22),
+        proto: rd8(f, 23),
+        src_ip: rd32(f, 26),
+        dst_ip: rd32(f, 30),
+        // L4 ports at 14 + IHL; zero-filled when absent.
+        src_port: rd16(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4),
+        dst_port: rd16(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4 + 2),
+    }
+}
+
+/// Apply a NAT rewrite to the frame in place: fixed-offset field
+/// surgery with RFC 1624 incremental checksum maintenance — exactly the
+/// C original's struct-overlay writes. The loop body's validation
+/// ladder guarantees every offset touched here lies inside the frame
+/// (frame >= 14 + IHL + 20/8); deliberately *no* typed-view re-parse,
+/// whose stricter checks (e.g. TCP data offset) could reject a frame
+/// the NAT can translate perfectly well.
+fn apply_rewrite(frame: &mut [u8], src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16) {
+    let l4 = 14 + usize::from(rd8(frame, 14) & 0x0f) * 4;
+    let proto = rd8(frame, 23);
+    let old_src_ip = rd32(frame, 26);
+    let old_dst_ip = rd32(frame, 30);
+
+    // IPv4 addresses + header checksum (field at 14+10).
+    frame[26..30].copy_from_slice(&src_ip.to_be_bytes());
+    frame[30..34].copy_from_slice(&dst_ip.to_be_bytes());
+    let ip_csum = Checksum::from_field(rd16(frame, 24))
+        .update_u32(old_src_ip, src_ip)
+        .update_u32(old_dst_ip, dst_ip)
+        .to_field();
+    frame[24..26].copy_from_slice(&ip_csum.to_be_bytes());
+
+    // L4 ports.
+    let old_src_port = rd16(frame, l4);
+    let old_dst_port = rd16(frame, l4 + 2);
+    frame[l4..l4 + 2].copy_from_slice(&src_port.to_be_bytes());
+    frame[l4 + 2..l4 + 4].copy_from_slice(&dst_port.to_be_bytes());
+
+    // L4 checksum: pseudo-header (both addresses) + both ports.
+    let is_udp = proto == vig_packet::ipv4::PROTO_UDP;
+    let csum_off = if is_udp { l4 + 6 } else { l4 + 16 };
+    let old_csum = rd16(frame, csum_off);
+    if !(is_udp && old_csum == 0) {
+        let mut c = Checksum::from_field(old_csum)
+            .update_u32(old_src_ip, src_ip)
+            .update_u32(old_dst_ip, dst_ip)
+            .update_u16(old_src_port, src_port)
+            .update_u16(old_dst_port, dst_port)
+            .to_field();
+        if is_udp && c == 0 {
+            c = 0xffff; // RFC 768: transmitted zero means "no checksum"
+        }
+        frame[csum_off..csum_off + 2].copy_from_slice(&c.to_be_bytes());
     }
 }
 
@@ -113,23 +182,7 @@ impl NatEnv for FrameEnv<'_> {
             return None;
         }
         self.delivered = true;
-        let f: &[u8] = self.frame;
-        Some(RxPacket {
-            handle: PktHandle(0),
-            dir: self.dir,
-            frame_len: f.len().min(usize::from(u16::MAX)) as u16,
-            ethertype: rd16(f, 12),
-            version_ihl: rd8(f, 14),
-            total_len: rd16(f, 16),
-            frag_field: rd16(f, 20),
-            ttl: rd8(f, 22),
-            proto: rd8(f, 23),
-            src_ip: rd32(f, 26),
-            dst_ip: rd32(f, 30),
-            // L4 ports at 14 + IHL; zero-filled when absent.
-            src_port: rd16(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4),
-            dst_port: rd16(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4 + 2),
-        })
+        Some(read_rx_fields(self.frame, 0, self.dir))
     }
 
     fn branch(&mut self, cond: bool) -> bool {
@@ -137,36 +190,17 @@ impl NatEnv for FrameEnv<'_> {
     }
 
     fn lookup_internal(&mut self, fid: &FidParts<Self>) -> Option<FlowView<Self>> {
-        let key = vig_packet::FlowId {
-            src_ip: Ip4(fid.src_ip),
-            src_port: fid.src_port,
-            dst_ip: Ip4(fid.dst_ip),
-            dst_port: fid.dst_port,
-            proto: fid.proto,
-        };
-        let (slot, flow) = self.fm.lookup_internal(&key)?;
-        Some(FlowView {
-            slot: SlotId(slot),
-            ext_port: flow.ext_port,
-            int_ip: flow.int_key.src_ip.raw(),
-            int_port: flow.int_key.src_port,
-        })
+        let key = fid_key(fid);
+        // Hash once per packet; a following insert_flow reuses it.
+        let hash = self.fid_memo.hash_for_lookup(key);
+        let (slot, flow) = self.fm.lookup_internal_hashed(&key, hash)?;
+        Some(view(slot, flow))
     }
 
     fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>> {
-        let key = vig_packet::ExtKey {
-            ext_port: ek.ext_port,
-            dst_ip: Ip4(ek.dst_ip),
-            dst_port: ek.dst_port,
-            proto: ek.proto,
-        };
+        let key = ext_key(ek);
         let (slot, flow) = self.fm.lookup_external(&key)?;
-        Some(FlowView {
-            slot: SlotId(slot),
-            ext_port: flow.ext_port,
-            int_ip: flow.int_key.src_ip.raw(),
-            int_port: flow.int_key.src_port,
-        })
+        Some(view(slot, flow))
     }
 
     fn rejuvenate(&mut self, slot: SlotId, now: &u64) {
@@ -179,61 +213,21 @@ impl NatEnv for FrameEnv<'_> {
     }
 
     fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: u16, _now: &u64) {
-        let key = vig_packet::FlowId {
-            src_ip: Ip4(fid.src_ip),
-            src_port: fid.src_port,
-            dst_ip: Ip4(fid.dst_ip),
-            dst_port: fid.dst_port,
-            proto: fid.proto,
-        };
-        self.fm.insert(slot.0, key, ext_port);
+        let key = fid_key(&fid);
+        // Reuse the hash memoized by the preceding lookup miss.
+        let hash = self.fid_memo.hash_for_insert(&key);
+        self.fm.insert_hashed(slot.0, key, ext_port, hash);
     }
 
     fn tx(&mut self, _pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
         debug_assert!(self.verdict.is_none(), "double consume of frame");
-        // Apply the rewrite by fixed-offset field surgery with RFC 1624
-        // incremental checksum maintenance — exactly the C original's
-        // struct-overlay writes. The loop body's validation ladder
-        // guarantees every offset touched here lies inside the frame
-        // (frame >= 14 + IHL + 20/8); deliberately *no* typed-view
-        // re-parse, whose stricter checks (e.g. TCP data offset) could
-        // reject a frame the NAT can translate perfectly well.
-        let l4 = self.l4_offset();
-        let proto = rd8(self.frame, 23);
-        let old_src_ip = rd32(self.frame, 26);
-        let old_dst_ip = rd32(self.frame, 30);
-
-        // IPv4 addresses + header checksum (field at 14+10).
-        self.frame[26..30].copy_from_slice(&hdr.src_ip.to_be_bytes());
-        self.frame[30..34].copy_from_slice(&hdr.dst_ip.to_be_bytes());
-        let ip_csum = Checksum::from_field(rd16(self.frame, 24))
-            .update_u32(old_src_ip, hdr.src_ip)
-            .update_u32(old_dst_ip, hdr.dst_ip)
-            .to_field();
-        self.frame[24..26].copy_from_slice(&ip_csum.to_be_bytes());
-
-        // L4 ports.
-        let old_src_port = rd16(self.frame, l4);
-        let old_dst_port = rd16(self.frame, l4 + 2);
-        self.frame[l4..l4 + 2].copy_from_slice(&hdr.src_port.to_be_bytes());
-        self.frame[l4 + 2..l4 + 4].copy_from_slice(&hdr.dst_port.to_be_bytes());
-
-        // L4 checksum: pseudo-header (both addresses) + both ports.
-        let is_udp = proto == vig_packet::ipv4::PROTO_UDP;
-        let csum_off = if is_udp { l4 + 6 } else { l4 + 16 };
-        let old_csum = rd16(self.frame, csum_off);
-        if !(is_udp && old_csum == 0) {
-            let mut c = Checksum::from_field(old_csum)
-                .update_u32(old_src_ip, hdr.src_ip)
-                .update_u32(old_dst_ip, hdr.dst_ip)
-                .update_u16(old_src_port, hdr.src_port)
-                .update_u16(old_dst_port, hdr.dst_port)
-                .to_field();
-            if is_udp && c == 0 {
-                c = 0xffff; // RFC 768: transmitted zero means "no checksum"
-            }
-            self.frame[csum_off..csum_off + 2].copy_from_slice(&c.to_be_bytes());
-        }
+        apply_rewrite(
+            self.frame,
+            hdr.src_ip,
+            hdr.src_port,
+            hdr.dst_ip,
+            hdr.dst_port,
+        );
         self.verdict = Some(FrameVerdict::Forward(out));
     }
 
@@ -243,10 +237,192 @@ impl NatEnv for FrameEnv<'_> {
     }
 }
 
+/// Burst environment: runs [`vignat::nat_process_batch`] over a burst
+/// of mempool-resident frames.
+///
+/// Where [`FrameEnv`] serves exactly one frame, `BurstEnv` serves one
+/// RX burst (up to [`vignat::MAX_BURST`] buffers): `receive_burst`
+/// yields the staged frames in ring order, `lookup_internal_batch`
+/// resolves the burst's flow probes through the flow table's batched
+/// directory probe, and `tx`/`drop_pkt` record one verdict per buffer
+/// (the middlebox routes them afterwards). Like `FrameEnv` it borrows
+/// everything, so constructing one per burst costs nothing and the
+/// datapath stays allocation-free apart from the per-burst scratch
+/// vectors, which are capacity-bounded by the burst size.
+pub struct BurstEnv<'a> {
+    fm: &'a mut FlowManager,
+    pool: &'a mut Mempool,
+    bufs: &'a [BufIdx],
+    dir: Direction,
+    now_ns: u64,
+    next_rx: usize,
+    verdicts: Vec<Option<FrameVerdict>>,
+    expired: usize,
+    fid_memo: FidMemo,
+    scratch: &'a mut BurstScratch,
+}
+
+/// Reusable per-burst buffers (keys, hashes, probe results) for
+/// [`BurstEnv::lookup_internal_batch`]. Owned by the NF across bursts
+/// so the steady-state burst path performs no heap allocation for its
+/// flow probes — the design rule (§5.1.1, all memory preallocated)
+/// extended to the fast path's scratch space.
+#[derive(Debug, Default)]
+pub struct BurstScratch {
+    keys: Vec<FlowId>,
+    hashes: Vec<u64>,
+    slots: Vec<Option<usize>>,
+    found: Vec<Option<(usize, vig_packet::Flow)>>,
+    verdicts_pool: Vec<Option<FrameVerdict>>,
+}
+
+impl<'a> BurstEnv<'a> {
+    /// Build the env for one burst of staged buffers arriving on `dir`
+    /// at `now`. `scratch` is reused across bursts.
+    pub fn new(
+        fm: &'a mut FlowManager,
+        pool: &'a mut Mempool,
+        bufs: &'a [BufIdx],
+        dir: Direction,
+        now: Time,
+        scratch: &'a mut BurstScratch,
+    ) -> BurstEnv<'a> {
+        let mut verdicts = std::mem::take(&mut scratch.verdicts_pool);
+        verdicts.clear();
+        verdicts.resize(bufs.len(), None);
+        BurstEnv {
+            fm,
+            pool,
+            bufs,
+            dir,
+            now_ns: now.nanos(),
+            next_rx: 0,
+            verdicts,
+            expired: 0,
+            fid_memo: FidMemo::default(),
+            scratch,
+        }
+    }
+
+    /// Return the verdict buffer to the scratch pool for the next
+    /// burst. Call after reading [`BurstEnv::verdicts`].
+    pub fn finish(mut self) {
+        self.scratch.verdicts_pool = std::mem::take(&mut self.verdicts);
+    }
+
+    /// Per-buffer verdicts, after the burst ran. Indexed like `bufs`;
+    /// `None` only for buffers the loop body never received (cannot
+    /// happen through [`vignat::nat_process_batch`], which drains the
+    /// whole burst).
+    pub fn verdicts(&self) -> &[Option<FrameVerdict>] {
+        &self.verdicts
+    }
+
+    /// Flows expired during this burst.
+    pub fn expired(&self) -> usize {
+        self.expired
+    }
+}
+
+impl_concrete_domain!(BurstEnv<'_>);
+
+impl NatEnv for BurstEnv<'_> {
+    fn now(&mut self) -> u64 {
+        self.now_ns
+    }
+
+    fn expire_flows(&mut self, threshold: &u64) {
+        self.expired += self.fm.expire(Time(*threshold));
+    }
+
+    fn receive(&mut self) -> Option<RxPacket<Self>> {
+        if self.next_rx >= self.bufs.len() {
+            return None;
+        }
+        let i = self.next_rx;
+        self.next_rx += 1;
+        Some(read_rx_fields(self.pool.frame(self.bufs[i]), i, self.dir))
+    }
+
+    fn branch(&mut self, cond: bool) -> bool {
+        cond
+    }
+
+    fn lookup_internal(&mut self, fid: &FidParts<Self>) -> Option<FlowView<Self>> {
+        let key = fid_key(fid);
+        // Hash once per packet; a following insert_flow reuses it.
+        let hash = self.fid_memo.hash_for_lookup(key);
+        let (slot, flow) = self.fm.lookup_internal_hashed(&key, hash)?;
+        Some(view(slot, flow))
+    }
+
+    fn lookup_internal_batch(
+        &mut self,
+        fids: &[FidParts<Self>],
+        out: &mut Vec<Option<FlowView<Self>>>,
+    ) {
+        let s = &mut *self.scratch;
+        s.keys.clear();
+        s.keys.extend(fids.iter().map(fid_key));
+        s.hashes.clear();
+        s.hashes.extend(s.keys.iter().map(MapKey::key_hash));
+        s.found.clear();
+        self.fm
+            .lookup_internal_batch(&s.keys, &s.hashes, &mut s.slots, &mut s.found);
+        out.extend(
+            s.found
+                .iter()
+                .map(|r| r.map(|(slot, flow)| view(slot, &flow))),
+        );
+    }
+
+    fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>> {
+        let key = ext_key(ek);
+        let (slot, flow) = self.fm.lookup_external(&key)?;
+        Some(view(slot, flow))
+    }
+
+    fn rejuvenate(&mut self, slot: SlotId, now: &u64) {
+        self.fm.rejuvenate(slot.0, Time(*now));
+    }
+
+    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
+        let slot = self.fm.allocate_slot(Time(*now))?;
+        Some((SlotId(slot), slot as u16))
+    }
+
+    fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: u16, _now: &u64) {
+        let key = fid_key(&fid);
+        // Reuse the hash memoized by the preceding lookup miss.
+        let hash = self.fid_memo.hash_for_insert(&key);
+        self.fm.insert_hashed(slot.0, key, ext_port, hash);
+    }
+
+    fn tx(&mut self, pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
+        debug_assert!(
+            self.verdicts[pkt.0].is_none(),
+            "double consume of frame {}",
+            pkt.0
+        );
+        let frame = self.pool.frame_mut(self.bufs[pkt.0]);
+        apply_rewrite(frame, hdr.src_ip, hdr.src_port, hdr.dst_ip, hdr.dst_port);
+        self.verdicts[pkt.0] = Some(FrameVerdict::Forward(out));
+    }
+
+    fn drop_pkt(&mut self, pkt: PktHandle) {
+        debug_assert!(
+            self.verdicts[pkt.0].is_none(),
+            "double consume of frame {}",
+            pkt.0
+        );
+        self.verdicts[pkt.0] = Some(FrameVerdict::Drop);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vig_packet::{builder::PacketBuilder, parse_l3l4, Proto};
+    use vig_packet::{builder::PacketBuilder, parse_l3l4, Ip4};
     use vig_spec::NatConfig;
     use vignat::nat_loop_iteration;
 
@@ -297,12 +473,7 @@ mod tests {
         let mut copy = l4.to_vec();
         copy[16] = 0;
         copy[17] = 0;
-        let want = vig_packet::checksum::l4_checksum(
-            ff.src_ip.raw(),
-            ff.dst_ip.raw(),
-            6,
-            &copy,
-        );
+        let want = vig_packet::checksum::l4_checksum(ff.src_ip.raw(), ff.dst_ip.raw(), 6, &copy);
         assert_eq!(
             vig_packet::tcp::TcpSegment::parse(l4).unwrap().checksum(),
             want,
@@ -342,21 +513,20 @@ mod tests {
         let mut copy = l4.to_vec();
         copy[6] = 0;
         copy[7] = 0;
-        let want = vig_packet::checksum::l4_checksum(
-            backf.src_ip.raw(),
-            backf.dst_ip.raw(),
-            17,
-            &copy,
+        let want =
+            vig_packet::checksum::l4_checksum(backf.src_ip.raw(), backf.dst_ip.raw(), 17, &copy);
+        assert_eq!(
+            vig_packet::udp::UdpDatagram::parse(l4).unwrap().checksum(),
+            want
         );
-        assert_eq!(vig_packet::udp::UdpDatagram::parse(l4).unwrap().checksum(), want);
     }
 
     #[test]
     fn garbage_frames_are_dropped_not_crashed() {
         let mut fm = FlowManager::new(&cfg());
         // every prefix length of a valid packet, plus pure noise
-        let valid = PacketBuilder::tcp(Ip4::new(192, 168, 0, 1), Ip4::new(1, 1, 1, 1), 1, 2)
-            .build();
+        let valid =
+            PacketBuilder::tcp(Ip4::new(192, 168, 0, 1), Ip4::new(1, 1, 1, 1), 1, 2).build();
         for cut in 0..valid.len() - 1 {
             let mut frame = valid[..cut].to_vec();
             let v = run(&mut fm, &mut frame, Direction::Internal, Time::from_secs(1));

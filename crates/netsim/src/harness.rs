@@ -17,12 +17,15 @@
 //! the measurement uniformly for every NF — mirroring how every paper NF
 //! pays the same DPDK rx/tx cost.
 
+use crate::dpdk::MBUF_SIZE;
 use crate::dpdk::{Device, Mempool};
 use crate::middlebox::{Middlebox, Verdict};
-use crate::dpdk::MBUF_SIZE;
 use crate::tester::{FlowGen, WorkloadMix};
 use libvig::time::Time;
 use vig_packet::Direction;
+
+/// Callback that inspects an output frame after transmission.
+pub type InspectFn<'a> = &'a mut dyn FnMut(&[u8], Direction);
 
 /// The simulated two-port testbed.
 pub struct Testbed {
@@ -61,17 +64,26 @@ impl Testbed {
         dir: Direction,
         fields_writer: impl FnOnce(&mut [u8]) -> usize,
         now: Time,
-        mut inspect: Option<&mut dyn FnMut(&[u8], Direction)>,
+        mut inspect: Option<InspectFn<'_>>,
     ) -> (Verdict, u64) {
         // Tester side: buffer + frame + offer to the NIC.
         let len = fields_writer(&mut self.scratch[..]);
-        let buf = self.pool.get().expect("testbed pool sized for one in flight");
+        let buf = self
+            .pool
+            .get()
+            .expect("testbed pool sized for one in flight");
         self.pool.write_frame(buf, &self.scratch[..len]);
-        assert!(self.dev(dir).offer(buf), "single-packet offer cannot overflow");
+        assert!(
+            self.dev(dir).offer(buf),
+            "single-packet offer cannot overflow"
+        );
 
         // Middlebox side: the timed region.
         let t0 = std::time::Instant::now();
-        let got = self.dev(dir).rx_burst_one().expect("frame was just offered");
+        let got = self
+            .dev(dir)
+            .rx_burst_one()
+            .expect("frame was just offered");
         let frame = self.pool.frame_mut(got);
         let verdict = nf.process(dir, frame, now);
         if let Verdict::Forward(out) = verdict {
@@ -144,6 +156,64 @@ impl Testbed {
         }
         (forwarded, dropped, elapsed)
     }
+
+    /// Batched-fast-path variant of [`Testbed::shoot_burst`]: the timed
+    /// region drains the RX ring in [`vignat::MAX_BURST`]-sized bursts
+    /// through [`Middlebox::process_burst`] instead of frame at a time
+    /// — one clock read and one expiry scan per burst, batched
+    /// flow-table probes. Same staging, same reclamation, same
+    /// semantics per packet (the burst path is differentially tested
+    /// against the sequential one).
+    pub fn shoot_burst_batched(
+        &mut self,
+        nf: &mut dyn Middlebox,
+        dir: Direction,
+        count: usize,
+        mut fields_writer: impl FnMut(usize, &mut [u8]) -> usize,
+        now: Time,
+    ) -> (usize, usize, u64) {
+        let count = count.min(self.dev(dir).rx.capacity());
+        // Tester side: stage the burst.
+        for i in 0..count {
+            let len = fields_writer(i, &mut self.scratch[..]);
+            let buf = self.pool.get().expect("pool sized for a full ring");
+            self.pool.write_frame(buf, &self.scratch[..len]);
+            assert!(self.dev(dir).offer(buf), "staged within ring capacity");
+        }
+        // Middlebox side: the timed run-to-completion loop, burst-wise.
+        let mut forwarded = 0usize;
+        let mut dropped = 0usize;
+        let mut batch: Vec<crate::dpdk::BufIdx> = Vec::with_capacity(vignat::MAX_BURST);
+        let t0 = std::time::Instant::now();
+        loop {
+            batch.clear();
+            if self.dev(dir).rx_burst(vignat::MAX_BURST, &mut batch) == 0 {
+                break;
+            }
+            let verdicts = nf.process_burst(dir, &mut self.pool, &batch, now);
+            debug_assert_eq!(verdicts.len(), batch.len());
+            for (&buf, v) in batch.iter().zip(&verdicts) {
+                match v {
+                    Verdict::Forward(out) => {
+                        assert!(self.dev(*out).tx_put(buf), "tx ring holds a full burst");
+                        forwarded += 1;
+                    }
+                    Verdict::Drop => {
+                        self.pool.put(buf);
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        // Tester side: reclaim transmitted buffers.
+        for d in [Direction::Internal, Direction::External] {
+            while let Some(buf) = self.dev(d).tx_take() {
+                self.pool.put(buf);
+            }
+        }
+        (forwarded, dropped, elapsed)
+    }
 }
 
 /// Latency samples with the summary statistics the paper reports.
@@ -203,7 +273,11 @@ impl LatencySamples {
 /// expiry each probe flow's own packet gap exceeds `Texp`, so every
 /// probe is the paper's worst case: a table miss that triggers expiry
 /// work and a fresh allocation. Returns the probe samples.
-pub fn probe_latency(nf: &mut dyn Middlebox, tb: &mut Testbed, mix: &WorkloadMix) -> LatencySamples {
+pub fn probe_latency(
+    nf: &mut dyn Middlebox,
+    tb: &mut Testbed,
+    mix: &WorkloadMix,
+) -> LatencySamples {
     let gen = FlowGen::new(vig_packet::Proto::Udp);
     let mut now = Time::from_secs(1);
     let bg = mix.background_flows as u32;
@@ -214,7 +288,13 @@ pub fn probe_latency(nf: &mut dyn Middlebox, tb: &mut Testbed, mix: &WorkloadMix
     for i in 0..bg {
         now = now.plus(1_000); // 1 µs apart
         let f = gen.background(i);
-        tb.shoot(nf, Direction::Internal, |b| gen.write_frame(&f, b), now, None);
+        tb.shoot(
+            nf,
+            Direction::Internal,
+            |b| gen.write_frame(&f, b),
+            now,
+            None,
+        );
     }
 
     // One window = Texp/2 of virtual time, in three equal sections: two
@@ -232,7 +312,13 @@ pub fn probe_latency(nf: &mut dyn Middlebox, tb: &mut Testbed, mix: &WorkloadMix
             for i in 0..bg {
                 let f = gen.background(i);
                 now = now.plus(2); // keep the clock strictly monotone
-                tb.shoot(nf, Direction::Internal, |b| gen.write_frame(&f, b), now, None);
+                tb.shoot(
+                    nf,
+                    Direction::Internal,
+                    |b| gen.write_frame(&f, b),
+                    now,
+                    None,
+                );
             }
         }
         let probe_gap = third / (batch as u64 + 1);
@@ -243,8 +329,13 @@ pub fn probe_latency(nf: &mut dyn Middlebox, tb: &mut Testbed, mix: &WorkloadMix
             now = now.plus(probe_gap.max(1));
             let f = gen.probe(probe_id % pool);
             probe_id += 1;
-            let (_, ns) =
-                tb.shoot(nf, Direction::Internal, |b| gen.write_frame(&f, b), now, None);
+            let (_, ns) = tb.shoot(
+                nf,
+                Direction::Internal,
+                |b| gen.write_frame(&f, b),
+                now,
+                None,
+            );
             samples.push(ns);
         }
         now = now.plus(third - probe_gap * batch as u64);
@@ -266,13 +357,44 @@ pub fn steady_state_service_times(
     packets: usize,
     texp_ns: u64,
 ) -> LatencySamples {
+    steady_state_service_times_impl(nf, tb, flows, packets, texp_ns, false)
+}
+
+/// [`steady_state_service_times`] through the batched fast path
+/// ([`Testbed::shoot_burst_batched`]): identical workload, identical
+/// per-packet semantics, amortized per-burst overhead — the number the
+/// batched Fig. 14 variant reports.
+pub fn steady_state_service_times_batched(
+    nf: &mut dyn Middlebox,
+    tb: &mut Testbed,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+) -> LatencySamples {
+    steady_state_service_times_impl(nf, tb, flows, packets, texp_ns, true)
+}
+
+fn steady_state_service_times_impl(
+    nf: &mut dyn Middlebox,
+    tb: &mut Testbed,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+    batched: bool,
+) -> LatencySamples {
     const BURST: usize = 64;
     let gen = FlowGen::new(vig_packet::Proto::Udp);
     let mut now = Time::from_secs(1);
     for i in 0..flows as u32 {
         now = now.plus(1_000);
         let f = gen.background(i);
-        tb.shoot(nf, Direction::Internal, |b| gen.write_frame(&f, b), now, None);
+        tb.shoot(
+            nf,
+            Direction::Internal,
+            |b| gen.write_frame(&f, b),
+            now,
+            None,
+        );
     }
     // Round-robin over the flows; advance time slowly enough that no
     // flow ever expires (refresh interval << Texp by construction).
@@ -283,16 +405,15 @@ pub fn steady_state_service_times(
     while samples.len() < packets {
         now = now.plus(step.max(1));
         let base = next_flow;
-        let (fwd, drop, ns) = tb.shoot_burst(
-            nf,
-            Direction::Internal,
-            BURST,
-            |i, b| {
-                let f = gen.background((base + i as u32) % flows as u32);
-                gen.write_frame(&f, b)
-            },
-            now,
-        );
+        let writer = |i: usize, b: &mut [u8]| {
+            let f = gen.background((base + i as u32) % flows as u32);
+            gen.write_frame(&f, b)
+        };
+        let (fwd, drop, ns) = if batched {
+            tb.shoot_burst_batched(nf, Direction::Internal, BURST, writer, now)
+        } else {
+            tb.shoot_burst(nf, Direction::Internal, BURST, writer, now)
+        };
         // shoot_burst clamps the burst to the ring capacity; use what
         // actually went through.
         let staged = fwd + drop;
@@ -300,7 +421,7 @@ pub fn steady_state_service_times(
         debug_assert_eq!(drop, 0, "steady state must be all hits");
         next_flow = (base + staged as u32) % flows as u32;
         let per_packet = ns / staged as u64;
-        samples.extend(std::iter::repeat(per_packet.max(1)).take(staged));
+        samples.extend(std::iter::repeat_n(per_packet.max(1), staged));
     }
     samples.truncate(packets);
     LatencySamples { ns: samples }
@@ -385,6 +506,23 @@ pub fn throughput_search(
     (pps / 1e6, mean)
 }
 
+/// [`throughput_search`] over the batched fast path: service times are
+/// measured through [`Middlebox::process_burst`]. Returns
+/// (Mpps, mean service ns).
+pub fn throughput_search_batched(
+    nf: &mut dyn Middlebox,
+    tb: &mut Testbed,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+    ring_cap: usize,
+) -> (f64, f64) {
+    let svc = steady_state_service_times_batched(nf, tb, flows, packets, texp_ns);
+    let mean = svc.mean();
+    let pps = max_rate_with_loss(&svc.ns, ring_cap, 0.001, 1e4, 1e9);
+    (pps / 1e6, mean)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,7 +557,11 @@ mod tests {
             assert_eq!(v, Verdict::Forward(Direction::External));
             assert!(ns < 1_000_000_000, "sane timing");
         }
-        assert_eq!(tb.pool.available(), before, "no buffer leaks through the path");
+        assert_eq!(
+            tb.pool.available(),
+            before,
+            "no buffer leaks through the path"
+        );
     }
 
     #[test]
@@ -466,7 +608,11 @@ mod tests {
         let s = probe_latency(&mut nf, &mut tb, &mix);
         assert_eq!(s.ns.len(), 40);
         assert_eq!(nf.expired_total(), 0, "nothing expires at 60 s");
-        assert_eq!(nf.occupancy(), 32 + 10, "background + probe pool all resident");
+        assert_eq!(
+            nf.occupancy(),
+            32 + 10,
+            "background + probe pool all resident"
+        );
     }
 
     #[test]
@@ -480,10 +626,50 @@ mod tests {
     }
 
     #[test]
+    fn batched_steady_state_is_all_hits_too() {
+        let mut tb = Testbed::new(64);
+        let mut nf = VigNatMb::new(cfg(128));
+        let s = steady_state_service_times_batched(
+            &mut nf,
+            &mut tb,
+            32,
+            500,
+            Time::from_secs(2).nanos(),
+        );
+        assert_eq!(s.ns.len(), 500);
+        assert_eq!(nf.occupancy(), 32, "no flow may expire mid-experiment");
+        assert_eq!(nf.expired_total(), 0);
+    }
+
+    #[test]
+    fn shoot_burst_batched_reclaims_buffers() {
+        let mut tb = Testbed::new(64);
+        let mut nf = VigNatMb::new(cfg(128));
+        let gen = FlowGen::new(Proto::Udp);
+        let before = tb.pool.available();
+        let (fwd, drop, _) = tb.shoot_burst_batched(
+            &mut nf,
+            Direction::Internal,
+            48,
+            |i, b| gen.write_frame(&gen.background(i as u32), b),
+            Time::from_secs(1),
+        );
+        assert_eq!((fwd, drop), (48, 0));
+        assert_eq!(
+            tb.pool.available(),
+            before,
+            "no buffer leaks through the burst path"
+        );
+    }
+
+    #[test]
     fn queue_loss_is_zero_below_capacity_and_high_above() {
         let svc = vec![1_000u64; 256]; // 1 µs per packet => 1 Mpps capacity
         assert_eq!(queue_loss(&svc, 0.5e6, 512), 0.0);
-        assert!(queue_loss(&svc, 2.0e6, 512) > 0.3, "2x overload loses heavily");
+        assert!(
+            queue_loss(&svc, 2.0e6, 512) > 0.3,
+            "2x overload loses heavily"
+        );
     }
 
     #[test]
@@ -498,7 +684,9 @@ mod tests {
 
     #[test]
     fn latency_stats() {
-        let s = LatencySamples { ns: vec![10, 20, 30, 40] };
+        let s = LatencySamples {
+            ns: vec![10, 20, 30, 40],
+        };
         assert_eq!(s.mean(), 25.0);
         assert_eq!(s.percentile(0.5), 20);
         assert_eq!(s.percentile(1.0), 40);

@@ -37,6 +37,6 @@ pub mod middlebox;
 pub mod tester;
 
 pub use dpdk::{Device, Mempool, PortStats, Ring};
-pub use frame_env::FrameEnv;
+pub use frame_env::{BurstEnv, FrameEnv};
 pub use middlebox::{Middlebox, NoopForwarder, Verdict, VigNatMb};
 pub use tester::{FlowGen, WorkloadMix};

@@ -35,7 +35,11 @@ impl FlowGen {
     /// Flows towards one remote service (the paper's traffic shape:
     /// many clients, one sink).
     pub fn new(proto: Proto) -> FlowGen {
-        FlowGen { remote_ip: Ip4::new(1, 1, 1, 1), remote_port: 80, proto }
+        FlowGen {
+            remote_ip: Ip4::new(1, 1, 1, 1),
+            remote_port: 80,
+            proto,
+        }
     }
 
     /// The `i`-th background flow (distinct internal source per `i`;
@@ -78,12 +82,18 @@ impl FlowGen {
     /// Write a 64-byte frame for `fields` into `buf`; returns its length.
     pub fn write_frame(&self, fields: &FlowFields, buf: &mut [u8]) -> usize {
         let b = match fields.proto {
-            Proto::Tcp => {
-                PacketBuilder::tcp(fields.src_ip, fields.dst_ip, fields.src_port, fields.dst_port)
-            }
-            Proto::Udp => {
-                PacketBuilder::udp(fields.src_ip, fields.dst_ip, fields.src_port, fields.dst_port)
-            }
+            Proto::Tcp => PacketBuilder::tcp(
+                fields.src_ip,
+                fields.dst_ip,
+                fields.src_port,
+                fields.dst_port,
+            ),
+            Proto::Udp => PacketBuilder::udp(
+                fields.src_ip,
+                fields.dst_ip,
+                fields.src_port,
+                fields.dst_port,
+            ),
         }
         .pad_to(FRAME_LEN);
         b.build_into(buf).expect("frame buffer must hold 64 bytes")
@@ -145,7 +155,10 @@ mod tests {
         let g = FlowGen::new(Proto::Udp);
         let mut seen = HashSet::new();
         for i in 0..10_000 {
-            assert!(seen.insert(g.background(i)), "duplicate background flow {i}");
+            assert!(
+                seen.insert(g.background(i)),
+                "duplicate background flow {i}"
+            );
         }
     }
 

@@ -46,7 +46,10 @@ pub fn fold(mut sum: u32) -> u16 {
 /// Pseudo-header contribution for TCP/UDP checksums over IPv4
 /// (src, dst, zero+protocol, L4 length).
 pub fn pseudo_header_sum(src: u32, dst: u32, protocol: u8, l4_len: u16) -> u32 {
-    (src >> 16) + (src & 0xffff) + (dst >> 16) + (dst & 0xffff)
+    (src >> 16)
+        + (src & 0xffff)
+        + (dst >> 16)
+        + (dst & 0xffff)
         + u32::from(protocol)
         + u32::from(l4_len)
 }
@@ -130,8 +133,10 @@ mod tests {
     fn verify_style_zero() {
         // Writing the computed checksum into the buffer makes the total
         // checksum come out as zero.
-        let mut data = vec![0x45u8, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0x00,
-                            0x00, 0xc0, 0xa8, 0x00, 0x68, 0xc0, 0xa8, 0x00, 0x01];
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x68, 0xc0, 0xa8, 0x00, 0x01,
+        ];
         let c = checksum(&data);
         data[10..12].copy_from_slice(&c.to_be_bytes());
         assert_eq!(checksum(&data), 0);

@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn ext_key_mirrors_remote_endpoint() {
-        let flow = Flow { int_key: fid(), ext_port: 61234 };
+        let flow = Flow {
+            int_key: fid(),
+            ext_port: 61234,
+        };
         let ek = flow.ext_key();
         assert_eq!(ek.ext_port, 61234);
         assert_eq!(ek.dst_ip, fid().dst_ip);

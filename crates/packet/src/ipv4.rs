@@ -125,12 +125,22 @@ impl<'a> Ipv4Packet<'a> {
 
     /// Source address.
     pub fn src(&self) -> Ip4 {
-        Ip4(u32::from_be_bytes([self.buf[12], self.buf[13], self.buf[14], self.buf[15]]))
+        Ip4(u32::from_be_bytes([
+            self.buf[12],
+            self.buf[13],
+            self.buf[14],
+            self.buf[15],
+        ]))
     }
 
     /// Destination address.
     pub fn dst(&self) -> Ip4 {
-        Ip4(u32::from_be_bytes([self.buf[16], self.buf[17], self.buf[18], self.buf[19]]))
+        Ip4(u32::from_be_bytes([
+            self.buf[16],
+            self.buf[17],
+            self.buf[18],
+            self.buf[19],
+        ]))
     }
 
     /// Verify the header checksum (ones-complement sum of the header,
@@ -162,12 +172,22 @@ impl<'a> Ipv4PacketMut<'a> {
 
     /// Current source address.
     pub fn src(&self) -> Ip4 {
-        Ip4(u32::from_be_bytes([self.buf[12], self.buf[13], self.buf[14], self.buf[15]]))
+        Ip4(u32::from_be_bytes([
+            self.buf[12],
+            self.buf[13],
+            self.buf[14],
+            self.buf[15],
+        ]))
     }
 
     /// Current destination address.
     pub fn dst(&self) -> Ip4 {
-        Ip4(u32::from_be_bytes([self.buf[16], self.buf[17], self.buf[18], self.buf[19]]))
+        Ip4(u32::from_be_bytes([
+            self.buf[16],
+            self.buf[17],
+            self.buf[18],
+            self.buf[19],
+        ]))
     }
 
     /// Current TTL.
@@ -316,7 +336,10 @@ mod tests {
         }
         let p = Ipv4Packet::parse(&b).unwrap();
         assert_eq!(p.src(), Ip4::new(1, 2, 3, 4));
-        assert!(p.verify_checksum(), "incremental update must keep checksum valid");
+        assert!(
+            p.verify_checksum(),
+            "incremental update must keep checksum valid"
+        );
     }
 
     #[test]

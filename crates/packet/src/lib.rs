@@ -88,7 +88,10 @@ impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ParseError::Truncated { layer, have, need } => {
-                write!(f, "{layer:?} header truncated: have {have} bytes, need {need}")
+                write!(
+                    f,
+                    "{layer:?} header truncated: have {have} bytes, need {need}"
+                )
             }
             ParseError::BadLength { layer } => write!(f, "{layer:?} length field inconsistent"),
             ParseError::NotIpv4 => write!(f, "EtherType is not IPv4"),
@@ -160,7 +163,11 @@ pub fn parse_l3l4(frame: &[u8]) -> Result<(HeaderOffsets, FlowFields), ParseErro
     let l4_have = frame.len().saturating_sub(l4);
     if l4_have < l4_need {
         return Err(ParseError::Truncated {
-            layer: if proto == Proto::Tcp { Layer::Tcp } else { Layer::Udp },
+            layer: if proto == Proto::Tcp {
+                Layer::Tcp
+            } else {
+                Layer::Udp
+            },
             have: l4_have,
             need: l4_need,
         });
@@ -176,7 +183,12 @@ pub fn parse_l3l4(frame: &[u8]) -> Result<(HeaderOffsets, FlowFields), ParseErro
         }
     };
     Ok((
-        HeaderOffsets { l3, l4, proto, frame_len: frame.len() },
+        HeaderOffsets {
+            l3,
+            l4,
+            proto,
+            frame_len: frame.len(),
+        },
         FlowFields {
             src_ip: ip.src(),
             dst_ip: ip.dst(),
@@ -208,14 +220,9 @@ mod tests {
     use crate::builder::PacketBuilder;
 
     fn sample() -> Vec<u8> {
-        PacketBuilder::udp(
-            Ip4::new(10, 0, 0, 1),
-            Ip4::new(93, 184, 216, 34),
-            5555,
-            80,
-        )
-        .payload(b"hello")
-        .build()
+        PacketBuilder::udp(Ip4::new(10, 0, 0, 1), Ip4::new(93, 184, 216, 34), 5555, 80)
+            .payload(b"hello")
+            .build()
     }
 
     #[test]
@@ -280,7 +287,7 @@ mod tests {
     fn unsupported_proto_rejected() {
         let mut frame = sample();
         frame[ETHERNET_HEADER_LEN + 9] = 1; // ICMP
-        // (checksum now stale; parse_l3l4 does not verify it, per DPDK offload)
+                                            // (checksum now stale; parse_l3l4 does not verify it, per DPDK offload)
         assert_eq!(parse_l3l4(&frame), Err(ParseError::UnsupportedProto(1)));
     }
 

@@ -152,7 +152,9 @@ mod tests {
     const DST: Ip4 = Ip4::new(4, 4, 4, 4);
 
     fn udp_frame() -> Vec<u8> {
-        PacketBuilder::udp(SRC, DST, 1234, 53).payload(b"dns?").build()
+        PacketBuilder::udp(SRC, DST, 1234, 53)
+            .payload(b"dns?")
+            .build()
     }
 
     fn l4_verifies(frame: &[u8]) -> bool {

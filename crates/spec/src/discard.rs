@@ -195,7 +195,11 @@ mod tests {
         s.observe(Received { port: 80, tag: 1 }).unwrap();
         assert_eq!(
             s.observe(Sent { port: 8080, tag: 1 }),
-            Err(DiscardViolation::Altered { tag: 1, received_port: 80, sent_port: 8080 })
+            Err(DiscardViolation::Altered {
+                tag: 1,
+                received_port: 80,
+                sent_port: 8080
+            })
         );
     }
 }

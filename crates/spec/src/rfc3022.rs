@@ -129,7 +129,11 @@ impl core::fmt::Display for SpecViolation {
             SpecViolation::WrongInterface { expected, got } => {
                 write!(f, "forwarded on {got:?}, spec requires {expected:?}")
             }
-            SpecViolation::FieldMismatch { field, expected, got } => {
+            SpecViolation::FieldMismatch {
+                field,
+                expected,
+                got,
+            } => {
                 write!(f, "field {field}: expected {expected:#x}, got {got:#x}")
             }
             SpecViolation::BadPortAllocation { port, reason } => {
@@ -142,15 +146,15 @@ impl core::fmt::Display for SpecViolation {
 
 impl std::error::Error for SpecViolation {}
 
-fn expect_field(
-    field: &'static str,
-    expected: u64,
-    got: u64,
-) -> Result<(), SpecViolation> {
+fn expect_field(field: &'static str, expected: u64, got: u64) -> Result<(), SpecViolation> {
     if expected == got {
         Ok(())
     } else {
-        Err(SpecViolation::FieldMismatch { field, expected, got })
+        Err(SpecViolation::FieldMismatch {
+            field,
+            expected,
+            got,
+        })
     }
 }
 
@@ -169,10 +173,26 @@ fn check_forward_fields(
                     got: *iface,
                 });
             }
-            expect_field("src_ip", u64::from(expected.src_ip.raw()), u64::from(fields.src_ip.raw()))?;
-            expect_field("dst_ip", u64::from(expected.dst_ip.raw()), u64::from(fields.dst_ip.raw()))?;
-            expect_field("src_port", u64::from(expected.src_port), u64::from(fields.src_port))?;
-            expect_field("dst_port", u64::from(expected.dst_port), u64::from(fields.dst_port))?;
+            expect_field(
+                "src_ip",
+                u64::from(expected.src_ip.raw()),
+                u64::from(fields.src_ip.raw()),
+            )?;
+            expect_field(
+                "dst_ip",
+                u64::from(expected.dst_ip.raw()),
+                u64::from(fields.dst_ip.raw()),
+            )?;
+            expect_field(
+                "src_port",
+                u64::from(expected.src_port),
+                u64::from(fields.src_port),
+            )?;
+            expect_field(
+                "dst_port",
+                u64::from(expected.dst_port),
+                u64::from(fields.dst_port),
+            )?;
             expect_field(
                 "proto",
                 u64::from(expected.proto.number()),
@@ -443,7 +463,13 @@ mod tests {
         assert!(step_allows(&mid, &input, Time::from_secs(2), &fwd_ext(1000, &input)).is_ok());
         let err =
             step_allows(&mid, &input, Time::from_secs(2), &fwd_ext(1001, &input)).unwrap_err();
-        assert!(matches!(err, SpecViolation::FieldMismatch { field: "src_port", .. }));
+        assert!(matches!(
+            err,
+            SpecViolation::FieldMismatch {
+                field: "src_port",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -453,7 +479,10 @@ mod tests {
         let mid = step_allows(&pre, &a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
         let b = internal_pkt(6, 4000);
         let err = step_allows(&mid, &b, Time::from_secs(2), &fwd_ext(1000, &b)).unwrap_err();
-        assert!(matches!(err, SpecViolation::BadPortAllocation { port: 1000, .. }));
+        assert!(matches!(
+            err,
+            SpecViolation::BadPortAllocation { port: 1000, .. }
+        ));
     }
 
     #[test]
@@ -484,7 +513,10 @@ mod tests {
             &pre,
             &back,
             Time::from_secs(1),
-            &Output::Forward { iface: Direction::Internal, fields: back.fields },
+            &Output::Forward {
+                iface: Direction::Internal,
+                fields: back.fields,
+            },
         )
         .unwrap_err();
         assert_eq!(err, SpecViolation::ShouldDrop);
@@ -544,20 +576,26 @@ mod tests {
     fn checker_reports_first_violation_and_sticks() {
         let mut chk = SpecChecker::new(cfg());
         let a = internal_pkt(1, 1);
-        chk.observe(&a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
+        chk.observe(&a, Time::from_secs(1), &fwd_ext(1000, &a))
+            .unwrap();
         assert!(chk.observe(&a, Time::from_secs(2), &Output::Drop).is_err());
         let (step, _) = chk.violation().unwrap().clone();
         assert_eq!(step, 1);
         // sticky
-        assert!(chk.observe(&a, Time::from_secs(3), &fwd_ext(1000, &a)).is_err());
+        assert!(chk
+            .observe(&a, Time::from_secs(3), &fwd_ext(1000, &a))
+            .is_err());
     }
 
     #[test]
     fn checker_rejects_time_reversal() {
         let mut chk = SpecChecker::new(cfg());
         let a = internal_pkt(1, 1);
-        chk.observe(&a, Time::from_secs(5), &fwd_ext(1000, &a)).unwrap();
-        let err = chk.observe(&a, Time::from_secs(4), &fwd_ext(1000, &a)).unwrap_err();
+        chk.observe(&a, Time::from_secs(5), &fwd_ext(1000, &a))
+            .unwrap();
+        let err = chk
+            .observe(&a, Time::from_secs(4), &fwd_ext(1000, &a))
+            .unwrap_err();
         assert!(matches!(err, SpecViolation::StateError(_)));
     }
 

@@ -88,7 +88,10 @@ pub struct AbstractNat {
 impl AbstractNat {
     /// Fresh NAT with an empty flow table.
     pub fn new(config: NatConfig) -> AbstractNat {
-        AbstractNat { config, flows: Vec::new() }
+        AbstractNat {
+            config,
+            flows: Vec::new(),
+        }
     }
 
     /// The configuration.
@@ -122,8 +125,11 @@ impl AbstractNat {
         let Some(threshold) = self.config.expiry_threshold(now) else {
             return Vec::new();
         };
-        let (dead, live): (Vec<_>, Vec<_>) =
-            self.flows.iter().copied().partition(|f| f.last_active <= threshold);
+        let (dead, live): (Vec<_>, Vec<_>) = self
+            .flows
+            .iter()
+            .copied()
+            .partition(|f| f.last_active <= threshold);
         self.flows = live;
         dead
     }
@@ -171,7 +177,11 @@ impl AbstractNat {
         if self.port_in_use(ext_port) {
             return Err(InsertError::PortInUse(ext_port));
         }
-        self.flows.push(AbstractFlow { fid, ext_port, last_active: now });
+        self.flows.push(AbstractFlow {
+            fid,
+            ext_port,
+            last_active: now,
+        });
         Ok(())
     }
 
@@ -246,7 +256,10 @@ mod tests {
         n.insert(fid(2), 1001, Time::from_secs(1)).unwrap();
         n.insert(fid(3), 1002, Time::from_secs(1)).unwrap();
         assert!(n.is_full());
-        assert_eq!(n.insert(fid(4), 1003, Time::from_secs(1)), Err(InsertError::TableFull));
+        assert_eq!(
+            n.insert(fid(4), 1003, Time::from_secs(1)),
+            Err(InsertError::TableFull)
+        );
         n.check_invariants().unwrap();
     }
 
@@ -258,8 +271,14 @@ mod tests {
             n.insert(fid(1), 1001, Time::from_secs(1)),
             Err(InsertError::DuplicateFlowId)
         );
-        assert_eq!(n.insert(fid(2), 1000, Time::from_secs(1)), Err(InsertError::PortInUse(1000)));
-        assert_eq!(n.insert(fid(2), 0, Time::from_secs(1)), Err(InsertError::PortZero));
+        assert_eq!(
+            n.insert(fid(2), 1000, Time::from_secs(1)),
+            Err(InsertError::PortInUse(1000))
+        );
+        assert_eq!(
+            n.insert(fid(2), 0, Time::from_secs(1)),
+            Err(InsertError::PortZero)
+        );
     }
 
     #[test]
@@ -267,7 +286,9 @@ mod tests {
         let mut n = AbstractNat::new(cfg());
         n.insert(fid(1), 1000, Time::from_secs(5)).unwrap();
         // timestamp + Texp = 15s; at t=14.999..9 it survives, at 15 it dies
-        assert!(n.expire_flows(Time(Time::from_secs(15).nanos() - 1)).is_empty());
+        assert!(n
+            .expire_flows(Time(Time::from_secs(15).nanos() - 1))
+            .is_empty());
         assert_eq!(n.expire_flows(Time::from_secs(15)).len(), 1);
         assert!(n.is_empty());
     }
@@ -288,7 +309,10 @@ mod tests {
         let mut n = AbstractNat::new(cfg());
         n.insert(fid(1), 1000, Time::from_secs(0)).unwrap();
         assert!(n.refresh(&fid(1), Time::from_secs(8)));
-        assert!(n.expire_flows(Time::from_secs(10)).is_empty(), "refreshed at 8s, dies at 18s");
+        assert!(
+            n.expire_flows(Time::from_secs(10)).is_empty(),
+            "refreshed at 8s, dies at 18s"
+        );
         assert_eq!(n.expire_flows(Time::from_secs(18)).len(), 1);
         assert!(!n.refresh(&fid(1), Time::from_secs(19)), "gone now");
     }
@@ -299,7 +323,12 @@ mod tests {
         n.insert(fid(7), 1002, Time::from_secs(1)).unwrap();
         let f = n.lookup_internal(&fid(7)).copied().unwrap();
         assert_eq!(n.lookup_external(&f.ext_key()).unwrap().fid, fid(7));
-        assert!(n.lookup_external(&ExtKey { ext_port: 9999, ..f.ext_key() }).is_none());
+        assert!(n
+            .lookup_external(&ExtKey {
+                ext_port: 9999,
+                ..f.ext_key()
+            })
+            .is_none());
     }
 
     #[test]
@@ -307,6 +336,9 @@ mod tests {
         let c = cfg();
         assert_eq!(c.expiry_threshold(Time::from_secs(9)), None);
         assert_eq!(c.expiry_threshold(Time::from_secs(10)), Some(Time::ZERO));
-        assert_eq!(c.expiry_threshold(Time::from_secs(12)), Some(Time::from_secs(2)));
+        assert_eq!(
+            c.expiry_threshold(Time::from_secs(12)),
+            Some(Time::from_secs(2))
+        );
     }
 }

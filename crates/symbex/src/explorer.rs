@@ -37,7 +37,12 @@ pub struct Steering {
 
 impl Steering {
     fn new(prefix: Vec<Decision>) -> Steering {
-        Steering { prefix, cursor: 0, taken: Vec::new(), scheduled: Vec::new() }
+        Steering {
+            prefix,
+            cursor: 0,
+            taken: Vec::new(),
+            scheduled: Vec::new(),
+        }
     }
 
     /// The decisions this execution actually took (the path id).
@@ -120,7 +125,10 @@ pub fn explore<R>(
         results.push(r);
         queue.append(&mut steer.scheduled);
     }
-    let stats = ExploreStats { paths: results.len(), decisions };
+    let stats = ExploreStats {
+        paths: results.len(),
+        decisions,
+    };
     Ok((results, stats))
 }
 
@@ -159,7 +167,9 @@ mod tests {
         let set: std::collections::HashSet<_> = paths.into_iter().collect();
         assert_eq!(
             set,
-            [(true, true), (true, false), (false, true)].into_iter().collect()
+            [(true, true), (true, false), (false, true)]
+                .into_iter()
+                .collect()
         );
     }
 

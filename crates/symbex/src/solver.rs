@@ -195,7 +195,11 @@ struct Theory {
 
 impl Theory {
     fn new() -> Theory {
-        Theory { base_ids: HashMap::new(), dbm: vec![vec![0]], diseqs: Vec::new() }
+        Theory {
+            base_ids: HashMap::new(),
+            dbm: vec![vec![0]],
+            diseqs: Vec::new(),
+        }
     }
 
     fn ensure(&mut self, n: usize) {
@@ -370,7 +374,10 @@ mod tests {
         let x = a.var("x", Width::W16);
         let c5 = a.cu(5, Width::W16);
         let eq = a.eq(x, c5);
-        assert_eq!(Solver::check(&a, &[(eq, true), (eq, false)]), SatResult::Unsat);
+        assert_eq!(
+            Solver::check(&a, &[(eq, true), (eq, false)]),
+            SatResult::Unsat
+        );
         assert_eq!(Solver::check(&a, &[(eq, true)]), SatResult::Sat);
     }
 
@@ -412,10 +419,16 @@ mod tests {
         let sum = a.add(x, c10);
         let le = a.le(sum, c20);
         let eq15 = a.eq(x, c15);
-        assert_eq!(Solver::check(&a, &[(le, true), (eq15, true)]), SatResult::Unsat);
+        assert_eq!(
+            Solver::check(&a, &[(le, true), (eq15, true)]),
+            SatResult::Unsat
+        );
         let c5 = a.cu(5, Width::W16);
         let eq5 = a.eq(x, c5);
-        assert_eq!(Solver::check(&a, &[(le, true), (eq5, true)]), SatResult::Sat);
+        assert_eq!(
+            Solver::check(&a, &[(le, true), (eq5, true)]),
+            SatResult::Sat
+        );
     }
 
     #[test]
@@ -448,7 +461,10 @@ mod tests {
         assert!(Solver::entails(&a, &[], ob));
         let c59 = a.cu(59, Width::W16);
         let too_tight = a.le(z, c59);
-        assert!(!Solver::entails(&a, &[], too_tight), "59 is not a valid bound");
+        assert!(
+            !Solver::entails(&a, &[], too_tight),
+            "59 is not a valid bound"
+        );
     }
 
     #[test]
@@ -515,7 +531,10 @@ mod tests {
             SatResult::Unsat
         );
         // (x=1 || x=2) && x!=1 : sat (x=2)
-        assert_eq!(Solver::check(&a, &[(disj, true), (e1, false)]), SatResult::Sat);
+        assert_eq!(
+            Solver::check(&a, &[(disj, true), (e1, false)]),
+            SatResult::Sat
+        );
         // !(x=1 && x=2) : sat trivially
         let conj = a.and(e1, e2);
         assert_eq!(Solver::check(&a, &[(conj, false)]), SatResult::Sat);
@@ -546,7 +565,11 @@ mod tests {
         let g3 = a.le(ihl, total);
         let g4 = a.le(c20, l4);
         let path = [(g1, true), (g2, true), (g3, true), (g4, true)];
-        assert_eq!(Solver::check(&a, &path), SatResult::Sat, "the forwarding path is feasible");
+        assert_eq!(
+            Solver::check(&a, &path),
+            SatResult::Sat,
+            "the forwarding path is feasible"
+        );
 
         // And it entails total_len >= 20 (sanity the validator uses).
         let ob = a.le(c20, total);

@@ -133,7 +133,11 @@ impl TermArena {
     /// Debug name of a variable term (or a rendering of the node).
     pub fn name_of(&self, t: TermId) -> String {
         match self.node(t) {
-            Node::Var(v, _) => self.var_names.get(v).cloned().unwrap_or_else(|| format!("v{v}")),
+            Node::Var(v, _) => self
+                .var_names
+                .get(v)
+                .cloned()
+                .unwrap_or_else(|| format!("v{v}")),
             n => format!("{n:?}"),
         }
     }
@@ -169,7 +173,10 @@ impl TermArena {
     pub fn width(&self, t: TermId) -> Width {
         match self.node(t) {
             Node::ConstU(_, w) | Node::Var(_, w) | Node::Zext(_, w) => *w,
-            Node::Add(a, _) | Node::Sub(a, _) | Node::AndMask(a, _) | Node::ShlC(a, _)
+            Node::Add(a, _)
+            | Node::Sub(a, _)
+            | Node::AndMask(a, _)
+            | Node::ShlC(a, _)
             | Node::ShrC(a, _) => self.width(*a),
             _ => panic!("width of a boolean term"),
         }

@@ -62,10 +62,17 @@ pub fn check_p2(trace: &SymTrace) -> Result<usize, CheckFailure> {
 /// only after a hit, guarded expiry with the exact threshold.
 pub fn check_p4(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFailure> {
     let mut checks = 0usize;
-    let fail = |detail: String| CheckFailure { property: "P4", detail };
+    let fail = |detail: String| CheckFailure {
+        property: "P4",
+        detail,
+    };
 
     // Buffer ownership: received exactly once => consumed exactly once.
-    let received = trace.events.iter().filter(|e| matches!(e, Event::Receive(_))).count();
+    let received = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::Receive(_)))
+        .count();
     let consumed = trace
         .events
         .iter()
@@ -104,7 +111,9 @@ pub fn check_p4(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
         }
         let guard = trace.arena.le(texp, now);
         if !entails(&trace.arena, &trace.path, guard) {
-            return Err(fail("expiry threshold used without the Texp <= now guard".into()));
+            return Err(fail(
+                "expiry threshold used without the Texp <= now guard".into(),
+            ));
         }
         checks += 2;
     }
@@ -116,8 +125,14 @@ pub fn check_p4(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
 
     for (i, e) in trace.events.iter().enumerate() {
         match e {
-            Event::LookupInternal { result: Some((slot, _)), .. }
-            | Event::LookupExternal { result: Some((slot, _, _)), .. } => {
+            Event::LookupInternal {
+                result: Some((slot, _)),
+                ..
+            }
+            | Event::LookupExternal {
+                result: Some((slot, _, _)),
+                ..
+            } => {
                 hit_slots.push(*slot);
             }
             Event::Rejuvenate { slot, .. } => {
@@ -128,13 +143,19 @@ pub fn check_p4(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                 }
                 checks += 1;
             }
-            Event::AllocateSlot { result: Some((slot, idx)), .. } => {
+            Event::AllocateSlot {
+                result: Some((slot, idx)),
+                ..
+            } => {
                 pending_alloc.push((*slot, *idx));
             }
             Event::InsertFlow { slot, ext_port, .. } => {
-                let pos = pending_alloc.iter().position(|(s, _)| s == slot).ok_or_else(|| {
-                    fail(format!("insert into slot {slot} that was never allocated"))
-                })?;
+                let pos = pending_alloc
+                    .iter()
+                    .position(|(s, _)| s == slot)
+                    .ok_or_else(|| {
+                        fail(format!("insert into slot {slot} that was never allocated"))
+                    })?;
                 let (_, idx) = pending_alloc.swap_remove(pos);
                 // The slot/port bijection: ext_port == start_port + idx.
                 let start = trace.arena.cu(u64::from(cfg.start_port), Width::W16);
@@ -155,7 +176,9 @@ pub fn check_p4(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
     // Every allocation must be followed by its insert (else the slot —
     // and with it the port — leaks).
     if let Some((slot, _)) = pending_alloc.first() {
-        return Err(fail(format!("allocated slot {slot} never inserted: slot leak")));
+        return Err(fail(format!(
+            "allocated slot {slot} never inserted: slot leak"
+        )));
     }
     checks += 1;
     Ok(checks)
@@ -175,15 +198,20 @@ pub fn check_p5(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
     let events = trace.events.clone();
     for (i, e) in events.iter().enumerate() {
         let (desc, outputs, assumed): (&str, Vec<TermId>, &[Lit]) = match e {
-            Event::AllocateSlot { result: Some((_, idx)), assumed } => {
-                ("allocate_slot", vec![*idx], assumed)
-            }
-            Event::LookupInternal { result: Some((_, ext_port)), assumed, .. } => {
-                ("lookup_internal", vec![*ext_port], assumed)
-            }
-            Event::LookupExternal { result: Some(_), assumed, .. } => {
-                ("lookup_external", Vec::new(), assumed)
-            }
+            Event::AllocateSlot {
+                result: Some((_, idx)),
+                assumed,
+            } => ("allocate_slot", vec![*idx], assumed),
+            Event::LookupInternal {
+                result: Some((_, ext_port)),
+                assumed,
+                ..
+            } => ("lookup_internal", vec![*ext_port], assumed),
+            Event::LookupExternal {
+                result: Some(_),
+                assumed,
+                ..
+            } => ("lookup_external", Vec::new(), assumed),
             _ => continue,
         };
         // Build the contract-side postcondition for this call.
@@ -212,7 +240,11 @@ pub fn check_p5(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
         };
         // contract ⊨ each model assumption.
         for &(prop, polarity) in assumed {
-            let goal = if polarity { prop } else { trace.arena.not(prop) };
+            let goal = if polarity {
+                prop
+            } else {
+                trace.arena.not(prop)
+            };
             if !entails(&trace.arena, &contract, goal) {
                 return Err(CheckFailure {
                     property: "P5",
@@ -278,7 +310,10 @@ fn accepted_prop(arena: &mut TermArena, rx: &SymRx) -> TermId {
 /// obligation (paper §5.2.2). Returns the number of semantic conditions
 /// proven.
 pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFailure> {
-    let fail = |detail: String| CheckFailure { property: "P1", detail };
+    let fail = |detail: String| CheckFailure {
+        property: "P1",
+        detail,
+    };
     let mut checks = 0usize;
 
     let Some(rx) = trace.rx().cloned() else {
@@ -306,7 +341,9 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
         .rposition(|e| matches!(e, Event::ExpireFlows { .. }));
     if let (Some(t), Some(x)) = (first_table_op, last_expire) {
         if x > t {
-            return Err(fail("expire_flows must precede flow-table updates (Fig. 6 l.2)".into()));
+            return Err(fail(
+                "expire_flows must precede flow-table updates (Fig. 6 l.2)".into(),
+            ));
         }
         checks += 1;
     }
@@ -330,7 +367,9 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
     if lookup_events.is_empty() {
         // Parse-drop path: must be provably un-accepted and dropped.
         if !trace.dropped() {
-            return Err(fail("no table interaction and no drop: packet vanished".into()));
+            return Err(fail(
+                "no table interaction and no drop: packet vanished".into(),
+            ));
         }
         let not_accepted = trace.arena.not(accepted);
         if !entails(&trace.arena, &trace.path, not_accepted) {
@@ -345,15 +384,17 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
 
     // Translation path: the frame must be provably accepted.
     if !entails(&trace.arena, &trace.path, accepted) {
-        return Err(fail("flow-table interaction on a frame not proven accepted".into()));
+        return Err(fail(
+            "flow-table interaction on a frame not proven accepted".into(),
+        ));
     }
     checks += 1;
 
     let prove_eq = |arena: &mut TermArena,
-                        path: &[Lit],
-                        a: TermId,
-                        b: TermId,
-                        what: &str|
+                    path: &[Lit],
+                    a: TermId,
+                    b: TermId,
+                    what: &str|
      -> Result<(), CheckFailure> {
         if a == b {
             return Ok(());
@@ -377,10 +418,18 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                 _ => None,
             });
             let Some((fid, result)) = lookup else {
-                return Err(fail("internal packet translated without an internal lookup".into()));
+                return Err(fail(
+                    "internal packet translated without an internal lookup".into(),
+                ));
             };
             for (k, (got, want)) in fid.iter().zip(fid_expected.iter()).enumerate() {
-                prove_eq(&mut trace.arena, &trace.path, *got, *want, &format!("F(P) field {k}"))?;
+                prove_eq(
+                    &mut trace.arena,
+                    &trace.path,
+                    *got,
+                    *want,
+                    &format!("F(P) field {k}"),
+                )?;
                 checks += 1;
             }
             match result {
@@ -391,16 +440,26 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                         .iter()
                         .any(|e| matches!(e, Event::Rejuvenate { slot: s, .. } if *s == slot));
                     if !rej {
-                        return Err(fail("matched flow's timestamp not refreshed (Fig. 6 l.12)".into()));
+                        return Err(fail(
+                            "matched flow's timestamp not refreshed (Fig. 6 l.12)".into(),
+                        ));
                     }
                     let Some((out, hdr)) = trace.tx() else {
                         return Err(fail("matched internal packet must be forwarded".into()));
                     };
                     if *out != Direction::External {
-                        return Err(fail("internal packet forwarded out the wrong interface".into()));
+                        return Err(fail(
+                            "internal packet forwarded out the wrong interface".into(),
+                        ));
                     }
                     let hdr = *hdr;
-                    prove_eq(&mut trace.arena, &trace.path, hdr[0], ext_ip, "S.src_ip = EXT_IP")?;
+                    prove_eq(
+                        &mut trace.arena,
+                        &trace.path,
+                        hdr[0],
+                        ext_ip,
+                        "S.src_ip = EXT_IP",
+                    )?;
                     prove_eq(
                         &mut trace.arena,
                         &trace.path,
@@ -408,7 +467,13 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                         hit_port,
                         "S.src_port = F(P).ext_port",
                     )?;
-                    prove_eq(&mut trace.arena, &trace.path, hdr[2], rx.dst_ip, "S.dst_ip = P.dst_ip")?;
+                    prove_eq(
+                        &mut trace.arena,
+                        &trace.path,
+                        hdr[2],
+                        rx.dst_ip,
+                        "S.dst_ip = P.dst_ip",
+                    )?;
                     prove_eq(
                         &mut trace.arena,
                         &trace.path,
@@ -427,9 +492,11 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                     match alloc {
                         Some(Some((slot, _idx))) => {
                             let insert = lookup_events.iter().find_map(|e| match e {
-                                Event::InsertFlow { slot: s, fid, ext_port } if *s == slot => {
-                                    Some((*fid, *ext_port))
-                                }
+                                Event::InsertFlow {
+                                    slot: s,
+                                    fid,
+                                    ext_port,
+                                } if *s == slot => Some((*fid, *ext_port)),
                                 _ => None,
                             });
                             let Some((ins_fid, ins_port)) = insert else {
@@ -448,13 +515,23 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                                 checks += 1;
                             }
                             let Some((out, hdr)) = trace.tx() else {
-                                return Err(fail("fresh flow must be forwarded (Fig. 6 l.20)".into()));
+                                return Err(fail(
+                                    "fresh flow must be forwarded (Fig. 6 l.20)".into(),
+                                ));
                             };
                             if *out != Direction::External {
-                                return Err(fail("fresh internal flow must exit externally".into()));
+                                return Err(fail(
+                                    "fresh internal flow must exit externally".into(),
+                                ));
                             }
                             let hdr = *hdr;
-                            prove_eq(&mut trace.arena, &trace.path, hdr[0], ext_ip, "S.src_ip = EXT_IP")?;
+                            prove_eq(
+                                &mut trace.arena,
+                                &trace.path,
+                                hdr[0],
+                                ext_ip,
+                                "S.src_ip = EXT_IP",
+                            )?;
                             prove_eq(
                                 &mut trace.arena,
                                 &trace.path,
@@ -463,7 +540,13 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                                 "S.src_port = inserted ext_port",
                             )?;
                             prove_eq(&mut trace.arena, &trace.path, hdr[2], rx.dst_ip, "S.dst_ip")?;
-                            prove_eq(&mut trace.arena, &trace.path, hdr[3], rx.dst_port, "S.dst_port")?;
+                            prove_eq(
+                                &mut trace.arena,
+                                &trace.path,
+                                hdr[3],
+                                rx.dst_port,
+                                "S.dst_port",
+                            )?;
                             checks += 5;
                         }
                         Some(None) => {
@@ -491,10 +574,18 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                 _ => None,
             });
             let Some((ek, result)) = lookup else {
-                return Err(fail("external packet handled without an external lookup".into()));
+                return Err(fail(
+                    "external packet handled without an external lookup".into(),
+                ));
             };
             for (k, (got, want)) in ek.iter().zip(ek_expected.iter()).enumerate() {
-                prove_eq(&mut trace.arena, &trace.path, *got, *want, &format!("ext key field {k}"))?;
+                prove_eq(
+                    &mut trace.arena,
+                    &trace.path,
+                    *got,
+                    *want,
+                    &format!("ext key field {k}"),
+                )?;
                 checks += 1;
             }
             match result {
@@ -513,7 +604,13 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                         return Err(fail("return traffic must exit internally".into()));
                     }
                     let hdr = *hdr;
-                    prove_eq(&mut trace.arena, &trace.path, hdr[0], rx.src_ip, "S.src_ip = P.src_ip")?;
+                    prove_eq(
+                        &mut trace.arena,
+                        &trace.path,
+                        hdr[0],
+                        rx.src_ip,
+                        "S.src_ip = P.src_ip",
+                    )?;
                     prove_eq(
                         &mut trace.arena,
                         &trace.path,
@@ -548,7 +645,9 @@ pub fn check_p1(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
                         .iter()
                         .any(|e| matches!(e, Event::AllocateSlot { .. } | Event::InsertFlow { .. }))
                     {
-                        return Err(fail("external packet created flow state (Fig. 6 l.14)".into()));
+                        return Err(fail(
+                            "external packet created flow state (Fig. 6 l.14)".into(),
+                        ));
                     }
                     checks += 2;
                 }

@@ -331,7 +331,11 @@ pub fn verify_discard(model: RingModel) -> DiscardReport {
             model,
         };
         discard_loop_iteration(&mut env);
-        DiscardTrace { arena: env.arena, path: env.path, events: env.events }
+        DiscardTrace {
+            arena: env.arena,
+            path: env.path,
+            events: env.events,
+        }
     })
     .expect("discard NF explores in bounded paths");
 
@@ -401,7 +405,12 @@ pub fn verify_discard(model: RingModel) -> DiscardReport {
         }
     }
 
-    DiscardReport { paths: stats.paths, conditions, model_validations, failures }
+    DiscardReport {
+        paths: stats.paths,
+        conditions,
+        model_validations,
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -426,7 +435,11 @@ mod tests {
     fn over_approximate_ring_model_fails_semantics() {
         let r = verify_discard(RingModel::OverApproximate);
         assert!(!r.ok());
-        assert!(r.failures.iter().any(|f| f.property == "P1"), "{:#?}", r.failures);
+        assert!(
+            r.failures.iter().any(|f| f.property == "P1"),
+            "{:#?}",
+            r.failures
+        );
         assert!(r.failures.iter().all(|f| f.property != "P5"));
     }
 
@@ -436,7 +449,11 @@ mod tests {
     fn under_approximate_ring_model_fails_validation() {
         let r = verify_discard(RingModel::UnderApproximate);
         assert!(!r.ok());
-        assert!(r.failures.iter().any(|f| f.property == "P5"), "{:#?}", r.failures);
+        assert!(
+            r.failures.iter().any(|f| f.property == "P5"),
+            "{:#?}",
+            r.failures
+        );
     }
 
     /// The push discipline is itself proven: the loop's `port != 9`

@@ -57,7 +57,11 @@ pub fn run_ese(cfg: &NatConfig, style: ModelStyle, max_paths: usize) -> Result<E
         let _outcome = nat_loop_iteration(&mut env, &cfg);
         env.into_trace()
     })?;
-    Ok(EseResult { traces, stats, duration: start.elapsed() })
+    Ok(EseResult {
+        traces,
+        stats,
+        duration: start.elapsed(),
+    })
 }
 
 #[cfg(test)]
@@ -117,7 +121,12 @@ mod tests {
         for t in &r.traces {
             let got_pkt = t.rx().is_some();
             let consumed = t.tx().is_some() || t.dropped();
-            assert_eq!(got_pkt, consumed, "ownership: packet iff consumed\n{}", t.render());
+            assert_eq!(
+                got_pkt,
+                consumed,
+                "ownership: packet iff consumed\n{}",
+                t.render()
+            );
             let consume_events = t
                 .events
                 .iter()

@@ -99,7 +99,10 @@ pub fn run_verification(cfg: &NatConfig, style: ModelStyle, threads: usize) -> V
                 ese_duration: std::time::Duration::ZERO,
                 validation_duration: std::time::Duration::ZERO,
                 threads,
-                failures: vec![CheckFailure { property: "P2", detail: format!("ESE failed: {e}") }],
+                failures: vec![CheckFailure {
+                    property: "P2",
+                    detail: format!("ESE failed: {e}"),
+                }],
             }
         }
     };
@@ -131,12 +134,11 @@ pub fn run_verification(cfg: &NatConfig, style: ModelStyle, threads: usize) -> V
         }
     } else {
         let results: Vec<(usize, usize, usize, usize, Vec<CheckFailure>)> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = traces
                     .chunks_mut(chunk.max(1))
                     .map(|slice| {
-                        let cfg = cfg;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut tot = (0usize, 0usize, 0usize, 0usize);
                             let mut fails = Vec::new();
                             for t in slice {
@@ -154,9 +156,11 @@ pub fn run_verification(cfg: &NatConfig, style: ModelStyle, threads: usize) -> V
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("validator thread")).collect()
-            })
-            .expect("crossbeam scope");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("validator thread"))
+                    .collect()
+            });
         for (a, b, c, d, fails) in results {
             totals.0 += a;
             totals.1 += b;

@@ -214,7 +214,9 @@ impl NatEnv for SymEnv<'_> {
     }
 
     fn expire_flows(&mut self, threshold: &TermId) {
-        self.events.push(Event::ExpireFlows { threshold: *threshold });
+        self.events.push(Event::ExpireFlows {
+            threshold: *threshold,
+        });
     }
 
     fn receive(&mut self) -> Option<RxPacket<Self>> {
@@ -224,7 +226,11 @@ impl NatEnv for SymEnv<'_> {
             return None;
         }
         // Fork: which interface it arrived on.
-        let dir = if self.fork_free(2) == 0 { Direction::Internal } else { Direction::External };
+        let dir = if self.fork_free(2) == 0 {
+            Direction::Internal
+        } else {
+            Direction::External
+        };
         let rx = SymRx {
             dir,
             frame_len: self.arena.var("frame_len", Width::W16),
@@ -292,9 +298,10 @@ impl NatEnv for SymEnv<'_> {
         self.slot_counter += 1;
         let ext_port = self.arena.var("hit_ext_port", Width::W16);
         let lo = self.arena.cu(u64::from(self.cfg.start_port), Width::W16);
-        let hi = self
-            .arena
-            .cu(u64::from(self.cfg.start_port) + self.cfg.capacity as u64 - 1, Width::W16);
+        let hi = self.arena.cu(
+            u64::from(self.cfg.start_port) + self.cfg.capacity as u64 - 1,
+            Width::W16,
+        );
         let ge = self.arena.le(lo, ext_port);
         let le = self.arena.le(ext_port, hi);
         let assumed = vec![(ge, true), (le, true)];
@@ -347,12 +354,18 @@ impl NatEnv for SymEnv<'_> {
     }
 
     fn rejuvenate(&mut self, slot: SlotId, now: &TermId) {
-        self.events.push(Event::Rejuvenate { slot: slot.0, now: *now });
+        self.events.push(Event::Rejuvenate {
+            slot: slot.0,
+            now: *now,
+        });
     }
 
     fn allocate_slot(&mut self, _now: &TermId) -> Option<(SlotId, TermId)> {
         if self.fork_free(2) == 1 {
-            self.events.push(Event::AllocateSlot { result: None, assumed: Vec::new() });
+            self.events.push(Event::AllocateSlot {
+                result: None,
+                assumed: Vec::new(),
+            });
             return None;
         }
         let slot = self.slot_counter;
@@ -376,7 +389,10 @@ impl NatEnv for SymEnv<'_> {
         for &(p, pol) in &assumed {
             self.path.push((p, pol));
         }
-        self.events.push(Event::AllocateSlot { result: Some((slot, idx)), assumed });
+        self.events.push(Event::AllocateSlot {
+            result: Some((slot, idx)),
+            assumed,
+        });
         Some((SlotId(slot), idx))
     }
 
@@ -392,7 +408,10 @@ impl NatEnv for SymEnv<'_> {
         assert_eq!(self.in_flight, Some(pkt), "tx of unowned packet (P4)");
         assert!(!self.consumed, "double consume (P4)");
         self.consumed = true;
-        self.events.push(Event::Tx { out, hdr: [hdr.src_ip, hdr.src_port, hdr.dst_ip, hdr.dst_port] });
+        self.events.push(Event::Tx {
+            out,
+            hdr: [hdr.src_ip, hdr.src_port, hdr.dst_ip, hdr.dst_port],
+        });
     }
 
     fn drop_pkt(&mut self, pkt: PktHandle) {

@@ -195,8 +195,12 @@ impl SymTrace {
                 Event::DropPkt => writeln!(s, "drop()"),
             };
         }
-        let _ = writeln!(s, "--- {} path constraints, {} obligations ---",
-            self.path.len(), self.obligations.len());
+        let _ = writeln!(
+            s,
+            "--- {} path constraints, {} obligations ---",
+            self.path.len(),
+            self.obligations.len()
+        );
         s
     }
 }

@@ -48,9 +48,15 @@ fn main() {
         // -- loop_iteration_begin ------------------------------------
         // receive() + filter + push (Fig. 1 ll.9-11)
         if !ring.is_full() {
-            let p = Packet { port: ports[(i as usize) % ports.len()], tag: i };
-            spec.observe(DiscardEvent::Received { port: p.port, tag: p.tag })
-                .expect("receive can never violate the spec");
+            let p = Packet {
+                port: ports[(i as usize) % ports.len()],
+                tag: i,
+            };
+            spec.observe(DiscardEvent::Received {
+                port: p.port,
+                tag: p.tag,
+            })
+            .expect("receive can never violate the spec");
             if p.port != 9 {
                 ring.push_back(p).expect("guarded by !is_full");
             } else {
@@ -63,8 +69,11 @@ fn main() {
             let p = ring.pop_front().expect("guarded by !is_empty");
             // The paper's target property, checked by the spec on every
             // send: port != 9, in order, exactly once.
-            spec.observe(DiscardEvent::Sent { port: p.port, tag: p.tag })
-                .unwrap_or_else(|v| panic!("spec violation: {v}"));
+            spec.observe(DiscardEvent::Sent {
+                port: p.port,
+                tag: p.tag,
+            })
+            .unwrap_or_else(|v| panic!("spec violation: {v}"));
             sent += 1;
         }
         // -- loop_iteration_end --------------------------------------
@@ -78,7 +87,9 @@ fn main() {
 
     // Show the spec catching the §3 bug: an NF that forgets the filter.
     let mut buggy_spec = DiscardSpec::new();
-    buggy_spec.observe(DiscardEvent::Received { port: 9, tag: 1 }).unwrap();
+    buggy_spec
+        .observe(DiscardEvent::Received { port: 9, tag: 1 })
+        .unwrap();
     let err = buggy_spec
         .observe(DiscardEvent::Sent { port: 9, tag: 1 })
         .expect_err("forwarding port 9 must be flagged");

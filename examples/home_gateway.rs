@@ -35,7 +35,12 @@ fn main() {
     let mut nat = VigNatMb::new(cfg);
     let dns = Ip4::new(9, 9, 9, 9);
 
-    println!("home gateway: {} flows max, ports {}..{}", cfg.capacity, cfg.start_port, cfg.start_port as usize + cfg.capacity - 1);
+    println!(
+        "home gateway: {} flows max, ports {}..{}",
+        cfg.capacity,
+        cfg.start_port,
+        cfg.start_port as usize + cfg.capacity - 1
+    );
 
     // Ten devices each open five DNS flows.
     let mut translated = 0;
@@ -52,7 +57,11 @@ fn main() {
             }
         }
     }
-    println!("50 flows from 10 devices translated; occupancy {}/{}", nat.occupancy(), cfg.capacity);
+    println!(
+        "50 flows from 10 devices translated; occupancy {}/{}",
+        nat.occupancy(),
+        cfg.capacity
+    );
     assert_eq!(translated, 50);
 
     // A burst from one more device hits the capacity wall at 64.
@@ -64,7 +73,11 @@ fn main() {
             Verdict::Drop => dropped += 1,
         }
     }
-    println!("burst of 20 more flows: {} admitted, {} dropped (table full)", 20 - dropped, dropped);
+    println!(
+        "burst of 20 more flows: {} admitted, {} dropped (table full)",
+        20 - dropped,
+        dropped
+    );
     assert_eq!(nat.occupancy(), 64);
     assert_eq!(dropped, 6, "64 - 50 = 14 admitted, 6 dropped");
 
@@ -80,7 +93,7 @@ fn main() {
     let (_, probe) = {
         let mut f = udp_frame(2, 40_001, dns, 53);
         nat.process(Direction::Internal, &mut f, Time::from_secs(3));
-        parse_l3l4(&f).map(|(o, ff)| (o, ff)).unwrap()
+        parse_l3l4(&f).unwrap()
     };
     let mut reply = PacketBuilder::udp(dns, cfg.external_ip, 53, probe.src_port).build();
     assert_eq!(
@@ -88,7 +101,10 @@ fn main() {
         Verdict::Forward(Direction::Internal)
     );
     let (_, back) = parse_l3l4(&reply).unwrap();
-    println!("reply to ext port {} delivered to {}:{}", probe.src_port, back.dst_ip, back.dst_port);
+    println!(
+        "reply to ext port {} delivered to {}:{}",
+        probe.src_port, back.dst_ip, back.dst_port
+    );
     assert_eq!(back.dst_ip, Ip4::new(192, 168, 1, 2));
 
     // Half a minute of silence: everything expires, ports recycle.

@@ -19,7 +19,10 @@ fn main() {
         start_port: 1,
     };
     let mut nat = VigNatMb::new(cfg);
-    println!("VigNAT up: external ip {}, capacity {}", cfg.external_ip, cfg.capacity);
+    println!(
+        "VigNAT up: external ip {}, capacity {}",
+        cfg.external_ip, cfg.capacity
+    );
 
     // An internal host opens a TCP connection to a web server.
     let mut syn = PacketBuilder::tcp(
@@ -40,10 +43,9 @@ fn main() {
     let ext_port = out.src_port;
 
     // The server answers; the NAT maps the reply back.
-    let mut synack =
-        PacketBuilder::tcp(Ip4::new(93, 184, 216, 34), cfg.external_ip, 443, ext_port)
-            .tcp_flags(vignat_repro::packet::tcp::flags::SYN | vignat_repro::packet::tcp::flags::ACK)
-            .build();
+    let mut synack = PacketBuilder::tcp(Ip4::new(93, 184, 216, 34), cfg.external_ip, 443, ext_port)
+        .tcp_flags(vignat_repro::packet::tcp::flags::SYN | vignat_repro::packet::tcp::flags::ACK)
+        .build();
     let v = nat.process(Direction::External, &mut synack, Time::from_secs(1));
     assert_eq!(v, Verdict::Forward(Direction::Internal));
     let (_, back) = parse_l3l4(&synack).unwrap();
@@ -59,7 +61,10 @@ fn main() {
         PacketBuilder::tcp(Ip4::new(93, 184, 216, 34), cfg.external_ip, 443, ext_port).build();
     let v = nat.process(Direction::External, &mut late, Time::from_secs(4));
     assert_eq!(v, Verdict::Drop);
-    println!("after 3 s idle: flow expired, late reply dropped (occupancy {})", nat.occupancy());
+    println!(
+        "after 3 s idle: flow expired, late reply dropped (occupancy {})",
+        nat.occupancy()
+    );
 
     println!("\nok — this is the behaviour the validator proves for *all* packets;");
     println!("run `cargo run --example verify_nat` to watch the proof.");

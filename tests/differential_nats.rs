@@ -11,9 +11,7 @@ use rand::{Rng, SeedableRng};
 use vignat_repro::baselines::{NetfilterNat, UnverifiedNat};
 use vignat_repro::libvig::time::Time;
 use vignat_repro::nat::NatConfig;
-use vignat_repro::packet::{
-    builder::PacketBuilder, parse_l3l4, Direction, FlowFields, Ip4, Proto,
-};
+use vignat_repro::packet::{builder::PacketBuilder, parse_l3l4, Direction, FlowFields, Ip4, Proto};
 use vignat_repro::sim::harness::Testbed;
 use vignat_repro::sim::middlebox::{Middlebox, Verdict, VigNatMb};
 use vignat_repro::spec::{Output, PacketInput, SpecChecker};
@@ -40,7 +38,11 @@ fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64) {
 
     for step in 0..steps {
         now = now.plus(rng.gen_range(1_000_000..2_000_000_000));
-        let proto = if rng.gen_bool(0.5) { Proto::Tcp } else { Proto::Udp };
+        let proto = if rng.gen_bool(0.5) {
+            Proto::Tcp
+        } else {
+            Proto::Udp
+        };
         let (dir, fields) = if rng.gen_bool(0.6) {
             // internal traffic from a small pool of hosts/ports
             (
@@ -99,12 +101,15 @@ fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64) {
             Verdict::Drop => Output::Drop,
             Verdict::Forward(_) => {
                 let (frame, out_dir) = out_frame.expect("forwarded frame captured");
-                let (off, ff) = parse_l3l4(&frame).unwrap_or_else(|e| {
-                    panic!("{}: forwarded frame must parse ({e})", nf.name())
-                });
+                let (off, ff) = parse_l3l4(&frame)
+                    .unwrap_or_else(|e| panic!("{}: forwarded frame must parse ({e})", nf.name()));
                 // Byte-level: IPv4 checksum verifies.
                 let ip = vignat_repro::packet::ipv4::Ipv4Packet::parse(&frame[14..]).unwrap();
-                assert!(ip.verify_checksum(), "{}: bad IPv4 checksum at step {step}", nf.name());
+                assert!(
+                    ip.verify_checksum(),
+                    "{}: bad IPv4 checksum at step {step}",
+                    nf.name()
+                );
                 // Byte-level: payload untouched (S.data = P.data).
                 let l4_hdr = match ff.proto {
                     Proto::Tcp => 20,
@@ -116,7 +121,10 @@ fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64) {
                     "{}: payload altered at step {step}",
                     nf.name()
                 );
-                Output::Forward { iface: out_dir, fields: ff }
+                Output::Forward {
+                    iface: out_dir,
+                    fields: ff,
+                }
             }
         };
         let input = PacketInput { dir, fields };
@@ -169,11 +177,14 @@ fn all_nats_agree_on_forwarding_decisions() {
         let host = rng.gen_range(1..40u8);
         let port = 30_000 + rng.gen_range(0..3u16);
 
-        let mut decide = |nf: &mut dyn Middlebox| -> bool {
+        let decide = |nf: &mut dyn Middlebox| -> bool {
             let mut frame =
                 PacketBuilder::udp(Ip4::new(10, 0, 0, host), Ip4::new(9, 9, 9, 9), port, 53)
                     .build();
-            matches!(nf.process(Direction::Internal, &mut frame, now), Verdict::Forward(_))
+            matches!(
+                nf.process(Direction::Internal, &mut frame, now),
+                Verdict::Forward(_)
+            )
         };
 
         let f1 = decide(&mut vig);
@@ -181,7 +192,15 @@ fn all_nats_agree_on_forwarding_decisions() {
         let f3 = decide(&mut netf);
         assert_eq!(f1, f2, "verified vs unverified diverged at step {step}");
         assert_eq!(f1, f3, "verified vs netfilter diverged at step {step}");
-        assert_eq!(vig.occupancy(), unv.occupancy(), "occupancy diverged at step {step}");
-        assert_eq!(vig.occupancy(), netf.occupancy(), "occupancy diverged at step {step}");
+        assert_eq!(
+            vig.occupancy(),
+            unv.occupancy(),
+            "occupancy diverged at step {step}"
+        );
+        assert_eq!(
+            vig.occupancy(),
+            netf.occupancy(),
+            "occupancy diverged at step {step}"
+        );
     }
 }

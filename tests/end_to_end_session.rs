@@ -75,7 +75,12 @@ fn session_against(nf: &mut dyn Middlebox) {
             nf.name()
         );
         let (_, d) = parse_l3l4(&data).unwrap();
-        assert_eq!(d.src_port, ext_port, "{}: mapping must be stable", nf.name());
+        assert_eq!(
+            d.src_port,
+            ext_port,
+            "{}: mapping must be stable",
+            nf.name()
+        );
 
         let mut resp = PacketBuilder::tcp(SERVER, EXT_IP, 443, ext_port)
             .tcp_flags(flags::ACK)

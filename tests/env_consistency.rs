@@ -37,7 +37,11 @@ fn simple_env_and_frame_env_agree_packet_for_packet() {
 
     for step in 0..2_000 {
         now = now.plus(rng.gen_range(1_000_000..800_000_000));
-        let proto = if rng.gen_bool(0.5) { Proto::Tcp } else { Proto::Udp };
+        let proto = if rng.gen_bool(0.5) {
+            Proto::Tcp
+        } else {
+            Proto::Udp
+        };
         let (dir, fields) = if rng.gen_bool(0.65) {
             (
                 Direction::Internal,
@@ -67,19 +71,28 @@ fn simple_env_and_frame_env_agree_packet_for_packet() {
 
         // Byte-level run on a real frame.
         let mut frame = match proto {
-            Proto::Tcp => {
-                PacketBuilder::tcp(fields.src_ip, fields.dst_ip, fields.src_port, fields.dst_port)
-            }
-            Proto::Udp => {
-                PacketBuilder::udp(fields.src_ip, fields.dst_ip, fields.src_port, fields.dst_port)
-            }
+            Proto::Tcp => PacketBuilder::tcp(
+                fields.src_ip,
+                fields.dst_ip,
+                fields.src_port,
+                fields.dst_port,
+            ),
+            Proto::Udp => PacketBuilder::udp(
+                fields.src_ip,
+                fields.dst_ip,
+                fields.src_port,
+                fields.dst_port,
+            ),
         }
         .build();
         let byte_out = match byte_env.process(dir, &mut frame, now) {
             Verdict::Drop => Output::Drop,
             Verdict::Forward(out) => {
                 let (_, ff) = parse_l3l4(&frame).expect("forwarded frame parses");
-                Output::Forward { iface: out, fields: ff }
+                Output::Forward {
+                    iface: out,
+                    fields: ff,
+                }
             }
         };
 
@@ -94,5 +107,8 @@ fn simple_env_and_frame_env_agree_packet_for_packet() {
         );
     }
     assert!(byte_env.occupancy() > 0, "workload must have created flows");
-    assert!(byte_env.expired_total() > 0, "workload must have exercised expiry");
+    assert!(
+        byte_env.expired_total() > 0,
+        "workload must have exercised expiry"
+    );
 }

@@ -23,10 +23,26 @@ fn the_headline_result() {
     let report = run_verification(&paper_cfg(), ModelStyle::Faithful, 2);
     assert!(report.ok(), "{:#?}", report.failures);
     // The proof did real work on every property:
-    assert!(report.p1_checks >= 50, "semantic conditions: {}", report.p1_checks);
-    assert!(report.p2_obligations >= 50, "low-level obligations: {}", report.p2_obligations);
-    assert!(report.p4_checks >= 50, "usage conditions: {}", report.p4_checks);
-    assert!(report.p5_checks >= 10, "model validations: {}", report.p5_checks);
+    assert!(
+        report.p1_checks >= 50,
+        "semantic conditions: {}",
+        report.p1_checks
+    );
+    assert!(
+        report.p2_obligations >= 50,
+        "low-level obligations: {}",
+        report.p2_obligations
+    );
+    assert!(
+        report.p4_checks >= 50,
+        "usage conditions: {}",
+        report.p4_checks
+    );
+    assert!(
+        report.p5_checks >= 10,
+        "model validations: {}",
+        report.p5_checks
+    );
 }
 
 #[test]
@@ -61,14 +77,26 @@ fn trace_shape_matches_the_papers_figure9() {
                 && t.events.iter().any(|e| {
                     matches!(
                         e,
-                        vignat_repro::validator::Event::LookupInternal { result: Some(_), .. }
+                        vignat_repro::validator::Event::LookupInternal {
+                            result: Some(_),
+                            ..
+                        }
                     )
                 })
         })
         .expect("internal-hit path exists");
     let rendered = t.render();
-    for needle in ["now()", "receive()", "lookup_internal", "rejuvenate", "tx(out=External)"] {
-        assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+    for needle in [
+        "now()",
+        "receive()",
+        "lookup_internal",
+        "rejuvenate",
+        "tx(out=External)",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
     }
 }
 
@@ -78,7 +106,10 @@ fn broken_models_cannot_produce_proofs() {
     // fail, but it will never lead to an incorrect proof."
     let over = run_verification(&paper_cfg(), ModelStyle::OverApproximate, 2);
     assert!(!over.ok());
-    assert!(over.failures.iter().all(|f| f.property == "P2" || f.property == "P5"));
+    assert!(over
+        .failures
+        .iter()
+        .all(|f| f.property == "P2" || f.property == "P5"));
 
     let under = run_verification(&paper_cfg(), ModelStyle::UnderApproximate, 2);
     assert!(!under.ok());

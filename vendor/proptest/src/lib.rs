@@ -1,0 +1,532 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the subset of proptest's API the workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`);
+//! * strategies: integer ranges, tuples (up to 5), [`Just`],
+//!   [`collection::vec`], [`collection::hash_set`], `any::<T>()`,
+//!   [`Strategy::prop_map`], and [`prop_oneof!`];
+//! * assertions: [`prop_assert!`], [`prop_assert_eq!`], and
+//!   [`TestCaseError`] for explicit failures.
+//!
+//! Unlike the real proptest there is no shrinking: a failing case
+//! reports its seed and case index so it can be re-run, which is enough
+//! for the deterministic suites here. Each test function derives its RNG
+//! seed from its own name, so generated inputs are stable across runs
+//! and machines.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Re-export the RNG type strategies draw from.
+pub type TestRng = StdRng;
+
+/// Error carried by a failing property (what `prop_assert!` returns).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// An explicit failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias used by some call sites ("reject" behaves as failure here:
+    /// the shim has no case-regeneration machinery).
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> TestCaseError {
+        TestCaseError(s)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(s: &str) -> TestCaseError {
+        TestCaseError(s.to_string())
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of one type. The object-safe core is
+/// [`Strategy::generate`]; combinators are provided on top.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (what [`prop_oneof!`] unions over).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (the [`prop_oneof!`] engine).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over the given options (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Types with a canonical "any value" strategy (the `Arbitrary` analog).
+pub trait ArbitraryValue: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl<T: ArbitraryValue> ArbitraryValue for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        use rand::Rng;
+        if rng.gen_bool(0.5) {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the arbitrary-value strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Size specifications: a fixed count, `a..b`, or `a..=b`.
+    pub trait SizeRange {
+        /// Draw a size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `vec(element, size)` — vectors of `element`-generated values.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>`; sizes are best-effort upper bounds
+    /// (duplicates are dropped, as in real proptest's min-size-0 case).
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `hash_set(element, size)` — hash sets of generated values.
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: core::hash::Hash + Eq,
+        R: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: core::hash::Hash + Eq,
+        R: SizeRange,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Derive a stable 64-bit seed from a test's module path and name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a, good enough to decorrelate per-test streams.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Run `body` over `cases` generated inputs, panicking with seed/case
+/// context on the first failure. Called by the [`proptest!`] expansion.
+pub fn run_cases(
+    name: &str,
+    cases: u32,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let seed = seed_for(name);
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(case) << 32) ^ u64::from(case));
+        if let Err(e) = body(&mut rng) {
+            panic!("property '{name}' failed at case {case} (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+/// Assert inside a property, failing the case (not aborting the process)
+/// on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})", format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` analog of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// `assert_ne!` analog of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The property-test macro. Supports one optional
+/// `#![proptest_config(...)]` followed by any number of test functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    // Without: default config.
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn` in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                cfg.cases,
+                |__rng| {
+                    $(let $pat = $crate::Strategy::generate(&$strategy, __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (0u8..3).generate(&mut rng);
+            assert!(v < 3);
+            let (a, b) = ((0u16..5), any::<bool>()).generate(&mut rng);
+            assert!(a < 5);
+            let _: bool = b;
+            let xs = collection::vec(0u64..10, 2..4).generate(&mut rng);
+            assert!(xs.len() >= 2 && xs.len() < 4);
+            assert!(xs.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = rand::SeedableRng::seed_from_u64(2);
+        let s = prop_oneof![Just(0u8), Just(1u8), (2u8..4).prop_map(|x| x)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert!(seen.contains(&0) && seen.contains(&1) && seen.contains(&2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, ys in collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.len());
+            prop_assert!(ys.len() < 8);
+        }
+    }
+
+    proptest! {
+        /// Default-config form parses too.
+        #[test]
+        fn default_config_form(v in any::<Option<u16>>()) {
+            if let Some(x) = v {
+                prop_assert!(u32::from(x) <= 65_535);
+            }
+        }
+    }
+}

@@ -206,6 +206,26 @@ pub mod concrete {
                 _ => key.key_hash(),
             }
         }
+
+        /// Hash for routing the slot allocation that follows a lookup
+        /// miss: the memoized hash of the packet's flow id. This is how
+        /// the memoized hash doubles as the shard selector for sharded
+        /// flow tables ([`crate::flow_manager::FlowTable::allocate_slot_routed`]):
+        /// the shard that owns the fresh slot — and therefore the port
+        /// range the new flow's external port comes from — is a
+        /// function of exactly this value, with no extra hash computed.
+        ///
+        /// Contract (guaranteed by the loop body, which only allocates
+        /// at the sequence point of a just-missed lookup): a lookup of
+        /// the flow id that will be inserted precedes every allocation.
+        /// Panics if violated — silently routing by a wrong hash would
+        /// strand the flow in a shard its lookups never probe.
+        pub fn hash_for_alloc(&self) -> u64 {
+            self.0
+                .as_ref()
+                .map(|&(_, h)| h)
+                .expect("allocate_slot without a preceding flow lookup")
+        }
     }
 }
 

@@ -25,6 +25,84 @@ use libvig::time::Time;
 use vig_packet::{ExtKey, Flow, FlowId};
 use vig_spec::NatConfig;
 
+/// The flow-table interface the concrete environments drive.
+///
+/// This is the seam at which the unsharded [`FlowManager`] and the
+/// sharded [`crate::sharded::ShardedFlowManager`] are interchangeable:
+/// the envs (`SimpleEnv`, netsim's `FrameEnv`/`BurstEnv`) are generic
+/// over a `FlowTable`, and the verified loop body above them is
+/// oblivious — it sees only [`crate::env::NatEnv`]. Every operation
+/// takes the caller's memoized key hash, both to skip rehashing (the
+/// PR 1 fast path) and because **the hash doubles as the shard
+/// selector** for sharded implementations — which is why
+/// [`FlowTable::allocate_slot_routed`] carries the flow hash: the shard
+/// a fresh flow's slot (and therefore its external port) comes from is
+/// a function of that hash, so allocation never crosses shards.
+///
+/// Slot indices returned by lookups and allocation are *global*: a
+/// sharded table exposes `shard * per_shard_capacity + local_slot`, so
+/// the VigNAT invariant `ext_port == start_port + slot` holds verbatim
+/// for every implementation and the loop body's port arithmetic needs
+/// no sharding awareness.
+pub trait FlowTable {
+    /// Flows currently tracked.
+    fn flow_count(&self) -> usize;
+
+    /// Total slot capacity.
+    fn table_capacity(&self) -> usize;
+
+    /// Expire every flow with `last_active <= threshold`; returns how
+    /// many were removed. Sharded implementations expire all shards
+    /// (each shard also exposes an independent per-shard entry point
+    /// for per-core expiry clocks).
+    fn expire(&mut self, threshold: Time) -> usize;
+
+    /// Find a flow by internal 5-tuple; `hash == fid.key_hash()`.
+    fn lookup_internal_hashed(&self, fid: &FlowId, hash: u64) -> Option<(usize, &Flow)>;
+
+    /// Resolve a burst of internal-key lookups, appending one result
+    /// per query to `out` in query order; `hashes[i] ==
+    /// fids[i].key_hash()`. Results must equal element-wise
+    /// [`FlowTable::lookup_internal_hashed`] — batching (and, for
+    /// sharded tables, the per-shard sub-batch split) is a pure
+    /// optimization. Takes `&mut self` only for internal scratch; the
+    /// table state is not modified.
+    fn probe_internal_batch(
+        &mut self,
+        fids: &[FlowId],
+        hashes: &[u64],
+        out: &mut Vec<Option<(usize, Flow)>>,
+    );
+
+    /// Find a flow by external key; `hash == ek.key_hash()`. Sharded
+    /// tables route by the port partition, **not** by this hash — a
+    /// flow's external port identifies its shard exactly, whereas the
+    /// external key hashes independently of the internal one.
+    fn lookup_external_hashed(&self, ek: &ExtKey, hash: u64) -> Option<(usize, &Flow)>;
+
+    /// Refresh the activity timestamp of an allocated (global) slot.
+    fn rejuvenate(&mut self, slot: usize, now: Time);
+
+    /// Reserve a slot for a new flow whose internal key hashes to
+    /// `fid_hash`, stamped `now`. Returns the *global* slot, or `None`
+    /// when the routed shard is full (for the unsharded table: when the
+    /// table is full — the hash is ignored).
+    ///
+    /// Contract (P4, as for [`crate::env::NatEnv::allocate_slot`]): the
+    /// caller must follow up with [`FlowTable::insert_hashed`] for the
+    /// same slot with a flow id hashing to `fid_hash`, on the same
+    /// iteration.
+    fn allocate_slot_routed(&mut self, fid_hash: u64, now: Time) -> Option<usize>;
+
+    /// Populate a reserved slot; `fid_hash == fid.key_hash()`, and
+    /// `ext_port == start_port + slot` (globally).
+    fn insert_hashed(&mut self, slot: usize, fid: FlowId, ext_port: u16, fid_hash: u64);
+
+    /// Assert the table's cross-structure coherence invariant
+    /// (test/diagnostic use; O(capacity)).
+    fn check_coherence(&self) -> Result<(), String>;
+}
+
 /// The NAT's flow table + expiry machinery. See module docs.
 #[derive(Debug, Clone)]
 pub struct FlowManager {
@@ -32,6 +110,8 @@ pub struct FlowManager {
     chain: DoubleChain,
     start_port: u16,
     capacity: usize,
+    /// Reusable slot buffer for [`FlowTable::probe_internal_batch`].
+    probe_slots: Vec<Option<usize>>,
 }
 
 impl FlowManager {
@@ -45,6 +125,7 @@ impl FlowManager {
             chain: DoubleChain::new(cfg.capacity),
             start_port: cfg.start_port,
             capacity: cfg.capacity,
+            probe_slots: Vec::new(),
         }
     }
 
@@ -220,6 +301,59 @@ impl FlowManager {
             }
         }
         Ok(())
+    }
+}
+
+impl FlowTable for FlowManager {
+    fn flow_count(&self) -> usize {
+        self.len()
+    }
+
+    fn table_capacity(&self) -> usize {
+        self.capacity()
+    }
+
+    fn expire(&mut self, threshold: Time) -> usize {
+        FlowManager::expire(self, threshold)
+    }
+
+    fn lookup_internal_hashed(&self, fid: &FlowId, hash: u64) -> Option<(usize, &Flow)> {
+        FlowManager::lookup_internal_hashed(self, fid, hash)
+    }
+
+    fn probe_internal_batch(
+        &mut self,
+        fids: &[FlowId],
+        hashes: &[u64],
+        out: &mut Vec<Option<(usize, Flow)>>,
+    ) {
+        // Detach the scratch so the `&self` batch probe can run while
+        // we hold it mutably; reattach afterwards (no allocation in
+        // steady state).
+        let mut slots = std::mem::take(&mut self.probe_slots);
+        self.lookup_internal_batch(fids, hashes, &mut slots, out);
+        self.probe_slots = slots;
+    }
+
+    fn lookup_external_hashed(&self, ek: &ExtKey, hash: u64) -> Option<(usize, &Flow)> {
+        FlowManager::lookup_external_hashed(self, ek, hash)
+    }
+
+    fn rejuvenate(&mut self, slot: usize, now: Time) {
+        FlowManager::rejuvenate(self, slot, now);
+    }
+
+    fn allocate_slot_routed(&mut self, _fid_hash: u64, now: Time) -> Option<usize> {
+        // Unsharded: one port pool, the hash plays no routing role.
+        self.allocate_slot(now)
+    }
+
+    fn insert_hashed(&mut self, slot: usize, fid: FlowId, ext_port: u16, fid_hash: u64) {
+        FlowManager::insert_hashed(self, slot, fid, ext_port, fid_hash);
+    }
+
+    fn check_coherence(&self) -> Result<(), String> {
+        FlowManager::check_coherence(self)
     }
 }
 

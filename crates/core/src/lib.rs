@@ -6,7 +6,10 @@
 //! * **Stateful half** — [`flow_manager::FlowManager`]: all NAT state,
 //!   held in libVig structures (a [`libvig::DoubleMap`] flow table plus a
 //!   [`libvig::DoubleChain`] slot allocator). Verified against contracts
-//!   in the `libvig` crate (P3).
+//!   in the `libvig` crate (P3). Behind the [`flow_manager::FlowTable`]
+//!   seam the state can also be RSS-partitioned across N independent
+//!   shards ([`sharded::ShardedFlowManager`]) without the stateless
+//!   half noticing — see the `sharded` module docs.
 //! * **Stateless half** — [`loop_body::nat_loop_iteration`]: one
 //!   iteration of the packet-processing loop, containing *every* branch
 //!   and every piece of arithmetic the NAT performs, but **zero**
@@ -61,12 +64,14 @@ pub mod domain;
 pub mod env;
 pub mod flow_manager;
 pub mod loop_body;
+pub mod sharded;
 pub mod simple_env;
 
 pub use domain::{Concrete, Domain};
 pub use env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
-pub use flow_manager::FlowManager;
+pub use flow_manager::{FlowManager, FlowTable};
 pub use loop_body::{nat_loop_iteration, nat_process_batch, IterationOutcome, MAX_BURST};
+pub use sharded::ShardedFlowManager;
 pub use simple_env::SimpleEnv;
 
 /// The NAT configuration — re-exported from the spec crate so that the

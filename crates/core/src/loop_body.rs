@@ -342,6 +342,18 @@ pub const MAX_BURST: usize = 32;
 ///   misses re-probe at their sequence point, so a flow inserted by an
 ///   earlier packet of the same burst is still found by a later one.
 ///
+/// The batched probe (pass 2 below) is also where **RSS-style shard
+/// dispatch** rides when the environment's flow table is sharded
+/// ([`crate::sharded::ShardedFlowManager`]): the probe pass has already
+/// computed each query's key hash, and the sharded table splits the
+/// burst into per-shard sub-batches by that same memoized hash — the
+/// hash doubles as the shard selector, so dispatch adds no hash
+/// computation and no extra pass. The loop body itself is oblivious:
+/// slots it sees are global (`ext_port = start_port + slot` holds
+/// verbatim across shards), so this function is byte-for-byte the same
+/// code on sharded and unsharded tables, and the sharded differential
+/// tests (`tests/shard_equivalence.rs`) lean on exactly that.
+///
 /// All per-packet *effects* (rejuvenate, allocate, insert, tx, drop)
 /// happen strictly in arrival order, so flow-table state — including
 /// LRU order and slot⇄port assignment — ends up exactly as the
@@ -376,6 +388,9 @@ pub fn nat_process_batch<E: NatEnv + ?Sized>(
     }
 
     // Pass 2: one batched probe for all internal-direction lookups.
+    // (On a sharded flow table this is the dispatch point: the env
+    // splits these queries into per-shard sub-batches by their
+    // memoized hashes — see the function docs.)
     let mut queries: Vec<FidParts<E>> = Vec::with_capacity(pkts.len());
     for (pkt, v) in pkts.iter().zip(&verdicts) {
         if let Ok(proto) = v {

@@ -15,9 +15,9 @@
 
 use crate::env::concrete::{ext_key, fid_key, view, FidMemo};
 use crate::env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
-use crate::flow_manager::FlowManager;
-use crate::impl_concrete_domain;
+use crate::flow_manager::{FlowManager, FlowTable};
 use crate::loop_body::{nat_loop_iteration, nat_process_batch, IterationOutcome};
+use crate::sharded::ShardedFlowManager;
 use libvig::map::MapKey;
 use libvig::time::Time;
 use std::collections::VecDeque;
@@ -98,10 +98,12 @@ pub enum EnvEvent {
     Dropped,
 }
 
-/// The vector-backed test environment. See module docs.
-pub struct SimpleEnv {
+/// The vector-backed test environment, generic over the flow-table
+/// implementation it drives (unsharded [`FlowManager`] by default,
+/// [`ShardedFlowManager`] via [`SimpleEnv::sharded`]). See module docs.
+pub struct SimpleEnv<T: FlowTable = FlowManager> {
     cfg: NatConfig,
-    fm: FlowManager,
+    fm: T,
     now_ns: u64,
     pending: VecDeque<RawRx>,
     events: Vec<EnvEvent>,
@@ -112,13 +114,29 @@ pub struct SimpleEnv {
     fid_memo: FidMemo,
 }
 
-impl_concrete_domain!(SimpleEnv);
+impl<T: FlowTable> crate::domain::Domain for SimpleEnv<T> {
+    crate::concrete_domain_items!();
+}
 
 impl SimpleEnv {
-    /// Fresh env with an empty flow table.
+    /// Fresh env with an empty (unsharded) flow table.
     pub fn new(cfg: NatConfig) -> SimpleEnv {
+        SimpleEnv::with_table(FlowManager::new(&cfg), cfg)
+    }
+}
+
+impl SimpleEnv<ShardedFlowManager> {
+    /// Fresh env over an N-shard flow table — the same loop body, the
+    /// same decisions vocabulary, RSS-partitioned state underneath.
+    pub fn sharded(cfg: NatConfig, shards: usize) -> Self {
+        SimpleEnv::with_table(ShardedFlowManager::new(&cfg, shards), cfg)
+    }
+}
+
+impl<T: FlowTable> SimpleEnv<T> {
+    fn with_table(fm: T, cfg: NatConfig) -> SimpleEnv<T> {
         SimpleEnv {
-            fm: FlowManager::new(&cfg),
+            fm,
             cfg,
             now_ns: 0,
             pending: VecDeque::new(),
@@ -130,8 +148,8 @@ impl SimpleEnv {
         }
     }
 
-    /// The flow manager (for assertions).
-    pub fn flow_manager(&self) -> &FlowManager {
+    /// The flow table (for assertions).
+    pub fn flow_manager(&self) -> &T {
         &self.fm
     }
 
@@ -223,7 +241,7 @@ impl SimpleEnv {
     }
 }
 
-impl NatEnv for SimpleEnv {
+impl<T: FlowTable> NatEnv for SimpleEnv<T> {
     fn now(&mut self) -> u64 {
         self.now_ns
     }
@@ -273,10 +291,8 @@ impl NatEnv for SimpleEnv {
     ) {
         let keys: Vec<FlowId> = fids.iter().map(fid_key).collect();
         let hashes: Vec<u64> = keys.iter().map(MapKey::key_hash).collect();
-        let mut slots = Vec::with_capacity(keys.len());
         let mut found = Vec::with_capacity(keys.len());
-        self.fm
-            .lookup_internal_batch(&keys, &hashes, &mut slots, &mut found);
+        self.fm.probe_internal_batch(&keys, &hashes, &mut found);
         out.extend(
             found
                 .into_iter()
@@ -286,7 +302,8 @@ impl NatEnv for SimpleEnv {
 
     fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>> {
         let key = ext_key(ek);
-        let (slot, flow) = self.fm.lookup_external(&key)?;
+        let hash = key.key_hash();
+        let (slot, flow) = self.fm.lookup_external_hashed(&key, hash)?;
         Some(view(slot, flow))
     }
 
@@ -295,7 +312,11 @@ impl NatEnv for SimpleEnv {
     }
 
     fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
-        let slot = self.fm.allocate_slot(Time(*now))?;
+        // The memoized hash of the just-missed lookup routes the
+        // allocation (the shard selector for sharded tables).
+        let slot = self
+            .fm
+            .allocate_slot_routed(self.fid_memo.hash_for_alloc(), Time(*now))?;
         Some((SlotId(slot), slot as u16))
     }
 

@@ -16,6 +16,7 @@
 //! | [`ring`] | bounded FIFO ring (the paper's §3 example) | `ring.c` |
 //! | [`batcher`] | bounded item batcher | `batcher.c` |
 //! | [`port_alloc`] | standalone port allocator | port allocator |
+//! | [`rss`] | RSS-style hash→shard routing + batched-probe splitter | NIC receive-side scaling |
 //! | [`expirator`] | dchain+dmap glue that expires old flows | `expirator.c` |
 //! | [`time`] | time abstraction (virtual + system clocks) | `nf_time` |
 //! | [`flow`] | NAT flow key hashing | `flow.h` |
@@ -67,6 +68,7 @@ pub mod flow;
 pub mod map;
 pub mod port_alloc;
 pub mod ring;
+pub mod rss;
 pub mod time;
 pub mod vector;
 

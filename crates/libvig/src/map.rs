@@ -17,12 +17,12 @@
 //!
 //! ## Memory layout (cache-conscious)
 //!
-//! The table is a **single allocation** of [`Slot`]s: hash, value, key
+//! The table is a **single allocation** of `Slot`s: hash, value, key
 //! and metadata for one probe position live side by side, so one probe
 //! step touches one cache line instead of scattering across five
 //! parallel arrays (the original layout paid up to five cache misses per
 //! step). The busybit is folded into the high bit of the chain-counter
-//! word ([`Slot::meta`]); the remaining 31 bits count traversing probe
+//! word (`Slot::meta`); the remaining 31 bits count traversing probe
 //! chains, which bounds chains at 2^31 — far above any reachable
 //! occupancy (capacity itself is bounded by memory long before).
 //!

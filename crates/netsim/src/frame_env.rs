@@ -18,8 +18,7 @@ use vig_packet::checksum::Checksum;
 use vig_packet::{Direction, FlowId};
 use vignat::env::concrete::{ext_key, fid_key, view, FidMemo};
 use vignat::env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
-use vignat::impl_concrete_domain;
-use vignat::FlowManager;
+use vignat::{FlowManager, FlowTable};
 
 /// What the loop body decided to do with the frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,9 +29,12 @@ pub enum FrameVerdict {
     Drop,
 }
 
-/// Per-frame environment. See module docs.
-pub struct FrameEnv<'a> {
-    fm: &'a mut FlowManager,
+/// Per-frame environment, generic over the flow table it drives
+/// (unsharded [`FlowManager`] by default, `ShardedFlowManager` for the
+/// RSS-partitioned NAT — the loop body above is the same either way).
+/// See module docs.
+pub struct FrameEnv<'a, T: FlowTable = FlowManager> {
+    fm: &'a mut T,
     frame: &'a mut [u8],
     dir: Direction,
     now_ns: u64,
@@ -63,14 +65,9 @@ fn rd8(b: &[u8], off: usize) -> u8 {
     b.get(off).copied().unwrap_or(0)
 }
 
-impl<'a> FrameEnv<'a> {
+impl<'a, T: FlowTable> FrameEnv<'a, T> {
     /// Build the env for one frame arriving on `dir` at `now`.
-    pub fn new(
-        fm: &'a mut FlowManager,
-        frame: &'a mut [u8],
-        dir: Direction,
-        now: Time,
-    ) -> FrameEnv<'a> {
+    pub fn new(fm: &'a mut T, frame: &'a mut [u8], dir: Direction, now: Time) -> FrameEnv<'a, T> {
         FrameEnv {
             fm,
             frame,
@@ -120,6 +117,35 @@ where
     }
 }
 
+/// The internal-direction flow id a frame *would* carry, read at the
+/// same offsets as [`RxPacket`] field extraction (zero-filled beyond
+/// the frame, TCP/UDP only) — what a NIC's RSS hash unit sees. The
+/// parallel sharded driver uses this for dispatch; because the offsets
+/// and zero-fill match the env's own field reads exactly, the dispatch
+/// shard always agrees with the shard the loop body's lookup routes to.
+/// `None` for frames whose protocol byte is neither TCP nor UDP (such
+/// frames carry no flow and may be dispatched to any shard — every
+/// shard drops them identically).
+pub fn frame_flow_id(f: &[u8]) -> Option<FlowId> {
+    let proto = vig_packet::Proto::from_number(rd8(f, 23))?;
+    let l4 = 14 + usize::from(rd8(f, 14) & 0x0f) * 4;
+    Some(FlowId {
+        src_ip: vig_packet::Ip4(rd32(f, 26)),
+        src_port: rd16(f, l4),
+        dst_ip: vig_packet::Ip4(rd32(f, 30)),
+        dst_port: rd16(f, l4 + 2),
+        proto,
+    })
+}
+
+/// A frame's L4 destination port at the env's offsets (zero-filled when
+/// absent) — the field that routes *external* (return) traffic to the
+/// shard owning that slice of the NAT's port range.
+pub fn frame_l4_dst_port(f: &[u8]) -> u16 {
+    let l4 = 14 + usize::from(rd8(f, 14) & 0x0f) * 4;
+    rd16(f, l4 + 2)
+}
+
 /// Apply a NAT rewrite to the frame in place: fixed-offset field
 /// surgery with RFC 1624 incremental checksum maintenance — exactly the
 /// C original's struct-overlay writes. The loop body's validation
@@ -166,9 +192,11 @@ fn apply_rewrite(frame: &mut [u8], src_ip: u32, src_port: u16, dst_ip: u32, dst_
     }
 }
 
-impl_concrete_domain!(FrameEnv<'_>);
+impl<T: FlowTable> vignat::domain::Domain for FrameEnv<'_, T> {
+    vignat::concrete_domain_items!();
+}
 
-impl NatEnv for FrameEnv<'_> {
+impl<T: FlowTable> NatEnv for FrameEnv<'_, T> {
     fn now(&mut self) -> u64 {
         self.now_ns
     }
@@ -199,7 +227,8 @@ impl NatEnv for FrameEnv<'_> {
 
     fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>> {
         let key = ext_key(ek);
-        let (slot, flow) = self.fm.lookup_external(&key)?;
+        let hash = key.key_hash();
+        let (slot, flow) = self.fm.lookup_external_hashed(&key, hash)?;
         Some(view(slot, flow))
     }
 
@@ -208,7 +237,11 @@ impl NatEnv for FrameEnv<'_> {
     }
 
     fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
-        let slot = self.fm.allocate_slot(Time(*now))?;
+        // The memoized hash of the just-missed lookup routes the
+        // allocation (shard selector on sharded tables).
+        let slot = self
+            .fm
+            .allocate_slot_routed(self.fid_memo.hash_for_alloc(), Time(*now))?;
         Some((SlotId(slot), slot as u16))
     }
 
@@ -249,8 +282,8 @@ impl NatEnv for FrameEnv<'_> {
 /// everything, so constructing one per burst costs nothing and the
 /// datapath stays allocation-free apart from the per-burst scratch
 /// vectors, which are capacity-bounded by the burst size.
-pub struct BurstEnv<'a> {
-    fm: &'a mut FlowManager,
+pub struct BurstEnv<'a, T: FlowTable = FlowManager> {
+    fm: &'a mut T,
     pool: &'a mut Mempool,
     bufs: &'a [BufIdx],
     dir: Direction,
@@ -271,22 +304,21 @@ pub struct BurstEnv<'a> {
 pub struct BurstScratch {
     keys: Vec<FlowId>,
     hashes: Vec<u64>,
-    slots: Vec<Option<usize>>,
     found: Vec<Option<(usize, vig_packet::Flow)>>,
     verdicts_pool: Vec<Option<FrameVerdict>>,
 }
 
-impl<'a> BurstEnv<'a> {
+impl<'a, T: FlowTable> BurstEnv<'a, T> {
     /// Build the env for one burst of staged buffers arriving on `dir`
     /// at `now`. `scratch` is reused across bursts.
     pub fn new(
-        fm: &'a mut FlowManager,
+        fm: &'a mut T,
         pool: &'a mut Mempool,
         bufs: &'a [BufIdx],
         dir: Direction,
         now: Time,
         scratch: &'a mut BurstScratch,
-    ) -> BurstEnv<'a> {
+    ) -> BurstEnv<'a, T> {
         let mut verdicts = std::mem::take(&mut scratch.verdicts_pool);
         verdicts.clear();
         verdicts.resize(bufs.len(), None);
@@ -324,9 +356,11 @@ impl<'a> BurstEnv<'a> {
     }
 }
 
-impl_concrete_domain!(BurstEnv<'_>);
+impl<T: FlowTable> vignat::domain::Domain for BurstEnv<'_, T> {
+    vignat::concrete_domain_items!();
+}
 
-impl NatEnv for BurstEnv<'_> {
+impl<T: FlowTable> NatEnv for BurstEnv<'_, T> {
     fn now(&mut self) -> u64 {
         self.now_ns
     }
@@ -367,8 +401,10 @@ impl NatEnv for BurstEnv<'_> {
         s.hashes.clear();
         s.hashes.extend(s.keys.iter().map(MapKey::key_hash));
         s.found.clear();
+        // One batched probe; on a sharded table this is where the
+        // burst splits into per-shard sub-batches by these hashes.
         self.fm
-            .lookup_internal_batch(&s.keys, &s.hashes, &mut s.slots, &mut s.found);
+            .probe_internal_batch(&s.keys, &s.hashes, &mut s.found);
         out.extend(
             s.found
                 .iter()
@@ -378,7 +414,8 @@ impl NatEnv for BurstEnv<'_> {
 
     fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>> {
         let key = ext_key(ek);
-        let (slot, flow) = self.fm.lookup_external(&key)?;
+        let hash = key.key_hash();
+        let (slot, flow) = self.fm.lookup_external_hashed(&key, hash)?;
         Some(view(slot, flow))
     }
 
@@ -387,7 +424,10 @@ impl NatEnv for BurstEnv<'_> {
     }
 
     fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
-        let slot = self.fm.allocate_slot(Time(*now))?;
+        // Routed by the memoized hash of the just-missed lookup.
+        let slot = self
+            .fm
+            .allocate_slot_routed(self.fid_memo.hash_for_alloc(), Time(*now))?;
         Some((SlotId(slot), slot as u16))
     }
 

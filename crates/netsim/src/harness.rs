@@ -18,11 +18,15 @@
 //! pays the same DPDK rx/tx cost.
 
 use crate::dpdk::MBUF_SIZE;
-use crate::dpdk::{Device, Mempool};
-use crate::middlebox::{Middlebox, Verdict};
+use crate::dpdk::{BufIdx, Device, Mempool};
+use crate::frame_env::{frame_flow_id, frame_l4_dst_port, BurstEnv, BurstScratch};
+use crate::middlebox::{Middlebox, Verdict, VigNatMb};
 use crate::tester::{FlowGen, WorkloadMix};
+use libvig::map::MapKey;
 use libvig::time::Time;
 use vig_packet::Direction;
+use vig_spec::NatConfig;
+use vignat::{nat_process_batch, IterationOutcome, ShardedFlowManager, MAX_BURST};
 
 /// Callback that inspects an output frame after transmission.
 pub type InspectFn<'a> = &'a mut dyn FnMut(&[u8], Direction);
@@ -214,6 +218,381 @@ impl Testbed {
         }
         (forwarded, dropped, elapsed)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded parallel driver (RSS model: one worker thread per shard)
+// ---------------------------------------------------------------------------
+
+/// The `std::thread`-based driver for the N-shard NAT: each shard runs
+/// on its own worker with its own mempool, burst scratch, and expiry
+/// clock — the software model of RSS hardware dispatch feeding one RX
+/// queue per core.
+///
+/// Per burst: an (untimed, tester-side) dispatch pass routes each frame
+/// to its shard — internal frames by the flow-key hash
+/// ([`frame_flow_id`], the hash a NIC's RSS unit would compute),
+/// external frames by the NAT port partition ([`frame_l4_dst_port`]) —
+/// then `std::thread::scope` runs every shard's sub-burst concurrently
+/// through the ordinary batched fast path
+/// ([`vignat::nat_process_batch`] over [`BurstEnv`]). Shards share no
+/// state, so no locks exist anywhere on the datapath; verdicts are
+/// scattered back to arrival order afterwards.
+///
+/// Correctness, not wall-clock speed, is this driver's contract:
+/// `tests/shard_equivalence.rs` proves it packet-for-packet equivalent
+/// to the single-threaded sharded NAT ([`crate::middlebox::ShardedVigNatMb`])
+/// and to N independent 1-shard NATs. Wall-clock scaling additionally
+/// requires ≥ N physical cores (the throughput sweep reports the
+/// core-count alongside its numbers; see `docs/BENCHMARKS.md`).
+pub struct ParallelShardedNat {
+    table: ShardedFlowManager,
+    pools: Vec<Mempool>,
+    scratches: Vec<BurstScratch>,
+    /// Per-shard expiry clocks: the last `now` each shard processed.
+    /// [`ParallelShardedNat::process_burst_parallel`] advances all of
+    /// them together (one burst = one arrival instant);
+    /// [`ParallelShardedNat::process_on_shard`] advances one shard
+    /// independently, which is how a real per-core driver behaves when
+    /// its queues drain at different rates.
+    clocks: Vec<Time>,
+    expired_total: u64,
+}
+
+impl ParallelShardedNat {
+    /// Build an N-shard parallel NAT. `burst_capacity` bounds the
+    /// number of frames one [`ParallelShardedNat::process_burst_parallel`]
+    /// call may carry (it sizes every per-shard mempool for the
+    /// worst-case skew of all frames hashing to one shard).
+    pub fn new(cfg: NatConfig, shards: usize, burst_capacity: usize) -> ParallelShardedNat {
+        assert!(burst_capacity > 0, "burst capacity must be non-zero");
+        ParallelShardedNat {
+            table: ShardedFlowManager::new(&cfg, shards),
+            pools: (0..shards).map(|_| Mempool::new(burst_capacity)).collect(),
+            scratches: (0..shards).map(|_| BurstScratch::default()).collect(),
+            clocks: vec![Time::ZERO; shards],
+            expired_total: 0,
+        }
+    }
+
+    /// Number of shards (== worker threads per burst).
+    pub fn shard_count(&self) -> usize {
+        self.table.shard_count()
+    }
+
+    /// The sharded flow table (assertions/statistics).
+    pub fn table(&self) -> &ShardedFlowManager {
+        &self.table
+    }
+
+    /// Flows currently tracked across all shards.
+    pub fn occupancy(&self) -> usize {
+        use vignat::FlowTable;
+        self.table.flow_count()
+    }
+
+    /// Total flows expired over the run, across all shards.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
+    }
+
+    /// The shard a frame arriving on `dir` is dispatched to — the RSS
+    /// model: internal traffic by flow-key hash (the same memoized hash
+    /// the flow table routes by, so the dispatch shard and the lookup
+    /// shard always agree), return traffic by the port partition.
+    /// Frames carrying no routable flow (non-TCP/UDP, or an external
+    /// destination port outside the NAT's range) go to shard 0; they
+    /// drop identically on every shard, so the choice is unobservable.
+    pub fn dispatch(&self, dir: Direction, frame: &[u8]) -> usize {
+        match dir {
+            Direction::Internal => frame_flow_id(frame)
+                .map(|fid| self.table.shard_of_hash(fid.key_hash()))
+                .unwrap_or(0),
+            Direction::External => self
+                .table
+                .shard_of_port(frame_l4_dst_port(frame))
+                .unwrap_or(0),
+        }
+    }
+
+    /// Process one burst arriving on `dir` at instant `now`, one worker
+    /// thread per shard. Frames are rewritten in place; returns one
+    /// verdict per frame in arrival order.
+    pub fn process_burst_parallel(
+        &mut self,
+        dir: Direction,
+        frames: &mut [Vec<u8>],
+        now: Time,
+    ) -> Vec<Verdict> {
+        let n = self.shard_count();
+        // Tester-side dispatch: route every frame to its shard.
+        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, f) in frames.iter().enumerate() {
+            routed[self.dispatch(dir, f)].push(i);
+        }
+        // Stage each shard's sub-burst into that shard's mempool.
+        let mut staged: Vec<Vec<BufIdx>> = Vec::with_capacity(n);
+        for (s, idxs) in routed.iter().enumerate() {
+            let pool = &mut self.pools[s];
+            staged.push(
+                idxs.iter()
+                    .map(|&i| {
+                        let b = pool.get().expect("per-shard pool sized for a burst");
+                        pool.write_frame(b, &frames[i]);
+                        b
+                    })
+                    .collect(),
+            );
+        }
+        for c in &mut self.clocks {
+            assert!(*c <= now, "shard clock must be monotone");
+            *c = now;
+        }
+        // Parallel drain: one scoped worker per shard, each running the
+        // ordinary batched fast path over its own disjoint state.
+        let cfgs: Vec<NatConfig> = (0..n).map(|s| self.table.shard_cfg(s)).collect();
+        let results: Vec<(Vec<Verdict>, usize)> = std::thread::scope(|sc| {
+            let mut handles = Vec::with_capacity(n);
+            let workers = self
+                .table
+                .shards_mut()
+                .iter_mut()
+                .zip(self.pools.iter_mut())
+                .zip(self.scratches.iter_mut())
+                .zip(staged.iter().zip(cfgs.iter()));
+            for (((fm, pool), scratch), (bufs, cfg)) in workers {
+                handles.push(sc.spawn(move || {
+                    let mut verdicts = Vec::with_capacity(bufs.len());
+                    let mut expired = 0usize;
+                    // A run-to-completion core polls — and expires —
+                    // every loop iteration whether or not its queue
+                    // held packets, so an idle shard still runs one
+                    // (empty) burst. This is also what keeps the
+                    // parallel driver state-identical to the
+                    // single-threaded sharded NAT, which expires every
+                    // shard per burst.
+                    let chunks = bufs
+                        .chunks(MAX_BURST.max(1))
+                        .chain(std::iter::once(&[] as &[BufIdx]).filter(|_| bufs.is_empty()));
+                    for chunk in chunks {
+                        let mut env = BurstEnv::new(fm, pool, chunk, dir, now, scratch);
+                        let outcomes = nat_process_batch(&mut env, cfg);
+                        debug_assert_eq!(outcomes.len(), chunk.len());
+                        expired += env.expired();
+                        env.finish();
+                        verdicts.extend(outcomes.into_iter().map(|o| match o {
+                            IterationOutcome::Forwarded(d) => Verdict::Forward(d),
+                            IterationOutcome::Dropped(_) => Verdict::Drop,
+                            IterationOutcome::NoPacket => unreachable!("staged buffer"),
+                        }));
+                    }
+                    (verdicts, expired)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        // Copy rewrites back, reclaim buffers, scatter verdicts to
+        // arrival order.
+        let mut out = vec![Verdict::Drop; frames.len()];
+        for (s, (verdicts, expired)) in results.into_iter().enumerate() {
+            self.expired_total += expired as u64;
+            for ((&i, &buf), v) in routed[s].iter().zip(&staged[s]).zip(verdicts) {
+                frames[i].copy_from_slice(self.pools[s].frame(buf));
+                self.pools[s].put(buf);
+                out[i] = v;
+            }
+        }
+        out
+    }
+
+    /// Drive one shard alone at its own clock — what a per-core driver
+    /// does when its queue drains on its own schedule. Every frame must
+    /// dispatch to shard `s` (asserted); `now` must be monotone *for
+    /// this shard* but may run ahead of (or behind) the siblings', so
+    /// tests can race one shard's expiry against another's re-lookup.
+    pub fn process_on_shard(
+        &mut self,
+        s: usize,
+        dir: Direction,
+        frames: &mut [Vec<u8>],
+        now: Time,
+    ) -> Vec<Verdict> {
+        assert!(self.clocks[s] <= now, "shard clock must be monotone");
+        self.clocks[s] = now;
+        for f in frames.iter() {
+            assert_eq!(self.dispatch(dir, f), s, "frame dispatched to wrong shard");
+        }
+        let pool = &mut self.pools[s];
+        let bufs: Vec<BufIdx> = frames
+            .iter()
+            .map(|f| {
+                let b = pool.get().expect("per-shard pool sized for a burst");
+                pool.write_frame(b, f);
+                b
+            })
+            .collect();
+        let cfg = self.table.shard_cfg(s);
+        let fm = &mut self.table.shards_mut()[s];
+        let scratch = &mut self.scratches[s];
+        let mut verdicts = Vec::with_capacity(bufs.len());
+        // Like the parallel path: a polling core expires every loop
+        // iteration, so an empty burst still advances this shard's
+        // expiry (callers use exactly that to tick a lone clock).
+        let chunks = bufs
+            .chunks(MAX_BURST.max(1))
+            .chain(std::iter::once(&[] as &[BufIdx]).filter(|_| bufs.is_empty()));
+        for chunk in chunks {
+            let mut env = BurstEnv::new(fm, pool, chunk, dir, now, scratch);
+            let outcomes = nat_process_batch(&mut env, &cfg);
+            self.expired_total += env.expired() as u64;
+            env.finish();
+            verdicts.extend(outcomes.into_iter().map(|o| match o {
+                IterationOutcome::Forwarded(d) => Verdict::Forward(d),
+                IterationOutcome::Dropped(_) => Verdict::Drop,
+                IterationOutcome::NoPacket => unreachable!("staged buffer"),
+            }));
+        }
+        for (f, &buf) in frames.iter_mut().zip(&bufs) {
+            f.copy_from_slice(self.pools[s].frame(buf));
+            self.pools[s].put(buf);
+        }
+        verdicts
+    }
+}
+
+/// One point of the shard-count throughput sweep
+/// ([`sharded_throughput_sweep`]).
+#[derive(Debug, Clone)]
+pub struct ShardSweepPoint {
+    /// Shard count of this point.
+    pub shards: usize,
+    /// Aggregate RFC 2544 max rate at ≤ 0.1% loss, Mpps: `shards ×` the
+    /// slowest shard's rate (uniform RSS splits offered load evenly, so
+    /// the slowest queue caps every share).
+    pub mpps: f64,
+    /// Aggregate batched NAT steps per second: the sum over shards of
+    /// `1e9 / mean service ns` — the "batched step" rate the shard-count
+    /// acceptance compares (2 shards ≥ 1.5× 1 shard).
+    pub steps_per_sec: f64,
+    /// Mean per-packet batched service time, averaged over shards (ns).
+    pub mean_step_ns: f64,
+    /// Each shard's individual ≤ 0.1%-loss rate (Mpps).
+    pub per_shard_mpps: Vec<f64>,
+}
+
+/// The shard-count sweep behind `BENCH_throughput.json`'s
+/// `sharded_sweep` object: for each shard count, measure every shard's
+/// steady-state batched service times *on real code* (its own
+/// [`VigNatMb`] over its slice of the capacity and port range, at
+/// `occupancy` of its table), then aggregate under the multi-queue RSS
+/// model — N independent RX queues, one core each, loss simulated per
+/// queue exactly as [`throughput_search`] does for one.
+///
+/// Per-shard tables are `capacity/N` slots, so higher shard counts also
+/// shrink each core's working set — the sweep measures that real cache
+/// effect; only the "N cores run concurrently" step is modeled (it is
+/// exact when ≥ N physical cores exist, the deployment this models).
+pub fn sharded_throughput_sweep(
+    cfg: &NatConfig,
+    shard_counts: &[usize],
+    occupancy: f64,
+    packets_per_shard: usize,
+    texp_ns: u64,
+    ring_cap: usize,
+) -> Vec<ShardSweepPoint> {
+    assert!((0.0..=1.0).contains(&occupancy));
+    let mut points = Vec::with_capacity(shard_counts.len());
+    for &n in shard_counts {
+        let table = ShardedFlowManager::new(cfg, n); // config derivation only
+        let mut per_rate = Vec::with_capacity(n);
+        let mut steps_per_sec = 0.0;
+        let mut mean_sum = 0.0;
+        for s in 0..n {
+            let scfg = table.shard_cfg(s);
+            let flows = ((scfg.capacity as f64 * occupancy) as usize).max(1);
+            let mut nf = VigNatMb::new(scfg);
+            let mut tb = Testbed::new(ring_cap);
+            let svc = steady_state_service_times_batched(
+                &mut nf,
+                &mut tb,
+                flows,
+                packets_per_shard,
+                texp_ns,
+            );
+            let mean = svc.mean();
+            mean_sum += mean;
+            steps_per_sec += if mean > 0.0 { 1e9 / mean } else { 0.0 };
+            per_rate.push(max_rate_with_loss(&svc.ns, ring_cap, 0.001, 1e4, 1e9) / 1e6);
+        }
+        let slowest = per_rate.iter().cloned().fold(f64::INFINITY, f64::min);
+        points.push(ShardSweepPoint {
+            shards: n,
+            mpps: n as f64 * slowest,
+            steps_per_sec,
+            mean_step_ns: mean_sum / n as f64,
+            per_shard_mpps: per_rate,
+        });
+    }
+    points
+}
+
+/// Wall-clock packet rate (Mpps) of [`ParallelShardedNat`] on this
+/// machine: populate to `occupancy`, then time `packets` all-hit
+/// packets pushed through [`ParallelShardedNat::process_burst_parallel`]
+/// in large bursts. Unlike [`sharded_throughput_sweep`] this includes
+/// thread coordination and is bounded by the host's physical
+/// parallelism — reported for honesty alongside the modeled aggregate,
+/// never used for shape claims (CI machines may have one core).
+pub fn sharded_parallel_wallclock_mpps(
+    cfg: &NatConfig,
+    shards: usize,
+    occupancy: f64,
+    packets: usize,
+) -> f64 {
+    const WALL_BURST: usize = 4096;
+    let mut nat = ParallelShardedNat::new(*cfg, shards, WALL_BURST);
+    let gen = FlowGen::new(vig_packet::Proto::Udp);
+    let flows =
+        ((shards as f64 * nat.table().per_shard_capacity() as f64 * occupancy) as usize).max(1);
+    let mut buf = vec![0u8; MBUF_SIZE];
+    let make = |gen: &FlowGen, i: u32, buf: &mut [u8]| {
+        let f = gen.background(i);
+        let len = gen.write_frame(&f, buf);
+        buf[..len].to_vec()
+    };
+    // Populate (untimed).
+    let mut now = Time::from_secs(1);
+    for chunk_start in (0..flows).step_by(WALL_BURST) {
+        let mut frames: Vec<Vec<u8>> = (chunk_start..flows.min(chunk_start + WALL_BURST))
+            .map(|i| make(&gen, i as u32, &mut buf))
+            .collect();
+        now = now.plus(1_000);
+        nat.process_burst_parallel(Direction::Internal, &mut frames, now);
+    }
+    // Timed all-hit phase (per-burst stopwatch: frame generation stays
+    // outside the measurement).
+    let mut done = 0usize;
+    let mut next = 0u32;
+    let mut elapsed_ns = 0u64;
+    while done < packets {
+        let count = WALL_BURST.min(packets - done);
+        let mut frames: Vec<Vec<u8>> = (0..count)
+            .map(|k| make(&gen, (next + k as u32) % flows as u32, &mut buf))
+            .collect();
+        next = (next + count as u32) % flows as u32;
+        now = now.plus(1_000);
+        let t = std::time::Instant::now();
+        nat.process_burst_parallel(Direction::Internal, &mut frames, now);
+        elapsed_ns += t.elapsed().as_nanos() as u64;
+        done += count;
+    }
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    done as f64 / (elapsed_ns as f64 / 1e9) / 1e6
 }
 
 /// Latency samples with the summary statistics the paper reports.
@@ -659,6 +1038,55 @@ mod tests {
             tb.pool.available(),
             before,
             "no buffer leaks through the burst path"
+        );
+    }
+
+    #[test]
+    fn parallel_sharded_nat_reclaims_buffers_and_translates() {
+        let mut nat = ParallelShardedNat::new(cfg(128), 2, 64);
+        let gen = FlowGen::new(Proto::Udp);
+        let mut buf = [0u8; MBUF_SIZE];
+        let mut frames: Vec<Vec<u8>> = (0..48u32)
+            .map(|i| {
+                let n = gen.write_frame(&gen.background(i), &mut buf);
+                buf[..n].to_vec()
+            })
+            .collect();
+        let before: usize = (0..2).map(|s| 64 - nat.pools[s].available()).sum();
+        let v = nat.process_burst_parallel(Direction::Internal, &mut frames, Time::from_secs(1));
+        assert_eq!(v, vec![Verdict::Forward(Direction::External); 48]);
+        assert_eq!(nat.occupancy(), 48);
+        let after: usize = (0..2).map(|s| 64 - nat.pools[s].available()).sum();
+        assert_eq!(before, after, "no buffer leaks through the parallel path");
+        // Every translated frame carries the external ip and a port
+        // from its dispatch shard's slice of the range.
+        let per = nat.table().per_shard_capacity() as u16;
+        for f in &frames {
+            let (_, ff) = vig_packet::parse_l3l4(f).unwrap();
+            assert_eq!(ff.src_ip, Ip4::new(10, 1, 0, 1));
+            let s = nat.table().shard_of_port(ff.src_port).unwrap();
+            let start = 1 + s as u16 * per;
+            assert!((start..start + per).contains(&ff.src_port));
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_reports_aggregate_scaling() {
+        let cfg = NatConfig {
+            expiry_ns: Time::from_secs(60).nanos(), // nothing expires mid-sweep
+            ..cfg(1024)
+        };
+        let points =
+            sharded_throughput_sweep(&cfg, &[1, 2], 0.5, 2_000, Time::from_secs(60).nanos(), 64);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].shards, 1);
+        assert_eq!(points[1].per_shard_mpps.len(), 2);
+        assert!(points.iter().all(|p| p.mpps > 0.0 && p.mean_step_ns > 0.0));
+        // The multi-queue aggregate of two shards must comfortably beat
+        // one (the acceptance threshold is 1.5x at bench scale).
+        assert!(
+            points[1].steps_per_sec > points[0].steps_per_sec,
+            "2-shard aggregate step rate must exceed 1-shard"
         );
     }
 

@@ -13,7 +13,10 @@ use crate::frame_env::{BurstEnv, BurstScratch, FrameEnv, FrameVerdict};
 use libvig::time::Time;
 use vig_packet::Direction;
 use vig_spec::NatConfig;
-use vignat::{nat_loop_iteration, nat_process_batch, FlowManager, IterationOutcome, MAX_BURST};
+use vignat::{
+    nat_loop_iteration, nat_process_batch, FlowManager, FlowTable, IterationOutcome,
+    ShardedFlowManager, MAX_BURST,
+};
 
 /// What a middlebox did with a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,28 +91,58 @@ impl Middlebox for NoopForwarder {
     }
 }
 
-/// The Verified NAT: the real `vignat` loop body over [`FrameEnv`].
-pub struct VigNatMb {
+/// The Verified NAT: the real `vignat` loop body over [`FrameEnv`],
+/// generic in the flow table it keeps — the unsharded [`FlowManager`]
+/// by default, or the RSS-partitioned [`ShardedFlowManager`] (see
+/// [`ShardedVigNatMb`]). Either way the loop body is the identical
+/// monomorphization source; only the state layout changes.
+pub struct VigNatMb<T: FlowTable = FlowManager> {
     cfg: NatConfig,
-    fm: FlowManager,
+    fm: T,
+    name: &'static str,
     expired_total: u64,
     scratch: BurstScratch,
 }
+
+/// The Verified NAT over an N-shard flow table, processed
+/// run-to-completion on one core — the single-threaded reference the
+/// `std::thread` driver ([`crate::harness::ParallelShardedNat`]) is
+/// differentially tested against.
+pub type ShardedVigNatMb = VigNatMb<ShardedFlowManager>;
 
 impl VigNatMb {
     /// Build with the given configuration (panics on invalid config,
     /// like `FlowManager::new`).
     pub fn new(cfg: NatConfig) -> VigNatMb {
-        VigNatMb {
-            fm: FlowManager::new(&cfg),
+        VigNatMb::with_table(FlowManager::new(&cfg), cfg, "Verified NAT")
+    }
+}
+
+impl ShardedVigNatMb {
+    /// Build an N-shard Verified NAT (panics on invalid config or
+    /// shard count, like `ShardedFlowManager::new`).
+    pub fn sharded(cfg: NatConfig, shards: usize) -> ShardedVigNatMb {
+        VigNatMb::with_table(
+            ShardedFlowManager::new(&cfg, shards),
             cfg,
+            "Verified NAT (sharded)",
+        )
+    }
+}
+
+impl<T: FlowTable> VigNatMb<T> {
+    fn with_table(fm: T, cfg: NatConfig, name: &'static str) -> VigNatMb<T> {
+        VigNatMb {
+            fm,
+            cfg,
+            name,
             expired_total: 0,
             scratch: BurstScratch::default(),
         }
     }
 
-    /// The flow manager (tests/statistics).
-    pub fn flow_manager(&self) -> &FlowManager {
+    /// The flow table (tests/statistics).
+    pub fn flow_manager(&self) -> &T {
         &self.fm
     }
 
@@ -119,9 +152,9 @@ impl VigNatMb {
     }
 }
 
-impl Middlebox for VigNatMb {
+impl<T: FlowTable> Middlebox for VigNatMb<T> {
     fn name(&self) -> &'static str {
-        "Verified NAT"
+        self.name
     }
 
     fn process(&mut self, dir: Direction, frame: &mut [u8], now: Time) -> Verdict {
@@ -137,7 +170,7 @@ impl Middlebox for VigNatMb {
     }
 
     fn occupancy(&self) -> usize {
-        self.fm.len()
+        self.fm.flow_count()
     }
 
     fn process_burst(

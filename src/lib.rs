@@ -9,13 +9,15 @@
 //!   double chain, ring, …) with executable contracts and abstract
 //!   models (paper property P3);
 //! * [`spec`] — the executable RFC 3022 specification (paper §4.1);
-//! * [`nat`] — VigNAT itself: the flow manager and the stateless loop
+//! * [`nat`] — VigNAT itself: the flow manager (unsharded and
+//!   RSS-sharded behind the `FlowTable` seam) and the stateless loop
 //!   body, written once, generic over domain and environment;
 //! * [`symbex`] — the exhaustive symbolic execution engine (KLEE
 //!   analog);
 //! * [`validator`] — the Vigor Validator: lazy proofs discharging
 //!   P1/P2/P4/P5 over symbolic traces;
-//! * [`sim`] — the DPDK/testbed analog and RFC 2544 harness;
+//! * [`sim`] — the DPDK/testbed analog and RFC 2544 harness, including
+//!   the `std::thread` per-shard parallel driver;
 //! * [`baselines`] — the paper's comparison NFs (no-op, unverified
 //!   NAT, NetFilter analog).
 //!

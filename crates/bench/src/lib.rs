@@ -107,43 +107,84 @@ pub fn write_result_json(filename: &str, json: &str) {
     println!("\nwrote {}", path.display());
 }
 
+/// MAD outlier rejection (float and integer-ns variants) plus the
+/// Iglewicz–Hoaglin cutoff — the canonical implementation lives in the
+/// measurement harness (`netsim::harness`), where every RFC 2544 rate
+/// search applies it; re-exported here so bench statistics
+/// ([`Series`]) and rate searches can never diverge.
+pub use netsim::harness::{mad_filter, mad_filter_ns, MAD_Z_CUTOFF};
+
 /// Summary statistics of one benchmark series, JSON-serializable via
-/// [`Series::to_json`].
+/// [`Series::to_json`]. Built with MAD outlier rejection and a 95%
+/// confidence interval on the mean (the ROADMAP's "criterion-grade
+/// statistics" for the vendored-offline environment, which has no
+/// criterion).
 #[derive(Debug, Clone)]
 pub struct Series {
     /// Series name (e.g. "lookup_single_50pct").
     pub name: String,
-    /// Operations per second (packets, lookups — the series' unit).
+    /// Operations per second (packets, lookups — the series' unit),
+    /// from the outlier-rejected mean.
     pub ops_per_sec: f64,
-    /// Median per-op latency, nanoseconds.
+    /// Median per-op latency, nanoseconds (post-rejection).
     pub p50_ns: f64,
-    /// 99th-percentile per-op latency, nanoseconds.
+    /// 99th-percentile per-op latency, nanoseconds (post-rejection).
     pub p99_ns: f64,
+    /// Mean per-op latency, nanoseconds (post-rejection).
+    pub mean_ns: f64,
+    /// Half-width of the 95% confidence interval of the mean
+    /// (`1.96·s/√n` over the retained samples), nanoseconds.
+    pub ci95_ns: f64,
+    /// Samples the series was computed over (post-rejection).
+    pub samples: usize,
+    /// Samples rejected as MAD outliers.
+    pub outliers_rejected: usize,
 }
 
 impl Series {
-    /// Build a series from per-op nanosecond samples.
+    /// Build a series from per-op nanosecond samples: MAD-reject
+    /// outliers, then compute rate, percentiles, mean, and the 95% CI
+    /// over the retained samples. (`per_op_ns` is sorted in place.)
     pub fn from_samples(name: impl Into<String>, per_op_ns: &mut [f64]) -> Series {
         assert!(!per_op_ns.is_empty(), "series needs samples");
         per_op_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let (kept, outliers_rejected) = mad_filter(per_op_ns);
         let pick = |p: f64| {
-            let rank = ((p * per_op_ns.len() as f64).ceil() as usize).clamp(1, per_op_ns.len());
-            per_op_ns[rank - 1]
+            let rank = ((p * kept.len() as f64).ceil() as usize).clamp(1, kept.len());
+            kept[rank - 1]
         };
-        let mean = per_op_ns.iter().sum::<f64>() / per_op_ns.len() as f64;
+        let n = kept.len() as f64;
+        let mean = kept.iter().sum::<f64>() / n;
+        let var = kept.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n.max(1.0);
+        let ci95 = if kept.len() > 1 {
+            1.96 * (var / n).sqrt()
+        } else {
+            0.0
+        };
         Series {
             name: name.into(),
             ops_per_sec: if mean > 0.0 { 1e9 / mean } else { 0.0 },
             p50_ns: pick(0.50),
             p99_ns: pick(0.99),
+            mean_ns: mean,
+            ci95_ns: ci95,
+            samples: kept.len(),
+            outliers_rejected,
         }
     }
 
     /// One JSON object line for this series.
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"name":"{}","ops_per_sec":{:.1},"p50_ns":{:.1},"p99_ns":{:.1}}}"#,
-            self.name, self.ops_per_sec, self.p50_ns, self.p99_ns
+            r#"{{"name":"{}","ops_per_sec":{:.1},"p50_ns":{:.1},"p99_ns":{:.1},"mean_ns":{:.1},"ci95_ns":{:.1},"samples":{},"outliers_rejected":{}}}"#,
+            self.name,
+            self.ops_per_sec,
+            self.p50_ns,
+            self.p99_ns,
+            self.mean_ns,
+            self.ci95_ns,
+            self.samples,
+            self.outliers_rejected
         )
     }
 }
@@ -164,5 +205,53 @@ mod tests {
     fn formatting() {
         assert_eq!(us(5_130.0), "5.13");
         print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn mad_filter_rejects_the_descheduled_burst() {
+        // 99 quiet samples around 100 ns plus one 100x outlier (the
+        // BENCH_throughput.json pathology): the outlier goes, the quiet
+        // samples stay.
+        let mut samples: Vec<f64> = (0..99).map(|i| 95.0 + (i % 11) as f64).collect();
+        samples.push(10_000.0);
+        let (kept, rejected) = mad_filter(&samples);
+        assert_eq!(rejected, 1);
+        assert_eq!(kept.len(), 99);
+        assert!(kept.iter().all(|&x| x < 1_000.0));
+    }
+
+    #[test]
+    fn mad_filter_keeps_everything_when_quiet() {
+        let samples = vec![100.0; 64];
+        let (kept, rejected) = mad_filter(&samples);
+        assert_eq!((kept.len(), rejected), (64, 0), "zero MAD: no rejection");
+        let jittered: Vec<f64> = (0..64).map(|i| 100.0 + (i % 7) as f64).collect();
+        let (kept, rejected) = mad_filter(&jittered);
+        assert_eq!(
+            (kept.len(), rejected),
+            (64, 0),
+            "small jitter: no rejection"
+        );
+    }
+
+    #[test]
+    fn series_reports_ci_and_outliers() {
+        let mut samples: Vec<f64> = (0..200).map(|i| 90.0 + (i % 21) as f64).collect();
+        samples.push(50_000.0);
+        let s = Series::from_samples("t", &mut samples);
+        assert_eq!(s.outliers_rejected, 1);
+        assert_eq!(s.samples, 200);
+        assert!(s.mean_ns > 89.0 && s.mean_ns < 112.0, "mean {}", s.mean_ns);
+        assert!(s.ci95_ns > 0.0 && s.ci95_ns < 5.0, "ci {}", s.ci95_ns);
+        let json = s.to_json();
+        assert!(json.contains("\"ci95_ns\""));
+        assert!(json.contains("\"outliers_rejected\":1"));
+    }
+
+    #[test]
+    fn mad_filter_ns_roundtrips_integers() {
+        let (kept, rejected) = mad_filter_ns(&[100, 101, 99, 100, 9_000, 100, 101, 99, 100]);
+        assert_eq!(rejected, 1);
+        assert!(kept.iter().all(|&x| x < 1_000));
     }
 }

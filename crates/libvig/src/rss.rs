@@ -40,6 +40,30 @@ pub fn shard_of(hash: u64, shards: usize) -> usize {
     (((hash >> 32) * shards as u64) >> 32) as usize
 }
 
+/// Map an external (return-traffic) port to the shard owning that
+/// slice of the NAT's port range: shard `s` owns ports
+/// `start_port + s·ports_per_shard .. start_port + (s+1)·ports_per_shard`.
+/// `None` when the port lies outside the partitioned range (below
+/// `start_port`, or past the last full slice — capacity remainders are
+/// dropped by the sharded table, so they route nowhere).
+///
+/// This is the *one* definition of the port partition: the sharded
+/// flow table's routing, the multi-queue NIC model's RSS classifier,
+/// and the core queue-fed driver all call it, so hardware steering,
+/// software dispatch, and table lookup agree by construction.
+#[inline(always)]
+pub fn shard_of_port(
+    port: u16,
+    start_port: u16,
+    ports_per_shard: usize,
+    shards: usize,
+) -> Option<usize> {
+    debug_assert!(ports_per_shard > 0, "shard_of_port with empty slices");
+    let off = usize::from(port.checked_sub(start_port)?);
+    let s = off / ports_per_shard;
+    (s < shards).then_some(s)
+}
+
 /// One shard's slice of a split batch: the gathered keys and hashes,
 /// plus each query's position in the original batch.
 #[derive(Debug, Clone)]
@@ -160,6 +184,17 @@ mod tests {
                 "shard {s} got {c} of {n} keys, expected ~{expect}"
             );
         }
+    }
+
+    #[test]
+    fn shard_of_port_partitions_the_range() {
+        // 4 shards of 2 ports each, starting at 1000.
+        assert_eq!(shard_of_port(999, 1000, 2, 4), None);
+        assert_eq!(shard_of_port(1000, 1000, 2, 4), Some(0));
+        assert_eq!(shard_of_port(1003, 1000, 2, 4), Some(1));
+        assert_eq!(shard_of_port(1007, 1000, 2, 4), Some(3));
+        assert_eq!(shard_of_port(1008, 1000, 2, 4), None);
+        assert_eq!(shard_of_port(0, 1000, 2, 4), None, "underflow is a miss");
     }
 
     #[test]

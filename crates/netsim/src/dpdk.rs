@@ -237,6 +237,121 @@ impl Device {
     }
 }
 
+/// A simulated multi-queue NIC port: N independent RX/TX ring pairs
+/// with per-queue statistics — the device model behind RSS (receive
+/// side scaling), where the NIC hashes each arriving frame and steers
+/// it to one of several hardware queues so that independent cores can
+/// drain them concurrently.
+///
+/// The classification step itself is *not* here: which queue a frame
+/// belongs to is the RSS function's business
+/// (`netsim::frame_env::RssClassifier`, shared with the software
+/// dispatch of `ParallelShardedNat`), and the tester applies it before
+/// calling [`MultiQueueDevice::offer_to`] — exactly like hardware,
+/// where the hash unit runs before the descriptor is posted to a queue.
+///
+/// Queues are fully independent: a full RX ring drops (and counts) on
+/// that queue only and can never stall or corrupt a sibling — the
+/// per-queue overflow tests pin this down.
+#[derive(Debug)]
+pub struct MultiQueueDevice {
+    rx: Vec<Ring>,
+    tx: Vec<Ring>,
+    stats: Vec<PortStats>,
+}
+
+impl MultiQueueDevice {
+    /// A port with `queues` RX/TX ring pairs of `ring_size` descriptors
+    /// each. A 1-queue device is behaviourally identical to [`Device`].
+    pub fn new(queues: usize, ring_size: usize) -> MultiQueueDevice {
+        assert!(queues > 0, "need at least one queue");
+        MultiQueueDevice {
+            rx: (0..queues).map(|_| Ring::new(ring_size)).collect(),
+            tx: (0..queues).map(|_| Ring::new(ring_size)).collect(),
+            stats: vec![PortStats::default(); queues],
+        }
+    }
+
+    /// Number of RX/TX queue pairs.
+    pub fn queue_count(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Tester-side: offer a frame to RX queue `q` (the queue the RSS
+    /// classifier picked). Returns `false` — and counts a drop in *this
+    /// queue's* stats — when that ring is full; siblings are untouched.
+    pub fn offer_to(&mut self, q: usize, buf: BufIdx) -> bool {
+        if self.rx[q].push(buf) {
+            self.stats[q].rx += 1;
+            true
+        } else {
+            self.stats[q].rx_dropped += 1;
+            false
+        }
+    }
+
+    /// Frames currently waiting in RX queue `q` (the readiness signal
+    /// an epoll-style poller level-triggers on).
+    pub fn rx_len(&self, q: usize) -> usize {
+        self.rx[q].len()
+    }
+
+    /// Tester-side: record an RX drop on queue `q` without touching the
+    /// ring — the accounting for a frame lost *before* the ring (e.g.
+    /// mempool exhaustion, a NIC with no free descriptors).
+    pub fn note_rx_drop(&mut self, q: usize) {
+        self.stats[q].rx_dropped += 1;
+    }
+
+    /// NF-side: drain up to `max` frames from RX queue `q` into `out`
+    /// (the per-queue `rte_eth_rx_burst` analog). Returns the count.
+    pub fn rx_burst(&mut self, q: usize, max: usize, out: &mut Vec<BufIdx>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.rx[q].pop() {
+                Some(b) => {
+                    out.push(b);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// NF-side: queue a frame on TX queue `q` (run-to-completion cores
+    /// transmit on their own queue index).
+    pub fn tx_put(&mut self, q: usize, buf: BufIdx) -> bool {
+        let ok = self.tx[q].push(buf);
+        if ok {
+            self.stats[q].tx += 1;
+        }
+        ok
+    }
+
+    /// Tester-side: collect a transmitted frame from TX queue `q`.
+    pub fn tx_take(&mut self, q: usize) -> Option<BufIdx> {
+        self.tx[q].pop()
+    }
+
+    /// Queue `q`'s counters.
+    pub fn queue_stats(&self, q: usize) -> PortStats {
+        self.stats[q]
+    }
+
+    /// Port-wide counters: the sum over queues (what `rte_eth_stats`
+    /// reports at the port level).
+    pub fn port_stats(&self) -> PortStats {
+        self.stats
+            .iter()
+            .fold(PortStats::default(), |a, s| PortStats {
+                rx: a.rx + s.rx,
+                rx_dropped: a.rx_dropped + s.rx_dropped,
+                tx: a.tx + s.tx,
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +415,43 @@ mod tests {
         assert!(d.tx_put(got));
         assert_eq!(d.stats.tx, 1);
         assert_eq!(d.tx_take(), Some(BufIdx(0)));
+    }
+
+    #[test]
+    fn multiqueue_queues_are_independent() {
+        let mut d = MultiQueueDevice::new(3, 2);
+        assert_eq!(d.queue_count(), 3);
+        // Fill queue 1 past capacity; queues 0 and 2 keep working.
+        assert!(d.offer_to(1, BufIdx(0)));
+        assert!(d.offer_to(1, BufIdx(1)));
+        assert!(!d.offer_to(1, BufIdx(2)), "queue 1 overflows");
+        assert!(d.offer_to(0, BufIdx(3)));
+        assert!(d.offer_to(2, BufIdx(4)));
+        assert_eq!(d.queue_stats(1).rx_dropped, 1);
+        assert_eq!(d.queue_stats(0).rx_dropped, 0);
+        assert_eq!(d.queue_stats(2).rx_dropped, 0);
+        assert_eq!(d.rx_len(0), 1);
+        assert_eq!(d.rx_len(1), 2);
+        assert_eq!(d.rx_len(2), 1);
+        let total = d.port_stats();
+        assert_eq!((total.rx, total.rx_dropped, total.tx), (4, 1, 0));
+    }
+
+    #[test]
+    fn multiqueue_rx_tx_roundtrip_per_queue() {
+        let mut d = MultiQueueDevice::new(2, 4);
+        for i in 0..3 {
+            assert!(d.offer_to(0, BufIdx(i)));
+        }
+        let mut out = Vec::new();
+        assert_eq!(d.rx_burst(0, 2, &mut out), 2);
+        assert_eq!(out, vec![BufIdx(0), BufIdx(1)]);
+        assert_eq!(d.rx_burst(1, 8, &mut out), 0, "sibling queue is empty");
+        assert!(d.tx_put(0, BufIdx(0)));
+        assert_eq!(d.tx_take(0), Some(BufIdx(0)));
+        assert_eq!(d.tx_take(1), None);
+        assert_eq!(d.queue_stats(0).tx, 1);
+        assert_eq!(d.queue_stats(1).tx, 0);
     }
 
     #[test]

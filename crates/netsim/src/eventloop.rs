@@ -1,0 +1,707 @@
+//! The async (epoll-style) event-driven driver over the multi-queue
+//! NIC model.
+//!
+//! The paper's NAT is one run-to-completion loop over one RX ring; this
+//! module is the I/O layer that feeds the *same verified loop body*
+//! from N hardware queues instead:
+//!
+//! * [`Poller`] — readiness: level-triggered "queue non-empty" events
+//!   over every RX queue of both ports (epoll's `EPOLLIN` analog for a
+//!   poll-mode driver), with exponential idle backoff so a quiet NF
+//!   does not spin at full rate;
+//! * [`Wrr`] — scheduling: weighted round-robin with per-queue burst
+//!   budgets (deficit-round-robin style), so one deep queue cannot
+//!   starve its siblings and operators can bias service toward
+//!   latency-sensitive queues;
+//! * [`EventLoop`] — the driver state (poller + scheduler + batch
+//!   scratch), reused across drains so the steady-state path allocates
+//!   nothing;
+//! * [`MultiQueueTestbed`] — the two-port testbed analog of
+//!   [`crate::harness::Testbed`]: one mempool, two
+//!   [`MultiQueueDevice`]s, and the RSS classifier
+//!   ([`RssClassifier`]) applied tester-side exactly where a NIC's
+//!   hash unit runs.
+//!
+//! Packets reach the NF through the ordinary [`Middlebox::process_burst`]
+//! — each queue event becomes one `BurstEnv` drain of the verified
+//! batch loop — so the event-driven driver changes *when* bursts run,
+//! never *what* a burst does. `tests/queue_equivalence.rs` proves the
+//! output byte-for-byte equivalent per flow to the sequential
+//! single-queue driver, which stays in [`crate::harness`] as the
+//! differential oracle.
+//!
+//! ## Ordering guarantees (and the shape of the equivalence proof)
+//!
+//! The driver preserves FIFO order *within* each ring and promises
+//! nothing *across* rings. With `queues == shards` the RSS classifier
+//! and the flow table's dispatch are the same function, so each queue
+//! carries exactly one shard's subsequence and per-flow behaviour —
+//! allocation order, ports, rewrites — is identical to sequential
+//! processing. Two orderings are genuinely schedule-dependent, exactly
+//! as on real multi-queue hardware: the interleaving of a shard's
+//! *internal*-port and *external*-port rings (replies allocate
+//! nothing, so only rejuvenation/LRU order — hence slot-*reuse* order
+//! after an expiry wave — can differ), and, with `queues > shards`
+//! (several queues nested per shard by the multiply-shift reduction),
+//! the allocation order of same-shard flows arriving on different
+//! queues; translation of *established* flows remains byte-identical
+//! in every case. See `docs/ARCHITECTURE.md`.
+
+use crate::dpdk::{BufIdx, Mempool, MultiQueueDevice, PortStats, MBUF_SIZE};
+use crate::frame_env::RssClassifier;
+use crate::harness::LatencySamples;
+use crate::middlebox::{Middlebox, ShardedVigNatMb, Verdict};
+use crate::tester::FlowGen;
+use libvig::time::Time;
+use vig_packet::Direction;
+use vig_spec::NatConfig;
+use vignat::MAX_BURST;
+
+/// One readiness event: RX queue `queue` of port `dir` holds frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEvent {
+    /// The port whose queue is ready.
+    pub dir: Direction,
+    /// The ready queue's index.
+    pub queue: usize,
+}
+
+/// Counters the poller accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollerStats {
+    /// Total poll calls.
+    pub polls: u64,
+    /// Total readiness events returned.
+    pub events: u64,
+    /// Polls that found no queue ready.
+    pub idle_polls: u64,
+    /// Virtual nanoseconds an idle driver would have slept, summed over
+    /// idle polls (each idle poll contributes the current backoff).
+    pub idle_backoff_ns: u64,
+}
+
+/// Level-triggered readiness over every RX queue of both ports, with
+/// exponential idle backoff. See the module docs.
+#[derive(Debug)]
+pub struct Poller {
+    backoff_min_ns: u64,
+    backoff_max_ns: u64,
+    cur_backoff_ns: u64,
+    ready: Vec<QueueEvent>,
+    stats: PollerStats,
+}
+
+impl Poller {
+    /// Poller with the default idle backoff window (1 µs doubling to
+    /// 128 µs — a poll-mode driver's typical pause ladder).
+    pub fn new() -> Poller {
+        Poller::with_backoff(1_000, 128_000)
+    }
+
+    /// Poller with an explicit idle-backoff window.
+    pub fn with_backoff(min_ns: u64, max_ns: u64) -> Poller {
+        assert!(min_ns > 0 && min_ns <= max_ns, "invalid backoff window");
+        Poller {
+            backoff_min_ns: min_ns,
+            backoff_max_ns: max_ns,
+            cur_backoff_ns: min_ns,
+            ready: Vec::new(),
+            stats: PollerStats::default(),
+        }
+    }
+
+    /// Scan both ports' RX queues and record every non-empty one as a
+    /// [`QueueEvent`] (readable via [`Poller::ready`]). Returns how
+    /// many queues are ready. An empty scan advances the idle backoff
+    /// (doubling up to the cap); any readiness resets it.
+    pub fn poll(&mut self, int_dev: &MultiQueueDevice, ext_dev: &MultiQueueDevice) -> usize {
+        self.ready.clear();
+        for (dir, dev) in [
+            (Direction::Internal, int_dev),
+            (Direction::External, ext_dev),
+        ] {
+            for q in 0..dev.queue_count() {
+                if dev.rx_len(q) > 0 {
+                    self.ready.push(QueueEvent { dir, queue: q });
+                }
+            }
+        }
+        self.stats.polls += 1;
+        self.stats.events += self.ready.len() as u64;
+        if self.ready.is_empty() {
+            self.stats.idle_polls += 1;
+            self.stats.idle_backoff_ns += self.cur_backoff_ns;
+            self.cur_backoff_ns = (self.cur_backoff_ns * 2).min(self.backoff_max_ns);
+        } else {
+            self.cur_backoff_ns = self.backoff_min_ns;
+        }
+        self.ready.len()
+    }
+
+    /// The events found by the last [`Poller::poll`].
+    pub fn ready(&self) -> &[QueueEvent] {
+        &self.ready
+    }
+
+    /// How long an idle driver would sleep before the next poll.
+    pub fn current_backoff_ns(&self) -> u64 {
+        self.cur_backoff_ns
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PollerStats {
+        self.stats
+    }
+}
+
+impl Default for Poller {
+    fn default() -> Poller {
+        Poller::new()
+    }
+}
+
+/// Weighted round-robin over ready queues with per-queue burst budgets.
+///
+/// Queue `q` may take up to `weight[q] × quantum` frames per visit;
+/// the visiting order rotates one position per scheduling round so no
+/// queue index is structurally favoured. Weights default to 1 (plain
+/// round-robin at `quantum`-frame budgets).
+#[derive(Debug)]
+pub struct Wrr {
+    weights: Vec<usize>,
+    quantum: usize,
+    next: usize,
+}
+
+impl Wrr {
+    /// Equal-weight round-robin over `queues` queues, `quantum` frames
+    /// per visit.
+    pub fn new(queues: usize, quantum: usize) -> Wrr {
+        Wrr::weighted(vec![1; queues], quantum)
+    }
+
+    /// Weighted round-robin; `weights[q]` scales queue `q`'s budget.
+    pub fn weighted(weights: Vec<usize>, quantum: usize) -> Wrr {
+        assert!(!weights.is_empty(), "need at least one queue");
+        assert!(quantum > 0, "budget quantum must be non-zero");
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "zero-weight queues would starve"
+        );
+        Wrr {
+            weights,
+            quantum,
+            next: 0,
+        }
+    }
+
+    /// The frame budget of one visit to queue `q`.
+    pub fn budget(&self, q: usize) -> usize {
+        self.weights[q] * self.quantum
+    }
+
+    /// Start offset for this scheduling round's sweep over `n_ready`
+    /// ready queues (rotates every round).
+    fn rotation(&mut self, n_ready: usize) -> usize {
+        let r = self.next % n_ready.max(1);
+        self.next = self.next.wrapping_add(1);
+        r
+    }
+}
+
+/// What one event-driven drain did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Frames forwarded.
+    pub forwarded: u64,
+    /// Frames dropped by the NF.
+    pub dropped: u64,
+    /// Queue-event bursts processed.
+    pub bursts: u64,
+    /// Poll rounds taken (including the final empty one).
+    pub polls: u64,
+    /// Wall-clock nanoseconds of the drain loop (the timed region the
+    /// throughput measurements use).
+    pub elapsed_ns: u64,
+}
+
+/// The reusable event-driven driver state: poller + scheduler + batch
+/// scratch. One `EventLoop` drives one NF across many drains; nothing
+/// in it allocates on the steady-state path.
+#[derive(Debug)]
+pub struct EventLoop {
+    poller: Poller,
+    wrr: Wrr,
+    batch: Vec<BufIdx>,
+}
+
+impl EventLoop {
+    /// Equal-weight driver for `queues` queues with [`MAX_BURST`]-frame
+    /// budgets — the default configuration every harness entry point
+    /// uses.
+    pub fn new(queues: usize) -> EventLoop {
+        EventLoop::with_parts(Poller::new(), Wrr::new(queues, MAX_BURST))
+    }
+
+    /// Driver from explicit poller/scheduler parts (tests use skewed
+    /// weights and tight backoff windows).
+    pub fn with_parts(poller: Poller, wrr: Wrr) -> EventLoop {
+        let cap = wrr
+            .weights
+            .iter()
+            .map(|&w| w * wrr.quantum)
+            .max()
+            .unwrap_or(MAX_BURST);
+        EventLoop {
+            poller,
+            wrr,
+            batch: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The poller (stats and backoff inspection).
+    pub fn poller(&self) -> &Poller {
+        &self.poller
+    }
+}
+
+/// The two-port multi-queue testbed: one mempool, two
+/// [`MultiQueueDevice`]s, and the RSS classifier applied tester-side.
+/// The multi-queue analog of [`crate::harness::Testbed`].
+pub struct MultiQueueTestbed {
+    pool: Mempool,
+    int_dev: MultiQueueDevice,
+    ext_dev: MultiQueueDevice,
+    classifier: RssClassifier,
+    scratch: Box<[u8; MBUF_SIZE]>,
+}
+
+impl MultiQueueTestbed {
+    /// Testbed whose ports have one RX/TX ring pair of `ring_size`
+    /// descriptors per classifier queue. The pool holds four rings'
+    /// worth of buffers per queue, like the single-queue testbed.
+    pub fn new(classifier: RssClassifier, ring_size: usize) -> MultiQueueTestbed {
+        let queues = classifier.queue_count();
+        MultiQueueTestbed {
+            pool: Mempool::new(queues * ring_size * 4),
+            int_dev: MultiQueueDevice::new(queues, ring_size),
+            ext_dev: MultiQueueDevice::new(queues, ring_size),
+            classifier,
+            scratch: Box::new([0u8; MBUF_SIZE]),
+        }
+    }
+
+    fn dev(&mut self, d: Direction) -> &mut MultiQueueDevice {
+        match d {
+            Direction::Internal => &mut self.int_dev,
+            Direction::External => &mut self.ext_dev,
+        }
+    }
+
+    /// The classifier steering this testbed's traffic.
+    pub fn classifier(&self) -> RssClassifier {
+        self.classifier
+    }
+
+    /// Queues per port.
+    pub fn queue_count(&self) -> usize {
+        self.int_dev.queue_count()
+    }
+
+    /// Buffers currently free in the pool (leak checks).
+    pub fn pool_available(&self) -> usize {
+        self.pool.available()
+    }
+
+    /// Queue `q`'s counters on port `dir`.
+    pub fn queue_stats(&self, dir: Direction, q: usize) -> PortStats {
+        match dir {
+            Direction::Internal => self.int_dev.queue_stats(q),
+            Direction::External => self.ext_dev.queue_stats(q),
+        }
+    }
+
+    /// Port-wide counters (sum over queues).
+    pub fn port_stats(&self, dir: Direction) -> PortStats {
+        match dir {
+            Direction::Internal => self.int_dev.port_stats(),
+            Direction::External => self.ext_dev.port_stats(),
+        }
+    }
+
+    /// Tester-side: write a frame, classify it (the NIC hash unit's
+    /// step), and offer it to the chosen RX queue. Returns the queue it
+    /// landed in, or `None` when that queue's ring (or the pool) is
+    /// full — in which case the drop is counted in that queue's stats
+    /// and nothing else changes.
+    pub fn offer(
+        &mut self,
+        dir: Direction,
+        fields_writer: impl FnOnce(&mut [u8]) -> usize,
+    ) -> Option<usize> {
+        let len = fields_writer(&mut self.scratch[..]);
+        let q = self.classifier.queue_of(dir, &self.scratch[..len]);
+        let Some(buf) = self.pool.get() else {
+            // Pool exhaustion manifests as an RX drop on the queue the
+            // frame would have entered (a NIC out of descriptors).
+            self.dev(dir).note_rx_drop(q);
+            return None;
+        };
+        self.pool.write_frame(buf, &self.scratch[..len]);
+        if self.dev(dir).offer_to(q, buf) {
+            Some(q)
+        } else {
+            self.pool.put(buf);
+            None
+        }
+    }
+
+    /// The event-driven drain: poll for ready queues, visit them in
+    /// weighted round-robin order, and run each visit's budgeted burst
+    /// through [`Middlebox::process_burst`] — one queue event, one
+    /// `BurstEnv` drain of the verified batch loop. Loops until no
+    /// queue is ready. Forwarded frames go out on the destination
+    /// port's TX queue of the same index (a run-to-completion core owns
+    /// its queue pair). Returns the drain's statistics; transmitted
+    /// frames stay queued until [`MultiQueueTestbed::collect_tx`].
+    pub fn drain_event_driven(
+        &mut self,
+        nf: &mut dyn Middlebox,
+        now: Time,
+        ev: &mut EventLoop,
+    ) -> DrainStats {
+        let mut stats = DrainStats::default();
+        let t0 = std::time::Instant::now();
+        loop {
+            stats.polls += 1;
+            let n_ready = ev.poller.poll(&self.int_dev, &self.ext_dev);
+            if n_ready == 0 {
+                break;
+            }
+            let start = ev.wrr.rotation(n_ready);
+            for k in 0..n_ready {
+                let event = ev.poller.ready[(start + k) % n_ready];
+                let budget = ev.wrr.budget(event.queue);
+                ev.batch.clear();
+                if self
+                    .dev(event.dir)
+                    .rx_burst(event.queue, budget, &mut ev.batch)
+                    == 0
+                {
+                    continue;
+                }
+                stats.bursts += 1;
+                let verdicts = nf.process_burst(event.dir, &mut self.pool, &ev.batch, now);
+                debug_assert_eq!(verdicts.len(), ev.batch.len());
+                for (&buf, v) in ev.batch.iter().zip(&verdicts) {
+                    match v {
+                        Verdict::Forward(out) => {
+                            assert!(
+                                self.dev(*out).tx_put(event.queue, buf),
+                                "tx ring sized for a ring's worth of bursts"
+                            );
+                            stats.forwarded += 1;
+                        }
+                        Verdict::Drop => {
+                            self.pool.put(buf);
+                            stats.dropped += 1;
+                        }
+                    }
+                }
+            }
+        }
+        stats.elapsed_ns = t0.elapsed().as_nanos() as u64;
+        stats
+    }
+
+    /// The lockstep oracle drain: visit every queue of both ports in
+    /// fixed ascending order and drain each *fully* (in
+    /// [`MAX_BURST`]-frame chunks) before moving on — the sequential
+    /// interleaving the event-driven drain is differentially tested
+    /// against. Returns `(forwarded, dropped)`.
+    pub fn drain_sequential(&mut self, nf: &mut dyn Middlebox, now: Time) -> (u64, u64) {
+        let mut forwarded = 0u64;
+        let mut dropped = 0u64;
+        let mut batch: Vec<BufIdx> = Vec::with_capacity(MAX_BURST);
+        for dir in [Direction::Internal, Direction::External] {
+            for q in 0..self.queue_count() {
+                loop {
+                    batch.clear();
+                    if self.dev(dir).rx_burst(q, MAX_BURST, &mut batch) == 0 {
+                        break;
+                    }
+                    let verdicts = nf.process_burst(dir, &mut self.pool, &batch, now);
+                    for (&buf, v) in batch.iter().zip(&verdicts) {
+                        match v {
+                            Verdict::Forward(out) => {
+                                assert!(self.dev(*out).tx_put(q, buf), "tx ring holds the queue");
+                                forwarded += 1;
+                            }
+                            Verdict::Drop => {
+                                self.pool.put(buf);
+                                dropped += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (forwarded, dropped)
+    }
+
+    /// Tester-side: collect every transmitted frame from port `dir`'s
+    /// TX queues (queue order, FIFO within a queue), reclaiming the
+    /// buffers. Returns `(tx_queue, frame bytes)` pairs.
+    pub fn collect_tx(&mut self, dir: Direction) -> Vec<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        for q in 0..self.queue_count() {
+            while let Some(buf) = self.dev(dir).tx_take(q) {
+                out.push((q, self.pool.frame(buf).to_vec()));
+                self.pool.put(buf);
+            }
+        }
+        out
+    }
+}
+
+/// Steady-state per-packet service times through the event-driven
+/// multi-queue path — the multi-queue analog of
+/// [`crate::harness::steady_state_service_times_batched`]: an N-shard
+/// NAT behind a `queues`-queue classifier, all-hit workload, 64-frame
+/// rounds staged across queues by RSS and drained event-driven. Each
+/// packet is assigned its round's mean (burst-granularity timing, as
+/// everywhere in the harness).
+pub fn event_driven_service_times(
+    cfg: &NatConfig,
+    queues: usize,
+    shards: usize,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+    ring_cap: usize,
+) -> LatencySamples {
+    const ROUND: usize = 64;
+    let mut nf = ShardedVigNatMb::sharded(*cfg, shards);
+    let mut tb = MultiQueueTestbed::new(RssClassifier::for_nat(cfg, queues), ring_cap);
+    let mut ev = EventLoop::new(queues);
+    let gen = FlowGen::new(vig_packet::Proto::Udp);
+    let mut now = Time::from_secs(1);
+
+    // Populate (untimed): establish every flow.
+    for chunk in (0..flows as u32).collect::<Vec<_>>().chunks(ROUND) {
+        now = now.plus(1_000);
+        for &i in chunk {
+            let f = gen.background(i);
+            let accepted = tb.offer(Direction::Internal, |b| gen.write_frame(&f, b));
+            assert!(accepted.is_some(), "populate must not overflow");
+        }
+        tb.drain_event_driven(&mut nf, now, &mut ev);
+        let _ = tb.collect_tx(Direction::External);
+    }
+
+    // Timed all-hit rounds; clock advances slowly enough that no flow
+    // expires (same construction as the single-queue harness).
+    let rounds_estimate = packets.div_ceil(ROUND) as u64;
+    let step = (texp_ns / 4) / (rounds_estimate * 8 + 1);
+    let mut samples = Vec::with_capacity(packets);
+    let mut next_flow = 0u32;
+    while samples.len() < packets {
+        now = now.plus(step.max(1));
+        let mut staged = 0usize;
+        for k in 0..ROUND {
+            let f = gen.background((next_flow + k as u32) % flows as u32);
+            if tb
+                .offer(Direction::Internal, |b| gen.write_frame(&f, b))
+                .is_some()
+            {
+                staged += 1;
+            }
+        }
+        next_flow = (next_flow + ROUND as u32) % flows as u32;
+        let stats = tb.drain_event_driven(&mut nf, now, &mut ev);
+        debug_assert_eq!(stats.dropped, 0, "steady state must be all hits");
+        let _ = tb.collect_tx(Direction::External);
+        debug_assert!(staged > 0);
+        let per_packet = stats.elapsed_ns / staged as u64;
+        samples.extend(std::iter::repeat_n(per_packet.max(1), staged));
+    }
+    samples.truncate(packets);
+    LatencySamples { ns: samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middlebox::VigNatMb;
+    use vig_packet::{Ip4, Proto};
+
+    fn cfg(cap: usize) -> NatConfig {
+        NatConfig {
+            capacity: cap,
+            expiry_ns: Time::from_secs(60).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1,
+        }
+    }
+
+    #[test]
+    fn poller_reports_readiness_and_backs_off_when_idle() {
+        let int_dev = MultiQueueDevice::new(2, 4);
+        let ext_dev = MultiQueueDevice::new(2, 4);
+        let mut p = Poller::with_backoff(100, 800);
+        // Idle polls double the backoff up to the cap.
+        assert_eq!(p.poll(&int_dev, &ext_dev), 0);
+        assert_eq!(p.current_backoff_ns(), 200);
+        assert_eq!(p.poll(&int_dev, &ext_dev), 0);
+        assert_eq!(p.poll(&int_dev, &ext_dev), 0);
+        assert_eq!(p.poll(&int_dev, &ext_dev), 0);
+        assert_eq!(p.current_backoff_ns(), 800, "capped");
+        assert_eq!(p.stats().idle_polls, 4);
+        assert!(p.stats().idle_backoff_ns >= 100 + 200 + 400 + 800);
+
+        // Readiness resets the backoff and reports the exact queue.
+        let mut int_dev = int_dev;
+        int_dev.offer_to(1, BufIdx(0));
+        assert_eq!(p.poll(&int_dev, &ext_dev), 1);
+        assert_eq!(
+            p.ready(),
+            &[QueueEvent {
+                dir: Direction::Internal,
+                queue: 1
+            }]
+        );
+        assert_eq!(p.current_backoff_ns(), 100);
+    }
+
+    #[test]
+    fn wrr_budgets_scale_with_weights() {
+        let w = Wrr::weighted(vec![1, 3, 2], 8);
+        assert_eq!(w.budget(0), 8);
+        assert_eq!(w.budget(1), 24);
+        assert_eq!(w.budget(2), 16);
+    }
+
+    #[test]
+    fn event_driven_drain_translates_and_reclaims_buffers() {
+        let c = cfg(256);
+        let mut nf = ShardedVigNatMb::sharded(c, 2);
+        let mut tb = MultiQueueTestbed::new(RssClassifier::for_nat(&c, 4), 64);
+        let mut ev = EventLoop::new(4);
+        let gen = FlowGen::new(Proto::Udp);
+        let before = tb.pool_available();
+        for i in 0..48u32 {
+            let f = gen.background(i);
+            assert!(tb
+                .offer(Direction::Internal, |b| gen.write_frame(&f, b))
+                .is_some());
+        }
+        let stats = tb.drain_event_driven(&mut nf, Time::from_secs(1), &mut ev);
+        assert_eq!(stats.forwarded, 48);
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.bursts >= 1);
+        let tx = tb.collect_tx(Direction::External);
+        assert_eq!(tx.len(), 48);
+        // Every output frame carries the external ip, and the port it
+        // was allocated lives in the same *shard* group as the queue
+        // that carried it (4 queues nest pairwise inside 2 shards; the
+        // port's exact queue within the group depends on allocation
+        // order, not on the hash's finer bits).
+        for (q, frame) in &tx {
+            let (_, ff) = vig_packet::parse_l3l4(frame).unwrap();
+            assert_eq!(ff.src_ip, Ip4::new(10, 1, 0, 1));
+            let port_q = tb
+                .classifier()
+                .queue_of_port(ff.src_port)
+                .expect("allocated port is in range");
+            assert_eq!(
+                port_q * 2 / 4,
+                q * 2 / 4,
+                "port's queue group must nest in the carrying queue's shard"
+            );
+        }
+        assert_eq!(tb.pool_available(), before, "no buffer leaks");
+        assert_eq!(nf.occupancy(), 48);
+    }
+
+    #[test]
+    fn wrr_budget_interleaves_deep_and_shallow_queues() {
+        // One deep queue must not be drained to completion before a
+        // shallow sibling gets service: with budget 8, the deep queue
+        // needs several visits, and each poll round visits every ready
+        // queue once.
+        let c = cfg(256);
+        let mut nf = VigNatMb::new(c);
+        let mut tb = MultiQueueTestbed::new(RssClassifier::for_nat(&c, 2), 64);
+        let mut ev = EventLoop::with_parts(Poller::new(), Wrr::new(2, 8));
+        let gen = FlowGen::new(Proto::Udp);
+        // Find flows for each queue.
+        let mut by_queue: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut buf = [0u8; MBUF_SIZE];
+        for i in 0..512u32 {
+            let f = gen.background(i);
+            let n = gen.write_frame(&f, &mut buf);
+            let q = tb.classifier().queue_of(Direction::Internal, &buf[..n]);
+            by_queue[q].push(i);
+        }
+        // 40 frames into queue 0's flows, 8 into queue 1's.
+        for k in 0..40 {
+            let f = gen.background(by_queue[0][k % by_queue[0].len()]);
+            assert!(tb
+                .offer(Direction::Internal, |b| gen.write_frame(&f, b))
+                .is_some());
+        }
+        for k in 0..8 {
+            let f = gen.background(by_queue[1][k % by_queue[1].len()]);
+            assert!(tb
+                .offer(Direction::Internal, |b| gen.write_frame(&f, b))
+                .is_some());
+        }
+        let stats = tb.drain_event_driven(&mut nf, Time::from_secs(1), &mut ev);
+        assert_eq!(stats.forwarded, 48);
+        // Deep queue: ceil(40/8) = 5 visits; shallow: 1. Plus the final
+        // empty poll. Multiple poll rounds prove the interleaving.
+        assert!(stats.bursts >= 6, "budgeted visits, not full drains");
+        assert!(
+            stats.polls >= 5,
+            "deep queue re-polls while shallow is done"
+        );
+        let _ = tb.collect_tx(Direction::External);
+    }
+
+    #[test]
+    fn sequential_oracle_matches_event_driven_on_totals() {
+        let c = cfg(128);
+        let gen = FlowGen::new(Proto::Udp);
+        let mk = |tb: &mut MultiQueueTestbed| {
+            for i in 0..32u32 {
+                let f = gen.background(i);
+                assert!(tb
+                    .offer(Direction::Internal, |b| gen.write_frame(&f, b))
+                    .is_some());
+            }
+        };
+        let mut a = MultiQueueTestbed::new(RssClassifier::for_nat(&c, 2), 64);
+        let mut b = MultiQueueTestbed::new(RssClassifier::for_nat(&c, 2), 64);
+        mk(&mut a);
+        mk(&mut b);
+        let mut nf_a = ShardedVigNatMb::sharded(c, 2);
+        let mut nf_b = ShardedVigNatMb::sharded(c, 2);
+        let mut ev = EventLoop::new(2);
+        let s = a.drain_event_driven(&mut nf_a, Time::from_secs(1), &mut ev);
+        let (fwd, drop) = b.drain_sequential(&mut nf_b, Time::from_secs(1));
+        assert_eq!((s.forwarded, s.dropped), (fwd, drop));
+        assert_eq!(nf_a.occupancy(), nf_b.occupancy());
+        let _ = (
+            a.collect_tx(Direction::External),
+            b.collect_tx(Direction::External),
+        );
+    }
+
+    #[test]
+    fn event_driven_steady_state_is_all_hits() {
+        let s =
+            event_driven_service_times(&cfg(1024), 2, 2, 64, 500, Time::from_secs(60).nanos(), 64);
+        assert_eq!(s.ns.len(), 500);
+        assert!(s.mean() > 0.0);
+    }
+}

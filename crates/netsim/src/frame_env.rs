@@ -146,6 +146,85 @@ pub fn frame_l4_dst_port(f: &[u8]) -> u16 {
     rd16(f, l4 + 2)
 }
 
+/// The RSS classification function a multi-queue NIC's hash unit
+/// computes: frame bytes in, queue index out.
+///
+/// This is *the same function* the software drivers dispatch by —
+/// [`crate::harness::ParallelShardedNat::dispatch`] delegates here, and
+/// the sharded flow table's own routing
+/// (`ShardedFlowManager::shard_of_hash` / `shard_of_port`) applies the
+/// identical [`libvig::rss::shard_of`] reduction and port partition —
+/// so hardware steering, software dispatch, and table lookup can never
+/// disagree about where a flow lives (asserted by construction in
+/// [`RssClassifier::for_table`], differentially in
+/// `tests/queue_equivalence.rs`).
+///
+/// * **Internal traffic** routes by [`libvig::rss::shard_of`] over the
+///   flow-key hash a NIC's RSS unit would compute ([`frame_flow_id`],
+///   reading the same offsets with the same zero-fill as the env).
+/// * **External (return) traffic** routes by the NAT port partition:
+///   queue `q` owns destination ports
+///   `start_port + q·ports_per_queue ..` — a translated flow's external
+///   port identifies its queue exactly.
+/// * Frames carrying no routable flow (non-TCP/UDP, out-of-range
+///   external port) classify to queue 0; every queue drops them
+///   identically, so the choice is unobservable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssClassifier {
+    queues: usize,
+    start_port: u16,
+    ports_per_queue: usize,
+}
+
+impl RssClassifier {
+    /// Classifier for `queues` queues over the NAT's port range — the
+    /// partition [`vignat::ShardedFlowManager`] would use with `queues`
+    /// shards (`cfg.capacity / queues` ports per queue).
+    pub fn for_nat(cfg: &vig_spec::NatConfig, queues: usize) -> RssClassifier {
+        assert!(queues > 0, "need at least one queue");
+        let ports_per_queue = cfg.capacity / queues;
+        assert!(ports_per_queue > 0, "more queues than ports");
+        RssClassifier {
+            queues,
+            start_port: cfg.start_port,
+            ports_per_queue,
+        }
+    }
+
+    /// The classifier matching a sharded flow table's own routing: one
+    /// queue per shard, same port partition — hardware dispatch and
+    /// table routing become one function by construction.
+    pub fn for_table(table: &vignat::ShardedFlowManager) -> RssClassifier {
+        RssClassifier {
+            queues: table.shard_count(),
+            start_port: table.shard_cfg(0).start_port,
+            ports_per_queue: table.per_shard_capacity(),
+        }
+    }
+
+    /// Number of queues this classifier steers across.
+    pub fn queue_count(&self) -> usize {
+        self.queues
+    }
+
+    /// The queue a frame arriving on `dir` steers to. See type docs.
+    pub fn queue_of(&self, dir: Direction, frame: &[u8]) -> usize {
+        match dir {
+            Direction::Internal => frame_flow_id(frame)
+                .map(|fid| libvig::rss::shard_of(fid.key_hash(), self.queues))
+                .unwrap_or(0),
+            Direction::External => self.queue_of_port(frame_l4_dst_port(frame)).unwrap_or(0),
+        }
+    }
+
+    /// Which queue owns external port `port`, if it is in range at all
+    /// ([`libvig::rss::shard_of_port`] — the shared definition the
+    /// sharded table and queue-fed driver also use).
+    pub fn queue_of_port(&self, port: u16) -> Option<usize> {
+        libvig::rss::shard_of_port(port, self.start_port, self.ports_per_queue, self.queues)
+    }
+}
+
 /// Apply a NAT rewrite to the frame in place: fixed-offset field
 /// surgery with RFC 1624 incremental checksum maintenance — exactly the
 /// C original's struct-overlay writes. The loop body's validation

@@ -8,9 +8,10 @@
 //!   table;
 //! * [`throughput_search`] — Fig. 14: the RFC 2544 loss-bounded maximum
 //!   throughput — measure the NF's per-packet service times on the
-//!   steady-state (all-hits) workload, then binary-search the highest
-//!   offered rate whose queue simulation loses ≤ 0.1% of packets at the
-//!   device's RX-ring depth.
+//!   steady-state (all-hits) workload, MAD-reject timer-noise outliers
+//!   ([`mad_filter_ns`]), then binary-search the highest offered rate
+//!   whose queue simulation loses ≤ 0.1% of packets at the device's
+//!   RX-ring depth.
 //!
 //! Every frame goes through the same mempool→RX-ring→NF→TX-ring→mempool
 //! transaction ([`Testbed::shoot`]), so ring and buffer costs are inside
@@ -19,10 +20,9 @@
 
 use crate::dpdk::MBUF_SIZE;
 use crate::dpdk::{BufIdx, Device, Mempool};
-use crate::frame_env::{frame_flow_id, frame_l4_dst_port, BurstEnv, BurstScratch};
+use crate::frame_env::{BurstEnv, BurstScratch, RssClassifier};
 use crate::middlebox::{Middlebox, Verdict, VigNatMb};
 use crate::tester::{FlowGen, WorkloadMix};
-use libvig::map::MapKey;
 use libvig::time::Time;
 use vig_packet::Direction;
 use vig_spec::NatConfig;
@@ -231,8 +231,9 @@ impl Testbed {
 ///
 /// Per burst: an (untimed, tester-side) dispatch pass routes each frame
 /// to its shard — internal frames by the flow-key hash
-/// ([`frame_flow_id`], the hash a NIC's RSS unit would compute),
-/// external frames by the NAT port partition ([`frame_l4_dst_port`]) —
+/// ([`crate::frame_env::frame_flow_id`], the hash a NIC's RSS unit
+/// would compute), external frames by the NAT port partition
+/// ([`crate::frame_env::frame_l4_dst_port`]) —
 /// then `std::thread::scope` runs every shard's sub-burst concurrently
 /// through the ordinary batched fast path
 /// ([`vignat::nat_process_batch`] over [`BurstEnv`]). Shards share no
@@ -296,23 +297,20 @@ impl ParallelShardedNat {
         self.expired_total
     }
 
+    /// This NAT's RSS function ([`RssClassifier::for_table`]) — the
+    /// *same function* the multi-queue NIC model's hash unit computes,
+    /// so hardware steering and software dispatch can never drift
+    /// apart. Burst loops hoist this once and classify per frame.
+    pub fn classifier(&self) -> RssClassifier {
+        RssClassifier::for_table(&self.table)
+    }
+
     /// The shard a frame arriving on `dir` is dispatched to — the RSS
     /// model: internal traffic by flow-key hash (the same memoized hash
     /// the flow table routes by, so the dispatch shard and the lookup
     /// shard always agree), return traffic by the port partition.
-    /// Frames carrying no routable flow (non-TCP/UDP, or an external
-    /// destination port outside the NAT's range) go to shard 0; they
-    /// drop identically on every shard, so the choice is unobservable.
     pub fn dispatch(&self, dir: Direction, frame: &[u8]) -> usize {
-        match dir {
-            Direction::Internal => frame_flow_id(frame)
-                .map(|fid| self.table.shard_of_hash(fid.key_hash()))
-                .unwrap_or(0),
-            Direction::External => self
-                .table
-                .shard_of_port(frame_l4_dst_port(frame))
-                .unwrap_or(0),
-        }
+        self.classifier().queue_of(dir, frame)
     }
 
     /// Process one burst arriving on `dir` at instant `now`, one worker
@@ -325,10 +323,12 @@ impl ParallelShardedNat {
         now: Time,
     ) -> Vec<Verdict> {
         let n = self.shard_count();
-        // Tester-side dispatch: route every frame to its shard.
+        // Tester-side dispatch: route every frame to its shard (one
+        // classifier for the whole burst).
+        let cls = self.classifier();
         let mut routed: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, f) in frames.iter().enumerate() {
-            routed[self.dispatch(dir, f)].push(i);
+            routed[cls.queue_of(dir, f)].push(i);
         }
         // Stage each shard's sub-burst into that shard's mempool.
         let mut staged: Vec<Vec<BufIdx>> = Vec::with_capacity(n);
@@ -422,8 +422,9 @@ impl ParallelShardedNat {
     ) -> Vec<Verdict> {
         assert!(self.clocks[s] <= now, "shard clock must be monotone");
         self.clocks[s] = now;
+        let cls = self.classifier();
         for f in frames.iter() {
-            assert_eq!(self.dispatch(dir, f), s, "frame dispatched to wrong shard");
+            assert_eq!(cls.queue_of(dir, f), s, "frame dispatched to wrong shard");
         }
         let pool = &mut self.pools[s];
         let bufs: Vec<BufIdx> = frames
@@ -522,10 +523,13 @@ pub fn sharded_throughput_sweep(
                 packets_per_shard,
                 texp_ns,
             );
-            let mean = svc.mean();
+            // MAD-filtered like every rate search here: one descheduled
+            // burst on one shard would otherwise cap the whole point
+            // (mpps = n × slowest shard).
+            let (mpps, mean, _) = search_rate_filtered(&svc, ring_cap);
             mean_sum += mean;
             steps_per_sec += if mean > 0.0 { 1e9 / mean } else { 0.0 };
-            per_rate.push(max_rate_with_loss(&svc.ns, ring_cap, 0.001, 1e4, 1e9) / 1e6);
+            per_rate.push(mpps);
         }
         let slowest = per_rate.iter().cloned().fold(f64::INFINITY, f64::min);
         points.push(ShardSweepPoint {
@@ -806,6 +810,60 @@ fn steady_state_service_times_impl(
     LatencySamples { ns: samples }
 }
 
+/// The modified-z-score cutoff for MAD outlier rejection: the standard
+/// Iglewicz–Hoaglin recommendation (samples with
+/// `|0.6745·(x − median)/MAD| > MAD_Z_CUTOFF` are rejected).
+pub const MAD_Z_CUTOFF: f64 = 3.5;
+
+/// MAD-based outlier rejection (Iglewicz–Hoaglin modified z-score) —
+/// the canonical implementation, shared by every RFC 2544 rate search
+/// here and by `vig_bench::Series` (which re-exports it). Returns the
+/// retained samples and the rejected count. When the MAD is zero (over
+/// half the samples identical — a perfectly quiet series) nothing is
+/// rejected: the z-score is undefined and the series needs no
+/// cleaning.
+///
+/// Why the rate searches need it: the loss search is extremely
+/// tail-sensitive, so on a shared host a single descheduled burst (a
+/// handful of samples inflated ~100x) can drag a ~10 Mpps point to
+/// 0.2. Rejection counts are reported alongside results so the
+/// cleaning is auditable.
+pub fn mad_filter(samples: &[f64]) -> (Vec<f64>, usize) {
+    assert!(!samples.is_empty(), "mad_filter needs samples");
+    let median_sorted = |sorted: &[f64]| -> f64 {
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        }
+    };
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let med = median_sorted(&sorted);
+    let mut dev: Vec<f64> = samples.iter().map(|x| (x - med).abs()).collect();
+    dev.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let mad = median_sorted(&dev);
+    if mad == 0.0 {
+        return (samples.to_vec(), 0);
+    }
+    let keep: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|x| (0.6745 * (x - med) / mad).abs() <= MAD_Z_CUTOFF)
+        .collect();
+    let rejected = samples.len() - keep.len();
+    (keep, rejected)
+}
+
+/// [`mad_filter`] over integer nanosecond samples (lossless: service
+/// times are far below 2^53).
+pub fn mad_filter_ns(samples: &[u64]) -> (Vec<u64>, usize) {
+    let f: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+    let (keep, rejected) = mad_filter(&f);
+    (keep.into_iter().map(|x| x as u64).collect(), rejected)
+}
+
 /// FIFO queue simulation: deterministic arrivals at `rate_pps`, service
 /// times drawn cyclically from `service_ns`, queue bounded at
 /// `ring_cap`. Returns the fraction of arrivals dropped.
@@ -869,8 +927,19 @@ pub fn max_rate_with_loss(
     lo
 }
 
-/// Fig. 14 driver: measure steady-state service times, then search for
-/// the maximum rate at ≤ 0.1% loss. Returns (Mpps, mean service ns).
+/// MAD-reject outliers from a service-time series, then run the
+/// RFC 2544 rate search on the retained samples. Returns
+/// (Mpps, mean retained service ns, samples rejected).
+pub fn search_rate_filtered(svc: &LatencySamples, ring_cap: usize) -> (f64, f64, usize) {
+    let (kept, rejected) = mad_filter_ns(&svc.ns);
+    let mean = kept.iter().sum::<u64>() as f64 / kept.len() as f64;
+    let pps = max_rate_with_loss(&kept, ring_cap, 0.001, 1e4, 1e9);
+    (pps / 1e6, mean, rejected)
+}
+
+/// Fig. 14 driver: measure steady-state service times, MAD-reject
+/// outliers, then search for the maximum rate at ≤ 0.1% loss. Returns
+/// (Mpps, mean service ns, outlier samples rejected).
 pub fn throughput_search(
     nf: &mut dyn Middlebox,
     tb: &mut Testbed,
@@ -878,16 +947,14 @@ pub fn throughput_search(
     packets: usize,
     texp_ns: u64,
     ring_cap: usize,
-) -> (f64, f64) {
+) -> (f64, f64, usize) {
     let svc = steady_state_service_times(nf, tb, flows, packets, texp_ns);
-    let mean = svc.mean();
-    let pps = max_rate_with_loss(&svc.ns, ring_cap, 0.001, 1e4, 1e9);
-    (pps / 1e6, mean)
+    search_rate_filtered(&svc, ring_cap)
 }
 
 /// [`throughput_search`] over the batched fast path: service times are
 /// measured through [`Middlebox::process_burst`]. Returns
-/// (Mpps, mean service ns).
+/// (Mpps, mean service ns, outlier samples rejected).
 pub fn throughput_search_batched(
     nf: &mut dyn Middlebox,
     tb: &mut Testbed,
@@ -895,11 +962,9 @@ pub fn throughput_search_batched(
     packets: usize,
     texp_ns: u64,
     ring_cap: usize,
-) -> (f64, f64) {
+) -> (f64, f64, usize) {
     let svc = steady_state_service_times_batched(nf, tb, flows, packets, texp_ns);
-    let mean = svc.mean();
-    let pps = max_rate_with_loss(&svc.ns, ring_cap, 0.001, 1e4, 1e9);
-    (pps / 1e6, mean)
+    search_rate_filtered(&svc, ring_cap)
 }
 
 #[cfg(test)]

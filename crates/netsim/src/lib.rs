@@ -7,8 +7,15 @@
 //! §5 for the substitution argument):
 //!
 //! * [`dpdk`] — the runtime: a preallocated buffer [`dpdk::Mempool`]
-//!   (DPDK's mbuf pool), fixed-capacity [`dpdk::Ring`]s, and
-//!   [`dpdk::Device`]s with RX/TX queues and port statistics;
+//!   (DPDK's mbuf pool), fixed-capacity [`dpdk::Ring`]s,
+//!   [`dpdk::Device`]s with RX/TX queues and port statistics, and the
+//!   multi-queue [`dpdk::MultiQueueDevice`] (N ring pairs with
+//!   per-queue stats, fed through the RSS classifier);
+//! * [`eventloop`] — the async (epoll-style) driver: readiness
+//!   [`eventloop::Poller`] over queue non-empty events, weighted
+//!   round-robin budgets, idle backoff, and the
+//!   [`eventloop::MultiQueueTestbed`] that runs the verified batch
+//!   loop per queue event;
 //! * [`frame_env`] — the bridge that runs the **verified loop body**
 //!   (`vignat::nat_loop_iteration`) over real packet bytes: header
 //!   fields in, incremental-checksum rewrites out;
@@ -31,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod dpdk;
+pub mod eventloop;
 pub mod frame_env;
 pub mod harness;
 pub mod middlebox;
 pub mod tester;
 
-pub use dpdk::{Device, Mempool, PortStats, Ring};
-pub use frame_env::{BurstEnv, FrameEnv};
-pub use middlebox::{Middlebox, NoopForwarder, Verdict, VigNatMb};
+pub use dpdk::{Device, Mempool, MultiQueueDevice, PortStats, Ring};
+pub use eventloop::{EventLoop, MultiQueueTestbed, Poller, Wrr};
+pub use frame_env::{BurstEnv, FrameEnv, RssClassifier};
+pub use middlebox::{Middlebox, NoopForwarder, SystemClockMb, Verdict, VigNatMb};
 pub use tester::{FlowGen, WorkloadMix};

@@ -21,7 +21,12 @@
 //!   amortizes, reported side by side with the virtual-time numbers;
 //! * **the multi-queue sweep** (`multiqueue_sweep` object): the
 //!   event-driven driver (`netsim::eventloop`) feeding an N-shard NAT
-//!   from Q RSS-classified queues, swept over (queues × shards).
+//!   from Q RSS-classified queues, swept over (queues × shards);
+//! * **bootstrap confidence intervals**: every main-series rate point
+//!   carries a 95% CI from resampling per-trial rates
+//!   ([`search_rate_with_ci`]), so run-to-run noise on shared CI hosts
+//!   is visible in the committed trajectory instead of silently baked
+//!   into point estimates.
 //!
 //! Paper result: Verified 1.8 Mpps ≈ 10% below Unverified 2.0 Mpps,
 //! both far above Linux 0.6 Mpps, No-op highest, all flat in the flow
@@ -32,9 +37,9 @@
 use libvig::time::Time;
 use netsim::eventloop::event_driven_service_times;
 use netsim::harness::{
-    search_rate_filtered, sharded_parallel_wallclock_mpps, sharded_throughput_sweep,
-    steady_state_service_times, steady_state_service_times_batched, throughput_search,
-    throughput_search_batched, Testbed,
+    search_rate_filtered, search_rate_with_ci, sharded_parallel_wallclock_mpps,
+    sharded_throughput_sweep, steady_state_service_times, steady_state_service_times_batched,
+    RateEstimate, Testbed,
 };
 use netsim::middlebox::{Middlebox, NoopForwarder, SystemClockMb, VigNatMb};
 use vig_baselines::{NetfilterNat, UnverifiedNat};
@@ -51,30 +56,33 @@ fn cfg() -> NatConfig {
     }
 }
 
-fn measure(nf: &mut dyn Middlebox, flows: usize) -> (f64, usize) {
+/// One throughput measurement with the bootstrap 95% CI: the point
+/// estimate is the RFC 2544 search over the full filtered series
+/// (identical to the committed PR 3 methodology), the interval comes
+/// from resampling per-trial rates ([`search_rate_with_ci`]).
+fn measure(nf: &mut dyn Middlebox, flows: usize) -> RateEstimate {
     let mut tb = Testbed::new(512);
-    let (mpps, _, rejected) = throughput_search(
+    let svc = steady_state_service_times(
         nf,
         &mut tb,
         flows,
         throughput_packets(),
         Time::from_secs(60).nanos(),
-        512,
     );
-    (mpps, rejected)
+    search_rate_with_ci(&svc, 512)
 }
 
-fn measure_batched(nf: &mut dyn Middlebox, flows: usize) -> (f64, usize) {
+/// [`measure`] through the batched fast path.
+fn measure_batched(nf: &mut dyn Middlebox, flows: usize) -> RateEstimate {
     let mut tb = Testbed::new(512);
-    let (mpps, _, rejected) = throughput_search_batched(
+    let svc = steady_state_service_times_batched(
         nf,
         &mut tb,
         flows,
         throughput_packets(),
         Time::from_secs(60).nanos(),
-        512,
     );
-    (mpps, rejected)
+    search_rate_with_ci(&svc, 512)
 }
 
 fn main() {
@@ -83,39 +91,41 @@ fn main() {
     let mut series: [Vec<f64>; 7] = Default::default();
     let mut outliers_total = 0usize;
 
+    let mut cis: [Vec<(f64, f64)>; 7] = Default::default();
     for &n in &sweep {
-        let (noop, r0) = measure(&mut NoopForwarder::new(), n);
-        let (unv, r1) = measure(&mut UnverifiedNat::new(cfg()), n);
-        let (ver, r2) = measure(&mut VigNatMb::new(cfg()), n);
-        let (verb, r3) = measure_batched(&mut VigNatMb::new(cfg()), n);
-        let (lin, r4) = measure(&mut NetfilterNat::new(cfg()), n);
+        let noop = measure(&mut NoopForwarder::new(), n);
+        let unv = measure(&mut UnverifiedNat::new(cfg()), n);
+        let ver = measure(&mut VigNatMb::new(cfg()), n);
+        let verb = measure_batched(&mut VigNatMb::new(cfg()), n);
+        let lin = measure(&mut NetfilterNat::new(cfg()), n);
         // Real-clock mode: the same NAT reading the host clock per
         // process call / per burst — side by side with virtual time.
-        let (ver_sys, r5) = measure(
+        let ver_sys = measure(
             &mut SystemClockMb::new(VigNatMb::new(cfg()), "Verified NAT (sysclock)"),
             n,
         );
-        let (verb_sys, r6) = measure_batched(
+        let verb_sys = measure_batched(
             &mut SystemClockMb::new(VigNatMb::new(cfg()), "Verified batched (sysclock)"),
             n,
         );
-        outliers_total += r0 + r1 + r2 + r3 + r4 + r5 + r6;
-        series[0].push(noop);
-        series[1].push(unv);
-        series[2].push(ver);
-        series[3].push(lin);
-        series[4].push(verb);
-        series[5].push(ver_sys);
-        series[6].push(verb_sys);
+        let all = [&noop, &unv, &ver, &lin, &verb, &ver_sys, &verb_sys];
+        outliers_total += all.iter().map(|e| e.outliers_rejected).sum::<usize>();
+        for (i, est) in all.into_iter().enumerate() {
+            series[i].push(est.mpps);
+            cis[i].push((est.ci95_lo_mpps, est.ci95_hi_mpps));
+        }
         rows.push(vec![
             format!("{}", n / 1000),
-            format!("{noop:.2}"),
-            format!("{unv:.2}"),
-            format!("{ver:.2}"),
-            format!("{verb:.2}"),
-            format!("{ver_sys:.2}"),
-            format!("{verb_sys:.2}"),
-            format!("{lin:.2}"),
+            format!("{:.2}", noop.mpps),
+            format!("{:.2}", unv.mpps),
+            format!("{:.2}", ver.mpps),
+            format!(
+                "{:.2} [{:.2},{:.2}]",
+                verb.mpps, verb.ci95_lo_mpps, verb.ci95_hi_mpps
+            ),
+            format!("{:.2}", ver_sys.mpps),
+            format!("{:.2}", verb_sys.mpps),
+            format!("{:.2}", lin.mpps),
         ]);
     }
     print_table(
@@ -236,11 +246,15 @@ fn main() {
         &mq_rows,
     );
 
-    let fmt_series = |name: &str, v: &[f64]| {
+    let fmt_series = |name: &str, v: &[f64], ci: &[(f64, f64)]| {
         format!(
-            r#"{{"name":"{name}","mpps_per_flow_count":[{}]}}"#,
+            r#"{{"name":"{name}","mpps_per_flow_count":[{}],"mpps_ci95_per_flow_count":[{}]}}"#,
             v.iter()
                 .map(|x| format!("{x:.3}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            ci.iter()
+                .map(|(lo, hi)| format!("[{lo:.3},{hi:.3}]"))
                 .collect::<Vec<_>>()
                 .join(",")
         )
@@ -273,15 +287,17 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n      ");
     let json = format!(
-        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }}\n}}\n",
+        netsim::harness::RATE_CI_TRIALS,
+        netsim::harness::RATE_CI_RESAMPLES,
         sweep.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
-        fmt_series("noop", &series[0]),
-        fmt_series("unverified", &series[1]),
-        fmt_series("verified", &series[2]),
-        fmt_series("verified_batched", &series[4]),
-        fmt_series("verified_sysclock", &series[5]),
-        fmt_series("verified_batched_sysclock", &series[6]),
-        fmt_series("linux", &series[3]),
+        fmt_series("noop", &series[0], &cis[0]),
+        fmt_series("unverified", &series[1], &cis[1]),
+        fmt_series("verified", &series[2], &cis[2]),
+        fmt_series("verified_batched", &series[4], &cis[4]),
+        fmt_series("verified_sysclock", &series[5], &cis[5]),
+        fmt_series("verified_batched_sysclock", &series[6], &cis[6]),
+        fmt_series("linux", &series[3], &cis[3]),
     );
     write_result_json("BENCH_throughput.json", &json);
 

@@ -114,6 +114,15 @@ pub fn write_result_json(filename: &str, json: &str) {
 /// ([`Series`]) and rate searches can never diverge.
 pub use netsim::harness::{mad_filter, mad_filter_ns, MAD_Z_CUTOFF};
 
+/// Bootstrap confidence intervals for the RFC 2544 rate searches (the
+/// per-trial resampling machinery lives beside the searches in
+/// `netsim::harness`; re-exported here like the MAD filter so bench
+/// statistics and rate searches share one implementation).
+pub use netsim::harness::{
+    bootstrap_mean_ci95, per_trial_rates, search_rate_with_ci, RateEstimate, RATE_CI_RESAMPLES,
+    RATE_CI_TRIALS,
+};
+
 /// Summary statistics of one benchmark series, JSON-serializable via
 /// [`Series::to_json`]. Built with MAD outlier rejection and a 95%
 /// confidence interval on the mean (the ROADMAP's "criterion-grade

@@ -266,6 +266,14 @@ impl FlowManager {
         Some((slot, port))
     }
 
+    /// Probe length of an internal-key lookup in the flow directory —
+    /// how many positions the tag-probed walk traverses for `fid`
+    /// (hit or miss). Diagnostic for the occupancy benchmarks and the
+    /// high-occupancy equivalence suite; the datapath never calls it.
+    pub fn internal_probe_len(&self, fid: &FlowId) -> usize {
+        self.table.probe_len_by_a(fid)
+    }
+
     /// Iterate over live flows (slot, flow, last_active), oldest first.
     /// For tests and statistics; the datapath never scans.
     pub fn iter_lru(&self) -> impl Iterator<Item = (usize, &Flow, Time)> + '_ {
@@ -284,6 +292,10 @@ impl FlowManager {
                 self.chain.size()
             ));
         }
+        // Both flow directories' tag-group control words must project
+        // the slots exactly — expiry and slot realloc go through
+        // erase/put, which maintain them.
+        self.table.check_directory_coherence()?;
         for slot in 0..self.capacity {
             let in_map = self.table.get(slot).is_some();
             let in_chain = self.chain.is_allocated(slot);

@@ -162,6 +162,18 @@ impl ShardedFlowManager {
         self.shards[s].expire(threshold)
     }
 
+    /// Probe length of an internal-key lookup, measured in the shard
+    /// the key routes to (shard routing itself is one multiply-shift
+    /// and traverses nothing). Diagnostic twin of
+    /// [`FlowManager::internal_probe_len`]; the high-occupancy suite
+    /// uses it to confirm per-shard directory pressure matches the
+    /// unsharded table's at equal per-shard occupancy.
+    pub fn internal_probe_len(&self, fid: &FlowId) -> usize {
+        use libvig::map::MapKey;
+        let s = self.shard_of_hash(fid.key_hash());
+        self.shards[s].internal_probe_len(fid)
+    }
+
     /// Snapshot of every shard's live flows in shard-local LRU order,
     /// with global slot ids — the observable state the differential
     /// tests compare.

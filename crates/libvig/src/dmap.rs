@@ -68,7 +68,11 @@ impl<V: DmapValue + Clone> DoubleMap<V> {
     /// last point) stays modest instead of exploding — preallocating a
     /// little extra is the standard trade, and the paper's own table
     /// stores "auxiliary metadata that speeds up lookup" for the same
-    /// reason.
+    /// reason. Each directory additionally carries its tag-group
+    /// control words (one byte of busy-bit + hash-tag metadata per
+    /// slot — see the `map` module docs), so a directory probe scans
+    /// eight positions per u64 load and only dereferences slots whose
+    /// tag matches.
     pub fn new(capacity: usize) -> DoubleMap<V> {
         assert!(capacity > 0, "dmap capacity must be non-zero");
         let dir_capacity = capacity + (capacity / 16).max(1);
@@ -171,6 +175,32 @@ impl<V: DmapValue + Clone> DoubleMap<V> {
         self.map_b.erase(&value.key_b());
         self.size -= 1;
         Some(value)
+    }
+
+    /// Probe length of an A-key lookup in the A directory (the number
+    /// of probe positions the internal-key path traverses). Diagnostic
+    /// twin of [`crate::map::Map::probe_len`], surfaced per directory
+    /// so the occupancy benchmarks and high-occupancy tests can observe
+    /// directory pressure without reaching into the maps.
+    pub fn probe_len_by_a(&self, ka: &V::KeyA) -> usize {
+        self.map_a.probe_len(ka)
+    }
+
+    /// Probe length of a B-key lookup in the B directory.
+    pub fn probe_len_by_b(&self, kb: &V::KeyB) -> usize {
+        self.map_b.probe_len(kb)
+    }
+
+    /// Assert both directories' tag-group control words are coherent
+    /// with their slots ([`crate::map::Map::check_tag_coherence`]).
+    /// Test/diagnostic use; O(capacity).
+    pub fn check_directory_coherence(&self) -> Result<(), String> {
+        self.map_a
+            .check_tag_coherence()
+            .map_err(|e| format!("directory A: {e}"))?;
+        self.map_b
+            .check_tag_coherence()
+            .map_err(|e| format!("directory B: {e}"))
     }
 
     /// Iterate over `(index, value)` pairs. For contracts/tests only.
@@ -379,9 +409,13 @@ impl<V: DmapValue + Clone + PartialEq + core::fmt::Debug> CheckedDmap<V> {
 
     /// Full refinement + coherence check: slots agree, directories are
     /// exactly the key→slot projections of the slots (Vigor's `vk1`/`vk2`
-    /// coherence).
+    /// coherence), and both directories' tag-group control words are
+    /// coherent with their map slots.
     pub fn check_equiv(&self) {
         assert_eq!(self.imp.size(), self.model.len(), "size mismatch");
+        self.imp
+            .check_directory_coherence()
+            .unwrap_or_else(|e| panic!("dmap directory incoherent: {e}"));
         for i in 0..self.imp.capacity() {
             assert_eq!(self.imp.get(i), self.model.get(i), "slot {i} mismatch");
             if let Some(v) = self.imp.get(i) {

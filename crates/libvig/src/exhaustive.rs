@@ -96,6 +96,71 @@ mod tests {
         assert_eq!(n, (0..=5).map(|d| 9u64.pow(d)).sum::<u64>());
     }
 
+    /// A key with an explicitly placed probe start and control tag
+    /// (bit 56 set so the mod-capacity adjustment cannot borrow into
+    /// the tag bits) — the exhaustive analog of the adversarial
+    /// proptest strategies in `map.rs`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct PlacedKey {
+        id: u8,
+        hash: u64,
+    }
+
+    impl MapKey for PlacedKey {
+        fn key_hash(&self) -> u64 {
+            self.hash
+        }
+    }
+
+    fn placed(id: u8, tag: u8, start: usize, cap: usize) -> PlacedKey {
+        let base = (u64::from(tag & 0x7F) << 57) | (1u64 << 56);
+        PlacedKey {
+            id,
+            hash: base - base % cap as u64 + start as u64,
+        }
+    }
+
+    #[test]
+    fn map_all_sequences_depth5_tag_groups_short_last_group() {
+        // Capacity 10: two control words, the last group two lanes
+        // short. The key universe pins every probe start to the short
+        // group (lanes 8 and 9), so every sequence exercises the
+        // partial-word mask, the group-boundary crossing, and the wrap
+        // back to group 0; tags collide across distinct keys (k0/k1)
+        // and differ at the same start (k2/k3), covering both SWAR
+        // candidate cases exhaustively.
+        const CAP: usize = 10;
+        let keys = [
+            placed(0, 0, 8, CAP),   // tag 0x80, short-group lane 0
+            placed(1, 0, 8, CAP),   // same tag, distinct key (collision)
+            placed(2, 127, 8, CAP), // tag 0xFF at the same start
+            placed(3, 5, 9, CAP),   // last lane: immediate wraparound
+        ];
+        let universe: Vec<MapOp> = (0..4u8)
+            .flat_map(|k| [MapOp::Put(k), MapOp::Get(k), MapOp::Erase(k)])
+            .collect();
+        let init = CheckedMap::<PlacedKey>::new(CAP);
+        let n = check_all_sequences(&init, &universe, 5, &|m, op| {
+            let key = |k: u8| keys[k as usize].clone();
+            match *op {
+                MapOp::Put(k) => {
+                    if m.get(&key(k)).is_none() {
+                        let _ = m.put(key(k), usize::from(k));
+                    }
+                }
+                MapOp::Get(k) => {
+                    m.get(&key(k));
+                }
+                MapOp::Erase(k) => {
+                    if m.get(&key(k)).is_some() {
+                        m.erase(&key(k));
+                    }
+                }
+            }
+        });
+        assert_eq!(n, (0..=5).map(|d| 12u64.pow(d)).sum::<u64>());
+    }
+
     #[derive(Debug, Clone, Copy)]
     enum ChainOp {
         Alloc,

@@ -26,6 +26,32 @@
 //! chains, which bounds chains at 2^31 — far above any reachable
 //! occupancy (capacity itself is bounded by memory long before).
 //!
+//! ## Tag-group directory (SWAR probing)
+//!
+//! Alongside (not inside) the slot array lives a compact **control
+//! directory**: one `u64` word per group of eight consecutive slots,
+//! each byte packing a busy bit (bit 7) and a 7-bit **tag** — the top
+//! seven bits of the stored key's hash (bits the probe start
+//! `hash % capacity` barely consumes). A probe step first scans a whole
+//! group with SWAR bit tricks — XOR against the broadcast tag, detect
+//! zero bytes, mask by busy bits — and only dereferences slots whose
+//! control byte matches (candidate hits) or is free (possible chain
+//! stop). Up to eight "load slot, compare" steps collapse into one u64
+//! load; busy slots holding *other* keys are skipped without touching
+//! their cache lines at all, which is exactly the cost that dominated
+//! near-full-table misses (paper Fig. 12, last point). The scheme is
+//! the portable-SWAR form of Swiss-table metadata probing (the
+//! `hashbrown` design), with one twist: a free byte is not a terminator
+//! by itself — the slot's probe-chain counter decides, as ever, whether
+//! a miss may stop there.
+//!
+//! The scalar probe survives as `*_scalar` reference functions; the
+//! differential suites (module tests, `libvig::exhaustive`,
+//! `tests/tag_probe_equivalence.rs`) keep the tag-probed operations
+//! byte-for-byte equivalent to both the scalar path and the abstract
+//! model, and [`Map::check_tag_coherence`] asserts the control
+//! directory is exactly the busy-bit/tag projection of the slots.
+//!
 //! ## Batched lookups
 //!
 //! [`Map::get_with_hash`] / [`Map::put_with_hash`] accept a caller-
@@ -107,6 +133,73 @@ const BUSY: u32 = 1 << 31;
 /// Chain-counter mask within [`Slot::meta`].
 const CHAIN: u32 = BUSY - 1;
 
+/// Slots per control word: eight one-byte lanes per `u64`.
+const GROUP: usize = 8;
+/// `0x01` broadcast to every lane (SWAR subtrahend).
+const LANE_LSB: u64 = 0x0101_0101_0101_0101;
+/// `0x80` broadcast to every lane: the per-lane busy bit, and where the
+/// zero-byte detector leaves its result.
+const LANE_MSB: u64 = 0x8080_8080_8080_8080;
+/// Busy bit within one control byte.
+const CTRL_BUSY: u8 = 0x80;
+
+/// The control byte a busy slot holding a key with hash `hash` carries:
+/// busy bit | top seven hash bits. The probe start position consumes
+/// `hash % capacity` (low-order entropy), so the tag draws on bits the
+/// start barely touches — tag collisions between *different* hashes in
+/// the same probe window are ~1/128.
+#[inline(always)]
+fn ctrl_byte(hash: u64) -> u8 {
+    CTRL_BUSY | (hash >> 57) as u8
+}
+
+/// High-bit-per-lane mask selecting lanes `off..hi` of a group word
+/// (`off < 8`, `hi <= 8`).
+#[inline(always)]
+fn lane_window(off: usize, hi: usize) -> u64 {
+    debug_assert!(off < GROUP && hi <= GROUP);
+    let above = !((1u64 << (off * 8)) - 1);
+    let below = if hi == GROUP {
+        u64::MAX
+    } else {
+        (1u64 << (hi * 8)) - 1
+    };
+    LANE_MSB & above & below
+}
+
+/// Lanes of `w` whose byte equals `byte`, as a high-bit-per-lane mask.
+///
+/// Classic SWAR zero-byte detection over `w ^ broadcast(byte)`. May
+/// report a **false positive** on a lane differing from `byte` only in
+/// its lowest bit when a lower lane matched (borrow propagation) — the
+/// caller always confirms a candidate against the slot's full hash and
+/// key, so a false positive costs one extra comparison, never wrongness.
+#[inline(always)]
+fn match_lanes(w: u64, byte: u8) -> u64 {
+    let x = w ^ (u64::from(byte) * LANE_LSB);
+    x.wrapping_sub(LANE_LSB) & !x & LANE_MSB
+}
+
+/// Lanes of `w` whose busy bit is clear (free slots), as a
+/// high-bit-per-lane mask. Exact: every busy control byte has bit 7
+/// set, every free byte is zero.
+#[inline(always)]
+fn free_lanes(w: u64) -> u64 {
+    !w & LANE_MSB
+}
+
+/// Where a tag-probed walk stopped (see [`Map::probe`]). `dist` is the
+/// 0-based probe distance — the scalar loop's `i` — so `dist + 1` slots
+/// were inspected.
+enum ProbeOutcome {
+    /// The key was found in slot `idx`.
+    Hit { idx: usize, dist: usize },
+    /// A free slot traversed by no probe chain proves the key absent.
+    MissStop { dist: usize },
+    /// The whole table was scanned without a stopping condition.
+    Scanned,
+}
+
 impl<K> Slot<K> {
     #[inline(always)]
     fn busy(&self) -> bool {
@@ -124,6 +217,12 @@ impl<K> Slot<K> {
 #[derive(Debug, Clone)]
 pub struct Map<K: MapKey> {
     slots: Vec<Slot<K>>,
+    /// Control directory: one word per eight slots, one byte per slot
+    /// (busy bit | 7-bit tag; zero when free). Kept beside the slot
+    /// array so the verified slot layout and chain counters are
+    /// untouched; lanes past `capacity` in the last word stay zero and
+    /// are masked out of every scan.
+    tags: Vec<u64>,
     size: usize,
     capacity: usize,
 }
@@ -146,9 +245,18 @@ impl<K: MapKey> Map<K> {
                     key: None,
                 })
                 .collect(),
+            tags: vec![0u64; capacity.div_ceil(GROUP)],
             size: 0,
             capacity,
         }
+    }
+
+    /// Write slot `idx`'s control byte.
+    #[inline(always)]
+    fn set_ctrl(&mut self, idx: usize, byte: u8) {
+        let shift = (idx % GROUP) * 8;
+        let w = &mut self.tags[idx / GROUP];
+        *w = (*w & !(0xFFu64 << shift)) | (u64::from(byte) << shift);
     }
 
     /// Capacity fixed at construction.
@@ -188,6 +296,21 @@ impl<K: MapKey> Map<K> {
     /// skip recomputing it.
     pub fn get_with_hash(&self, key: &K, hash: u64) -> Option<usize> {
         debug_assert_eq!(hash, key.key_hash(), "get_with_hash: stale hash");
+        match self.probe(key, hash) {
+            ProbeOutcome::Hit { idx, .. } => Some(self.slots[idx].value),
+            _ => None,
+        }
+    }
+
+    /// The scalar reference probe: [`Map::get_with_hash`] exactly as the
+    /// pre-tag-directory implementation computed it, one slot load and
+    /// compare per probe position. Kept as the differential oracle for
+    /// the SWAR group scan (the equivalence suites assert
+    /// `get_with_hash == get_with_hash_scalar` on every state they
+    /// construct) and as the baseline the `tag_probe_*` benchmark rows
+    /// are measured against.
+    pub fn get_with_hash_scalar(&self, key: &K, hash: u64) -> Option<usize> {
+        debug_assert_eq!(hash, key.key_hash(), "get_with_hash_scalar: stale hash");
         let start = self.start_of(hash);
         for i in 0..self.capacity {
             let idx = (start + i) % self.capacity;
@@ -207,6 +330,86 @@ impl<K: MapKey> Map<K> {
         None
     }
 
+    /// Walk the probe sequence's group windows from slot `start`,
+    /// calling `visit` once per window with `(group base, first lane,
+    /// end lane, control word, probe distance of the first lane)`
+    /// until it returns `Some` or the whole table has been covered —
+    /// the **single owner** of the window clamp and wraparound
+    /// arithmetic every SWAR operation rides on.
+    ///
+    /// Each window is clamped to the table end (short last group) and
+    /// to the probe budget: the second visit of the start group after
+    /// a wrap covers only the lanes before `start`, so exactly
+    /// `capacity` lanes are visited overall, in scalar probe order.
+    #[inline]
+    fn scan_windows<R>(
+        &self,
+        start: usize,
+        mut visit: impl FnMut(usize, usize, usize, u64, usize) -> Option<R>,
+    ) -> Option<R> {
+        let cap = self.capacity;
+        let mut pos = start;
+        let mut scanned = 0usize;
+        while scanned < cap {
+            let base = (pos / GROUP) * GROUP;
+            let off = pos - base;
+            let hi = GROUP.min(cap - base).min(off + (cap - scanned));
+            if let Some(r) = visit(base, off, hi, self.tags[pos / GROUP], scanned) {
+                return Some(r);
+            }
+            scanned += hi - off;
+            pos = base + hi;
+            if pos >= cap {
+                pos = 0;
+            }
+        }
+        None
+    }
+
+    /// The SWAR group walk every tag-probed operation shares: follow
+    /// `key`'s probe sequence from `hash`'s start slot, scanning one
+    /// control word per step. Lanes whose byte matches the broadcast
+    /// tag are **candidates** (confirmed against the slot's full hash
+    /// and key); free lanes consult the slot's chain counter, which —
+    /// exactly as in the scalar walk — decides whether a miss may stop.
+    /// Busy lanes with a different tag are skipped without loading
+    /// their slots. `dist` is the 0-based probe distance (the scalar
+    /// loop's `i`) at the stopping position.
+    #[inline]
+    fn probe(&self, key: &K, hash: u64) -> ProbeOutcome {
+        let tag = ctrl_byte(hash);
+        self.scan_windows(self.start_of(hash), |base, off, hi, w, scanned| {
+            let window = lane_window(off, hi);
+            let frees = free_lanes(w) & window;
+            let mut events = (match_lanes(w, tag) & window) | frees;
+            while events != 0 {
+                let lowest = events & events.wrapping_neg();
+                let lane = (events.trailing_zeros() as usize) / 8;
+                let idx = base + lane;
+                let slot = &self.slots[idx];
+                if frees & lowest != 0 {
+                    if slot.chain() == 0 {
+                        return Some(ProbeOutcome::MissStop {
+                            dist: scanned + (lane - off),
+                        });
+                    }
+                } else if slot.key_hash == hash {
+                    if let Some(k) = &slot.key {
+                        if k == key {
+                            return Some(ProbeOutcome::Hit {
+                                idx,
+                                dist: scanned + (lane - off),
+                            });
+                        }
+                    }
+                }
+                events &= events - 1;
+            }
+            None
+        })
+        .unwrap_or(ProbeOutcome::Scanned)
+    }
+
     /// Resolve a burst of lookups, writing one result per query into
     /// `out` (appended in query order).
     ///
@@ -223,12 +426,15 @@ impl<K: MapKey> Map<K> {
             hashes.len(),
             "get_batch: keys/hashes length mismatch"
         );
-        // Pass 1: first-touch every start slot (group prefetch). The
-        // fold prevents the loads from being optimized away.
+        // Pass 1: first-touch every start position's control word
+        // (group prefetch). With the tag directory a probe's first load
+        // is the control word, not the slot — eight slots of metadata
+        // per line-resident u64 — so warming these is what overlaps the
+        // batch's initial misses. The fold prevents the loads from
+        // being optimized away.
         let mut touch = 0u64;
         for &h in hashes {
-            let slot = &self.slots[self.start_of(h)];
-            touch = touch.wrapping_add(u64::from(slot.meta));
+            touch = touch.wrapping_add(self.tags[self.start_of(h) / GROUP]);
         }
         std::hint::black_box(touch);
         // Pass 2: complete each probe.
@@ -240,8 +446,19 @@ impl<K: MapKey> Map<K> {
 
     /// Number of slots a lookup for `key` would inspect. Exposed for the
     /// occupancy microbenchmarks (DESIGN.md §7); not part of the libVig
-    /// interface.
+    /// interface. Tag filtering changes how many slots a probe *loads*,
+    /// never how many positions it traverses, so this is identical to
+    /// [`Map::probe_len_scalar`] (asserted by the differential suites).
     pub fn probe_len(&self, key: &K) -> usize {
+        match self.probe(key, key.key_hash()) {
+            ProbeOutcome::Hit { dist, .. } | ProbeOutcome::MissStop { dist } => dist + 1,
+            ProbeOutcome::Scanned => self.capacity,
+        }
+    }
+
+    /// Scalar reference for [`Map::probe_len`] (see
+    /// [`Map::get_with_hash_scalar`] for why the scalar walk is kept).
+    pub fn probe_len_scalar(&self, key: &K) -> usize {
         let hash = key.key_hash();
         let start = self.start_of(hash);
         for i in 0..self.capacity {
@@ -281,25 +498,33 @@ impl<K: MapKey> Map<K> {
             return Err(Full);
         }
         let start = self.start_of(hash);
-        for i in 0..self.capacity {
-            let idx = (start + i) % self.capacity;
-            if !self.slots[idx].busy() {
-                let slot = &mut self.slots[idx];
-                slot.meta |= BUSY;
-                slot.key = Some(key);
-                slot.key_hash = hash;
-                slot.value = value;
-                self.size += 1;
-                // Mark the traversed prefix of the probe path.
-                for j in 0..i {
-                    let t = (start + j) % self.capacity;
-                    self.slots[t].meta += 1; // chain bits; cannot carry into BUSY
-                }
-                return Ok(());
-            }
+        // SWAR scan for the first free slot on the probe path: an
+        // insert stops at the first non-busy position regardless of its
+        // chain counter, so only the free-lane mask matters here.
+        let found = self.scan_windows(start, |base, off, hi, w, scanned| {
+            let frees = free_lanes(w) & lane_window(off, hi);
+            (frees != 0).then(|| {
+                let lane = (frees.trailing_zeros() as usize) / 8;
+                (base + lane, scanned + (lane - off))
+            })
+        });
+        let Some((idx, i)) = found else {
+            // Unreachable: size < capacity guarantees a free slot.
+            return Err(Full);
+        };
+        let slot = &mut self.slots[idx];
+        slot.meta |= BUSY;
+        slot.key = Some(key);
+        slot.key_hash = hash;
+        slot.value = value;
+        self.set_ctrl(idx, ctrl_byte(hash));
+        self.size += 1;
+        // Mark the traversed prefix of the probe path.
+        for j in 0..i {
+            let t = (start + j) % self.capacity;
+            self.slots[t].meta += 1; // chain bits; cannot carry into BUSY
         }
-        // Unreachable: size < capacity guarantees a free slot on the path.
-        Err(Full)
+        Ok(())
     }
 
     /// Remove `key`, returning its value.
@@ -309,34 +534,68 @@ impl<K: MapKey> Map<K> {
     /// raw structure total, and the contract layer flags the misuse.
     pub fn erase(&mut self, key: &K) -> Option<usize> {
         let hash = key.key_hash();
+        let ProbeOutcome::Hit { idx, dist } = self.probe(key, hash) else {
+            return None;
+        };
         let start = self.start_of(hash);
-        for i in 0..self.capacity {
-            let idx = (start + i) % self.capacity;
-            let slot = &self.slots[idx];
-            if slot.busy() {
-                if slot.key_hash == hash {
-                    let matches = matches!(&slot.key, Some(k) if k == key);
-                    if matches {
-                        let slot = &mut self.slots[idx];
-                        slot.meta &= !BUSY;
-                        slot.key = None;
-                        let v = slot.value;
-                        self.size -= 1;
-                        for j in 0..i {
-                            let t = (start + j) % self.capacity;
-                            debug_assert!(self.slots[t].chain() > 0, "chain underflow");
-                            if self.slots[t].chain() > 0 {
-                                self.slots[t].meta -= 1;
-                            }
-                        }
-                        return Some(v);
-                    }
-                }
-            } else if slot.chain() == 0 {
-                return None;
+        let slot = &mut self.slots[idx];
+        slot.meta &= !BUSY;
+        slot.key = None;
+        let v = slot.value;
+        self.set_ctrl(idx, 0);
+        self.size -= 1;
+        for j in 0..dist {
+            let t = (start + j) % self.capacity;
+            debug_assert!(self.slots[t].chain() > 0, "chain underflow");
+            if self.slots[t].chain() > 0 {
+                self.slots[t].meta -= 1;
             }
         }
-        None
+        Some(v)
+    }
+
+    /// Assert the control directory is exactly the busy-bit/tag
+    /// projection of the slot array: every busy slot's byte is
+    /// `0x80 | top7(key_hash)`, every free slot's byte is zero, and the
+    /// padding lanes past `capacity` in the last word are zero (they
+    /// must never register as free *or* candidate in a scan of the
+    /// short last group). Test/diagnostic use; O(capacity).
+    pub fn check_tag_coherence(&self) -> Result<(), String> {
+        if self.tags.len() != self.capacity.div_ceil(GROUP) {
+            return Err(format!(
+                "control directory has {} words for capacity {}",
+                self.tags.len(),
+                self.capacity
+            ));
+        }
+        for idx in 0..self.capacity {
+            let byte = (self.tags[idx / GROUP] >> ((idx % GROUP) * 8)) as u8;
+            let slot = &self.slots[idx];
+            if slot.busy() {
+                let want = ctrl_byte(slot.key_hash);
+                if byte != want {
+                    return Err(format!(
+                        "slot {idx}: control byte {byte:#04x} != expected {want:#04x}"
+                    ));
+                }
+                if slot.key.is_none() {
+                    return Err(format!("slot {idx}: busy without a key"));
+                }
+            } else if byte != 0 {
+                return Err(format!(
+                    "slot {idx}: free slot has control byte {byte:#04x}"
+                ));
+            }
+        }
+        for pad in self.capacity..self.tags.len() * GROUP {
+            let byte = (self.tags[pad / GROUP] >> ((pad % GROUP) * 8)) as u8;
+            if byte != 0 {
+                return Err(format!(
+                    "padding lane {pad} past capacity has control byte {byte:#04x}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Iterate over `(key, value)` pairs in slot order. Not part of the
@@ -439,11 +698,23 @@ impl<K: MapKey + core::fmt::Debug> CheckedMap<K> {
         }
     }
 
-    /// Contract-checked `get`.
+    /// Contract-checked `get`: checked against the abstract model *and*
+    /// the scalar reference probe (the tag-group scan is a pure probe
+    /// optimization, so hits and misses alike must agree byte for byte).
     pub fn get(&self, key: &K) -> Option<usize> {
         let got = self.imp.get(key);
         let spec = self.model.get(key);
         assert_eq!(got, spec, "map.get({key:?}) diverged from abstract model");
+        assert_eq!(
+            got,
+            self.imp.get_with_hash_scalar(key, key.key_hash()),
+            "map.get({key:?}) diverged from the scalar reference probe"
+        );
+        assert_eq!(
+            self.imp.probe_len(key),
+            self.imp.probe_len_scalar(key),
+            "probe_len({key:?}) diverged from the scalar reference probe"
+        );
         got
     }
 
@@ -552,9 +823,27 @@ impl<K: MapKey + core::fmt::Debug> CheckedMap<K> {
     }
 
     /// Full-state refinement check: the implementation's visible entries
-    /// equal the abstract map's, as sets.
+    /// equal the abstract map's (as sets), the control directory is
+    /// coherent with the slots, and the tag-probed read path agrees
+    /// with the scalar reference walk for every stored key.
     pub fn check_equiv(&self) {
         assert_eq!(self.imp.size(), self.model.len(), "size mismatch");
+        self.imp
+            .check_tag_coherence()
+            .unwrap_or_else(|e| panic!("tag directory incoherent: {e}"));
+        for (k, _) in self.model.entries() {
+            let h = k.key_hash();
+            assert_eq!(
+                self.imp.get_with_hash(k, h),
+                self.imp.get_with_hash_scalar(k, h),
+                "SWAR probe diverged from scalar reference for {k:?}"
+            );
+            assert_eq!(
+                self.imp.probe_len(k),
+                self.imp.probe_len_scalar(k),
+                "probe_len diverged from scalar reference for {k:?}"
+            );
+        }
         let mut imp_entries: Vec<(K, usize)> =
             self.imp.iter().map(|(k, v)| (k.clone(), v)).collect();
         for (k, v) in self.model.entries() {
@@ -760,6 +1049,92 @@ mod tests {
         assert_eq!(m.get(&TailKey(3)), Some(3));
     }
 
+    /// A key carrying an arbitrary precomputed hash, so tests and
+    /// strategies can place probe starts and tags adversarially while
+    /// `id` keeps keys distinct (tag collisions between distinct keys,
+    /// the case the SWAR candidate-confirmation step exists for).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct AdvKey {
+        id: u32,
+        hash: u64,
+    }
+
+    impl MapKey for AdvKey {
+        fn key_hash(&self) -> u64 {
+            self.hash
+        }
+    }
+
+    /// A hash whose probe start is exactly `start` (`hash % cap`) and
+    /// whose control tag is exactly `tag`: bit 56 is set so the small
+    /// mod-`cap` adjustment can never borrow into the tag bits.
+    fn adv_hash(tag: u8, start: usize, cap: usize) -> u64 {
+        assert!(start < cap);
+        let base = (u64::from(tag & 0x7F) << 57) | (1u64 << 56);
+        base - base % cap as u64 + start as u64
+    }
+
+    #[test]
+    fn distinct_tags_same_start_cross_group_boundary() {
+        // Capacity 10: two control words, the second a short group of
+        // two lanes. All keys start at slot 8 (inside the short group)
+        // with pairwise-distinct tags, so every probe must scan the
+        // short group, wrap into group 0, and skip busy non-matching
+        // lanes by tag alone.
+        let mut m = CheckedMap::<AdvKey>::new(10);
+        let key = |id: u32| AdvKey {
+            id,
+            hash: adv_hash(id as u8, 8, 10),
+        };
+        for id in 0..10u32 {
+            m.put(key(id), id as usize).unwrap();
+        }
+        for id in 0..10u32 {
+            assert_eq!(m.get(&key(id)), Some(id as usize), "full-table hit {id}");
+        }
+        // Erase in the middle of the wrapped chain; later keys stay
+        // reachable and the hole is reusable.
+        assert_eq!(m.erase(&key(3)), Some(3));
+        assert_eq!(m.get(&key(9)), Some(9));
+        m.put(key(30), 30).unwrap();
+        assert_eq!(m.get(&key(30)), Some(30));
+    }
+
+    #[test]
+    fn extreme_tags_zero_and_127_probe_correctly() {
+        // Tag 0x00 gives control byte 0x80 (busy bit only) and tag 0x7F
+        // gives 0xFF — the two byte values most likely to trip SWAR
+        // borrow/carry edge cases.
+        let mut m = CheckedMap::<AdvKey>::new(16);
+        for (i, tag) in [0u8, 127, 0, 127, 1, 126].into_iter().enumerate() {
+            m.put(
+                AdvKey {
+                    id: i as u32,
+                    hash: adv_hash(tag, 5, 16),
+                },
+                i,
+            )
+            .unwrap();
+        }
+        for i in 0..6u32 {
+            let tag = [0u8, 127, 0, 127, 1, 126][i as usize];
+            assert_eq!(
+                m.get(&AdvKey {
+                    id: i,
+                    hash: adv_hash(tag, 5, 16),
+                }),
+                Some(i as usize)
+            );
+        }
+        assert_eq!(
+            m.get(&AdvKey {
+                id: 99,
+                hash: adv_hash(64, 5, 16),
+            }),
+            None
+        );
+    }
+
     #[derive(Debug, Clone)]
     enum Op {
         Put(u8, usize),
@@ -811,6 +1186,83 @@ mod tests {
             for &k in &keys {
                 let p = m.probe_len(&k);
                 prop_assert!((1..=64).contains(&p));
+            }
+        }
+
+        /// Adversarial hash distributions — every key in one tag group,
+        /// tags colliding across distinct keys, probe starts pinned to
+        /// the group-boundary / wraparound lanes, capacities that leave
+        /// a short last group — never diverge from the abstract model
+        /// or the scalar reference probe (both asserted inside
+        /// [`CheckedMap`] on every op).
+        #[test]
+        fn adversarial_hash_distributions_refine_model(
+            cap in prop_oneof![Just(9usize), Just(10), Just(16), Just(24)],
+            ops in proptest::collection::vec(
+                (0u8..3, 0u8..4, 0u8..4, 0u32..5),
+                0..160,
+            ),
+        ) {
+            let mut m = CheckedMap::<AdvKey>::new(cap);
+            for (kind, t, s, id) in ops {
+                // Heavily colliding tag pool (two choices of 0) and
+                // starts pinned to the adversarial lanes: slot 0, the
+                // last slot (wraparound), mid-table, and the last
+                // group's first lane.
+                let tag = [0u8, 0, 1, 127][t as usize];
+                let start = [0usize, cap - 1, cap / 2, (cap / 8) * 8][s as usize].min(cap - 1);
+                let key = AdvKey { id, hash: adv_hash(tag, start, cap) };
+                match kind {
+                    0 => {
+                        if m.get(&key).is_none() {
+                            let _ = m.put(key, id as usize);
+                        }
+                    }
+                    1 => { m.get(&key); }
+                    _ => {
+                        if m.get(&key).is_some() {
+                            m.erase(&key);
+                        }
+                    }
+                }
+                m.check_equiv();
+            }
+        }
+
+        /// Under insert-only sequences every free slot on a probe path
+        /// has chain 0 (inserts traverse only busy slots), so the miss
+        /// stop and the insert position coincide and `probe_len` is
+        /// monotone non-decreasing for every key — present or absent —
+        /// as the table fills.
+        #[test]
+        fn probe_len_monotone_under_inserts(
+            inserts in proptest::collection::hash_set((0u8..2, 0u8..8, 0u32..8), 1..24),
+            queries in proptest::collection::vec((0u8..2, 0u8..8, 0u32..12), 1..12),
+        ) {
+            let cap = 17; // short last group of one lane
+            let mut m = CheckedMap::<AdvKey>::new(cap);
+            let mk = |(t, s, id): (u8, u8, u32)| AdvKey {
+                id,
+                hash: adv_hash([0, 127][t as usize], (s as usize * 3) % cap, cap),
+            };
+            let queries: Vec<AdvKey> = queries.into_iter().map(mk).collect();
+            let mut last: Vec<usize> = queries.iter().map(|q| m.raw().probe_len(q)).collect();
+            for ins in inserts {
+                let key = mk(ins);
+                if m.get(&key).is_some() {
+                    continue;
+                }
+                if m.put(key, 0).is_err() {
+                    break;
+                }
+                for (q, prev) in queries.iter().zip(last.iter_mut()) {
+                    let now = m.raw().probe_len(q);
+                    prop_assert!(
+                        now >= *prev,
+                        "probe_len shrank from {prev} to {now} under insert-only ops"
+                    );
+                    *prev = now;
+                }
             }
         }
     }

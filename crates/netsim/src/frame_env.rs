@@ -356,7 +356,11 @@ impl<T: FlowTable> NatEnv for FrameEnv<'_, T> {
 /// RX burst (up to [`vignat::MAX_BURST`] buffers): `receive_burst`
 /// yields the staged frames in ring order, `lookup_internal_batch`
 /// resolves the burst's flow probes through the flow table's batched
-/// directory probe, and `tx`/`drop_pkt` record one verdict per buffer
+/// directory probe (underneath: `Map::get_batch_with_hash`, which
+/// first-touches the burst's tag-group control words back to back and
+/// then SWAR-scans each probe — the batch contract is unchanged by the
+/// tag directory, as the equivalence suites assert), and
+/// `tx`/`drop_pkt` record one verdict per buffer
 /// (the middlebox routes them afterwards). Like `FrameEnv` it borrows
 /// everything, so constructing one per burst costs nothing and the
 /// datapath stays allocation-free apart from the per-burst scratch

@@ -211,7 +211,11 @@ fn main() {
     // Multi-queue event-driven sweep (queues × shards): the epoll-style
     // driver feeding the N-shard NAT from Q RSS-classified queues, on
     // one core — what the event loop costs relative to the lockstep
-    // single-queue drain, and how it scales in queues and shards.
+    // single-queue drain, and how it scales in queues and shards. The
+    // measurement runs through the backend-generic driver over
+    // `SimBackend` (the PacketIo seam `backend::os::OsBackend` plugs
+    // into), so this series prices exactly the event loop the live NAT
+    // ships with.
     let mq_combos: [(usize, usize); 4] = [(1, 1), (2, 2), (4, 2), (4, 4)];
     let mq_flows = (cfg().capacity as f64 * occupancy) as usize;
     let mut mq_points = Vec::new();
@@ -287,7 +291,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n      ");
     let json = format!(
-        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core, backend: sim)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }}\n}}\n",
         netsim::harness::RATE_CI_TRIALS,
         netsim::harness::RATE_CI_RESAMPLES,
         sweep.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),

@@ -1,0 +1,48 @@
+//! The `vig_bench` CLI: trajectory-file validation (`--check`).
+//!
+//! ```text
+//! vig_bench --check [FILE...]
+//! ```
+//!
+//! With no files, validates the committed `BENCH_flowtable.json` and
+//! `BENCH_throughput.json` at the workspace root. Exits non-zero (with
+//! a per-field problem list) when any file is malformed — the cheap CI
+//! step that keeps a bench refactor from silently disarming the perf
+//! gates.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {
+            let files: Vec<std::path::PathBuf> = if args.len() > 1 {
+                args[1..].iter().map(std::path::PathBuf::from).collect()
+            } else {
+                ["BENCH_flowtable.json", "BENCH_throughput.json"]
+                    .iter()
+                    .map(|n| vig_bench::workspace_root().join(n))
+                    .collect()
+            };
+            let mut failed = false;
+            for f in &files {
+                match vig_bench::check::check_file(f) {
+                    Ok(kind) => println!("ok: {} ({kind})", f.display()),
+                    Err(e) => {
+                        eprintln!("FAIL: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: vig_bench --check [FILE...]\n\
+                 validates committed BENCH_*.json trajectory files \
+                 (schema, gate metrics, CI intervals)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

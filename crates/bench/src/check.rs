@@ -1,0 +1,593 @@
+//! `vig_bench --check`: schema validation for the committed
+//! perf-trajectory files (`BENCH_flowtable.json`,
+//! `BENCH_throughput.json`).
+//!
+//! The trajectory files gate performance regressions across PRs, so a
+//! bench refactor that silently emits a malformed file — a missing
+//! gate metric, an inverted confidence interval, a series length that
+//! no longer matches the flow-count axis — would disarm the gate
+//! without anyone noticing. This module re-parses the committed files
+//! with a tiny self-contained JSON reader (the environment is
+//! offline: no serde) and checks the structural invariants every
+//! consumer assumes. CI runs it as a cheap PR step.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (object keys keep file order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (f64 is exact for every value the benches emit).
+    Num(f64),
+    /// String (escapes resolved).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in file order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is one.
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (strict enough for the bench files: objects,
+/// arrays, strings with `\"`/`\\`/`\/`/`\n`/`\t`/`\uXXXX`, numbers,
+/// booleans, null).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at offset {} (found {:?})",
+            c as char,
+            pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        fields.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
+                            .map_err(String::from)?;
+                        let cp =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *pos += 4;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("unknown escape '\\{}'", esc as char)),
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+/// Accumulates check failures with a path-like context.
+#[derive(Debug, Default)]
+pub struct Problems(pub Vec<String>);
+
+impl Problems {
+    fn fail(&mut self, what: impl Into<String>) {
+        self.0.push(what.into());
+    }
+
+    fn require_num(&mut self, v: &Json, path: &str, min_exclusive: f64) -> Option<f64> {
+        match v.get(path).and_then(Json::num) {
+            Some(n) if n > min_exclusive => Some(n),
+            Some(n) => {
+                self.fail(format!("{path}: {n} must be > {min_exclusive}"));
+                None
+            }
+            None => {
+                self.fail(format!("{path}: missing or not a number"));
+                None
+            }
+        }
+    }
+}
+
+/// One [`crate::Series`]-shaped object (the flowtable series rows).
+fn check_series_row(p: &mut Problems, row: &Json, ctx: &str) {
+    let Some(name) = row.get("name").and_then(Json::str) else {
+        p.fail(format!("{ctx}: series row without a name"));
+        return;
+    };
+    let ctx = format!("{ctx}.{name}");
+    for field in ["ops_per_sec", "p50_ns", "p99_ns", "mean_ns"] {
+        if row.get(field).and_then(Json::num).map(|n| n > 0.0) != Some(true) {
+            p.fail(format!("{ctx}.{field}: missing or non-positive"));
+        }
+    }
+    if row.get("ci95_ns").and_then(Json::num).map(|n| n >= 0.0) != Some(true) {
+        p.fail(format!("{ctx}.ci95_ns: missing or negative"));
+    }
+    if row.get("samples").and_then(Json::num).map(|n| n >= 1.0) != Some(true) {
+        p.fail(format!("{ctx}.samples: missing or < 1"));
+    }
+    if let (Some(p50), Some(p99)) = (
+        row.get("p50_ns").and_then(Json::num),
+        row.get("p99_ns").and_then(Json::num),
+    ) {
+        if p99 + 1e-9 < p50 {
+            p.fail(format!("{ctx}: p99 ({p99}) < p50 ({p50})"));
+        }
+    }
+}
+
+/// Validate `BENCH_flowtable.json`: identity, gate metrics
+/// (`batched_speedup_at_*`, the `lookup_batched_98pct` gate series),
+/// and well-formed statistics on every series row.
+pub fn check_flowtable(doc: &Json) -> Problems {
+    let mut p = Problems::default();
+    if doc.get("bench").and_then(Json::str) != Some("micro_flowtable") {
+        p.fail("bench: expected \"micro_flowtable\"");
+    }
+    p.require_num(doc, "table_capacity", 0.0);
+    p.require_num(doc, "burst", 0.0);
+    // The gate metrics the perf trajectory is judged on.
+    p.require_num(doc, "batched_speedup_at_50pct", 0.0);
+    p.require_num(doc, "batched_speedup_at_99pct", 0.0);
+    match doc.get("series").and_then(Json::arr) {
+        Some(rows) if !rows.is_empty() => {
+            for row in rows {
+                check_series_row(&mut p, row, "series");
+            }
+            for gate in ["lookup_batched_98pct", "natstep_batched_98pct"] {
+                if !rows
+                    .iter()
+                    .any(|r| r.get("name").and_then(Json::str) == Some(gate))
+                {
+                    p.fail(format!("series: gate series '{gate}' missing"));
+                }
+            }
+        }
+        _ => p.fail("series: missing or empty"),
+    }
+    p
+}
+
+/// Validate `BENCH_throughput.json`: identity, the flow-count axis,
+/// per-series rate vectors aligned with it, well-formed bootstrap
+/// confidence intervals, and the sweep sections.
+pub fn check_throughput(doc: &Json) -> Problems {
+    let mut p = Problems::default();
+    if doc.get("bench").and_then(Json::str) != Some("fig14_throughput") {
+        p.fail("bench: expected \"fig14_throughput\"");
+    }
+    let axis_len = match doc.get("flow_counts").and_then(Json::arr) {
+        Some(fc) if !fc.is_empty() => {
+            let vals: Vec<f64> = fc.iter().filter_map(Json::num).collect();
+            if vals.len() != fc.len() || vals.windows(2).any(|w| w[0] >= w[1]) {
+                p.fail("flow_counts: must be strictly increasing numbers");
+            }
+            fc.len()
+        }
+        _ => {
+            p.fail("flow_counts: missing or empty");
+            0
+        }
+    };
+    match doc.get("series").and_then(Json::arr) {
+        Some(rows) if !rows.is_empty() => {
+            for row in rows {
+                let name = row.get("name").and_then(Json::str).unwrap_or("?");
+                let ctx = format!("series.{name}");
+                match row.get("mpps_per_flow_count").and_then(Json::arr) {
+                    Some(v) if v.len() == axis_len => {
+                        if !v.iter().all(|x| x.num().is_some_and(|n| n > 0.0)) {
+                            p.fail(format!(
+                                "{ctx}.mpps_per_flow_count: non-numeric or non-positive rate"
+                            ));
+                        }
+                    }
+                    Some(v) => p.fail(format!(
+                        "{ctx}.mpps_per_flow_count: {} points for {} flow counts",
+                        v.len(),
+                        axis_len
+                    )),
+                    None => p.fail(format!("{ctx}.mpps_per_flow_count: missing")),
+                }
+                // Deliberately NOT checked: that the point estimate
+                // lies inside its interval. The point comes from the
+                // RFC 2544 search over the full filtered series while
+                // the CI bootstraps per-trial sub-searches (different
+                // statistics — see `search_rate_with_ci`), and on a
+                // noisy host the no-op series legitimately lands
+                // outside; enforcing containment would fail honest
+                // data.
+                match row.get("mpps_ci95_per_flow_count").and_then(Json::arr) {
+                    Some(cis) if cis.len() == axis_len => {
+                        for (i, ci) in cis.iter().enumerate() {
+                            let pair: Vec<f64> = ci
+                                .arr()
+                                .map(|a| a.iter().filter_map(Json::num).collect())
+                                .unwrap_or_default();
+                            match pair.as_slice() {
+                                [lo, hi] if 0.0 < *lo && lo <= hi => {}
+                                _ => p.fail(format!(
+                                    "{ctx}.mpps_ci95_per_flow_count[{i}]: not a [lo, hi] \
+                                     pair with 0 < lo <= hi"
+                                )),
+                            }
+                        }
+                    }
+                    Some(cis) => p.fail(format!(
+                        "{ctx}.mpps_ci95_per_flow_count: {} intervals for {} flow counts",
+                        cis.len(),
+                        axis_len
+                    )),
+                    None => p.fail(format!("{ctx}.mpps_ci95_per_flow_count: missing")),
+                }
+            }
+            // The gate series the trajectory is judged on.
+            for gate in ["noop", "verified", "verified_batched"] {
+                if !rows
+                    .iter()
+                    .any(|r| r.get("name").and_then(Json::str) == Some(gate))
+                {
+                    p.fail(format!("series: gate series '{gate}' missing"));
+                }
+            }
+        }
+        _ => p.fail("series: missing or empty"),
+    }
+    for section in ["verified_seq", "verified_batched"] {
+        if let Some(obj) = doc.get(section) {
+            let p50 = obj.get("p50_ns").and_then(Json::num);
+            let p99 = obj.get("p99_ns").and_then(Json::num);
+            match (p50, p99) {
+                (Some(a), Some(b)) if 0.0 < a && a <= b => {}
+                _ => p.fail(format!("{section}: needs 0 < p50_ns <= p99_ns")),
+            }
+        } else {
+            p.fail(format!("{section}: missing"));
+        }
+    }
+    for (sweep, axis) in [("sharded_sweep", "shards"), ("multiqueue_sweep", "queues")] {
+        match doc
+            .get(sweep)
+            .and_then(|s| s.get("points"))
+            .and_then(Json::arr)
+        {
+            Some(points) if !points.is_empty() => {
+                for (i, pt) in points.iter().enumerate() {
+                    if pt.get(axis).and_then(Json::num).map(|n| n >= 1.0) != Some(true) {
+                        p.fail(format!("{sweep}.points[{i}].{axis}: missing or < 1"));
+                    }
+                    if pt.get("mpps").and_then(Json::num).map(|n| n > 0.0) != Some(true) {
+                        p.fail(format!("{sweep}.points[{i}].mpps: missing or non-positive"));
+                    }
+                }
+            }
+            _ => p.fail(format!("{sweep}.points: missing or empty")),
+        }
+    }
+    p
+}
+
+/// Check one file against the validator picked by its `bench` field.
+/// Returns a human-readable failure report, or `Ok(bench_name)`.
+pub fn check_file(path: &std::path::Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    let bench = doc
+        .get("bench")
+        .and_then(Json::str)
+        .unwrap_or("<missing bench field>")
+        .to_string();
+    let problems = match bench.as_str() {
+        "micro_flowtable" => check_flowtable(&doc),
+        "fig14_throughput" => check_throughput(&doc),
+        other => {
+            return Err(format!(
+                "{}: unknown bench kind '{other}' (expected micro_flowtable or fig14_throughput)",
+                path.display()
+            ))
+        }
+    };
+    if problems.0.is_empty() {
+        Ok(bench)
+    } else {
+        let mut msg = format!("{}: {} problem(s)\n", path.display(), problems.0.len());
+        for prob in &problems.0 {
+            let _ = writeln!(msg, "  - {prob}");
+        }
+        Err(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_the_shapes_the_benches_emit() {
+        let doc =
+            parse(r#"{"a": 1.5, "b": [1, 2e3, -4], "c": {"d": "x\ny", "e": true, "f": null}}"#)
+                .unwrap();
+        assert_eq!(doc.get("a").and_then(Json::num), Some(1.5));
+        assert_eq!(doc.get("b").and_then(Json::arr).unwrap().len(), 3);
+        assert_eq!(
+            doc.get("c").and_then(|c| c.get("d")).and_then(Json::str),
+            Some("x\ny")
+        );
+        assert_eq!(doc.get("c").and_then(|c| c.get("f")), Some(&Json::Null));
+        assert!(parse("{").is_err());
+        assert!(parse("[1, ]").is_err());
+        assert!(parse("{} garbage").is_err());
+    }
+
+    fn minimal_flowtable() -> String {
+        let row = |name: &str| {
+            format!(
+                r#"{{"name":"{name}","ops_per_sec":1.0,"p50_ns":10.0,"p99_ns":20.0,"mean_ns":11.0,"ci95_ns":0.1,"samples":100,"outliers_rejected":0}}"#
+            )
+        };
+        format!(
+            r#"{{"bench":"micro_flowtable","table_capacity":100,"burst":32,
+                "batched_speedup_at_50pct":2.0,"batched_speedup_at_99pct":1.5,
+                "series":[{},{}]}}"#,
+            row("lookup_batched_98pct"),
+            row("natstep_batched_98pct")
+        )
+    }
+
+    #[test]
+    fn flowtable_validator_accepts_good_and_flags_broken() {
+        let good = parse(&minimal_flowtable()).unwrap();
+        assert!(
+            check_flowtable(&good).0.is_empty(),
+            "{:?}",
+            check_flowtable(&good).0
+        );
+
+        // Drop the gate metric: must be flagged.
+        let broken = minimal_flowtable().replace("batched_speedup_at_50pct", "renamed_away");
+        let doc = parse(&broken).unwrap();
+        let probs = check_flowtable(&doc);
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("batched_speedup_at_50pct")));
+
+        // Remove the gate series: must be flagged.
+        let broken = minimal_flowtable().replace("lookup_batched_98pct", "lookup_other");
+        let probs = check_flowtable(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("lookup_batched_98pct")));
+
+        // Inverted percentiles: must be flagged.
+        let broken = minimal_flowtable().replace(r#""p99_ns":20.0"#, r#""p99_ns":5.0"#);
+        let probs = check_flowtable(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("p99")));
+    }
+
+    fn minimal_throughput() -> String {
+        let series = |name: &str| {
+            format!(
+                r#"{{"name":"{name}","mpps_per_flow_count":[1.0,2.0],"mpps_ci95_per_flow_count":[[0.9,1.1],[1.8,2.2]]}}"#
+            )
+        };
+        format!(
+            r#"{{"bench":"fig14_throughput","flow_counts":[1000,64000],
+                "series":[{},{},{}],
+                "verified_seq":{{"p50_ns":100,"p99_ns":300}},
+                "verified_batched":{{"p50_ns":80,"p99_ns":200}},
+                "sharded_sweep":{{"points":[{{"shards":1,"mpps":10.0}}]}},
+                "multiqueue_sweep":{{"points":[{{"queues":1,"shards":1,"mpps":8.0}}]}}}}"#,
+            series("noop"),
+            series("verified"),
+            series("verified_batched")
+        )
+    }
+
+    #[test]
+    fn throughput_validator_accepts_good_and_flags_broken() {
+        let good = parse(&minimal_throughput()).unwrap();
+        assert!(
+            check_throughput(&good).0.is_empty(),
+            "{:?}",
+            check_throughput(&good).0
+        );
+
+        // Axis mismatch: one rate for two flow counts.
+        let broken = minimal_throughput().replace(
+            r#""mpps_per_flow_count":[1.0,2.0]"#,
+            r#""mpps_per_flow_count":[1.0]"#,
+        );
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("points for")));
+
+        // Non-numeric rates of the right length must not pass
+        // vacuously.
+        let broken = minimal_throughput().replace(
+            r#""mpps_per_flow_count":[1.0,2.0]"#,
+            r#""mpps_per_flow_count":[null,null]"#,
+        );
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("non-numeric")));
+
+        // Inverted interval.
+        let broken = minimal_throughput().replace("[0.9,1.1]", "[1.1,0.9]");
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("lo <= hi")));
+
+        // Missing gate series.
+        let broken = minimal_throughput().replace(r#""name":"verified_batched""#, r#""name":"x""#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("verified_batched") && p.contains("missing")));
+    }
+
+    #[test]
+    fn the_committed_trajectory_files_pass() {
+        // The actual gate CI runs: the two files at the workspace root
+        // must validate (if this fails, a bench refactor broke them).
+        for name in ["BENCH_flowtable.json", "BENCH_throughput.json"] {
+            let path = crate::workspace_root().join(name);
+            match check_file(&path) {
+                Ok(_) => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+}

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
+
 /// Documented constant added when reporting *absolute* latencies
 /// (nanoseconds): the paper's numbers include wire, PCIe and NIC DMA
 /// time on both sides of the middlebox, which the simulator does not

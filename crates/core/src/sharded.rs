@@ -322,8 +322,14 @@ impl FlowTable for ShardedFlowManager {
 /// * **polling semantics** — an empty event still runs one (empty)
 ///   burst, so expiry advances on idle queues exactly as a polling
 ///   core's loop does.
-pub struct QueueFed {
-    env: SimpleEnv<ShardedFlowManager>,
+///
+/// Like the envs and `netsim`'s backend seam, the driver is generic
+/// over the [`FlowTable`] behind it — the sharded table by default,
+/// the unsharded [`FlowManager`] via [`QueueFed::unsharded`] (queue
+/// dispatch is a pure function of the packet and the queue count; the
+/// table's own layout never sees it).
+pub struct QueueFed<T: FlowTable = ShardedFlowManager> {
+    env: SimpleEnv<T>,
     queue_clocks: Vec<Time>,
     clock: Time,
     start_port: u16,
@@ -338,11 +344,30 @@ impl QueueFed {
     /// shard's subsequence); `queues > shards` nests queue groups
     /// inside shards (the multiply-shift reduction is hierarchical).
     pub fn new(cfg: &NatConfig, shards: usize, queues: usize) -> QueueFed {
+        QueueFed::over(SimpleEnv::sharded(*cfg, shards), cfg, queues)
+    }
+}
+
+impl QueueFed<FlowManager> {
+    /// A queue-fed NAT over the *unsharded* table: `queues` RX queues
+    /// all landing their events on one [`FlowManager`] — what a
+    /// multi-queue NIC in front of a single-table NF looks like.
+    /// Byte-for-byte equivalent to [`QueueFed::new`] with one shard
+    /// (proven in this module's tests, on top of the 1-shard ≡
+    /// unsharded equivalence of `tests/shard_equivalence.rs`).
+    pub fn unsharded(cfg: &NatConfig, queues: usize) -> QueueFed<FlowManager> {
+        QueueFed::over(SimpleEnv::new(*cfg), cfg, queues)
+    }
+}
+
+impl<T: FlowTable> QueueFed<T> {
+    /// Shared constructor: wrap an env with the queue-dispatch state.
+    fn over(env: SimpleEnv<T>, cfg: &NatConfig, queues: usize) -> QueueFed<T> {
         assert!(queues > 0, "need at least one queue");
         let ports_per_queue = cfg.capacity / queues;
         assert!(ports_per_queue > 0, "more queues than ports");
         QueueFed {
-            env: SimpleEnv::sharded(*cfg, shards),
+            env,
             queue_clocks: vec![Time::ZERO; queues],
             clock: Time::ZERO,
             start_port: cfg.start_port,
@@ -362,7 +387,7 @@ impl QueueFed {
     }
 
     /// The underlying env (state assertions, recorded events).
-    pub fn env(&self) -> &SimpleEnv<ShardedFlowManager> {
+    pub fn env(&self) -> &SimpleEnv<T> {
         &self.env
     }
 
@@ -675,6 +700,32 @@ mod tests {
         let b = seq.flow_manager().snapshot();
         assert_eq!(a, b, "sharded state diverged");
         qf.env().flow_manager().check_coherence().unwrap();
+    }
+
+    #[test]
+    fn queue_fed_unsharded_equals_one_shard_byte_for_byte() {
+        // The generic driver over the plain FlowManager is the same
+        // NAT as over a 1-shard table: identical outcomes, identical
+        // slots/ports/stamps, under an out-of-order event schedule.
+        let c = cfg(64);
+        let mut plain = QueueFed::unsharded(&c, 2);
+        let mut sharded = QueueFed::new(&c, 1, 2);
+        let packets: Vec<RawRx> = (0..24u8).map(|h| raw(h, 300 + u16::from(h % 5))).collect();
+        let mut by_queue: Vec<Vec<RawRx>> = vec![Vec::new(); 2];
+        for p in &packets {
+            assert_eq!(plain.queue_of(p), sharded.queue_of(p), "dispatch differs");
+            by_queue[plain.queue_of(p)].push(*p);
+        }
+        for (q, t) in [(1, 1u64), (0, 1), (1, 3), (0, 5)] {
+            let evs: &[RawRx] = if t == 1 { &by_queue[q] } else { &[] };
+            let a = plain.on_event(q, Time::from_secs(t), evs);
+            let b = sharded.on_event(q, Time::from_secs(t), evs);
+            assert_eq!(a, b, "outcomes diverged at queue {q} t {t}");
+        }
+        let a: Vec<_> = plain.env().flow_manager().iter_lru().collect();
+        let b: Vec<_> = sharded.env().flow_manager().shard(0).iter_lru().collect();
+        assert_eq!(a, b, "table state diverged");
+        plain.env().flow_manager().check_coherence().unwrap();
     }
 
     #[test]

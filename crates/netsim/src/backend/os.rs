@@ -1,0 +1,750 @@
+//! [`OsBackend`]: real OS packet I/O behind the [`PacketIo`] seam
+//! (Linux `AF_PACKET` raw sockets).
+//!
+//! One nonblocking raw socket per port, bound to a network interface —
+//! a veth pair end in the intended deployment — receives every frame
+//! the kernel delivers there and transmits the NAT's output. Frames
+//! are classified into per-queue software FIFOs by the *same*
+//! [`RssClassifier`] the sim backend and the sharded table use, so the
+//! verified NAT, the event loop, and the conformance suites are
+//! identical across backends; only the frame source changes.
+//!
+//! ## The trust boundary
+//!
+//! This module (specifically its private `sys` block) contains the
+//! workspace's only `unsafe` code: the six libc calls a raw socket needs (`socket`,
+//! `bind`, `recvfrom`, `send`, `close`, `if_nametoindex`). Everything
+//! is wrapped immediately into the safe [`RawSocket`] type; no unsafe
+//! escapes this file. The kernel's packet path below the socket is
+//! trusted, exactly as the paper trusts DPDK and the NIC hardware —
+//! the verified properties cover what happens to a frame *after*
+//! [`OsBackend::pump_rx`] admits it and *before* `flush_tx` hands it
+//! back. See `docs/ARCHITECTURE.md` ("The backend layer").
+//!
+//! ## Privileges
+//!
+//! `AF_PACKET` sockets need `CAP_NET_RAW`; creating veth pairs needs
+//! `CAP_NET_ADMIN`. [`OsBackend::open`] fails with a plain
+//! `io::Error` when they are missing, and the conformance tests skip
+//! cleanly in that case (CI runs them in a privileged job).
+
+use super::{PacketIo, TesterIo};
+use crate::dpdk::{BufIdx, Mempool, PortStats, Ring, MBUF_SIZE};
+use crate::frame_env::RssClassifier;
+use std::io;
+use vig_packet::Direction;
+
+/// The `sll_pkttype` of a frame the socket itself sent (looped back by
+/// the kernel for observers); the RX pump filters these out.
+const PACKET_OUTGOING: u8 = 4;
+
+/// The raw libc surface: six syscalls, wrapped here and nowhere else.
+mod sys {
+    #![allow(unsafe_code)]
+
+    use std::io;
+
+    pub type CInt = i32;
+
+    const AF_PACKET: CInt = 17;
+    const SOCK_RAW: CInt = 3;
+    /// `SOCK_NONBLOCK`: open the socket nonblocking, no fcntl dance.
+    const SOCK_NONBLOCK: CInt = 0o4000;
+    /// `ETH_P_ALL` in network byte order, as `socket(2)` wants it.
+    const ETH_P_ALL_BE: CInt = 0x0300;
+
+    /// `struct sockaddr_ll` (linux/if_packet.h), the AF_PACKET bind
+    /// address: 20 bytes, `repr(C)` so the kernel sees the C layout.
+    #[repr(C)]
+    pub struct SockaddrLl {
+        pub sll_family: u16,
+        /// Network byte order.
+        pub sll_protocol: u16,
+        pub sll_ifindex: i32,
+        pub sll_hatype: u16,
+        pub sll_pkttype: u8,
+        pub sll_halen: u8,
+        pub sll_addr: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: CInt, ty: CInt, protocol: CInt) -> CInt;
+        fn bind(fd: CInt, addr: *const SockaddrLl, addrlen: u32) -> CInt;
+        fn recvfrom(
+            fd: CInt,
+            buf: *mut u8,
+            len: usize,
+            flags: CInt,
+            addr: *mut SockaddrLl,
+            addrlen: *mut u32,
+        ) -> isize;
+        fn send(fd: CInt, buf: *const u8, len: usize, flags: CInt) -> isize;
+        fn close(fd: CInt) -> CInt;
+        fn if_nametoindex(name: *const u8) -> u32;
+    }
+
+    /// Resolve an interface name (NUL-terminated internally) to its
+    /// index.
+    pub fn ifindex(name: &str) -> io::Result<i32> {
+        let mut z: Vec<u8> = name.as_bytes().to_vec();
+        if z.contains(&0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "interface name contains NUL",
+            ));
+        }
+        z.push(0);
+        // SAFETY: `z` is a valid NUL-terminated buffer for the call's
+        // duration; if_nametoindex only reads it.
+        let idx = unsafe { if_nametoindex(z.as_ptr()) };
+        if idx == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such interface: {name}"),
+            ));
+        }
+        Ok(idx as i32)
+    }
+
+    /// `socket(AF_PACKET, SOCK_RAW|SOCK_NONBLOCK, htons(ETH_P_ALL))`
+    /// bound to interface `idx`. Returns the fd.
+    pub fn open_bound(idx: i32) -> io::Result<CInt> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { socket(AF_PACKET, SOCK_RAW | SOCK_NONBLOCK, ETH_P_ALL_BE) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let addr = SockaddrLl {
+            sll_family: AF_PACKET as u16,
+            sll_protocol: ETH_P_ALL_BE as u16,
+            sll_ifindex: idx,
+            sll_hatype: 0,
+            sll_pkttype: 0,
+            sll_halen: 0,
+            sll_addr: [0; 8],
+        };
+        // SAFETY: `addr` is a properly initialized sockaddr_ll and
+        // outlives the call; the kernel copies it.
+        let rc = unsafe { bind(fd, &addr, std::mem::size_of::<SockaddrLl>() as u32) };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            // SAFETY: fd is the socket we just opened.
+            unsafe { close(fd) };
+            return Err(e);
+        }
+        Ok(fd)
+    }
+
+    /// Nonblocking receive; returns `(len, sll_pkttype)`, `None` when
+    /// no frame is waiting.
+    pub fn recv_one(fd: CInt, buf: &mut [u8]) -> io::Result<Option<(usize, u8)>> {
+        let mut from = SockaddrLl {
+            sll_family: 0,
+            sll_protocol: 0,
+            sll_ifindex: 0,
+            sll_hatype: 0,
+            sll_pkttype: 0,
+            sll_halen: 0,
+            sll_addr: [0; 8],
+        };
+        let mut fromlen = std::mem::size_of::<SockaddrLl>() as u32;
+        // SAFETY: buf/from/fromlen are valid for the call's duration;
+        // the kernel writes at most `buf.len()` bytes and a sockaddr_ll.
+        let n = unsafe { recvfrom(fd, buf.as_mut_ptr(), buf.len(), 0, &mut from, &mut fromlen) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(None);
+            }
+            return Err(e);
+        }
+        Ok(Some((n as usize, from.sll_pkttype)))
+    }
+
+    /// Send one frame on the bound interface.
+    pub fn send_one(fd: CInt, frame: &[u8]) -> io::Result<usize> {
+        // SAFETY: frame is a valid readable buffer for the call.
+        let n = unsafe { send(fd, frame.as_ptr(), frame.len(), 0) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    /// Close the fd (Drop path; errors ignored like stdlib's File).
+    pub fn close_fd(fd: CInt) {
+        // SAFETY: fd belongs to the RawSocket being dropped.
+        unsafe { close(fd) };
+    }
+}
+
+/// A safe handle to one nonblocking `AF_PACKET` socket bound to an
+/// interface. Closed on drop.
+#[derive(Debug)]
+pub struct RawSocket {
+    fd: sys::CInt,
+    ifname: String,
+}
+
+impl RawSocket {
+    /// Open and bind to `ifname`. Needs `CAP_NET_RAW`.
+    pub fn open(ifname: &str) -> io::Result<RawSocket> {
+        let idx = sys::ifindex(ifname)?;
+        let fd = sys::open_bound(idx)?;
+        Ok(RawSocket {
+            fd,
+            ifname: ifname.to_string(),
+        })
+    }
+
+    /// The interface this socket is bound to.
+    pub fn ifname(&self) -> &str {
+        &self.ifname
+    }
+
+    /// Nonblocking receive into `buf`; `Ok(None)` when nothing is
+    /// waiting. Returns `(frame_len, sll_pkttype)` — callers filter
+    /// `pkttype == PACKET_OUTGOING` to ignore their own transmissions.
+    pub fn recv_from(&self, buf: &mut [u8]) -> io::Result<Option<(usize, u8)>> {
+        sys::recv_one(self.fd, buf)
+    }
+
+    /// Transmit one frame out the bound interface.
+    pub fn send(&self, frame: &[u8]) -> io::Result<usize> {
+        sys::send_one(self.fd, frame)
+    }
+}
+
+impl Drop for RawSocket {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+/// One port of the OS backend: a bound socket plus the per-queue
+/// software FIFOs and stats the driver contract requires.
+struct OsPort {
+    sock: RawSocket,
+    rx: Vec<Ring>,
+    tx: Vec<Ring>,
+    stats: Vec<PortStats>,
+}
+
+impl OsPort {
+    fn new(sock: RawSocket, queues: usize, ring_size: usize) -> OsPort {
+        OsPort {
+            sock,
+            rx: (0..queues).map(|_| Ring::new(ring_size)).collect(),
+            tx: (0..queues).map(|_| Ring::new(ring_size)).collect(),
+            stats: vec![PortStats::default(); queues],
+        }
+    }
+}
+
+/// The Linux raw-socket backend. See module docs.
+pub struct OsBackend {
+    pool: Mempool,
+    classifier: RssClassifier,
+    int_port: OsPort,
+    ext_port: OsPort,
+    scratch: Box<[u8; MBUF_SIZE]>,
+    /// Per-call admission cap (one ring's worth per queue), so a
+    /// flooded socket cannot wedge the driver in `pump_rx` forever.
+    pump_cap: usize,
+    rx_log: Option<Vec<(Direction, Vec<u8>)>>,
+    rx_seen: u64,
+    rx_errors: u64,
+    tx_errors: u64,
+}
+
+impl OsBackend {
+    /// Open the backend on two interfaces: `int_if` is the NAT's
+    /// internal port, `ext_if` the external one. Ring sizing matches
+    /// the sim backend (`ring_size` descriptors per queue, pool holds
+    /// four rings' worth per queue). Needs `CAP_NET_RAW`.
+    pub fn open(
+        int_if: &str,
+        ext_if: &str,
+        classifier: RssClassifier,
+        ring_size: usize,
+    ) -> io::Result<OsBackend> {
+        let queues = classifier.queue_count();
+        let int_sock = RawSocket::open(int_if)?;
+        let ext_sock = RawSocket::open(ext_if)?;
+        Ok(OsBackend {
+            pool: Mempool::new(queues * ring_size * 4),
+            classifier,
+            int_port: OsPort::new(int_sock, queues, ring_size),
+            ext_port: OsPort::new(ext_sock, queues, ring_size),
+            scratch: Box::new([0u8; MBUF_SIZE]),
+            pump_cap: queues * ring_size,
+            rx_log: None,
+            rx_seen: 0,
+            rx_errors: 0,
+            tx_errors: 0,
+        })
+    }
+
+    fn port(&mut self, d: Direction) -> &mut OsPort {
+        match d {
+            Direction::Internal => &mut self.int_port,
+            Direction::External => &mut self.ext_port,
+        }
+    }
+
+    fn port_ref(&self, d: Direction) -> &OsPort {
+        match d {
+            Direction::Internal => &self.int_port,
+            Direction::External => &self.ext_port,
+        }
+    }
+
+    /// The classifier steering this backend's traffic.
+    pub fn classifier(&self) -> RssClassifier {
+        self.classifier
+    }
+
+    /// Record every admitted frame (arrival order, with its port) so a
+    /// live run can be replayed through the sim backend — the
+    /// recorded-trace parity proof in `tests/backend_conformance.rs`.
+    pub fn set_rx_log(&mut self, on: bool) {
+        self.rx_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the recorded arrival trace (see [`OsBackend::set_rx_log`]).
+    pub fn take_rx_log(&mut self) -> Vec<(Direction, Vec<u8>)> {
+        self.rx_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Transmissions the kernel refused (counted, frame dropped — the
+    /// OS analog of a TX ring running dry).
+    pub fn tx_errors(&self) -> u64 {
+        self.tx_errors
+    }
+
+    /// Total frames received from the kernel over this backend's
+    /// lifetime (after the own-transmission filter), whether admitted
+    /// to a FIFO or dropped at a full ring — the tester's "has
+    /// everything I sent arrived yet?" signal.
+    pub fn rx_seen(&self) -> u64 {
+        self.rx_seen
+    }
+
+    /// Real receive errors from the kernel (not `EWOULDBLOCK`, which
+    /// just means "no frame waiting"): `ENETDOWN` after the interface
+    /// went down, `ENODEV` after a veth peer was deleted, … A live
+    /// loop seeing this grow with `rx` flat has a dead socket, not a
+    /// quiet network.
+    pub fn rx_errors(&self) -> u64 {
+        self.rx_errors
+    }
+}
+
+/// Admit one frame into `port`'s per-queue FIFOs: log it, classify it,
+/// and apply the driver contract's drop accounting (pool exhaustion or
+/// a full ring counts `rx_dropped` on the frame's queue; admission
+/// counts `rx`). The single definition both the kernel RX pump and the
+/// loopback `stage` path use, so their accounting can never diverge.
+fn admit(
+    pool: &mut Mempool,
+    classifier: &RssClassifier,
+    port: &mut OsPort,
+    dir: Direction,
+    frame: &[u8],
+    rx_log: &mut Option<Vec<(Direction, Vec<u8>)>>,
+) -> Option<usize> {
+    if let Some(log) = rx_log {
+        log.push((dir, frame.to_vec()));
+    }
+    let q = classifier.queue_of(dir, frame);
+    let Some(buf) = pool.get() else {
+        port.stats[q].rx_dropped += 1;
+        return None;
+    };
+    pool.write_frame(buf, frame);
+    if port.rx[q].push(buf) {
+        port.stats[q].rx += 1;
+        Some(q)
+    } else {
+        pool.put(buf);
+        port.stats[q].rx_dropped += 1;
+        None
+    }
+}
+
+impl PacketIo for OsBackend {
+    fn queue_count(&self) -> usize {
+        self.int_port.rx.len()
+    }
+
+    fn pool(&self) -> &Mempool {
+        &self.pool
+    }
+
+    fn pool_mut(&mut self) -> &mut Mempool {
+        &mut self.pool
+    }
+
+    fn pump_rx(&mut self) -> usize {
+        let mut admitted = 0;
+        for dir in [Direction::Internal, Direction::External] {
+            for _ in 0..self.pump_cap {
+                // Destructure so the socket read and the ring/pool
+                // writes borrow disjoint fields.
+                let OsBackend {
+                    pool,
+                    classifier,
+                    int_port,
+                    ext_port,
+                    scratch,
+                    rx_log,
+                    rx_seen,
+                    rx_errors,
+                    ..
+                } = self;
+                let port = match dir {
+                    Direction::Internal => int_port,
+                    Direction::External => ext_port,
+                };
+                match port.sock.recv_from(&mut scratch[..]) {
+                    Ok(Some((len, pkttype))) => {
+                        if pkttype == PACKET_OUTGOING {
+                            continue; // our own transmission, looped back
+                        }
+                        *rx_seen += 1;
+                        let frame = &scratch[..len.min(MBUF_SIZE)];
+                        if admit(pool, classifier, port, dir, frame, rx_log).is_some() {
+                            admitted += 1;
+                        }
+                    }
+                    Ok(None) => break,
+                    // A real error (the nonblocking wrapper already
+                    // maps EWOULDBLOCK to Ok(None)): count it so a
+                    // dead socket is distinguishable from a quiet
+                    // network, and retry on the next pump.
+                    Err(_) => {
+                        *rx_errors += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        admitted
+    }
+
+    fn rx_len(&self, dir: Direction, q: usize) -> usize {
+        self.port_ref(dir).rx[q].len()
+    }
+
+    fn rx_burst(&mut self, dir: Direction, q: usize, max: usize, out: &mut Vec<BufIdx>) -> usize {
+        let port = self.port(dir);
+        let mut n = 0;
+        while n < max {
+            match port.rx[q].pop() {
+                Some(b) => {
+                    out.push(b);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    fn tx_put(&mut self, dir: Direction, q: usize, buf: BufIdx) -> bool {
+        let port = self.port(dir);
+        let ok = port.tx[q].push(buf);
+        if ok {
+            port.stats[q].tx += 1;
+        }
+        ok
+    }
+
+    fn flush_tx(&mut self) -> usize {
+        let mut flushed = 0;
+        for dir in [Direction::Internal, Direction::External] {
+            for q in 0..self.queue_count() {
+                loop {
+                    let OsBackend {
+                        pool,
+                        int_port,
+                        ext_port,
+                        tx_errors,
+                        ..
+                    } = self;
+                    let port = match dir {
+                        Direction::Internal => int_port,
+                        Direction::External => ext_port,
+                    };
+                    let Some(buf) = port.tx[q].pop() else { break };
+                    match port.sock.send(pool.frame(buf)) {
+                        Ok(_) => flushed += 1,
+                        Err(_) => *tx_errors += 1,
+                    }
+                    pool.put(buf);
+                }
+            }
+        }
+        flushed
+    }
+
+    fn queue_stats(&self, dir: Direction, q: usize) -> PortStats {
+        self.port_ref(dir).stats[q]
+    }
+}
+
+impl TesterIo for OsBackend {
+    /// Staging directly into an OS backend is a *loopback* injection:
+    /// the frame is written straight into the classified RX FIFO as if
+    /// the kernel had just delivered it. Real-wire injection goes
+    /// through [`OsTestRig`], whose tester sits on the veth peer.
+    fn stage(
+        &mut self,
+        dir: Direction,
+        fields_writer: impl FnOnce(&mut [u8]) -> usize,
+    ) -> Option<usize> {
+        let len = fields_writer(&mut self.scratch[..]);
+        let OsBackend {
+            pool,
+            classifier,
+            int_port,
+            ext_port,
+            scratch,
+            rx_log,
+            ..
+        } = self;
+        let port = match dir {
+            Direction::Internal => int_port,
+            Direction::External => ext_port,
+        };
+        admit(pool, classifier, port, dir, &scratch[..len], rx_log)
+    }
+
+    /// Drain the backend's own TX queues without touching the wire
+    /// (loopback collection, the dual of loopback staging). A live
+    /// driver normally calls `flush_tx` instead, which sends on the
+    /// socket.
+    fn reap(&mut self, dir: Direction) -> Vec<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        for q in 0..self.queue_count() {
+            loop {
+                let OsBackend {
+                    pool,
+                    int_port,
+                    ext_port,
+                    ..
+                } = self;
+                let port = match dir {
+                    Direction::Internal => int_port,
+                    Direction::External => ext_port,
+                };
+                let Some(buf) = port.tx[q].pop() else { break };
+                out.push((q, pool.frame(buf).to_vec()));
+                pool.put(buf);
+            }
+        }
+        out
+    }
+}
+
+/// A veth pair created (and deleted on drop) via the `ip` tool — the
+/// fixture the privileged conformance tests and the CI
+/// `os-backend-integration` job build their wire out of. Needs
+/// `CAP_NET_ADMIN`; [`VethPair::create`] returns the underlying error
+/// when the capability (or the `ip` binary) is missing, and callers
+/// skip cleanly.
+#[derive(Debug)]
+pub struct VethPair {
+    /// One end (the backend binds this).
+    pub a: String,
+    /// The peer end (the tester binds this).
+    pub b: String,
+}
+
+fn run_ip(args: &[&str]) -> io::Result<()> {
+    let out = std::process::Command::new("ip").args(args).output()?;
+    if out.status.success() {
+        Ok(())
+    } else {
+        Err(io::Error::other(format!(
+            "ip {}: {}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stderr).trim()
+        )))
+    }
+}
+
+impl VethPair {
+    /// Create `a <-> b`, quiesce them (IPv6 autoconf off, so the
+    /// kernel does not inject router solicitations into the trace),
+    /// and bring both up.
+    pub fn create(a: &str, b: &str) -> io::Result<VethPair> {
+        run_ip(&["link", "add", a, "type", "veth", "peer", "name", b])?;
+        let pair = VethPair {
+            a: a.to_string(),
+            b: b.to_string(),
+        };
+        for dev in [a, b] {
+            // Best effort: without it the kernel emits IPv6 ND noise,
+            // which the NAT drops (it only ever creates state for
+            // TCP/UDP over IPv4) but which inflates drop counters.
+            let _ = std::fs::write(format!("/proc/sys/net/ipv6/conf/{dev}/disable_ipv6"), "1");
+            run_ip(&["link", "set", dev, "up"])?;
+        }
+        Ok(pair)
+    }
+}
+
+impl Drop for VethPair {
+    fn drop(&mut self) {
+        // Deleting one end removes the pair.
+        let _ = run_ip(&["link", "del", &self.a]);
+    }
+}
+
+/// The two-veth-pair test rig: an [`OsBackend`] on the near ends and
+/// tester sockets on the far ends, implementing [`TesterIo`] *across
+/// the wire* — `stage` transmits on the peer interface and `reap`
+/// receives what the NAT sent back out, so the generic RFC 2544
+/// harness and the conformance suites run unchanged over real kernel
+/// packet I/O.
+pub struct OsTestRig {
+    backend: OsBackend,
+    int_peer: RawSocket,
+    ext_peer: RawSocket,
+    scratch: Box<[u8; MBUF_SIZE]>,
+}
+
+impl OsTestRig {
+    /// Build the rig: the backend binds `int_veth.a` / `ext_veth.a`,
+    /// the tester binds the `.b` peers.
+    pub fn open(
+        int_veth: &VethPair,
+        ext_veth: &VethPair,
+        classifier: RssClassifier,
+        ring_size: usize,
+    ) -> io::Result<OsTestRig> {
+        let backend = OsBackend::open(&int_veth.a, &ext_veth.a, classifier, ring_size)?;
+        Ok(OsTestRig {
+            backend,
+            int_peer: RawSocket::open(&int_veth.b)?,
+            ext_peer: RawSocket::open(&ext_veth.b)?,
+            scratch: Box::new([0u8; MBUF_SIZE]),
+        })
+    }
+
+    /// The wrapped backend (error counters, classifier).
+    pub fn backend(&self) -> &OsBackend {
+        &self.backend
+    }
+
+    /// The wrapped backend, mutably (rx-log control).
+    pub fn backend_mut(&mut self) -> &mut OsBackend {
+        &mut self.backend
+    }
+
+    fn peer(&self, dir: Direction) -> &RawSocket {
+        match dir {
+            Direction::Internal => &self.int_peer,
+            Direction::External => &self.ext_peer,
+        }
+    }
+
+    /// Receive frames the NAT transmitted out of port `dir` (arriving
+    /// at the tester's peer socket), waiting up to `timeout` for at
+    /// least `expect` of them. TX-queue attribution does not survive
+    /// the wire, so every frame reports queue 0; order within the port
+    /// is kernel delivery order.
+    pub fn reap_wait(
+        &mut self,
+        dir: Direction,
+        expect: usize,
+        timeout: std::time::Duration,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut out = Vec::new();
+        let peer = match dir {
+            Direction::Internal => &self.int_peer,
+            Direction::External => &self.ext_peer,
+        };
+        let scratch = &mut self.scratch;
+        loop {
+            while let Ok(Some((len, pkttype))) = peer.recv_from(&mut scratch[..]) {
+                if pkttype == PACKET_OUTGOING {
+                    continue; // the tester's own injection, looped back
+                }
+                out.push((0, scratch[..len].to_vec()));
+            }
+            if out.len() >= expect || std::time::Instant::now() >= deadline {
+                return out;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+impl PacketIo for OsTestRig {
+    fn queue_count(&self) -> usize {
+        self.backend.queue_count()
+    }
+
+    fn pool(&self) -> &Mempool {
+        self.backend.pool()
+    }
+
+    fn pool_mut(&mut self) -> &mut Mempool {
+        self.backend.pool_mut()
+    }
+
+    fn pump_rx(&mut self) -> usize {
+        self.backend.pump_rx()
+    }
+
+    fn rx_len(&self, dir: Direction, q: usize) -> usize {
+        self.backend.rx_len(dir, q)
+    }
+
+    fn rx_burst(&mut self, dir: Direction, q: usize, max: usize, out: &mut Vec<BufIdx>) -> usize {
+        self.backend.rx_burst(dir, q, max, out)
+    }
+
+    fn tx_put(&mut self, dir: Direction, q: usize, buf: BufIdx) -> bool {
+        self.backend.tx_put(dir, q, buf)
+    }
+
+    fn flush_tx(&mut self) -> usize {
+        self.backend.flush_tx()
+    }
+
+    fn queue_stats(&self, dir: Direction, q: usize) -> PortStats {
+        self.backend.queue_stats(dir, q)
+    }
+}
+
+impl TesterIo for OsTestRig {
+    /// Inject across the wire: transmit on the peer interface; the
+    /// kernel delivers to the backend's bound socket, where the next
+    /// `pump_rx` classifies and admits it. Returns the queue the frame
+    /// *will* classify to (the same function runs on both sides).
+    fn stage(
+        &mut self,
+        dir: Direction,
+        fields_writer: impl FnOnce(&mut [u8]) -> usize,
+    ) -> Option<usize> {
+        let len = fields_writer(&mut self.scratch[..]);
+        let q = self
+            .backend
+            .classifier()
+            .queue_of(dir, &self.scratch[..len]);
+        match self.peer(dir).send(&self.scratch[..len]) {
+            Ok(_) => Some(q),
+            Err(_) => None,
+        }
+    }
+
+    /// Nonblocking wire-side collection (see [`OsTestRig::reap_wait`]
+    /// for the deadline variant the tests use).
+    fn reap(&mut self, dir: Direction) -> Vec<(usize, Vec<u8>)> {
+        self.reap_wait(dir, 0, std::time::Duration::ZERO)
+    }
+}

@@ -20,7 +20,12 @@
 //!   [`crate::harness::Testbed`]: one mempool, two
 //!   [`MultiQueueDevice`]s, and the RSS classifier
 //!   ([`RssClassifier`]) applied tester-side exactly where a NIC's
-//!   hash unit runs.
+//!   hash unit runs;
+//! * [`BackendDriver`] — the same drain loop written once over the
+//!   [`PacketIo`] backend seam (see [`crate::backend`]), so it runs
+//!   identically on the simulated NIC model ([`SimBackend`]) and on
+//!   real OS packet I/O (`backend::os::OsBackend`); the legacy
+//!   [`MultiQueueTestbed`] drain stays as its differential oracle.
 //!
 //! Packets reach the NF through the ordinary [`Middlebox::process_burst`]
 //! — each queue event becomes one `BurstEnv` drain of the verified
@@ -47,6 +52,7 @@
 //! queues; translation of *established* flows remains byte-identical
 //! in every case. See `docs/ARCHITECTURE.md`.
 
+use crate::backend::{PacketIo, SimBackend, TesterIo};
 use crate::dpdk::{BufIdx, Mempool, MultiQueueDevice, PortStats, MBUF_SIZE};
 use crate::frame_env::RssClassifier;
 use crate::harness::LatencySamples;
@@ -115,13 +121,25 @@ impl Poller {
     /// many queues are ready. An empty scan advances the idle backoff
     /// (doubling up to the cap); any readiness resets it.
     pub fn poll(&mut self, int_dev: &MultiQueueDevice, ext_dev: &MultiQueueDevice) -> usize {
+        self.poll_with(int_dev.queue_count(), |dir, q| match dir {
+            Direction::Internal => int_dev.rx_len(q),
+            Direction::External => ext_dev.rx_len(q),
+        })
+    }
+
+    /// [`Poller::poll`] over any [`PacketIo`] backend: the identical
+    /// level-triggered scan (internal port first, ascending queue
+    /// index) against the backend's `rx_len` readiness signal.
+    pub fn poll_io<B: PacketIo>(&mut self, io: &B) -> usize {
+        self.poll_with(io.queue_count(), |dir, q| io.rx_len(dir, q))
+    }
+
+    /// The shared scan: `rx_len(dir, q)` over both ports × `queues`.
+    fn poll_with(&mut self, queues: usize, rx_len: impl Fn(Direction, usize) -> usize) -> usize {
         self.ready.clear();
-        for (dir, dev) in [
-            (Direction::Internal, int_dev),
-            (Direction::External, ext_dev),
-        ] {
-            for q in 0..dev.queue_count() {
-                if dev.rx_len(q) > 0 {
+        for dir in [Direction::Internal, Direction::External] {
+            for q in 0..queues {
+                if rx_len(dir, q) > 0 {
                     self.ready.push(QueueEvent { dir, queue: q });
                 }
             }
@@ -262,6 +280,175 @@ impl EventLoop {
     /// The poller (stats and backoff inspection).
     pub fn poller(&self) -> &Poller {
         &self.poller
+    }
+}
+
+/// One transmitted frame as the driver saw it leave: which port, which
+/// TX queue, and the rewritten bytes — the unit of the tx-trace
+/// conformance proofs (and the artifact the CI OS-backend job uploads
+/// on failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxRecord {
+    /// The port the frame left on.
+    pub out: Direction,
+    /// The TX queue it was placed on (the carrying RX queue's index).
+    pub queue: usize,
+    /// The frame bytes after the NAT's rewrite.
+    pub frame: Vec<u8>,
+}
+
+/// The backend-generic event-driven driver: the same poll → WRR →
+/// budgeted-burst → verified-batch-loop drain as
+/// [`MultiQueueTestbed::drain_event_driven`], written once over
+/// [`PacketIo`] so it runs identically on the simulated NIC model and
+/// on real OS packet I/O. `tests/backend_conformance.rs` proves the
+/// [`SimBackend`] instantiation byte-for-byte equivalent to the legacy
+/// testbed, which stays as the differential oracle.
+pub struct BackendDriver<B: PacketIo> {
+    io: B,
+    ev: EventLoop,
+    tx_log: Option<Vec<TxRecord>>,
+}
+
+impl<B: PacketIo> BackendDriver<B> {
+    /// Driver over `io` with the default equal-weight event loop
+    /// ([`MAX_BURST`]-frame budgets).
+    pub fn new(io: B) -> BackendDriver<B> {
+        let queues = io.queue_count();
+        BackendDriver::with_event_loop(io, EventLoop::new(queues))
+    }
+
+    /// Driver from an explicit event loop (skewed weights, tight
+    /// backoff windows).
+    pub fn with_event_loop(io: B, ev: EventLoop) -> BackendDriver<B> {
+        BackendDriver {
+            io,
+            ev,
+            tx_log: None,
+        }
+    }
+
+    /// The backend (stats, tester-side access).
+    pub fn io(&self) -> &B {
+        &self.io
+    }
+
+    /// Mutable backend access (tester-side staging between drains).
+    pub fn io_mut(&mut self) -> &mut B {
+        &mut self.io
+    }
+
+    /// The event loop (poller stats, backoff inspection).
+    pub fn event_loop(&self) -> &EventLoop {
+        &self.ev
+    }
+
+    /// Record every forwarded frame as a [`TxRecord`] (conformance
+    /// traces). Off by default — the steady-state path allocates
+    /// nothing.
+    pub fn set_tx_log(&mut self, on: bool) {
+        self.tx_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the recorded tx trace (see [`BackendDriver::set_tx_log`]).
+    pub fn take_tx_log(&mut self) -> Vec<TxRecord> {
+        self.tx_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// One service round: pump the backend's RX path, poll, and visit
+    /// every ready queue once in WRR order, draining each visit's
+    /// budgeted burst through [`Middlebox::process_burst`]. Returns
+    /// how many queues were ready (0 = idle round).
+    fn service_round(
+        &mut self,
+        nf: &mut dyn Middlebox,
+        now: Time,
+        stats: &mut DrainStats,
+    ) -> usize {
+        stats.polls += 1;
+        self.io.pump_rx();
+        let n_ready = self.ev.poller.poll_io(&self.io);
+        if n_ready == 0 {
+            return 0;
+        }
+        let start = self.ev.wrr.rotation(n_ready);
+        for k in 0..n_ready {
+            let event = self.ev.poller.ready[(start + k) % n_ready];
+            let budget = self.ev.wrr.budget(event.queue);
+            self.ev.batch.clear();
+            if self
+                .io
+                .rx_burst(event.dir, event.queue, budget, &mut self.ev.batch)
+                == 0
+            {
+                continue;
+            }
+            stats.bursts += 1;
+            let verdicts = nf.process_burst(event.dir, self.io.pool_mut(), &self.ev.batch, now);
+            debug_assert_eq!(verdicts.len(), self.ev.batch.len());
+            for (&buf, v) in self.ev.batch.iter().zip(&verdicts) {
+                match v {
+                    Verdict::Forward(out) => {
+                        if let Some(log) = &mut self.tx_log {
+                            log.push(TxRecord {
+                                out: *out,
+                                queue: event.queue,
+                                frame: self.io.pool().frame(buf).to_vec(),
+                            });
+                        }
+                        // A full TX queue mid-drain can only happen on
+                        // a live backend (pump_rx refills RX between
+                        // rounds faster than flush_tx runs): flush and
+                        // retry before asserting. On the sim backend
+                        // flush is a no-op and the legacy testbed's
+                        // sizing invariant makes the first put succeed,
+                        // so equivalence is untouched.
+                        let sent = self.io.tx_put(*out, event.queue, buf) || {
+                            self.io.flush_tx();
+                            self.io.tx_put(*out, event.queue, buf)
+                        };
+                        assert!(sent, "tx ring sized for a ring's worth of bursts");
+                        stats.forwarded += 1;
+                    }
+                    Verdict::Drop => {
+                        self.io.pool_mut().put(buf);
+                        stats.dropped += 1;
+                    }
+                }
+            }
+        }
+        n_ready
+    }
+
+    /// Drain until idle: service rounds until a poll finds no queue
+    /// ready, then flush TX to the backend's outside world. The exact
+    /// loop of [`MultiQueueTestbed::drain_event_driven`], including its
+    /// statistics semantics (the final empty poll is counted).
+    pub fn drain(&mut self, nf: &mut dyn Middlebox, now: Time) -> DrainStats {
+        let mut stats = DrainStats::default();
+        let t0 = std::time::Instant::now();
+        while self.service_round(nf, now, &mut stats) > 0 {}
+        self.io.flush_tx();
+        stats.elapsed_ns = t0.elapsed().as_nanos() as u64;
+        stats
+    }
+
+    /// One service round + TX flush — the building block of a *live*
+    /// loop, which re-reads its clock between rounds and sleeps the
+    /// poller's current backoff when a round reports idle (see
+    /// `examples/live_nat.rs`).
+    pub fn service_once(&mut self, nf: &mut dyn Middlebox, now: Time) -> DrainStats {
+        let mut stats = DrainStats::default();
+        let t0 = std::time::Instant::now();
+        self.service_round(nf, now, &mut stats);
+        self.io.flush_tx();
+        stats.elapsed_ns = t0.elapsed().as_nanos() as u64;
+        stats
+    }
+
+    /// How long a live loop should sleep after an idle round.
+    pub fn current_backoff_ns(&self) -> u64 {
+        self.ev.poller.current_backoff_ns()
     }
 }
 
@@ -480,10 +667,60 @@ pub fn event_driven_service_times(
     texp_ns: u64,
     ring_cap: usize,
 ) -> LatencySamples {
-    const ROUND: usize = 64;
     let mut nf = ShardedVigNatMb::sharded(*cfg, shards);
-    let mut tb = MultiQueueTestbed::new(RssClassifier::for_nat(cfg, queues), ring_cap);
-    let mut ev = EventLoop::new(queues);
+    let io = SimBackend::new(RssClassifier::for_nat(cfg, queues), ring_cap);
+    event_driven_service_times_on(io, &mut nf, flows, packets, texp_ns)
+}
+
+/// Drain until `staged` frames of the current round have been
+/// processed (forwarded or dropped). One pass on a synchronous
+/// backend — the sim stages straight into the FIFOs, so the first
+/// drain handles everything and the loop exits without re-polling.
+/// On an asynchronous rig (the veth `OsTestRig`, where `stage` is a
+/// wire send) the kernel may deliver after the first poll, so keep
+/// draining until the frames show up, bounded by a generous
+/// real-time deadline. Statistics accumulate across passes.
+fn drain_staged<B: PacketIo>(
+    drv: &mut BackendDriver<B>,
+    nf: &mut dyn Middlebox,
+    now: Time,
+    staged: u64,
+) -> DrainStats {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let mut total = DrainStats::default();
+    loop {
+        let s = drv.drain(nf, now);
+        total.forwarded += s.forwarded;
+        total.dropped += s.dropped;
+        total.bursts += s.bursts;
+        total.polls += s.polls;
+        total.elapsed_ns += s.elapsed_ns;
+        if total.forwarded + total.dropped >= staged || std::time::Instant::now() >= deadline {
+            return total;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// The backend-generic measurement loop behind
+/// [`event_driven_service_times`]: populate, then timed all-hit rounds,
+/// staged through [`TesterIo`] and drained by [`BackendDriver`] — so
+/// the identical RFC 2544 methodology runs over the simulated NIC
+/// model or, via the veth test rig, over real OS packet I/O (rounds
+/// pace themselves on actual delivery — one drain pass on a
+/// synchronous backend, re-draining until the staged frames arrive on
+/// an asynchronous one — and a rig's interfaces should be quiesced
+/// the way `backend::os::VethPair::create` leaves them, so no kernel
+/// noise lands in the timed region).
+pub fn event_driven_service_times_on<B: TesterIo>(
+    io: B,
+    nf: &mut dyn Middlebox,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+) -> LatencySamples {
+    const ROUND: usize = 64;
+    let mut drv = BackendDriver::new(io);
     let gen = FlowGen::new(vig_packet::Proto::Udp);
     let mut now = Time::from_secs(1);
 
@@ -492,11 +729,13 @@ pub fn event_driven_service_times(
         now = now.plus(1_000);
         for &i in chunk {
             let f = gen.background(i);
-            let accepted = tb.offer(Direction::Internal, |b| gen.write_frame(&f, b));
+            let accepted = drv
+                .io_mut()
+                .stage(Direction::Internal, |b| gen.write_frame(&f, b));
             assert!(accepted.is_some(), "populate must not overflow");
         }
-        tb.drain_event_driven(&mut nf, now, &mut ev);
-        let _ = tb.collect_tx(Direction::External);
+        drain_staged(&mut drv, nf, now, chunk.len() as u64);
+        let _ = drv.io_mut().reap(Direction::External);
     }
 
     // Timed all-hit rounds; clock advances slowly enough that no flow
@@ -510,17 +749,18 @@ pub fn event_driven_service_times(
         let mut staged = 0usize;
         for k in 0..ROUND {
             let f = gen.background((next_flow + k as u32) % flows as u32);
-            if tb
-                .offer(Direction::Internal, |b| gen.write_frame(&f, b))
+            if drv
+                .io_mut()
+                .stage(Direction::Internal, |b| gen.write_frame(&f, b))
                 .is_some()
             {
                 staged += 1;
             }
         }
         next_flow = (next_flow + ROUND as u32) % flows as u32;
-        let stats = tb.drain_event_driven(&mut nf, now, &mut ev);
+        let stats = drain_staged(&mut drv, nf, now, staged as u64);
         debug_assert_eq!(stats.dropped, 0, "steady state must be all hits");
-        let _ = tb.collect_tx(Direction::External);
+        let _ = drv.io_mut().reap(Direction::External);
         debug_assert!(staged > 0);
         let per_packet = stats.elapsed_ns / staged as u64;
         samples.extend(std::iter::repeat_n(per_packet.max(1), staged));
@@ -703,5 +943,62 @@ mod tests {
             event_driven_service_times(&cfg(1024), 2, 2, 64, 500, Time::from_secs(60).nanos(), 64);
         assert_eq!(s.ns.len(), 500);
         assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn backend_driver_over_sim_translates_and_reclaims_buffers() {
+        // The generic driver over SimBackend behaves like the legacy
+        // testbed drain on the same workload (the full byte-for-byte
+        // differential lives in tests/backend_conformance.rs).
+        let c = cfg(256);
+        let mut nf = ShardedVigNatMb::sharded(c, 2);
+        let mut drv = BackendDriver::new(SimBackend::new(RssClassifier::for_nat(&c, 4), 64));
+        drv.set_tx_log(true);
+        let gen = FlowGen::new(Proto::Udp);
+        let before = drv.io().pool_available();
+        for i in 0..48u32 {
+            let f = gen.background(i);
+            assert!(drv
+                .io_mut()
+                .stage(Direction::Internal, |b| gen.write_frame(&f, b))
+                .is_some());
+        }
+        let stats = drv.drain(&mut nf, Time::from_secs(1));
+        assert_eq!((stats.forwarded, stats.dropped), (48, 0));
+        let log = drv.take_tx_log();
+        assert_eq!(log.len(), 48);
+        assert!(log.iter().all(|r| r.out == Direction::External));
+        let tx = drv.io_mut().reap(Direction::External);
+        assert_eq!(tx.len(), 48);
+        // The tx log records the same frames the backend transmitted
+        // (reap returns queue order; the log is drain order — compare
+        // as multisets of (queue, bytes)).
+        let mut logged: Vec<(usize, Vec<u8>)> =
+            log.into_iter().map(|r| (r.queue, r.frame)).collect();
+        let mut reaped = tx;
+        logged.sort();
+        reaped.sort();
+        assert_eq!(logged, reaped);
+        assert_eq!(drv.io().pool_available(), before, "no buffer leaks");
+        assert_eq!(nf.occupancy(), 48);
+    }
+
+    #[test]
+    fn service_once_does_one_round_and_reports_idle() {
+        let c = cfg(64);
+        let mut nf = ShardedVigNatMb::sharded(c, 2);
+        let mut drv = BackendDriver::new(SimBackend::new(RssClassifier::for_nat(&c, 2), 64));
+        let idle = drv.service_once(&mut nf, Time::from_secs(1));
+        assert_eq!((idle.forwarded, idle.bursts, idle.polls), (0, 0, 1));
+        assert!(drv.current_backoff_ns() > 0);
+        let gen = FlowGen::new(Proto::Udp);
+        let f = gen.background(7);
+        assert!(drv
+            .io_mut()
+            .stage(Direction::Internal, |b| gen.write_frame(&f, b))
+            .is_some());
+        let busy = drv.service_once(&mut nf, Time::from_secs(1));
+        assert_eq!((busy.forwarded, busy.bursts), (1, 1));
+        let _ = drv.io_mut().reap(Direction::External);
     }
 }

@@ -17,6 +17,14 @@
 //! for the deterministic suites here. Each test function derives its RNG
 //! seed from its own name, so generated inputs are stable across runs
 //! and machines.
+//!
+//! Like the real proptest, the `PROPTEST_CASES` environment variable
+//! scales the per-property case count — with one deliberate
+//! difference: it *raises* counts but never lowers them
+//! (`effective = max(configured, env)`), so the nightly deep-coverage
+//! CI job can run every suite at 10,000+ cases without each test
+//! opting in, while suites that already configure more keep their
+//! depth.
 
 #![forbid(unsafe_code)]
 
@@ -366,13 +374,27 @@ pub fn seed_for(name: &str) -> u64 {
     h
 }
 
-/// Run `body` over `cases` generated inputs, panicking with seed/case
-/// context on the first failure. Called by the [`proptest!`] expansion.
+/// The case count actually run for a property configured with
+/// `configured` cases, honoring the `PROPTEST_CASES` floor (see the
+/// module docs).
+pub fn effective_cases(configured: u32, env: Option<u32>) -> u32 {
+    configured.max(env.unwrap_or(0))
+}
+
+/// Read the `PROPTEST_CASES` override (ignored when unparseable).
+pub fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Run `body` over `cases` generated inputs (raised to the
+/// `PROPTEST_CASES` floor when set), panicking with seed/case context
+/// on the first failure. Called by the [`proptest!`] expansion.
 pub fn run_cases(
     name: &str,
     cases: u32,
     mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 ) {
+    let cases = effective_cases(cases, env_cases());
     let seed = seed_for(name);
     for case in 0..cases {
         let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(case) << 32) ^ u64::from(case));
@@ -496,6 +518,14 @@ mod tests {
             assert!(xs.len() >= 2 && xs.len() < 4);
             assert!(xs.iter().all(|&x| x < 10));
         }
+    }
+
+    #[test]
+    fn env_floor_raises_but_never_lowers() {
+        assert_eq!(super::effective_cases(64, None), 64);
+        assert_eq!(super::effective_cases(64, Some(10_000)), 10_000);
+        assert_eq!(super::effective_cases(20_000, Some(10_000)), 20_000);
+        assert_eq!(super::effective_cases(64, Some(0)), 64);
     }
 
     #[test]

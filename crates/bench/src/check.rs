@@ -419,6 +419,66 @@ pub fn check_throughput(doc: &Json) -> Problems {
             _ => p.fail(format!("{sweep}.points: missing or empty")),
         }
     }
+    // The pinned-runtime scaling curve. Deliberately NOT checked: any
+    // speedup — the curve is honest wall-clock data, and a one-core
+    // runner produces a legitimately flat curve. What must hold is the
+    // attribution: real core counts, pin outcomes bounded by the worker
+    // count, and well-formed bootstrap intervals.
+    match doc.get("scaling_curve") {
+        Some(curve) => {
+            let cores = curve.get("host_cores").and_then(Json::num);
+            if cores.map(|n| n >= 1.0) != Some(true) {
+                p.fail("scaling_curve.host_cores: missing or < 1");
+            }
+            if curve.get("pinning_requested").is_none() {
+                p.fail("scaling_curve.pinning_requested: missing");
+            }
+            match curve.get("points").and_then(Json::arr) {
+                Some(points) if !points.is_empty() => {
+                    let mut prev_workers = 0.0;
+                    for (i, pt) in points.iter().enumerate() {
+                        let workers = pt.get("workers").and_then(Json::num);
+                        match workers {
+                            Some(w) if w >= 1.0 && w > prev_workers => prev_workers = w,
+                            _ => p.fail(format!(
+                                "scaling_curve.points[{i}].workers: missing, < 1, or not \
+                                 strictly increasing"
+                            )),
+                        }
+                        for rate in ["mpps", "wallclock_mpps"] {
+                            if pt.get(rate).and_then(Json::num).map(|n| n > 0.0) != Some(true) {
+                                p.fail(format!(
+                                    "scaling_curve.points[{i}].{rate}: missing or non-positive"
+                                ));
+                            }
+                        }
+                        let ci: Vec<f64> = pt
+                            .get("ci95_mpps")
+                            .and_then(Json::arr)
+                            .map(|a| a.iter().filter_map(Json::num).collect())
+                            .unwrap_or_default();
+                        match ci.as_slice() {
+                            [lo, hi] if 0.0 < *lo && lo <= hi => {}
+                            _ => p.fail(format!(
+                                "scaling_curve.points[{i}].ci95_mpps: not a [lo, hi] pair \
+                                 with 0 < lo <= hi"
+                            )),
+                        }
+                        let pinned = pt.get("pinned_workers").and_then(Json::num);
+                        match (pinned, workers) {
+                            (Some(pn), Some(w)) if 0.0 <= pn && pn <= w => {}
+                            _ => p.fail(format!(
+                                "scaling_curve.points[{i}].pinned_workers: missing or not \
+                                 in 0..=workers"
+                            )),
+                        }
+                    }
+                }
+                _ => p.fail("scaling_curve.points: missing or empty"),
+            }
+        }
+        None => p.fail("scaling_curve: missing"),
+    }
     p
 }
 
@@ -531,6 +591,9 @@ mod tests {
                 "verified_seq":{{"p50_ns":100,"p99_ns":300}},
                 "verified_batched":{{"p50_ns":80,"p99_ns":200}},
                 "sharded_sweep":{{"points":[{{"shards":1,"mpps":10.0}}]}},
+                "scaling_curve":{{"host_cores":1,"pinning_requested":true,
+                    "points":[{{"workers":1,"mpps":5.0,"ci95_mpps":[4.5,5.5],"wallclock_mpps":4.0,"pinned_workers":1}},
+                              {{"workers":2,"mpps":6.0,"ci95_mpps":[5.5,6.5],"wallclock_mpps":4.5,"pinned_workers":2}}]}},
                 "multiqueue_sweep":{{"points":[{{"queues":1,"shards":1,"mpps":8.0}}]}}}}"#,
             series("noop"),
             series("verified"),
@@ -576,6 +639,29 @@ mod tests {
             .0
             .iter()
             .any(|p| p.contains("verified_batched") && p.contains("missing")));
+
+        // Missing scaling curve entirely.
+        let broken = minimal_throughput().replace(r#""scaling_curve""#, r#""renamed_curve""#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("scaling_curve: missing")));
+
+        // Worker counts must increase strictly.
+        let broken = minimal_throughput().replace(r#""workers":2"#, r#""workers":1"#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("strictly increasing")));
+
+        // Pin attribution must be bounded by the worker count.
+        let broken = minimal_throughput().replace(r#""pinned_workers":2"#, r#""pinned_workers":3"#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("pinned_workers")));
+
+        // Inverted bootstrap interval on a curve point.
+        let broken = minimal_throughput().replace("[4.5,5.5]", "[5.5,4.5]");
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("ci95_mpps") && p.contains("lo <= hi")));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`dchain`] | index allocator with LRU timestamp order | `double-chain.c` (expirator substrate) |
 //! | [`vector`] | preallocated value vector | `vector.c` |
 //! | [`ring`] | bounded FIFO ring (the paper's §3 example) | `ring.c` |
+//! | [`spsc`] | lock-free bounded SPSC word ring (shard-runtime queues) | DPDK `rte_ring` (SP/SC mode) |
 //! | [`batcher`] | bounded item batcher | `batcher.c` |
 //! | [`port_alloc`] | standalone port allocator | port allocator |
 //! | [`rss`] | RSS-style hash→shard routing + batched-probe splitter | NIC receive-side scaling |
@@ -69,6 +70,7 @@ pub mod map;
 pub mod port_alloc;
 pub mod ring;
 pub mod rss;
+pub mod spsc;
 pub mod time;
 pub mod vector;
 

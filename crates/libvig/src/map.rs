@@ -274,8 +274,24 @@ impl<K: MapKey> Map<K> {
         self.size == self.capacity
     }
 
+    /// First slot of `hash`'s probe sequence: the home slot
+    /// (`hash % capacity`) rounded **down to its 8-slot group
+    /// boundary**, so every probe's first window is a full control
+    /// word. An unaligned start makes the first SWAR window partial
+    /// (`off > 0` lanes masked out), which wastes up to 7 of the 8
+    /// lanes the first — and usually only — control-word load pays
+    /// for; aligning moves the start at most `GROUP - 1` slots back,
+    /// keeps it within capacity (the group base of an in-range slot is
+    /// in range), and costs nothing at lookup time.
+    ///
+    /// Every operation — the SWAR scan, the `*_scalar` reference
+    /// probes, insert's chain-prefix marking and erase's unmarking —
+    /// derives its probe sequence from this one function, so SWAR ≡
+    /// scalar equivalence (asserted by `CheckedMap` and the
+    /// differential suites) is preserved by construction.
     fn start_of(&self, hash: u64) -> usize {
-        (hash % self.capacity as u64) as usize
+        let home = (hash % self.capacity as u64) as usize;
+        home - home % GROUP
     }
 
     /// Look up `key`, returning the stored value if present.
@@ -1065,8 +1081,9 @@ mod tests {
         }
     }
 
-    /// A hash whose probe start is exactly `start` (`hash % cap`) and
-    /// whose control tag is exactly `tag`: bit 56 is set so the small
+    /// A hash whose home slot is exactly `start` (`hash % cap`; the
+    /// probe itself begins at that slot's group base) and whose
+    /// control tag is exactly `tag`: bit 56 is set so the small
     /// mod-`cap` adjustment can never borrow into the tag bits.
     fn adv_hash(tag: u8, start: usize, cap: usize) -> u64 {
         assert!(start < cap);

@@ -12,10 +12,13 @@
 //! ## The trust boundary
 //!
 //! This module (specifically its private `sys` block) contains the
-//! workspace's only `unsafe` code: the six libc calls a raw socket needs (`socket`,
-//! `bind`, `recvfrom`, `send`, `close`, `if_nametoindex`). Everything
-//! is wrapped immediately into the safe [`RawSocket`] type; no unsafe
-//! escapes this file. The kernel's packet path below the socket is
+//! workspace's only `unsafe` code: the six libc calls a raw socket
+//! needs (`socket`, `bind`, `recvfrom`, `send`, `close`,
+//! `if_nametoindex`) plus the two CPU-affinity calls the shard runtime
+//! uses (`sched_setaffinity`, `sched_getaffinity`). Everything is
+//! wrapped immediately into safe functions ([`RawSocket`],
+//! [`pin_current_thread`], [`allowed_cpus`]); no unsafe escapes this
+//! file. The kernel's packet path below the socket is
 //! trusted, exactly as the paper trusts DPDK and the NIC hardware —
 //! the verified properties cover what happens to a frame *after*
 //! [`OsBackend::pump_rx`] admits it and *before* `flush_tx` hands it
@@ -38,7 +41,7 @@ use vig_packet::Direction;
 /// the kernel for observers); the RX pump filters these out.
 const PACKET_OUTGOING: u8 = 4;
 
-/// The raw libc surface: six syscalls, wrapped here and nowhere else.
+/// The raw libc surface: eight syscalls, wrapped here and nowhere else.
 mod sys {
     #![allow(unsafe_code)]
 
@@ -81,6 +84,53 @@ mod sys {
         fn send(fd: CInt, buf: *const u8, len: usize, flags: CInt) -> isize;
         fn close(fd: CInt) -> CInt;
         fn if_nametoindex(name: *const u8) -> u32;
+        fn sched_setaffinity(pid: CInt, cpusetsize: usize, mask: *const u64) -> CInt;
+        fn sched_getaffinity(pid: CInt, cpusetsize: usize, mask: *mut u64) -> CInt;
+    }
+
+    /// Words in the affinity mask: 16 × 64 = 1024 CPUs, the kernel's
+    /// default `CONFIG_NR_CPUS` ceiling.
+    const MASK_WORDS: usize = 16;
+
+    /// Restrict the *calling thread* (pid 0) to the single CPU `cpu`.
+    pub fn set_affinity(cpu: usize) -> io::Result<()> {
+        if cpu >= MASK_WORDS * 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cpu index {cpu} out of mask range"),
+            ));
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[cpu / 64] = 1u64 << (cpu % 64);
+        // SAFETY: `mask` is a valid readable buffer of `cpusetsize`
+        // bytes for the call's duration; pid 0 is the calling thread.
+        let rc = unsafe { sched_setaffinity(0, MASK_WORDS * 8, mask.as_ptr()) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// The CPUs the calling thread is allowed to run on, in ascending
+    /// order (cgroup/taskset restrictions included — exactly the set a
+    /// runner's `taskset` limit leaves us).
+    pub fn get_affinity() -> io::Result<Vec<usize>> {
+        let mut mask = [0u64; MASK_WORDS];
+        // SAFETY: `mask` is a valid writable buffer of `cpusetsize`
+        // bytes; the kernel writes at most that much.
+        let rc = unsafe { sched_getaffinity(0, MASK_WORDS * 8, mask.as_mut_ptr()) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let mut cpus = Vec::new();
+        for (w, word) in mask.iter().enumerate() {
+            for b in 0..64 {
+                if word & (1u64 << b) != 0 {
+                    cpus.push(w * 64 + b);
+                }
+            }
+        }
+        Ok(cpus)
     }
 
     /// Resolve an interface name (NUL-terminated internally) to its
@@ -176,6 +226,24 @@ mod sys {
         // SAFETY: fd belongs to the RawSocket being dropped.
         unsafe { close(fd) };
     }
+}
+
+/// Pin the **calling thread** to CPU `cpu` via `sched_setaffinity`.
+///
+/// The shard runtime calls this from each worker thread at startup so a
+/// shard's cache state stays on one core. Failure (unprivileged or
+/// cgroup-restricted environments, or a CPU index outside the allowed
+/// set) is an ordinary `io::Error`; callers fall back to unpinned
+/// workers and report the degradation, they do not abort.
+pub fn pin_current_thread(cpu: usize) -> io::Result<()> {
+    sys::set_affinity(cpu)
+}
+
+/// The CPUs the calling thread may run on, ascending — the honest core
+/// budget under taskset/cgroup limits, which the shard runtime uses to
+/// choose pin targets and the benches report as `host_cores`.
+pub fn allowed_cpus() -> io::Result<Vec<usize>> {
+    sys::get_affinity()
 }
 
 /// A safe handle to one nonblocking `AF_PACKET` socket bound to an

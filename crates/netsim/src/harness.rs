@@ -22,6 +22,7 @@ use crate::dpdk::MBUF_SIZE;
 use crate::dpdk::{BufIdx, Device, Mempool};
 use crate::frame_env::{BurstEnv, BurstScratch, RssClassifier};
 use crate::middlebox::{Middlebox, Verdict, VigNatMb};
+use crate::runtime::{with_shard_runtime, RuntimeReport, ShardRuntimeSession, DEFAULT_RING_WORDS};
 use crate::tester::{FlowGen, WorkloadMix};
 use libvig::time::Time;
 use vig_packet::Direction;
@@ -316,96 +317,57 @@ impl ParallelShardedNat {
     /// Process one burst arriving on `dir` at instant `now`, one worker
     /// thread per shard. Frames are rewritten in place; returns one
     /// verdict per frame in arrival order.
+    ///
+    /// Implemented as a one-burst [`crate::runtime`] session (spawn,
+    /// process, join): semantics are identical to driving a persistent
+    /// session — same dispatch, chunking, expiry ticks, and merge order
+    /// — so the equivalence suites cover both. Loops that care about
+    /// wall-clock rate use [`ParallelShardedNat::with_runtime`] instead
+    /// and keep the workers alive across bursts.
     pub fn process_burst_parallel(
         &mut self,
         dir: Direction,
         frames: &mut [Vec<u8>],
         now: Time,
     ) -> Vec<Verdict> {
-        let n = self.shard_count();
-        // Tester-side dispatch: route every frame to its shard (one
-        // classifier for the whole burst).
-        let cls = self.classifier();
-        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, f) in frames.iter().enumerate() {
-            routed[cls.queue_of(dir, f)].push(i);
-        }
-        // Stage each shard's sub-burst into that shard's mempool.
-        let mut staged: Vec<Vec<BufIdx>> = Vec::with_capacity(n);
-        for (s, idxs) in routed.iter().enumerate() {
-            let pool = &mut self.pools[s];
-            staged.push(
-                idxs.iter()
-                    .map(|&i| {
-                        let b = pool.get().expect("per-shard pool sized for a burst");
-                        pool.write_frame(b, &frames[i]);
-                        b
-                    })
-                    .collect(),
-            );
-        }
-        for c in &mut self.clocks {
-            assert!(*c <= now, "shard clock must be monotone");
-            *c = now;
-        }
-        // Parallel drain: one scoped worker per shard, each running the
-        // ordinary batched fast path over its own disjoint state.
-        let cfgs: Vec<NatConfig> = (0..n).map(|s| self.table.shard_cfg(s)).collect();
-        let results: Vec<(Vec<Verdict>, usize)> = std::thread::scope(|sc| {
-            let mut handles = Vec::with_capacity(n);
-            let workers = self
-                .table
-                .shards_mut()
-                .iter_mut()
-                .zip(self.pools.iter_mut())
-                .zip(self.scratches.iter_mut())
-                .zip(staged.iter().zip(cfgs.iter()));
-            for (((fm, pool), scratch), (bufs, cfg)) in workers {
-                handles.push(sc.spawn(move || {
-                    let mut verdicts = Vec::with_capacity(bufs.len());
-                    let mut expired = 0usize;
-                    // A run-to-completion core polls — and expires —
-                    // every loop iteration whether or not its queue
-                    // held packets, so an idle shard still runs one
-                    // (empty) burst. This is also what keeps the
-                    // parallel driver state-identical to the
-                    // single-threaded sharded NAT, which expires every
-                    // shard per burst.
-                    let chunks = bufs
-                        .chunks(MAX_BURST.max(1))
-                        .chain(std::iter::once(&[] as &[BufIdx]).filter(|_| bufs.is_empty()));
-                    for chunk in chunks {
-                        let mut env = BurstEnv::new(fm, pool, chunk, dir, now, scratch);
-                        let outcomes = nat_process_batch(&mut env, cfg);
-                        debug_assert_eq!(outcomes.len(), chunk.len());
-                        expired += env.expired();
-                        env.finish();
-                        verdicts.extend(outcomes.into_iter().map(|o| match o {
-                            IterationOutcome::Forwarded(d) => Verdict::Forward(d),
-                            IterationOutcome::Dropped(_) => Verdict::Drop,
-                            IterationOutcome::NoPacket => unreachable!("staged buffer"),
-                        }));
-                    }
-                    (verdicts, expired)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        // Copy rewrites back, reclaim buffers, scatter verdicts to
-        // arrival order.
-        let mut out = vec![Verdict::Drop; frames.len()];
-        for (s, (verdicts, expired)) in results.into_iter().enumerate() {
-            self.expired_total += expired as u64;
-            for ((&i, &buf), v) in routed[s].iter().zip(&staged[s]).zip(verdicts) {
-                frames[i].copy_from_slice(self.pools[s].frame(buf));
-                self.pools[s].put(buf);
-                out[i] = v;
-            }
-        }
+        let (out, _report) = self.with_runtime(false, |s| s.process_burst(dir, frames, now));
         out
+    }
+
+    /// Run `f` over a persistent pinned shard runtime: one long-lived
+    /// worker thread per shard (pinned to a CPU when `pin` is set and
+    /// the host permits; see [`crate::runtime::PinReport`]), fed
+    /// through SPSC rings. The session lives exactly as long as `f`;
+    /// expiry counts accumulate into [`ParallelShardedNat::expired_total`]
+    /// on return.
+    pub fn with_runtime<R>(
+        &mut self,
+        pin: bool,
+        f: impl FnOnce(&mut NatRuntimeSession<'_>) -> R,
+    ) -> (R, RuntimeReport) {
+        let ParallelShardedNat {
+            table,
+            pools,
+            scratches,
+            clocks,
+            expired_total,
+        } = self;
+        let (r, report) = with_shard_runtime(
+            table,
+            pools,
+            scratches,
+            DEFAULT_RING_WORDS,
+            pin,
+            |session| {
+                let mut nat_session = NatRuntimeSession {
+                    inner: session,
+                    clocks,
+                };
+                f(&mut nat_session)
+            },
+        );
+        *expired_total += report.expired;
+        (r, report)
     }
 
     /// Drive one shard alone at its own clock — what a per-core driver
@@ -461,6 +423,47 @@ impl ParallelShardedNat {
             self.pools[s].put(buf);
         }
         verdicts
+    }
+}
+
+/// A live [`ParallelShardedNat`] runtime session: the persistent-worker
+/// view of the NAT, valid inside one
+/// [`ParallelShardedNat::with_runtime`] call. Adds the NAT's clock
+/// discipline (all shard clocks advance together, monotonically) on
+/// top of the raw [`ShardRuntimeSession`].
+pub struct NatRuntimeSession<'a> {
+    inner: &'a mut ShardRuntimeSession,
+    clocks: &'a mut [Time],
+}
+
+impl NatRuntimeSession<'_> {
+    /// Process one burst on the persistent workers (see
+    /// [`ParallelShardedNat::process_burst_parallel`] for the
+    /// contract; this is the same operation minus thread spawn).
+    pub fn process_burst(
+        &mut self,
+        dir: Direction,
+        frames: &mut [Vec<u8>],
+        now: Time,
+    ) -> Vec<Verdict> {
+        for c in self.clocks.iter_mut() {
+            assert!(*c <= now, "shard clock must be monotone");
+            *c = now;
+        }
+        self.inner.process_burst(dir, frames, now)
+    }
+
+    /// Pinning outcome for this session's workers.
+    pub fn pin_report(&self) -> crate::runtime::PinReport {
+        self.inner.pin_report()
+    }
+
+    /// Flows expired by the workers so far **this session** (folded
+    /// into [`ParallelShardedNat::expired_total`] when the session
+    /// ends; the differential suites compare it mid-session, while the
+    /// table itself is on loan to the workers).
+    pub fn expired(&self) -> u64 {
+        self.inner.expired()
     }
 }
 
@@ -543,60 +546,216 @@ pub fn sharded_throughput_sweep(
     points
 }
 
+/// Burst size of the wall-clock phases: large bursts amortize dispatch
+/// so the measurement is dominated by per-packet work, as in a real
+/// poll-mode driver under load.
+const WALL_BURST: usize = 4096;
+
+/// Frame-builder shared by the wall-clock loops: background flow `i`
+/// as an owned frame.
+fn wall_frame(gen: &FlowGen, i: u32, buf: &mut [u8]) -> Vec<u8> {
+    let f = gen.background(i);
+    let len = gen.write_frame(&f, buf);
+    buf[..len].to_vec()
+}
+
 /// Wall-clock packet rate (Mpps) of [`ParallelShardedNat`] on this
 /// machine: populate to `occupancy`, then time `packets` all-hit
-/// packets pushed through [`ParallelShardedNat::process_burst_parallel`]
-/// in large bursts. Unlike [`sharded_throughput_sweep`] this includes
-/// thread coordination and is bounded by the host's physical
+/// packets pushed through one persistent **pinned** runtime session
+/// ([`ParallelShardedNat::with_runtime`]) in large bursts. Unlike
+/// [`sharded_throughput_sweep`] this includes ring traffic and
+/// dispatcher coordination and is bounded by the host's physical
 /// parallelism — reported for honesty alongside the modeled aggregate,
-/// never used for shape claims (CI machines may have one core).
+/// never used for shape claims (CI machines may have one core; the
+/// bench JSON carries the pin report so readers can tell).
 pub fn sharded_parallel_wallclock_mpps(
     cfg: &NatConfig,
     shards: usize,
     occupancy: f64,
     packets: usize,
 ) -> f64 {
-    const WALL_BURST: usize = 4096;
     let mut nat = ParallelShardedNat::new(*cfg, shards, WALL_BURST);
-    let gen = FlowGen::new(vig_packet::Proto::Udp);
     let flows =
         ((shards as f64 * nat.table().per_shard_capacity() as f64 * occupancy) as usize).max(1);
+    let gen = FlowGen::new(vig_packet::Proto::Udp);
     let mut buf = vec![0u8; MBUF_SIZE];
-    let make = |gen: &FlowGen, i: u32, buf: &mut [u8]| {
-        let f = gen.background(i);
-        let len = gen.write_frame(&f, buf);
-        buf[..len].to_vec()
-    };
-    // Populate (untimed).
-    let mut now = Time::from_secs(1);
-    for chunk_start in (0..flows).step_by(WALL_BURST) {
-        let mut frames: Vec<Vec<u8>> = (chunk_start..flows.min(chunk_start + WALL_BURST))
-            .map(|i| make(&gen, i as u32, &mut buf))
-            .collect();
-        now = now.plus(1_000);
-        nat.process_burst_parallel(Direction::Internal, &mut frames, now);
+    let (mpps, _report) = nat.with_runtime(true, |session| {
+        let mut now = Time::from_secs(1);
+        // Populate (untimed).
+        for chunk_start in (0..flows).step_by(WALL_BURST) {
+            let mut frames: Vec<Vec<u8>> = (chunk_start..flows.min(chunk_start + WALL_BURST))
+                .map(|i| wall_frame(&gen, i as u32, &mut buf))
+                .collect();
+            now = now.plus(1_000);
+            session.process_burst(Direction::Internal, &mut frames, now);
+        }
+        // Timed all-hit phase (per-burst stopwatch: frame generation
+        // stays outside the measurement).
+        let mut done = 0usize;
+        let mut next = 0u32;
+        let mut elapsed_ns = 0u64;
+        while done < packets {
+            let count = WALL_BURST.min(packets - done);
+            let mut frames: Vec<Vec<u8>> = (0..count)
+                .map(|k| wall_frame(&gen, (next + k as u32) % flows as u32, &mut buf))
+                .collect();
+            next = (next + count as u32) % flows as u32;
+            now = now.plus(1_000);
+            let t = std::time::Instant::now();
+            session.process_burst(Direction::Internal, &mut frames, now);
+            elapsed_ns += t.elapsed().as_nanos() as u64;
+            done += count;
+        }
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            done as f64 / (elapsed_ns as f64 / 1e9) / 1e6
+        }
+    });
+    mpps
+}
+
+/// One point of the aggregate-Mpps scaling curve
+/// ([`parallel_scaling_curve`]).
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Worker-thread count of this point (== shards).
+    pub workers: usize,
+    /// RFC 2544 ≤ 0.1%-loss rate over the pinned runtime's measured
+    /// per-packet service times, Mpps ([`search_rate_with_ci`]).
+    pub mpps: f64,
+    /// Bootstrap 95% CI on `mpps`, low end.
+    pub ci95_lo_mpps: f64,
+    /// Bootstrap 95% CI on `mpps`, high end.
+    pub ci95_hi_mpps: f64,
+    /// MAD-filtered mean per-packet wall time through the runtime (ns).
+    pub mean_step_ns: f64,
+    /// Timer-noise samples rejected by the MAD filter.
+    pub outliers_rejected: usize,
+    /// Raw large-burst wall-clock rate of the same session (Mpps) — the
+    /// "what this host actually did" companion to the searched rate.
+    pub wallclock_mpps: f64,
+    /// Workers whose `sched_setaffinity` succeeded at this point.
+    pub pinned_workers: usize,
+}
+
+/// The aggregate-Mpps-vs-workers scaling curve
+/// ([`ScalingPoint`]s plus host attribution).
+#[derive(Debug, Clone)]
+pub struct ScalingCurve {
+    /// Flow-table occupancy during measurement (fraction of capacity).
+    pub occupancy: f64,
+    /// CPUs the process may run on (`sched_getaffinity`) — the honest
+    /// parallelism budget; points with `workers > host_cores` time-slice
+    /// and are expected to scale sublinearly or not at all.
+    pub host_cores: usize,
+    /// Whether pinning was requested (per-point `pinned_workers` says
+    /// whether it worked).
+    pub pinning_requested: bool,
+    /// One point per requested worker count.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// The parallel RFC 2544 mode behind `BENCH_throughput.json`'s
+/// `scaling_curve`: for each worker count, run one persistent pinned
+/// runtime session, measure steady-state all-hit per-packet wall times
+/// through the *whole* dispatcher→rings→workers→merge path in
+/// [`MAX_BURST`]-sized bursts, and search the maximum ≤ 0.1%-loss rate
+/// with bootstrap CIs ([`search_rate_with_ci`]) — the same methodology
+/// as every single-core rate here, applied to the parallel datapath.
+/// A second, large-burst pass reports the raw wall-clock rate of the
+/// same session. Both are wall-clock numbers: on a host with fewer
+/// cores than workers the curve honestly flattens (the per-point pin
+/// and core attribution lets readers interpret it).
+pub fn parallel_scaling_curve(
+    cfg: &NatConfig,
+    worker_counts: &[usize],
+    occupancy: f64,
+    packets: usize,
+    ring_cap: usize,
+) -> ScalingCurve {
+    assert!((0.0..=1.0).contains(&occupancy));
+    let burst = MAX_BURST.max(1);
+    let gen = FlowGen::new(vig_packet::Proto::Udp);
+    let mut points = Vec::with_capacity(worker_counts.len());
+    let mut host_cores = 1;
+    for &n in worker_counts {
+        let mut nat = ParallelShardedNat::new(*cfg, n, WALL_BURST);
+        let flows =
+            ((n as f64 * nat.table().per_shard_capacity() as f64 * occupancy) as usize).max(1);
+        let mut buf = vec![0u8; MBUF_SIZE];
+        let ((svc, wallclock_mpps), report) = nat.with_runtime(true, |session| {
+            let mut now = Time::from_secs(1);
+            // Populate (untimed).
+            for chunk_start in (0..flows).step_by(WALL_BURST) {
+                let mut frames: Vec<Vec<u8>> = (chunk_start..flows.min(chunk_start + WALL_BURST))
+                    .map(|i| wall_frame(&gen, i as u32, &mut buf))
+                    .collect();
+                now = now.plus(1_000);
+                session.process_burst(Direction::Internal, &mut frames, now);
+            }
+            // Service-time phase: MAX_BURST bursts, per-packet = burst
+            // mean, virtual time advancing slowly enough that nothing
+            // expires (mirrors `steady_state_service_times`).
+            let bursts = packets.div_ceil(burst) as u64;
+            let step = ((cfg.expiry_ns / 4) / (bursts * 8 + 1)).max(1);
+            let mut samples = Vec::with_capacity(packets);
+            let mut next = 0u32;
+            while samples.len() < packets {
+                let count = burst.min(packets - samples.len());
+                let mut frames: Vec<Vec<u8>> = (0..count)
+                    .map(|k| wall_frame(&gen, (next + k as u32) % flows as u32, &mut buf))
+                    .collect();
+                next = (next + count as u32) % flows as u32;
+                now = now.plus(step);
+                let t = std::time::Instant::now();
+                session.process_burst(Direction::Internal, &mut frames, now);
+                let ns = t.elapsed().as_nanos() as u64;
+                let per_packet = (ns / count as u64).max(1);
+                samples.extend(std::iter::repeat_n(per_packet, count));
+            }
+            samples.truncate(packets);
+            // Wall-clock phase: same session, large bursts.
+            let mut done = 0usize;
+            let mut elapsed_ns = 0u64;
+            while done < packets {
+                let count = WALL_BURST.min(packets - done);
+                let mut frames: Vec<Vec<u8>> = (0..count)
+                    .map(|k| wall_frame(&gen, (next + k as u32) % flows as u32, &mut buf))
+                    .collect();
+                next = (next + count as u32) % flows as u32;
+                now = now.plus(step);
+                let t = std::time::Instant::now();
+                session.process_burst(Direction::Internal, &mut frames, now);
+                elapsed_ns += t.elapsed().as_nanos() as u64;
+                done += count;
+            }
+            let wall = if elapsed_ns == 0 {
+                0.0
+            } else {
+                done as f64 / (elapsed_ns as f64 / 1e9) / 1e6
+            };
+            (LatencySamples { ns: samples }, wall)
+        });
+        host_cores = report.pin.host_cores;
+        let est = search_rate_with_ci(&svc, ring_cap);
+        points.push(ScalingPoint {
+            workers: n,
+            mpps: est.mpps,
+            ci95_lo_mpps: est.ci95_lo_mpps,
+            ci95_hi_mpps: est.ci95_hi_mpps,
+            mean_step_ns: est.mean_ns,
+            outliers_rejected: est.outliers_rejected,
+            wallclock_mpps,
+            pinned_workers: report.pin.pinned,
+        });
     }
-    // Timed all-hit phase (per-burst stopwatch: frame generation stays
-    // outside the measurement).
-    let mut done = 0usize;
-    let mut next = 0u32;
-    let mut elapsed_ns = 0u64;
-    while done < packets {
-        let count = WALL_BURST.min(packets - done);
-        let mut frames: Vec<Vec<u8>> = (0..count)
-            .map(|k| make(&gen, (next + k as u32) % flows as u32, &mut buf))
-            .collect();
-        next = (next + count as u32) % flows as u32;
-        now = now.plus(1_000);
-        let t = std::time::Instant::now();
-        nat.process_burst_parallel(Direction::Internal, &mut frames, now);
-        elapsed_ns += t.elapsed().as_nanos() as u64;
-        done += count;
+    ScalingCurve {
+        occupancy,
+        host_cores,
+        pinning_requested: true,
+        points,
     }
-    if elapsed_ns == 0 {
-        return 0.0;
-    }
-    done as f64 / (elapsed_ns as f64 / 1e9) / 1e6
 }
 
 /// Latency samples with the summary statistics the paper reports.

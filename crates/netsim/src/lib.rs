@@ -27,6 +27,12 @@
 //!   latency sampling through the full mempool→ring→NF→ring path, and
 //!   loss-bounded maximum-throughput search.
 //!
+//! * [`runtime`] — the persistent core-pinned shard runtime: one
+//!   long-lived worker thread per shard (pinned via `sched_setaffinity`
+//!   where permitted), fed by the RSS dispatcher through lock-free
+//!   [`libvig::spsc`] rings, with results merged in deterministic shard
+//!   order — the deployment-shaped parallel driver behind the scaling
+//!   curve in `BENCH_throughput.json`;
 //! * [`backend`] — the pluggable packet-I/O layer: the
 //!   [`backend::PacketIo`] driver contract (classify into per-queue
 //!   FIFOs, budgeted WRR drain, per-queue stats), with the simulated
@@ -42,9 +48,10 @@
 //! path is real and trusted); benches that reproduce the paper's
 //! absolute latency scale add a single documented constant for them.
 
-// The only `unsafe` in the workspace is the raw-socket FFI in
-// `backend::os::sys` (six libc calls, safely wrapped on the spot); the
-// rest of the crate stays unsafe-free and the lint keeps it that way.
+// The only `unsafe` in the workspace is the libc FFI in
+// `backend::os::sys` (eight calls: the raw-socket six plus the two
+// CPU-affinity calls, safely wrapped on the spot); the rest of the
+// crate stays unsafe-free and the lint keeps it that way.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -54,6 +61,7 @@ pub mod eventloop;
 pub mod frame_env;
 pub mod harness;
 pub mod middlebox;
+pub mod runtime;
 pub mod tester;
 
 pub use backend::{PacketIo, SimBackend, TesterIo};
@@ -61,4 +69,5 @@ pub use dpdk::{Device, Mempool, MultiQueueDevice, PortStats, Ring};
 pub use eventloop::{BackendDriver, EventLoop, MultiQueueTestbed, Poller, TxRecord, Wrr};
 pub use frame_env::{BurstEnv, FrameEnv, RssClassifier};
 pub use middlebox::{Middlebox, NoopForwarder, SystemClockMb, Verdict, VigNatMb};
+pub use runtime::{with_shard_runtime, PinReport, RuntimeReport, ShardRuntimeSession};
 pub use tester::{FlowGen, WorkloadMix};

@@ -136,7 +136,8 @@ impl UnverifiedNat {
             }
             self.lru_unlink(idx);
             self.by_int.remove(&fid);
-            self.by_ext.remove(&ext_key_of(&fid, ext_port));
+            self.by_ext
+                .remove(&ext_key_of(&fid, self.cfg.external_ip, ext_port));
             self.release_port(ext_port);
             self.slab[idx] = None;
             self.free.push(idx);
@@ -179,14 +180,16 @@ impl UnverifiedNat {
         });
         self.lru_append(idx);
         self.by_int.insert(fid, idx);
-        self.by_ext.insert(ext_key_of(&fid, port), idx);
+        self.by_ext
+            .insert(ext_key_of(&fid, self.cfg.external_ip, port), idx);
         self.len += 1;
         Some(port)
     }
 }
 
-fn ext_key_of(fid: &FlowId, ext_port: u16) -> ExtKey {
+fn ext_key_of(fid: &FlowId, ext_ip: Ip4, ext_port: u16) -> ExtKey {
     ExtKey {
+        ext_ip,
         ext_port,
         dst_ip: fid.dst_ip,
         dst_port: fid.dst_port,
@@ -275,6 +278,10 @@ impl Middlebox for UnverifiedNat {
             }
             Direction::External => {
                 let ek = ExtKey {
+                    // Single-address baseline: like the verified loop
+                    // body, return traffic matches without consulting
+                    // the destination address.
+                    ext_ip: self.cfg.external_ip,
                     ext_port: ff.dst_port,
                     dst_ip: ff.src_ip,
                     dst_port: ff.src_port,

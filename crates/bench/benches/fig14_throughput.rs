@@ -22,6 +22,12 @@
 //! * **the multi-queue sweep** (`multiqueue_sweep` object): the
 //!   event-driven driver (`netsim::eventloop`) feeding an N-shard NAT
 //!   from Q RSS-classified queues, swept over (queues × shards);
+//! * **million-flow churn** (`churn` object): the sustained rate at
+//!   2^20 table slots under continuous flow arrival and expiry, for
+//!   both expiry engines (timer wheel vs LRU scan — the bench asserts
+//!   their expiry counts agree exactly on the shared deterministic
+//!   schedule), plus a Fig. 13-style latency CCDF of per-packet
+//!   service time under churn;
 //! * **bootstrap confidence intervals**: every main-series rate point
 //!   carries a 95% CI from resampling per-trial rates
 //!   ([`search_rate_with_ci`]), so run-to-run noise on shared CI hosts
@@ -38,13 +44,18 @@ use libvig::time::Time;
 use netsim::eventloop::event_driven_service_times;
 use netsim::harness::{
     parallel_scaling_curve, search_rate_filtered, search_rate_with_ci, sharded_throughput_sweep,
-    steady_state_service_times, steady_state_service_times_batched, RateEstimate, Testbed,
+    steady_state_service_times, steady_state_service_times_batched, LatencySamples, RateEstimate,
+    Testbed,
 };
-use netsim::middlebox::{Middlebox, NoopForwarder, SystemClockMb, VigNatMb};
+use netsim::middlebox::{Middlebox, NoopForwarder, SystemClockMb, Verdict, VigNatMb};
+use std::hint::black_box;
+use std::time::Instant;
 use vig_baselines::{NetfilterNat, UnverifiedNat};
 use vig_bench::{flow_sweep, print_table, throughput_packets, write_result_json};
-use vig_packet::Ip4;
+use vig_packet::builder::PacketBuilder;
+use vig_packet::{Direction, Ip4};
 use vig_spec::NatConfig;
+use vignat::ExpiryMode;
 
 fn cfg() -> NatConfig {
     NatConfig {
@@ -82,6 +93,136 @@ fn measure_batched(nf: &mut dyn Middlebox, flows: usize) -> RateEstimate {
         Time::from_secs(60).nanos(),
     );
     search_rate_with_ci(&svc, 512)
+}
+
+/// Million-flow churn: table capacity (2^20 slots — a multi-address
+/// endpoint pool, 17 external IPs at this start port).
+const CHURN_CAP: usize = 1 << 20;
+/// Flows kept alive by refreshes at any instant (the sliding window).
+const CHURN_ACTIVE: usize = 800_000;
+/// Every `CHURN_NEW_EVERY`-th packet opens a brand-new flow (and slides
+/// the window by one, abandoning its oldest flow to the expirator).
+const CHURN_NEW_EVERY: usize = 8;
+/// Virtual nanoseconds per packet (4 Mpps offered in virtual time).
+const CHURN_DT_NS: u64 = 250;
+/// Flow expiry under churn. The round-robin refresh revisits every
+/// window flow within `CHURN_ACTIVE` packets = 200 ms of virtual time,
+/// safely inside this timeout, so only abandoned flows expire.
+const CHURN_TEXP_NS: u64 = 350_000_000;
+
+fn churn_cfg() -> NatConfig {
+    NatConfig {
+        capacity: CHURN_CAP,
+        expiry_ns: CHURN_TEXP_NS,
+        external_ip: Ip4::new(203, 0, 113, 1),
+        start_port: 1024,
+    }
+}
+
+/// The deterministic churn schedule: a sliding window of
+/// [`CHURN_ACTIVE`] live flows, refreshed round-robin, with every
+/// [`CHURN_NEW_EVERY`]-th packet opening a new flow and retiring the
+/// window's oldest. Identical across expiry engines, so their expiry
+/// counts must agree *exactly* — the bench asserts it.
+struct ChurnSched {
+    wbase: usize,
+    next_new: usize,
+    rr: usize,
+    seq: usize,
+}
+
+impl ChurnSched {
+    fn new() -> ChurnSched {
+        ChurnSched {
+            wbase: 0,
+            next_new: CHURN_ACTIVE,
+            rr: 0,
+            seq: 0,
+        }
+    }
+
+    /// Flow index for the next packet.
+    fn next_flow(&mut self) -> usize {
+        let flow = if self.seq.is_multiple_of(CHURN_NEW_EVERY) {
+            self.wbase += 1;
+            self.next_new += 1;
+            self.next_new - 1
+        } else {
+            let f = self.wbase + (self.rr % CHURN_ACTIVE);
+            self.rr += 1;
+            f
+        };
+        self.seq += 1;
+        flow
+    }
+}
+
+/// What one churn run measured.
+struct ChurnOutcome {
+    svc: LatencySamples,
+    expired: u64,
+    occupancy_end: usize,
+    new_flows: usize,
+}
+
+/// Drive the verified NAT through sustained million-flow churn and
+/// record per-packet service times over `measured` packets.
+///
+/// Phases: fill the window (one packet per flow, timestamps staggered),
+/// run unmeasured churn for one expiry timeout so the arrival/expiry
+/// pipeline reaches steady state (abandoned flows start draining), then
+/// measure. Frames are built outside the timed region; each timed
+/// packet pays the full loop-body cost — clock-guarded expiry drain,
+/// lookup or allocation, rejuvenation, header rewrite.
+fn churn_service_times(mode: ExpiryMode, measured: usize) -> ChurnOutcome {
+    let frame_of = |i: usize| {
+        PacketBuilder::udp(
+            Ip4(0x0a00_0000 | (i as u32 & 0x00ff_ffff)),
+            Ip4::new(1, 1, 1, 1),
+            9_999,
+            53,
+        )
+        .build()
+    };
+    let mut nf = VigNatMb::with_expiry(churn_cfg(), mode);
+    let mut now = 0u64;
+    for i in 0..CHURN_ACTIVE {
+        now += CHURN_DT_NS;
+        let mut f = frame_of(i);
+        let v = nf.process(Direction::Internal, &mut f, Time(now));
+        assert!(matches!(v, Verdict::Forward(_)), "fill must forward");
+    }
+    let mut sched = ChurnSched::new();
+    // Expiries are counted from the start of churn (warmup included):
+    // they cluster unevenly across the refresh cycle, so the measured
+    // window alone could legitimately catch none.
+    let expired_before = nf.expired_total();
+    let warm = (CHURN_TEXP_NS / CHURN_DT_NS) as usize + 200_000;
+    for _ in 0..warm {
+        now += CHURN_DT_NS;
+        let mut f = frame_of(sched.next_flow());
+        let v = nf.process(Direction::Internal, &mut f, Time(now));
+        assert!(matches!(v, Verdict::Forward(_)), "warmup must forward");
+    }
+    let new_before = sched.next_new;
+    let mut samples = Vec::with_capacity(measured);
+    for _ in 0..measured {
+        now += CHURN_DT_NS;
+        let mut f = frame_of(sched.next_flow());
+        let t0 = Instant::now();
+        let v = nf.process(Direction::Internal, black_box(&mut f), Time(now));
+        samples.push(t0.elapsed().as_nanos() as u64);
+        assert!(
+            matches!(v, Verdict::Forward(_)),
+            "steady-state churn must forward (occupancy stays below capacity by design)"
+        );
+    }
+    ChurnOutcome {
+        svc: LatencySamples { ns: samples },
+        expired: nf.expired_total() - expired_before,
+        occupancy_end: nf.flow_manager().len(),
+        new_flows: sched.next_new - new_before,
+    }
 }
 
 fn main() {
@@ -300,6 +441,70 @@ fn main() {
         &mq_rows,
     );
 
+    // Million-flow churn: sustained rate under continuous arrival and
+    // expiry at 2^20 table capacity, timer-wheel vs LRU-scan expiry,
+    // plus the Fig. 13-style latency CCDF for the wheel. Both engines
+    // see the identical deterministic schedule, so their expiry counts
+    // must agree exactly — the wheel ≡ scan theorem, live in the bench.
+    let churn_pkts = throughput_packets();
+    let churn_wheel = churn_service_times(ExpiryMode::Wheel, churn_pkts);
+    let churn_scan = churn_service_times(ExpiryMode::Scan, churn_pkts);
+    assert_eq!(
+        churn_wheel.expired, churn_scan.expired,
+        "wheel and scan must expire identical counts under the same churn schedule"
+    );
+    assert_eq!(
+        churn_wheel.occupancy_end, churn_scan.occupancy_end,
+        "wheel and scan must end churn at identical occupancy"
+    );
+    assert!(
+        churn_wheel.occupancy_end >= CHURN_ACTIVE,
+        "the live window must be resident at the end of the run"
+    );
+    assert!(churn_wheel.expired > 0, "churn must actually expire flows");
+    let churn_wheel_est = search_rate_with_ci(&churn_wheel.svc, 512);
+    let churn_scan_est = search_rate_with_ci(&churn_scan.svc, 512);
+    let churn_rows: Vec<Vec<String>> = [("wheel", &churn_wheel_est), ("scan", &churn_scan_est)]
+        .iter()
+        .map(|(engine, est)| {
+            vec![
+                engine.to_string(),
+                format!(
+                    "{:.2} [{:.2},{:.2}]",
+                    est.mpps, est.ci95_lo_mpps, est.ci95_hi_mpps
+                ),
+                format!("{:.1}", est.mean_ns),
+                format!("{}", est.outliers_rejected),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "FIG14e: sustained churn at {CHURN_CAP} flow slots ({} resident, {} expired \
+             during churn)",
+            churn_wheel.occupancy_end, churn_wheel.expired
+        ),
+        &["expiry", "Mpps [ci95]", "mean svc (ns)", "outliers"],
+        &churn_rows,
+    );
+
+    // Fig. 13-style CCDF of per-packet latency under churn (wheel
+    // engine): x = latency, y = P(latency > x), from the measured
+    // service-time distribution. Quantile ties collapse to the first
+    // point so latencies stay strictly increasing.
+    let ccdf_qs = [0.50, 0.75, 0.90, 0.95, 0.99, 0.995, 0.999, 0.9995];
+    let mut ccdf_points: Vec<(u64, f64)> = Vec::new();
+    for &q in &ccdf_qs {
+        let lat = churn_wheel.svc.percentile(q);
+        if ccdf_points.last().is_none_or(|&(prev, _)| lat > prev) {
+            ccdf_points.push((lat, 1.0 - q));
+        }
+    }
+    println!("\nFIG13-style latency CCDF under churn (wheel expiry):");
+    for (lat, ccdf) in &ccdf_points {
+        println!("  P(latency > {lat:>6} ns) = {ccdf:.4}");
+    }
+
     let fmt_series = |name: &str, v: &[f64], ci: &[(f64, f64)]| {
         format!(
             r#"{{"name":"{name}","mpps_per_flow_count":[{}],"mpps_ci95_per_flow_count":[{}]}}"#,
@@ -340,6 +545,25 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n      ");
+    let churn_sustained_json = [("wheel", &churn_wheel_est), ("scan", &churn_scan_est)]
+        .iter()
+        .map(|(engine, est)| {
+            format!(
+                r#"{{"expiry":"{engine}","mpps":{:.3},"ci95_mpps":[{:.3},{:.3}],"mean_ns":{:.1},"outliers_rejected":{}}}"#,
+                est.mpps, est.ci95_lo_mpps, est.ci95_hi_mpps, est.mean_ns, est.outliers_rejected
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    let churn_ccdf_json = ccdf_points
+        .iter()
+        .map(|(lat, ccdf)| format!(r#"{{"latency_ns":{lat},"ccdf":{ccdf:.6}}}"#))
+        .collect::<Vec<_>>()
+        .join(",\n        ");
+    let churn_json = format!(
+        "\"churn\": {{\n    \"table_capacity\": {CHURN_CAP},\n    \"expiry_ns\": {CHURN_TEXP_NS},\n    \"active_window\": {CHURN_ACTIVE},\n    \"new_flow_every\": {CHURN_NEW_EVERY},\n    \"virtual_ns_per_packet\": {CHURN_DT_NS},\n    \"occupancy_end\": {},\n    \"new_flows_during_measurement\": {},\n    \"expired_during_churn\": {},\n    \"sustained\": [\n      {churn_sustained_json}\n    ],\n    \"latency_ccdf\": {{\"expiry\": \"wheel\", \"points\": [\n        {churn_ccdf_json}\n    ]}}\n  }}",
+        churn_wheel.occupancy_end, churn_wheel.new_flows, churn_wheel.expired
+    );
     let curve_points_json = curve
         .points
         .iter()
@@ -359,7 +583,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n      ");
     let json = format!(
-        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"workers\": {wall_workers},\n    \"pinning_requested\": {pinning_requested},\n    \"pinned_workers\": {wall_pinned},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"scaling_curve\": {{\n    \"occupancy\": {occupancy},\n    \"host_cores\": {cores},\n    \"pinning_requested\": {pinning_requested},\n    \"runtime\": \"persistent pinned workers over spsc rings (netsim::runtime)\",\n    \"points\": [\n      {curve_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core, backend: sim)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"workers\": {wall_workers},\n    \"pinning_requested\": {pinning_requested},\n    \"pinned_workers\": {wall_pinned},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"scaling_curve\": {{\n    \"occupancy\": {occupancy},\n    \"host_cores\": {cores},\n    \"pinning_requested\": {pinning_requested},\n    \"runtime\": \"persistent pinned workers over spsc rings (netsim::runtime)\",\n    \"points\": [\n      {curve_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core, backend: sim)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }},\n  {churn_json}\n}}\n",
         netsim::harness::RATE_CI_TRIALS,
         netsim::harness::RATE_CI_RESAMPLES,
         sweep.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
@@ -447,6 +671,14 @@ fn main() {
     println!(
         "  Event-driven 4q/4s vs 1q/1s on one core: {:.2}x ({mq_44:.2} vs {mq_11:.2} Mpps)",
         mq_44 / mq_11
+    );
+    println!(
+        "  Sustained churn at {CHURN_CAP} slots: wheel {:.2} vs scan {:.2} Mpps ({:.2}x), \
+         expiry parity exact ({} flows expired)",
+        churn_wheel_est.mpps,
+        churn_scan_est.mpps,
+        churn_wheel_est.mpps / churn_scan_est.mpps,
+        churn_wheel.expired
     );
     println!(
         "  (note: the simulator's virtual clock and free NIC descriptors remove exactly the\n   \

@@ -23,6 +23,11 @@
 //!   pre-directory way (one slot load per position) and the default
 //!   way (one control-word load per eight positions) — the 98%-miss
 //!   row is the headline of the tag-directory work;
+//! * **the churn step at a million flows** (`churn_step_wheel_1m` vs
+//!   `churn_step_scan_1m`): expiry drain + mostly-hit lookup +
+//!   rejuvenate/allocate under continuous arrival and expiry at 2^20
+//!   table slots, timer-wheel vs LRU-scan expiry — the run asserts both
+//!   engines expire *exactly* the same flows (wheel ≡ scan);
 //! * hit vs miss lookups (misses probe the longest in open addressing);
 //! * dchain allocate/rejuvenate — the per-packet bookkeeping;
 //! * incremental (RFC 1624) vs full checksum recomputation.
@@ -37,7 +42,7 @@ use vig_baselines::ChainedMap;
 use vig_bench::{print_table, write_result_json, Series};
 use vig_packet::checksum::{checksum, Checksum};
 use vig_packet::{FlowId, Ip4, Proto};
-use vignat::{FlowManager, NatConfig, MAX_BURST};
+use vignat::{ExpiryMode, FlowManager, NatConfig, MAX_BURST};
 
 /// Table capacity: the paper-scale flow table (also the largest the
 /// VigNAT config invariant allows).
@@ -286,6 +291,111 @@ fn bench_open_vs_chained(occupancy: usize, rounds: usize) -> Vec<Series> {
     out
 }
 
+/// Million-flow churn step: table capacity (2^20 slots).
+const CHURN_CAP: usize = 1 << 20;
+/// Flows kept alive by round-robin refreshes (the sliding window).
+const CHURN_ACTIVE: usize = 800_000;
+/// Every n-th op opens a new flow and abandons the window's oldest.
+const CHURN_NEW_EVERY: usize = 8;
+/// Virtual nanoseconds per op.
+const CHURN_DT_NS: u64 = 250;
+/// Expiry timeout; the refresh cycle (200 ms virtual) stays inside it.
+const CHURN_TEXP_NS: u64 = 350_000_000;
+
+fn churn_cfg() -> NatConfig {
+    NatConfig {
+        capacity: CHURN_CAP,
+        expiry_ns: CHURN_TEXP_NS,
+        external_ip: Ip4::new(203, 0, 113, 1),
+        start_port: 1024,
+    }
+}
+
+fn churn_fid(i: usize) -> FlowId {
+    FlowId {
+        src_ip: Ip4(0x0a00_0000 | (i as u32 & 0x00ff_ffff)),
+        src_port: 9_999,
+        dst_ip: Ip4::new(1, 1, 1, 1),
+        dst_port: 80,
+        proto: Proto::Udp,
+    }
+}
+
+/// The steady-state NAT step under **million-flow churn**: per op, the
+/// expiry drain (timer wheel or LRU scan), then a lookup that mostly
+/// hits (refresh → rejuvenate) and periodically misses (new flow →
+/// allocate). A sliding window of [`CHURN_ACTIVE`] flows is refreshed
+/// round-robin; every [`CHURN_NEW_EVERY`]-th op opens a new flow and
+/// retires the window's oldest to the expirator, so arrivals and
+/// expiries balance at ~95% occupancy of the 2^20-slot table.
+///
+/// Returns the series plus the expired count and end occupancy over the
+/// measured region — the two engines run the identical deterministic
+/// schedule, so `main` asserts both agree exactly (wheel ≡ scan).
+fn bench_churn_step(mode: ExpiryMode, rounds: usize) -> (Series, u64, usize) {
+    let cfg = churn_cfg();
+    let mut fm = FlowManager::with_expiry(&cfg, mode);
+    let mut now = 0u64;
+    for i in 0..CHURN_ACTIVE {
+        now += CHURN_DT_NS;
+        fm.allocate(churn_fid(i), Time(now))
+            .expect("below capacity");
+    }
+    let (mut wbase, mut next_new, mut rr, mut seq) = (0usize, CHURN_ACTIVE, 0usize, 0usize);
+    let mut step = |fm: &mut FlowManager, now: &mut u64| -> u64 {
+        *now += CHURN_DT_NS;
+        let i = if seq % CHURN_NEW_EVERY == 0 {
+            wbase += 1;
+            next_new += 1;
+            next_new - 1
+        } else {
+            let f = wbase + (rr % CHURN_ACTIVE);
+            rr += 1;
+            f
+        };
+        seq += 1;
+        let expired = fm.expire(Time(now.saturating_sub(CHURN_TEXP_NS))) as u64;
+        let fid = churn_fid(i);
+        match fm.lookup_internal(&fid) {
+            Some((slot, _)) => {
+                fm.rejuvenate(slot, Time(*now));
+            }
+            None => {
+                fm.allocate(fid, Time(*now))
+                    .expect("churn stays below capacity by design");
+            }
+        }
+        expired
+    };
+    // Unmeasured warmup: one expiry timeout of churn, so abandoned
+    // flows are draining at the arrival rate when measurement starts.
+    // Expiries are counted from the start of churn: they cluster
+    // unevenly across the refresh cycle, so a short measured window
+    // alone could legitimately catch none.
+    let mut expired_total = 0u64;
+    let warm = (CHURN_TEXP_NS / CHURN_DT_NS) as usize + 200_000;
+    for _ in 0..warm {
+        expired_total += step(&mut fm, &mut now);
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..MAX_BURST {
+            expired_total += step(&mut fm, &mut now);
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / MAX_BURST as f64);
+    }
+    let name = match mode {
+        ExpiryMode::Wheel => "churn_step_wheel_1m",
+        ExpiryMode::Scan => "churn_step_scan_1m",
+    };
+    (
+        Series::from_samples(name, &mut samples),
+        expired_total,
+        fm.len(),
+    )
+}
+
 /// dchain allocate/rejuvenate and checksum strategies (per-op ns).
 fn bench_bookkeeping(rounds: usize) -> Vec<Series> {
     let mut out = Vec::new();
@@ -358,6 +468,24 @@ fn main() {
     all.extend(bench_open_vs_chained(CAP * 99 / 100, rounds / 4));
     all.extend(bench_bookkeeping(rounds / 4));
 
+    // Million-flow churn: the same deterministic schedule through both
+    // expiry engines; their observable effects must agree exactly.
+    let (churn_wheel, expired_wheel, occ_wheel) = bench_churn_step(ExpiryMode::Wheel, rounds / 4);
+    let (churn_scan, expired_scan, occ_scan) = bench_churn_step(ExpiryMode::Scan, rounds / 4);
+    assert_eq!(
+        expired_wheel, expired_scan,
+        "wheel and scan must expire identical counts under the same churn schedule"
+    );
+    assert_eq!(
+        occ_wheel, occ_scan,
+        "wheel and scan must end churn at identical occupancy"
+    );
+    assert!(
+        expired_wheel > 0,
+        "the measured churn region must actually expire flows"
+    );
+    all.extend([churn_wheel, churn_scan]);
+
     print_table(
         "MICRO: flow-table and bookkeeping costs (per-op)",
         &["series", "Mops/s", "p50 ns", "p99 ns"],
@@ -377,9 +505,13 @@ fn main() {
     );
     println!("  at 50% occupancy: {speedup_50:.2}x (gate: >= 1.3x)");
     println!("  at 99% occupancy: {speedup_99:.2}x");
+    println!(
+        "\nchurn at {CHURN_CAP} slots ({occ_wheel} resident at end): wheel and scan expired \
+         {expired_wheel} flows each (parity exact)"
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"micro_flowtable\",\n  \"table_capacity\": {CAP},\n  \"burst\": {MAX_BURST},\n  \"batched_speedup_at_50pct\": {speedup_50:.3},\n  \"batched_speedup_at_99pct\": {speedup_99:.3},\n  \"series\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"micro_flowtable\",\n  \"table_capacity\": {CAP},\n  \"burst\": {MAX_BURST},\n  \"batched_speedup_at_50pct\": {speedup_50:.3},\n  \"batched_speedup_at_99pct\": {speedup_99:.3},\n  \"churn\": {{\"table_capacity\": {CHURN_CAP}, \"active_window\": {CHURN_ACTIVE}, \"occupancy_end\": {occ_wheel}, \"expired_wheel\": {expired_wheel}, \"expired_scan\": {expired_scan}}},\n  \"series\": [\n    {}\n  ]\n}}\n",
         all.iter().map(Series::to_json).collect::<Vec<_>>().join(",\n    ")
     );
     write_result_json("BENCH_flowtable.json", &json);

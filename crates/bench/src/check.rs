@@ -273,7 +273,8 @@ fn check_series_row(p: &mut Problems, row: &Json, ctx: &str) {
 
 /// Validate `BENCH_flowtable.json`: identity, gate metrics
 /// (`batched_speedup_at_*`, the `lookup_batched_98pct` gate series),
-/// and well-formed statistics on every series row.
+/// well-formed statistics on every series row, and the million-flow
+/// churn section with its exact wheel/scan expiry parity.
 pub fn check_flowtable(doc: &Json) -> Problems {
     let mut p = Problems::default();
     if doc.get("bench").and_then(Json::str) != Some("micro_flowtable") {
@@ -289,7 +290,12 @@ pub fn check_flowtable(doc: &Json) -> Problems {
             for row in rows {
                 check_series_row(&mut p, row, "series");
             }
-            for gate in ["lookup_batched_98pct", "natstep_batched_98pct"] {
+            for gate in [
+                "lookup_batched_98pct",
+                "natstep_batched_98pct",
+                "churn_step_wheel_1m",
+                "churn_step_scan_1m",
+            ] {
                 if !rows
                     .iter()
                     .any(|r| r.get("name").and_then(Json::str) == Some(gate))
@@ -300,12 +306,42 @@ pub fn check_flowtable(doc: &Json) -> Problems {
         }
         _ => p.fail("series: missing or empty"),
     }
+    // The million-flow churn section: both expiry engines ran the same
+    // deterministic schedule, so the committed file must witness exact
+    // expiry parity — wheel ≡ scan, visible in the artifact.
+    match doc.get("churn") {
+        Some(ch) => {
+            match ch.get("table_capacity").and_then(Json::num) {
+                Some(c) if c >= (1u64 << 20) as f64 => {}
+                _ => p.fail("churn.table_capacity: missing or below 2^20 (million-flow gate)"),
+            }
+            if ch.get("occupancy_end").and_then(Json::num).map(|n| n > 0.0) != Some(true) {
+                p.fail("churn.occupancy_end: missing or non-positive");
+            }
+            let wheel = ch.get("expired_wheel").and_then(Json::num);
+            let scan = ch.get("expired_scan").and_then(Json::num);
+            match (wheel, scan) {
+                (Some(w), Some(s)) if w > 0.0 && s > 0.0 => {
+                    if w != s {
+                        p.fail(format!(
+                            "churn: expired_wheel ({w}) != expired_scan ({s}) — \
+                             wheel/scan expiry parity broken"
+                        ));
+                    }
+                }
+                _ => p.fail("churn.expired_wheel/expired_scan: missing or non-positive"),
+            }
+        }
+        None => p.fail("churn: missing"),
+    }
     p
 }
 
 /// Validate `BENCH_throughput.json`: identity, the flow-count axis,
 /// per-series rate vectors aligned with it, well-formed bootstrap
-/// confidence intervals, and the sweep sections.
+/// confidence intervals, the sweep sections, and the million-flow churn
+/// section (sustained rates for both expiry engines plus a well-formed
+/// latency CCDF).
 pub fn check_throughput(doc: &Json) -> Problems {
     let mut p = Problems::default();
     if doc.get("bench").and_then(Json::str) != Some("fig14_throughput") {
@@ -479,6 +515,92 @@ pub fn check_throughput(doc: &Json) -> Problems {
         }
         None => p.fail("scaling_curve: missing"),
     }
+    // Million-flow churn: sustained rates for both expiry engines and a
+    // Fig. 13-style latency CCDF (strictly increasing latencies,
+    // non-increasing tail probabilities in (0, 1]).
+    match doc.get("churn") {
+        Some(ch) => {
+            let cap = ch.get("table_capacity").and_then(Json::num);
+            match cap {
+                Some(c) if c >= (1u64 << 20) as f64 => {}
+                _ => p.fail("churn.table_capacity: missing or below 2^20 (million-flow gate)"),
+            }
+            match (ch.get("occupancy_end").and_then(Json::num), cap) {
+                (Some(o), Some(c)) if 0.0 < o && o <= c => {}
+                _ => p.fail("churn.occupancy_end: missing or not in (0, table_capacity]"),
+            }
+            if ch
+                .get("expired_during_churn")
+                .and_then(Json::num)
+                .map(|n| n > 0.0)
+                != Some(true)
+            {
+                p.fail("churn.expired_during_churn: missing or non-positive");
+            }
+            match ch.get("sustained").and_then(Json::arr) {
+                Some(rows) if !rows.is_empty() => {
+                    for (i, row) in rows.iter().enumerate() {
+                        if row.get("mpps").and_then(Json::num).map(|n| n > 0.0) != Some(true) {
+                            p.fail(format!(
+                                "churn.sustained[{i}].mpps: missing or non-positive"
+                            ));
+                        }
+                        let ci: Vec<f64> = row
+                            .get("ci95_mpps")
+                            .and_then(Json::arr)
+                            .map(|a| a.iter().filter_map(Json::num).collect())
+                            .unwrap_or_default();
+                        match ci.as_slice() {
+                            [lo, hi] if 0.0 < *lo && lo <= hi => {}
+                            _ => p.fail(format!(
+                                "churn.sustained[{i}].ci95_mpps: not a [lo, hi] pair with \
+                                 0 < lo <= hi"
+                            )),
+                        }
+                    }
+                    for engine in ["wheel", "scan"] {
+                        if !rows
+                            .iter()
+                            .any(|r| r.get("expiry").and_then(Json::str) == Some(engine))
+                        {
+                            p.fail(format!("churn.sustained: expiry engine '{engine}' missing"));
+                        }
+                    }
+                }
+                _ => p.fail("churn.sustained: missing or empty"),
+            }
+            match ch
+                .get("latency_ccdf")
+                .and_then(|c| c.get("points"))
+                .and_then(Json::arr)
+            {
+                Some(points) if points.len() >= 2 => {
+                    let mut prev_lat = 0.0f64;
+                    let mut prev_ccdf = f64::INFINITY;
+                    for (i, pt) in points.iter().enumerate() {
+                        match pt.get("latency_ns").and_then(Json::num) {
+                            Some(l) if l > prev_lat => prev_lat = l,
+                            _ => p.fail(format!(
+                                "churn.latency_ccdf.points[{i}].latency_ns: missing, \
+                                 non-positive, or not strictly increasing"
+                            )),
+                        }
+                        match pt.get("ccdf").and_then(Json::num) {
+                            Some(c) if 0.0 < c && c <= 1.0 && c <= prev_ccdf => prev_ccdf = c,
+                            Some(c) if 0.0 < c && c <= 1.0 => p.fail(format!(
+                                "churn.latency_ccdf.points[{i}].ccdf: must be non-increasing"
+                            )),
+                            _ => p.fail(format!(
+                                "churn.latency_ccdf.points[{i}].ccdf: missing or not in (0, 1]"
+                            )),
+                        }
+                    }
+                }
+                _ => p.fail("churn.latency_ccdf.points: missing or fewer than 2 points"),
+            }
+        }
+        None => p.fail("churn: missing"),
+    }
     p
 }
 
@@ -544,9 +666,13 @@ mod tests {
         format!(
             r#"{{"bench":"micro_flowtable","table_capacity":100,"burst":32,
                 "batched_speedup_at_50pct":2.0,"batched_speedup_at_99pct":1.5,
-                "series":[{},{}]}}"#,
+                "churn":{{"table_capacity":1048576,"active_window":800000,
+                    "occupancy_end":950000,"expired_wheel":4000,"expired_scan":4000}},
+                "series":[{},{},{},{}]}}"#,
             row("lookup_batched_98pct"),
-            row("natstep_batched_98pct")
+            row("natstep_batched_98pct"),
+            row("churn_step_wheel_1m"),
+            row("churn_step_scan_1m")
         )
     }
 
@@ -577,6 +703,32 @@ mod tests {
         let broken = minimal_flowtable().replace(r#""p99_ns":20.0"#, r#""p99_ns":5.0"#);
         let probs = check_flowtable(&parse(&broken).unwrap());
         assert!(probs.0.iter().any(|p| p.contains("p99")));
+
+        // Wheel/scan expiry-count divergence: the parity witness the
+        // churn section exists for.
+        let broken =
+            minimal_flowtable().replace(r#""expired_scan":4000"#, r#""expired_scan":3999"#);
+        let probs = check_flowtable(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("parity broken")));
+
+        // Churn at sub-million capacity must not satisfy the gate.
+        let broken =
+            minimal_flowtable().replace(r#""table_capacity":1048576"#, r#""table_capacity":65535"#);
+        let probs = check_flowtable(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("below 2^20")));
+
+        // Dropping the churn section entirely must be flagged.
+        let broken = minimal_flowtable().replace(r#""churn""#, r#""churn_renamed""#);
+        let probs = check_flowtable(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("churn: missing")));
+
+        // The churn gate series must be present.
+        let broken = minimal_flowtable().replace("churn_step_wheel_1m", "churn_step_other");
+        let probs = check_flowtable(&parse(&broken).unwrap());
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("churn_step_wheel_1m") && p.contains("missing")));
     }
 
     fn minimal_throughput() -> String {
@@ -594,7 +746,12 @@ mod tests {
                 "scaling_curve":{{"host_cores":1,"pinning_requested":true,
                     "points":[{{"workers":1,"mpps":5.0,"ci95_mpps":[4.5,5.5],"wallclock_mpps":4.0,"pinned_workers":1}},
                               {{"workers":2,"mpps":6.0,"ci95_mpps":[5.5,6.5],"wallclock_mpps":4.5,"pinned_workers":2}}]}},
-                "multiqueue_sweep":{{"points":[{{"queues":1,"shards":1,"mpps":8.0}}]}}}}"#,
+                "multiqueue_sweep":{{"points":[{{"queues":1,"shards":1,"mpps":8.0}}]}},
+                "churn":{{"table_capacity":1048576,"occupancy_end":970000,
+                    "expired_during_churn":7500,
+                    "sustained":[{{"expiry":"wheel","mpps":3.0,"ci95_mpps":[2.8,3.2]}},
+                                 {{"expiry":"scan","mpps":2.9,"ci95_mpps":[2.7,3.1]}}],
+                    "latency_ccdf":{{"expiry":"wheel","points":[{{"latency_ns":200,"ccdf":0.5}},{{"latency_ns":400,"ccdf":0.01}}]}}}}}}"#,
             series("noop"),
             series("verified"),
             series("verified_batched")
@@ -662,6 +819,55 @@ mod tests {
             .0
             .iter()
             .any(|p| p.contains("ci95_mpps") && p.contains("lo <= hi")));
+
+        // Dropping the churn section entirely must be flagged.
+        let broken = minimal_throughput().replace(r#""churn""#, r#""churn_renamed""#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("churn: missing")));
+
+        // Both expiry engines must appear in the sustained rates.
+        let broken = minimal_throughput().replace(r#""expiry":"scan""#, r#""expiry":"lru""#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("expiry engine 'scan' missing")));
+
+        // Inverted sustained-rate interval.
+        let broken = minimal_throughput().replace("[2.8,3.2]", "[3.2,2.8]");
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("churn.sustained") && p.contains("lo <= hi")));
+
+        // CCDF latencies must increase strictly.
+        let broken = minimal_throughput().replace(r#""latency_ns":400"#, r#""latency_ns":200"#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("latency_ns") && p.contains("strictly increasing")));
+
+        // CCDF tail probabilities must not increase with latency.
+        let broken = minimal_throughput().replace(r#""ccdf":0.01"#, r#""ccdf":0.75"#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("non-increasing")));
+
+        // CCDF values must stay inside (0, 1].
+        let broken = minimal_throughput().replace(r#""ccdf":0.5"#, r#""ccdf":1.5"#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("not in (0, 1]")));
+
+        // A one-point CCDF is not a curve.
+        let broken = minimal_throughput().replace(r#",{"latency_ns":400,"ccdf":0.01}"#, "");
+        assert_ne!(
+            broken,
+            minimal_throughput(),
+            "fixture must contain the point"
+        );
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("fewer than 2 points")));
     }
 
     #[test]

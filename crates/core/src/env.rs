@@ -93,6 +93,11 @@ pub struct FidParts<D: Domain + ?Sized> {
 /// The external-side key, in domain values.
 #[derive(Debug, Clone)]
 pub struct ExtParts<D: Domain + ?Sized> {
+    /// The NAT-allocated pool address (the return packet's destination
+    /// ip, canonicalized by the loop body: the single configured
+    /// address when the pool has one, the packet's destination
+    /// address when it has several).
+    pub ext_ip: D::U32,
     /// The NAT-allocated port (the return packet's destination port).
     pub ext_port: D::U16,
     /// Remote address.
@@ -108,6 +113,8 @@ pub struct ExtParts<D: Domain + ?Sized> {
 pub struct FlowView<D: Domain + ?Sized> {
     /// The slot handle (for rejuvenation).
     pub slot: SlotId,
+    /// The allocated external (pool) address.
+    pub ext_ip: D::U32,
     /// The allocated external port.
     pub ext_port: D::U16,
     /// The internal endpoint address.
@@ -162,6 +169,7 @@ pub mod concrete {
         E: NatEnv<B = bool, U8 = u8, U16 = u16, U32 = u32, U64 = u64> + ?Sized,
     {
         ExtKey {
+            ext_ip: Ip4(ek.ext_ip),
             ext_port: ek.ext_port,
             dst_ip: Ip4(ek.dst_ip),
             dst_port: ek.dst_port,
@@ -176,6 +184,7 @@ pub mod concrete {
     {
         FlowView {
             slot: SlotId(slot),
+            ext_ip: flow.ext_ip.raw(),
             ext_port: flow.ext_port,
             int_ip: flow.int_key.src_ip.raw(),
             int_port: flow.int_key.src_port,
@@ -293,20 +302,24 @@ pub trait NatEnv: Domain {
     /// Refresh a matched flow's timestamp (Fig. 6 lines 10–12).
     fn rejuvenate(&mut self, slot: SlotId, now: &Self::U64);
 
-    /// Reserve a flow slot, returning its id and its index as a 16-bit
-    /// domain value (VigNAT invariant: `capacity <= 65535`, so slot
-    /// indices fit). `None` when the table is full.
+    /// Reserve a flow slot, returning its id, the slot's **port
+    /// offset** within its pool address (so the loop body's
+    /// `ext_port = start_port + offset` arithmetic stays in stateless
+    /// code; with the paper's single-address pool the offset *is* the
+    /// slot index and the arithmetic is Fig. 6's verbatim), and the
+    /// slot's pool address. `None` when the table is full.
     ///
     /// Contract: a successful allocation **must** be followed by
     /// [`NatEnv::insert_flow`] for the same slot on the same path —
     /// the Validator's leak check enforces this (P4).
-    fn allocate_slot(&mut self, now: &Self::U64) -> Option<(SlotId, Self::U16)>;
+    fn allocate_slot(&mut self, now: &Self::U64) -> Option<(SlotId, Self::U16, Self::U32)>;
 
     /// Populate a reserved slot with the new flow (Fig. 6 line 16).
     fn insert_flow(
         &mut self,
         slot: SlotId,
         fid: FidParts<Self>,
+        ext_ip: Self::U32,
         ext_port: Self::U16,
         now: &Self::U64,
     );

@@ -7,23 +7,59 @@
 //!   [`Flow`] records in slots `0..capacity`;
 //! * a [`DoubleChain`] allocating those same slot indices and keeping
 //!   their last-activity order for expiry;
+//! * in the default [`ExpiryMode::Wheel`], a [`TimerWheel`] shadowing
+//!   the chain's deadlines so expiry drains due buckets instead of
+//!   walking the LRU list;
 //! * the invariant tying them: slot `i` is chain-allocated **iff** slot
-//!   `i` is dmap-occupied, and the flow in slot `i` has
-//!   `ext_port == start_port + i`.
+//!   `i` is dmap-occupied (**iff** wheel-armed, in wheel mode), and the
+//!   flow in slot `i` owns the pool endpoint
+//!   `(ext_ip, ext_port) = cfg.endpoint_of(slot_base + i)`.
 //!
 //! That last equality is the trick that removes the need for a separate
-//! port allocator: port uniqueness *is* slot uniqueness, which the
-//! dchain contract guarantees. [`FlowManager::check_coherence`] asserts
-//! the full invariant; the differential and property tests call it
-//! liberally.
+//! endpoint allocator: endpoint uniqueness *is* slot uniqueness, which
+//! the dchain contract guarantees. With the paper's single-address pool
+//! it reads `ext_port == start_port + i`, VigNAT's literal invariant.
+//! [`FlowManager::check_coherence`] asserts the full invariant; the
+//! differential and property tests call it liberally.
+//!
+//! ## Wheel ≡ scan
+//!
+//! The wheel pops indices in exactly the order the LRU scan frees them
+//! — ascending `(timestamp, insertion order)` — and frees them through
+//! the same [`DoubleChain::free_index`] push the scan's `expire_one`
+//! performs, so the two modes leave **byte-identical** chain state
+//! (including free-list order, hence future slot and port assignment).
+//! `libvig::expirator`'s `wheel_drain_equals_scan_drain` property and
+//! `tests/wheel_equivalence.rs` prove this differentially; the only
+//! precondition is the monotone clock every driver already guarantees
+//! (asserted here in debug builds).
 
 use libvig::dchain::DoubleChain;
 use libvig::dmap::DoubleMap;
 use libvig::expirator;
 use libvig::map::MapKey;
 use libvig::time::Time;
-use vig_packet::{ExtKey, Flow, FlowId};
+use libvig::wheel::TimerWheel;
+use vig_packet::{ExtKey, Flow, FlowId, Ip4};
 use vig_spec::NatConfig;
+
+/// How a flow table finds its expired flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpiryMode {
+    /// Walk the dchain's LRU list from its head (the paper's
+    /// `expire_items` loop). O(expired + 1) per call but O(n) worst
+    /// case per *tick* when a burst of deadlines lands together; kept
+    /// as the differential oracle for the wheel.
+    Scan,
+    /// Drain due buckets of a hierarchical [`TimerWheel`]. Same
+    /// expired sets, same order, same resulting state as [`Scan`]
+    /// (module docs) with O(1) amortized arm/refresh/pop — the mode
+    /// million-flow tables run.
+    ///
+    /// [`Scan`]: ExpiryMode::Scan
+    #[default]
+    Wheel,
+}
 
 /// The flow-table interface the concrete environments drive.
 ///
@@ -94,9 +130,27 @@ pub trait FlowTable {
     /// iteration.
     fn allocate_slot_routed(&mut self, fid_hash: u64, now: Time) -> Option<usize>;
 
+    /// The pool endpoint owned by (global) slot `slot` — the
+    /// `(ext_ip, ext_port)` a flow inserted there must carry. With a
+    /// single-address pool this is `(external_ip, start_port + slot)`.
+    fn endpoint_of_slot(&self, slot: usize) -> (Ip4, u16);
+
+    /// (Global) slot `slot`'s port offset within its pool address — the
+    /// `offset` the loop body feeds into `ext_port = start_port +
+    /// offset` ([`crate::env::NatEnv::allocate_slot`]). Equals the slot
+    /// index itself with a single-address pool.
+    fn port_offset_of_slot(&self, slot: usize) -> u16;
+
     /// Populate a reserved slot; `fid_hash == fid.key_hash()`, and
-    /// `ext_port == start_port + slot` (globally).
-    fn insert_hashed(&mut self, slot: usize, fid: FlowId, ext_port: u16, fid_hash: u64);
+    /// `(ext_ip, ext_port) == endpoint_of_slot(slot)` (globally).
+    fn insert_hashed(
+        &mut self,
+        slot: usize,
+        fid: FlowId,
+        ext_ip: Ip4,
+        ext_port: u16,
+        fid_hash: u64,
+    );
 
     /// Assert the table's cross-structure coherence invariant
     /// (test/diagnostic use; O(capacity)).
@@ -108,25 +162,101 @@ pub trait FlowTable {
 pub struct FlowManager {
     table: DoubleMap<Flow>,
     chain: DoubleChain,
-    start_port: u16,
+    /// Deadline index for [`ExpiryMode::Wheel`]; `None` in scan mode.
+    wheel: Option<TimerWheel>,
+    /// The *global* pool configuration the endpoint mapping runs on.
+    cfg: NatConfig,
+    /// This table's first global slot (0 standalone; `s * per_shard`
+    /// for shard `s` of a sharded table).
+    slot_base: usize,
     capacity: usize,
+    /// High-water mark of the clock values seen, for the wheel-mode
+    /// monotonicity precondition (debug-asserted).
+    #[cfg(debug_assertions)]
+    clock_high: Time,
     /// Reusable slot buffer for [`FlowTable::probe_internal_batch`].
     probe_slots: Vec<Option<usize>>,
 }
 
 impl FlowManager {
-    /// Preallocate for `cfg.capacity` flows. Panics if the configuration
-    /// violates [`crate::loop_body::check_config`] — a start-up error,
-    /// never a datapath one.
+    /// Preallocate for `cfg.capacity` flows with the default
+    /// [`ExpiryMode::Wheel`]. Panics if the configuration violates
+    /// [`crate::loop_body::check_config`] — a start-up error, never a
+    /// datapath one.
     pub fn new(cfg: &NatConfig) -> FlowManager {
+        FlowManager::with_expiry(cfg, ExpiryMode::default())
+    }
+
+    /// [`FlowManager::new`] with an explicit expiry mode —
+    /// [`ExpiryMode::Scan`] is the differential oracle the equivalence
+    /// suites run the wheel against.
+    pub fn with_expiry(cfg: &NatConfig, mode: ExpiryMode) -> FlowManager {
+        FlowManager::for_shard(cfg, cfg.capacity, 0, mode)
+    }
+
+    /// A flow manager owning the `capacity` global slots starting at
+    /// `slot_base` of `cfg`'s pool — the shard constructor
+    /// ([`crate::sharded::ShardedFlowManager`] builds one per shard;
+    /// standalone tables use `slot_base == 0` and the full capacity).
+    pub fn for_shard(
+        cfg: &NatConfig,
+        capacity: usize,
+        slot_base: usize,
+        mode: ExpiryMode,
+    ) -> FlowManager {
         crate::loop_body::check_config(cfg).expect("invalid NAT configuration");
+        assert!(
+            slot_base + capacity <= cfg.capacity,
+            "shard slots {slot_base}..{} exceed pool capacity {}",
+            slot_base + capacity,
+            cfg.capacity
+        );
         FlowManager {
-            table: DoubleMap::new(cfg.capacity),
-            chain: DoubleChain::new(cfg.capacity),
-            start_port: cfg.start_port,
-            capacity: cfg.capacity,
+            table: DoubleMap::new(capacity),
+            chain: DoubleChain::new(capacity),
+            wheel: match mode {
+                ExpiryMode::Scan => None,
+                ExpiryMode::Wheel => Some(TimerWheel::new(capacity)),
+            },
+            cfg: *cfg,
+            slot_base,
+            capacity,
+            #[cfg(debug_assertions)]
+            clock_high: Time::ZERO,
             probe_slots: Vec::new(),
         }
+    }
+
+    /// The expiry mode this table runs.
+    pub fn expiry_mode(&self) -> ExpiryMode {
+        if self.wheel.is_some() {
+            ExpiryMode::Wheel
+        } else {
+            ExpiryMode::Scan
+        }
+    }
+
+    /// Debug-only: the wheel-mode clock precondition. Every driver
+    /// feeds the table a monotone clock (the NAT has one clock); the
+    /// wheel's sorted-bucket invariant leans on it.
+    #[inline]
+    fn note_clock(&mut self, now: Time) {
+        #[cfg(debug_assertions)]
+        {
+            if self.wheel.is_some() {
+                debug_assert!(
+                    self.clock_high <= now,
+                    "wheel mode requires a monotone clock: {:?} after {:?}",
+                    now,
+                    self.clock_high
+                );
+            }
+            if self.clock_high < now {
+                self.clock_high = now;
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = now;
     }
 
     /// Flow count.
@@ -149,16 +279,35 @@ impl FlowManager {
         self.capacity
     }
 
-    /// The external port assigned to slot `i`.
+    /// The external port assigned to (local) slot `i`.
     pub fn port_of_slot(&self, slot: usize) -> u16 {
         debug_assert!(slot < self.capacity);
-        self.start_port + slot as u16
+        self.cfg.ext_port_of_slot(self.slot_base + slot)
+    }
+
+    /// The pool address assigned to (local) slot `i`.
+    pub fn ip_of_slot(&self, slot: usize) -> Ip4 {
+        debug_assert!(slot < self.capacity);
+        self.cfg.ext_ip_of_slot(self.slot_base + slot)
+    }
+
+    /// Slot `i`'s port offset within its pool address — the `offset`
+    /// of the loop body's `ext_port = start_port + offset` (equals the
+    /// global slot index with a single-address pool).
+    pub fn port_offset_of_slot(&self, slot: usize) -> u16 {
+        debug_assert!(slot < self.capacity);
+        ((self.slot_base + slot) % self.cfg.ports_per_ip()) as u16
     }
 
     /// Expire every flow with `last_active <= threshold`. Returns how
     /// many were removed.
     pub fn expire(&mut self, threshold: Time) -> usize {
-        expirator::expire_items(&mut self.chain, &mut self.table, threshold)
+        match self.wheel.as_mut() {
+            Some(wheel) => {
+                expirator::expire_items_wheel(wheel, &mut self.chain, &mut self.table, threshold)
+            }
+            None => expirator::expire_items(&mut self.chain, &mut self.table, threshold),
+        }
     }
 
     /// Find a flow by its internal 5-tuple.
@@ -213,8 +362,12 @@ impl FlowManager {
     /// Precondition (P4, validated by the Vigor pipeline): `slot` was
     /// returned by a lookup on this same iteration, hence allocated.
     pub fn rejuvenate(&mut self, slot: usize, now: Time) {
+        self.note_clock(now);
         let ok = self.chain.rejuvenate(slot, now);
         debug_assert!(ok, "rejuvenate of unallocated slot {slot}");
+        if let Some(wheel) = self.wheel.as_mut() {
+            wheel.refresh(slot, now);
+        }
     }
 
     /// Reserve a slot for a new flow, stamped `now`. `None` when full.
@@ -222,30 +375,48 @@ impl FlowManager {
     /// The caller must follow up with [`FlowManager::insert`] for the
     /// same slot (the loop body does; the Validator checks it).
     pub fn allocate_slot(&mut self, now: Time) -> Option<usize> {
-        self.chain.allocate(now).ok()
+        self.note_clock(now);
+        let slot = self.chain.allocate(now).ok()?;
+        if let Some(wheel) = self.wheel.as_mut() {
+            wheel.insert(slot, now);
+        }
+        Some(slot)
     }
 
     /// Populate a reserved slot.
     ///
     /// Preconditions (P4): `slot` freshly allocated and empty; `fid` not
-    /// present; `ext_port == start_port + slot`.
-    pub fn insert(&mut self, slot: usize, fid: FlowId, ext_port: u16) {
+    /// present; `(ext_ip, ext_port)` is the slot's pool endpoint.
+    pub fn insert(&mut self, slot: usize, fid: FlowId, ext_ip: Ip4, ext_port: u16) {
         let hash = fid.key_hash();
-        self.insert_hashed(slot, fid, ext_port, hash);
+        self.insert_hashed(slot, fid, ext_ip, ext_port, hash);
     }
 
     /// [`FlowManager::insert`] with a caller-computed `FlowId` hash
     /// (`fid_hash == fid.key_hash()`): the lookup miss that precedes
     /// every insert already hashed the key, and this entry point reuses
     /// that work instead of hashing a second time.
-    pub fn insert_hashed(&mut self, slot: usize, fid: FlowId, ext_port: u16, fid_hash: u64) {
+    pub fn insert_hashed(
+        &mut self,
+        slot: usize,
+        fid: FlowId,
+        ext_ip: Ip4,
+        ext_port: u16,
+        fid_hash: u64,
+    ) {
         debug_assert_eq!(
             ext_port,
             self.port_of_slot(slot),
             "slot/port bijection violated"
         );
+        debug_assert_eq!(
+            ext_ip,
+            self.ip_of_slot(slot),
+            "slot/address bijection violated"
+        );
         let flow = Flow {
             int_key: fid,
+            ext_ip,
             ext_port,
         };
         let ok = self.table.put_with_hash(slot, flow, fid_hash);
@@ -253,7 +424,8 @@ impl FlowManager {
     }
 
     /// Convenience: allocate + insert in one step, returning the slot
-    /// and the assigned external port. This is the API examples and
+    /// and the assigned external port (the slot's pool address is
+    /// [`FlowManager::ip_of_slot`]). This is the API examples and
     /// baselines use; the verified loop body uses the two-step form to
     /// keep the port arithmetic in stateless code.
     pub fn allocate(&mut self, fid: FlowId, now: Time) -> Option<(usize, u16)> {
@@ -262,7 +434,8 @@ impl FlowManager {
         }
         let slot = self.allocate_slot(now)?;
         let port = self.port_of_slot(slot);
-        self.insert(slot, fid, port);
+        let ip = self.ip_of_slot(slot);
+        self.insert(slot, fid, ip, port);
         Some((slot, port))
     }
 
@@ -296,18 +469,50 @@ impl FlowManager {
         // the slots exactly — expiry and slot realloc go through
         // erase/put, which maintain them.
         self.table.check_directory_coherence()?;
+        if let Some(wheel) = self.wheel.as_ref() {
+            wheel.check_consistency();
+            if wheel.len() != self.chain.size() {
+                return Err(format!(
+                    "wheel arms {} slots, dchain {}",
+                    wheel.len(),
+                    self.chain.size()
+                ));
+            }
+        }
         for slot in 0..self.capacity {
             let in_map = self.table.get(slot).is_some();
             let in_chain = self.chain.is_allocated(slot);
             if in_map != in_chain {
                 return Err(format!("slot {slot}: dmap={in_map} dchain={in_chain}"));
             }
+            if let Some(wheel) = self.wheel.as_ref() {
+                if wheel.contains(slot) != in_chain {
+                    return Err(format!(
+                        "slot {slot}: wheel={} dchain={in_chain}",
+                        wheel.contains(slot)
+                    ));
+                }
+                if in_chain && wheel.deadline_of(slot) != self.chain.timestamp_of(slot) {
+                    return Err(format!(
+                        "slot {slot}: wheel deadline {:?} != chain stamp {:?}",
+                        wheel.deadline_of(slot),
+                        self.chain.timestamp_of(slot)
+                    ));
+                }
+            }
             if let Some(f) = self.table.get(slot) {
                 if f.ext_port != self.port_of_slot(slot) {
                     return Err(format!(
-                        "slot {slot}: ext_port {} != start+slot {}",
+                        "slot {slot}: ext_port {} != pool port {}",
                         f.ext_port,
                         self.port_of_slot(slot)
+                    ));
+                }
+                if f.ext_ip != self.ip_of_slot(slot) {
+                    return Err(format!(
+                        "slot {slot}: ext_ip {} != pool address {}",
+                        f.ext_ip,
+                        self.ip_of_slot(slot)
                     ));
                 }
             }
@@ -360,8 +565,23 @@ impl FlowTable for FlowManager {
         self.allocate_slot(now)
     }
 
-    fn insert_hashed(&mut self, slot: usize, fid: FlowId, ext_port: u16, fid_hash: u64) {
-        FlowManager::insert_hashed(self, slot, fid, ext_port, fid_hash);
+    fn endpoint_of_slot(&self, slot: usize) -> (Ip4, u16) {
+        (self.ip_of_slot(slot), self.port_of_slot(slot))
+    }
+
+    fn port_offset_of_slot(&self, slot: usize) -> u16 {
+        FlowManager::port_offset_of_slot(self, slot)
+    }
+
+    fn insert_hashed(
+        &mut self,
+        slot: usize,
+        fid: FlowId,
+        ext_ip: Ip4,
+        ext_port: u16,
+        fid_hash: u64,
+    ) {
+        FlowManager::insert_hashed(self, slot, fid, ext_ip, ext_port, fid_hash);
     }
 
     fn check_coherence(&self) -> Result<(), String> {

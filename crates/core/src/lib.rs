@@ -31,8 +31,12 @@
 //! every domain operation inlines to a plain machine instruction.
 //!
 //! The slot⇄port bijection VigNAT is known for is preserved: flow slot
-//! `i` always uses external port `start_port + i`, so port uniqueness
-//! follows from slot uniqueness, which the dchain contract provides.
+//! `i` always uses the pool endpoint of index `i` — external port
+//! `start_port + i` with the paper's single-address pool — so endpoint
+//! uniqueness follows from slot uniqueness, which the dchain contract
+//! provides. Beyond 64k flows the pool spills onto consecutive
+//! external addresses, and expiry runs on a hierarchical timer wheel
+//! ([`flow_manager::ExpiryMode`]) proven equivalent to the LRU scan.
 //!
 //! ## Quick start
 //!
@@ -69,7 +73,7 @@ pub mod simple_env;
 
 pub use domain::{Concrete, Domain};
 pub use env::{ExtParts, FidParts, FlowView, NatEnv, PktHandle, RxPacket, SlotId, TxHdr};
-pub use flow_manager::{FlowManager, FlowTable};
+pub use flow_manager::{ExpiryMode, FlowManager, FlowTable};
 pub use loop_body::{nat_loop_iteration, nat_process_batch, IterationOutcome, MAX_BURST};
 pub use sharded::{QueueFed, ShardedFlowManager};
 pub use simple_env::SimpleEnv;

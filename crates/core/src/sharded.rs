@@ -7,26 +7,30 @@
 //!   `FlowId` hash — the same 64-bit hash the datapath already memoizes
 //!   per packet for the directory probe, so shard selection costs one
 //!   multiply-shift and **no extra hash**.
-//! * **Ports are partitioned per shard**: shard `s` owns the contiguous
-//!   range `start_port + s·per_shard .. start_port + (s+1)·per_shard`,
-//!   so allocation never crosses shards and port uniqueness still
-//!   follows from per-shard slot uniqueness (the dchain contract),
-//!   exactly as in the unsharded VigNAT.
-//! * **External (return) traffic** routes by that port partition — a
-//!   flow's external port *identifies* its shard — never by the
+//! * **Pool endpoints are partitioned per shard**: shard `s` owns the
+//!   contiguous global-slot range `s·per_shard .. (s+1)·per_shard` and
+//!   with it that slice of the endpoint pool (for a single-address
+//!   pool: ports `start_port + s·per_shard ..`), so allocation never
+//!   crosses shards and endpoint uniqueness still follows from
+//!   per-shard slot uniqueness (the dchain contract), exactly as in
+//!   the unsharded VigNAT.
+//! * **External (return) traffic** routes by that endpoint partition —
+//!   a flow's external endpoint *identifies* its shard — never by the
 //!   external key's hash, which is independent of the internal one and
 //!   would land on the wrong shard for roughly `(N-1)/N` of all flows.
 //!
 //! ## Global slots: the bijection survives sharding
 //!
 //! Shard `s`'s local slot `i` is exposed as **global slot**
-//! `g = s·per_shard + i`. Since shard `s`'s own VigNAT invariant gives
-//! `ext_port = (start_port + s·per_shard) + i`, globally
-//! `ext_port = start_port + g` — the unsharded slot⇄port bijection,
-//! verbatim. The verified loop body's port arithmetic
-//! (`ext_port = start_port + slot`) therefore needs no sharding
-//! awareness at all, and the P2 overflow proof carries over unchanged
-//! (`start_port + capacity <= 65536` still bounds every global slot).
+//! `g = s·per_shard + i`, and each shard maps its slots through the
+//! *global* endpoint pool at base offset `s·per_shard`
+//! ([`FlowManager::for_shard`]), so every shard's flow carries exactly
+//! `endpoint_of(g)` — the unsharded slot⇄endpoint bijection, verbatim.
+//! With the paper's single-address pool that reads
+//! `ext_port = start_port + g`, so the verified loop body's port
+//! arithmetic needs no sharding awareness at all, and the P2 overflow
+//! proof carries over unchanged (`offset < ports_per_ip` bounds every
+//! slot's port on every shard).
 //!
 //! ## What sharding preserves, and what it trades
 //!
@@ -43,21 +47,20 @@
 //! tests pin this behaviour down; `docs/ARCHITECTURE.md` discusses the
 //! sizing consequences.
 
-use crate::flow_manager::{FlowManager, FlowTable};
+use crate::flow_manager::{ExpiryMode, FlowManager, FlowTable};
 use crate::loop_body::IterationOutcome;
 use crate::simple_env::{RawRx, SimpleEnv};
-use libvig::rss::{shard_of, shard_of_port, BatchSplit};
+use libvig::rss::{shard_of, BatchSplit};
 use libvig::time::Time;
-use vig_packet::{Direction, ExtKey, Flow, FlowId};
+use vig_packet::{Direction, ExtKey, Flow, FlowId, Ip4};
 use vig_spec::NatConfig;
 
 /// N independent flow-table shards. See module docs.
 #[derive(Debug, Clone)]
 pub struct ShardedFlowManager {
     shards: Vec<FlowManager>,
-    shard_cfgs: Vec<NatConfig>,
+    cfg: NatConfig,
     per_shard: usize,
-    start_port: u16,
     /// Gather/scatter scratch for the per-shard sub-batch probe split.
     split: BatchSplit<FlowId>,
     /// Per-shard probe result scratch (reused across bursts).
@@ -65,16 +68,23 @@ pub struct ShardedFlowManager {
 }
 
 impl ShardedFlowManager {
-    /// Partition `cfg` into `shards` independent flow managers.
+    /// Partition `cfg` into `shards` independent flow managers, in the
+    /// default [`ExpiryMode::Wheel`].
     ///
     /// Each shard gets `cfg.capacity / shards` slots (the remainder, if
     /// any, is dropped — the table's effective capacity is
     /// `per_shard · shards`) and the matching contiguous slice of the
-    /// port range. Panics if `cfg` is invalid ([`check_config`]) or if
-    /// `shards` is zero or exceeds the capacity.
+    /// endpoint pool. Panics if `cfg` is invalid ([`check_config`]) or
+    /// if `shards` is zero or exceeds the capacity.
     ///
     /// [`check_config`]: crate::loop_body::check_config
     pub fn new(cfg: &NatConfig, shards: usize) -> ShardedFlowManager {
+        ShardedFlowManager::with_expiry(cfg, shards, ExpiryMode::default())
+    }
+
+    /// [`ShardedFlowManager::new`] with an explicit expiry mode for
+    /// every shard (the churn-parity suites run `Scan` as the oracle).
+    pub fn with_expiry(cfg: &NatConfig, shards: usize, mode: ExpiryMode) -> ShardedFlowManager {
         crate::loop_body::check_config(cfg).expect("invalid NAT configuration");
         assert!(shards > 0, "need at least one shard");
         let per_shard = cfg.capacity / shards;
@@ -84,21 +94,22 @@ impl ShardedFlowManager {
             shards,
             cfg.capacity
         );
-        let shard_cfgs: Vec<NatConfig> = (0..shards)
-            .map(|s| NatConfig {
-                capacity: per_shard,
-                start_port: cfg.start_port + (s * per_shard) as u16,
-                ..*cfg
-            })
-            .collect();
         ShardedFlowManager {
-            shards: shard_cfgs.iter().map(FlowManager::new).collect(),
-            shard_cfgs,
+            shards: (0..shards)
+                .map(|s| FlowManager::for_shard(cfg, per_shard, s * per_shard, mode))
+                .collect(),
+            cfg: *cfg,
             per_shard,
-            start_port: cfg.start_port,
             split: BatchSplit::new(shards),
             shard_found: (0..shards).map(|_| Vec::new()).collect(),
         }
+    }
+
+    /// The global pool configuration — what every worker's loop body
+    /// runs with (shards return pool-global port offsets, so the loop's
+    /// `start_port + offset` arithmetic uses the *global* start port).
+    pub fn global_cfg(&self) -> NatConfig {
+        self.cfg
     }
 
     /// Number of shards.
@@ -111,13 +122,28 @@ impl ShardedFlowManager {
         self.per_shard
     }
 
-    /// The configuration shard `s` runs under: its slice of the
-    /// capacity and port range, with expiry and external ip shared.
-    /// This is exactly the config a standalone 1-shard NAT serving the
-    /// same partition would use — the parallel driver and the
-    /// differential tests build their per-shard references from it.
+    /// The configuration a **standalone 1-shard NAT** serving shard
+    /// `s`'s partition would use: the shard's slice of the capacity and
+    /// port range, with expiry and external ip shared. The differential
+    /// tests build their per-shard references from it.
+    ///
+    /// Only expressible while the whole pool lives on one address
+    /// (`capacity <= ports_per_ip`, the paper's configuration) — a
+    /// shard of a multi-address pool is not a contiguous port range of
+    /// any single-address config. Panics otherwise; drive workers with
+    /// [`ShardedFlowManager::global_cfg`] instead, which is valid at
+    /// every scale.
     pub fn shard_cfg(&self, s: usize) -> NatConfig {
-        self.shard_cfgs[s]
+        assert_eq!(
+            self.cfg.num_external_ips(),
+            1,
+            "per-shard standalone configs exist only for single-address pools"
+        );
+        NatConfig {
+            capacity: self.per_shard,
+            start_port: self.cfg.start_port + (s * self.per_shard) as u16,
+            ..self.cfg
+        }
     }
 
     /// Shard `s`'s flow manager (read-only).
@@ -137,11 +163,23 @@ impl ShardedFlowManager {
         shard_of(fid_hash, self.shards.len())
     }
 
-    /// Which shard owns external port `port`, if it is in the NAT's
-    /// range at all ([`libvig::rss::shard_of_port`] — the shared
-    /// definition the NIC classifier and queue-fed driver also use).
+    /// Which shard owns the pool endpoint `(ip, port)`, if any shard
+    /// does: the endpoint's global slot ([`NatConfig::slot_of_endpoint`])
+    /// divided by the per-shard capacity — the shared definition the
+    /// NIC classifier and queue-fed driver also use. `ip` must already
+    /// be canonicalized the way the loop body's external key is (the
+    /// configured address for single-address pools).
+    pub fn shard_of_endpoint(&self, ip: Ip4, port: u16) -> Option<usize> {
+        let slot = self.cfg.slot_of_endpoint(ip, port)?;
+        // Remainder slots (capacity % shards) are dropped from the
+        // sharded table; their endpoints belong to no shard.
+        (slot < self.per_shard * self.shards.len()).then(|| slot / self.per_shard)
+    }
+
+    /// [`ShardedFlowManager::shard_of_endpoint`] for the paper's
+    /// single-address pool, where the port alone identifies the shard.
     pub fn shard_of_port(&self, port: u16) -> Option<usize> {
-        libvig::rss::shard_of_port(port, self.start_port, self.per_shard, self.shards.len())
+        self.shard_of_endpoint(self.cfg.external_ip, port)
     }
 
     /// Global slot of shard `s`'s local `slot`.
@@ -241,10 +279,10 @@ impl FlowTable for ShardedFlowManager {
     }
 
     fn lookup_external_hashed(&self, ek: &ExtKey, hash: u64) -> Option<(usize, &Flow)> {
-        // Route by the port partition, not the hash (module docs): an
-        // out-of-range port cannot belong to any flow, matching the
-        // unsharded table's miss.
-        let s = self.shard_of_port(ek.ext_port)?;
+        // Route by the endpoint partition, not the hash (module docs):
+        // an out-of-pool endpoint cannot belong to any flow, matching
+        // the unsharded table's miss.
+        let s = self.shard_of_endpoint(ek.ext_ip, ek.ext_port)?;
         let (slot, flow) = self.shards[s].lookup_external_hashed(ek, hash)?;
         Some((self.global(s, slot), flow))
     }
@@ -260,16 +298,36 @@ impl FlowTable for ShardedFlowManager {
         Some(self.global(s, slot))
     }
 
-    fn insert_hashed(&mut self, slot: usize, fid: FlowId, ext_port: u16, fid_hash: u64) {
+    fn endpoint_of_slot(&self, slot: usize) -> (Ip4, u16) {
+        // Shards map their slots through the *global* pool, so this is
+        // the global mapping regardless of which shard owns the slot.
+        (
+            self.cfg.ext_ip_of_slot(slot),
+            self.cfg.ext_port_of_slot(slot),
+        )
+    }
+
+    fn port_offset_of_slot(&self, slot: usize) -> u16 {
+        (slot % self.cfg.ports_per_ip()) as u16
+    }
+
+    fn insert_hashed(
+        &mut self,
+        slot: usize,
+        fid: FlowId,
+        ext_ip: Ip4,
+        ext_port: u16,
+        fid_hash: u64,
+    ) {
         let (s, local) = self.local(slot);
         debug_assert_eq!(
             s,
             self.shard_of_hash(fid_hash),
             "insert into a slot of the wrong shard (allocate/insert hash mismatch)"
         );
-        // The shard's own FlowManager asserts its local slot⇄port
+        // The shard's own FlowManager asserts its local slot⇄endpoint
         // bijection, which composes to the global one (module docs).
-        self.shards[s].insert_hashed(local, fid, ext_port, fid_hash);
+        self.shards[s].insert_hashed(local, fid, ext_ip, ext_port, fid_hash);
     }
 
     fn check_coherence(&self) -> Result<(), String> {
@@ -332,8 +390,8 @@ pub struct QueueFed<T: FlowTable = ShardedFlowManager> {
     env: SimpleEnv<T>,
     queue_clocks: Vec<Time>,
     clock: Time,
-    start_port: u16,
-    ports_per_queue: usize,
+    cfg: NatConfig,
+    slots_per_queue: usize,
     events: u64,
 }
 
@@ -364,14 +422,14 @@ impl<T: FlowTable> QueueFed<T> {
     /// Shared constructor: wrap an env with the queue-dispatch state.
     fn over(env: SimpleEnv<T>, cfg: &NatConfig, queues: usize) -> QueueFed<T> {
         assert!(queues > 0, "need at least one queue");
-        let ports_per_queue = cfg.capacity / queues;
-        assert!(ports_per_queue > 0, "more queues than ports");
+        let slots_per_queue = cfg.capacity / queues;
+        assert!(slots_per_queue > 0, "more queues than slots");
         QueueFed {
             env,
             queue_clocks: vec![Time::ZERO; queues],
             clock: Time::ZERO,
-            start_port: cfg.start_port,
-            ports_per_queue,
+            cfg: *cfg,
+            slots_per_queue,
             events: 0,
         }
     }
@@ -394,7 +452,9 @@ impl<T: FlowTable> QueueFed<T> {
     /// The queue a packet's RSS classification steers it to — the
     /// field-level twin of netsim's frame-level classifier: internal
     /// traffic by [`shard_of`] over the flow-key hash, return traffic
-    /// by the port partition, unroutable packets to queue 0 (they drop
+    /// by the endpoint partition (destination ip canonicalized exactly
+    /// as the loop body's external key: single-address pools route by
+    /// port alone), unroutable packets to queue 0 (they drop
     /// identically everywhere).
     pub fn queue_of(&self, raw: &RawRx) -> usize {
         use libvig::map::MapKey;
@@ -412,13 +472,18 @@ impl<T: FlowTable> QueueFed<T> {
                 }
                 None => 0,
             },
-            Direction::External => shard_of_port(
-                raw.dst_port,
-                self.start_port,
-                self.ports_per_queue,
-                self.queue_count(),
-            )
-            .unwrap_or(0),
+            Direction::External => {
+                let ip = if self.cfg.num_external_ips() == 1 {
+                    self.cfg.external_ip
+                } else {
+                    vig_packet::Ip4(raw.dst_ip)
+                };
+                self.cfg
+                    .slot_of_endpoint(ip, raw.dst_port)
+                    .filter(|&slot| slot < self.slots_per_queue * self.queue_count())
+                    .map(|slot| slot / self.slots_per_queue)
+                    .unwrap_or(0)
+            }
         }
     }
 
@@ -490,8 +555,8 @@ mod tests {
         let hash = f.key_hash();
         assert!(t.lookup_internal_hashed(&f, hash).is_none());
         let slot = t.allocate_slot_routed(hash, now)?;
-        let port = 1000 + slot as u16;
-        t.insert_hashed(slot, f, port, hash);
+        let (ip, port) = t.endpoint_of_slot(slot);
+        t.insert_hashed(slot, f, ip, port, hash);
         Some((slot, port))
     }
 
@@ -616,7 +681,8 @@ mod tests {
                 }
                 match t.allocate_slot_routed(hash, Time::from_secs(1)) {
                     Some(slot) => {
-                        t.insert_hashed(slot, f, 1000 + slot as u16, hash);
+                        let (ip, port) = t.endpoint_of_slot(slot);
+                        t.insert_hashed(slot, f, ip, port, hash);
                         filled += 1;
                     }
                     None => {

@@ -311,21 +311,30 @@ impl<T: FlowTable> NatEnv for SimpleEnv<T> {
         self.fm.rejuvenate(slot.0, Time(*now));
     }
 
-    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
+    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16, u32)> {
         // The memoized hash of the just-missed lookup routes the
         // allocation (the shard selector for sharded tables).
         let slot = self
             .fm
             .allocate_slot_routed(self.fid_memo.hash_for_alloc(), Time(*now))?;
-        Some((SlotId(slot), slot as u16))
+        let (ip, port) = self.fm.endpoint_of_slot(slot);
+        Some((SlotId(slot), port - self.cfg.start_port, ip.raw()))
     }
 
-    fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: u16, _now: &u64) {
+    fn insert_flow(
+        &mut self,
+        slot: SlotId,
+        fid: FidParts<Self>,
+        ext_ip: u32,
+        ext_port: u16,
+        _now: &u64,
+    ) {
         let key = fid_key(&fid);
         // Reuse the hash memoized by the lookup miss that precedes
         // every insert on the same packet.
         let hash = self.fid_memo.hash_for_insert(&key);
-        self.fm.insert_hashed(slot.0, key, ext_port, hash);
+        self.fm
+            .insert_hashed(slot.0, key, vig_packet::Ip4(ext_ip), ext_port, hash);
     }
 
     fn tx(&mut self, pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {

@@ -17,6 +17,7 @@
 use crate::dchain::DoubleChain;
 use crate::dmap::{DmapValue, DoubleMap};
 use crate::time::Time;
+use crate::wheel::TimerWheel;
 
 /// Expire every index whose timestamp is `<= threshold`, erasing both
 /// the chain entry and the map slot. Returns how many were expired.
@@ -31,6 +32,47 @@ pub fn expire_items<V: DmapValue + Clone>(
         debug_assert!(
             erased.is_some(),
             "chain/map coherence: expired index {index} had no map slot"
+        );
+        count += 1;
+    }
+    count
+}
+
+/// Expire every index whose deadline is `<= threshold`, driven by the
+/// [`TimerWheel`] instead of the chain's LRU walk: pop due indices off
+/// the wheel, free each from the chain, erase its map slot.
+///
+/// Same contract as [`expire_items`], plus exact-order agreement: the
+/// wheel's drain order equals the chain's LRU expiry order (the
+/// module-level order theorem in [`crate::wheel`]), and
+/// [`DoubleChain::free_index`] pushes a freed index onto the free list
+/// exactly as [`DoubleChain::expire_one`] would — so the post-states
+/// of the two drains are identical, free-list order included. The
+/// `debug_assert`s here pin that agreement on every pop; the
+/// differential suites prove it end to end.
+pub fn expire_items_wheel<V: DmapValue + Clone>(
+    wheel: &mut TimerWheel,
+    chain: &mut DoubleChain,
+    map: &mut DoubleMap<V>,
+    threshold: Time,
+) -> usize {
+    let mut count = 0;
+    while let Some(index) = wheel.pop_expired(threshold) {
+        debug_assert_eq!(
+            chain.oldest_timestamp(),
+            chain.timestamp_of(index),
+            "wheel/chain coherence: popped index {index} is not the LRU head's stamp"
+        );
+        debug_assert!(
+            chain.timestamp_of(index).is_some_and(|t| t <= threshold),
+            "wheel/chain coherence: popped index {index} is not due on the chain"
+        );
+        let freed = chain.free_index(index);
+        debug_assert!(freed, "wheel/chain coherence: index {index} not allocated");
+        let erased = map.erase(index);
+        debug_assert!(
+            erased.is_some(),
+            "wheel/map coherence: expired index {index} had no map slot"
         );
         count += 1;
     }
@@ -147,6 +189,67 @@ mod tests {
     }
 
     proptest! {
+        /// The wheel-driven drain is byte-identical to the scan drain:
+        /// same expired count, same surviving LRU sequence, same map
+        /// contents — and the same *free-list order*, observed by
+        /// draining both chains through fresh allocations afterwards
+        /// (this is what makes wheel mode reuse ports in the exact
+        /// sequence scan mode would).
+        #[test]
+        fn wheel_drain_equals_scan_drain(
+            stamps in proptest::collection::vec(0u64..60, 1..28),
+            rejuv in proptest::collection::vec((0usize..28, 0u64..60), 0..16),
+            thr in 0u64..80,
+        ) {
+            let cap = 32;
+            let mut chain_s = DoubleChain::new(cap);
+            let mut map_s: DoubleMap<Item> = DoubleMap::new(cap);
+            let mut chain_w = DoubleChain::new(cap);
+            let mut map_w: DoubleMap<Item> = DoubleMap::new(cap);
+            let mut wheel = crate::wheel::TimerWheel::new(cap);
+
+            let mut sorted = stamps;
+            sorted.sort_unstable();
+            let mut clock = 0u64;
+            for (i, s) in sorted.iter().enumerate() {
+                clock = clock.max(*s);
+                let t = Time::from_secs(clock);
+                let a = insert(&mut chain_s, &mut map_s, i as u64, t);
+                let b = insert(&mut chain_w, &mut map_w, i as u64, t);
+                prop_assert_eq!(a, b);
+                wheel.insert(b, t);
+            }
+            // A monotone rejuvenation storm (the refresh path).
+            for (pick, bump) in rejuv {
+                if pick < sorted.len() && chain_s.is_allocated(pick) {
+                    clock += bump;
+                    let t = Time::from_secs(clock);
+                    chain_s.rejuvenate(pick, t);
+                    chain_w.rejuvenate(pick, t);
+                    wheel.refresh(pick, t);
+                }
+            }
+
+            let thr_t = Time::from_secs(thr);
+            let n_scan = expire_items(&mut chain_s, &mut map_s, thr_t);
+            let n_wheel = expire_items_wheel(&mut wheel, &mut chain_w, &mut map_w, thr_t);
+            prop_assert_eq!(n_scan, n_wheel);
+            let lru_s: Vec<_> = chain_s.iter_lru().collect();
+            let lru_w: Vec<_> = chain_w.iter_lru().collect();
+            prop_assert_eq!(lru_s, lru_w);
+            prop_assert_eq!(map_s.size(), map_w.size());
+            wheel.check_consistency();
+            // Free-list order: drain both chains dry and compare the
+            // allocation sequences.
+            let t_next = Time::from_secs(clock + 1);
+            loop {
+                let a = chain_s.allocate(t_next);
+                let b = chain_w.allocate(t_next);
+                prop_assert_eq!(&a, &b, "free-list order diverged");
+                if a.is_err() { break; }
+            }
+        }
+
         /// Post-state properties for arbitrary histories: survivors are
         /// exactly the items stamped after the threshold, and chain/map
         /// stay coherent.

@@ -33,7 +33,9 @@ impl MapKey for FlowId {
 impl MapKey for ExtKey {
     fn key_hash(&self) -> u64 {
         let a = (u64::from(self.dst_ip.raw()) << 16) | u64::from(self.ext_port);
-        let b = (u64::from(self.dst_port) << 8) | u64::from(self.proto.number());
+        let b = (u64::from(self.ext_ip.raw()) << 24)
+            | (u64::from(self.dst_port) << 8)
+            | u64::from(self.proto.number());
         mix(mix(a) ^ b)
     }
 }
@@ -73,6 +75,7 @@ mod tests {
         let mut table: DoubleMap<Flow> = DoubleMap::new(16);
         let flow = Flow {
             int_key: fid(10, 4242),
+            ext_ip: Ip4::new(10, 1, 0, 1),
             ext_port: 60001,
         };
         table.put(3, flow).unwrap();
@@ -112,7 +115,7 @@ mod tests {
         #[test]
         fn ext_key_lookup_total(host in any::<u8>(), port in any::<u16>(), ext in any::<u16>()) {
             let mut table: DoubleMap<Flow> = DoubleMap::new(4);
-            let flow = Flow { int_key: fid(host, port), ext_port: ext };
+            let flow = Flow { int_key: fid(host, port), ext_ip: Ip4::new(10, 1, 0, 1), ext_port: ext };
             table.put(0, flow).unwrap();
             prop_assert_eq!(table.get_by_b(&flow.ext_key()), Some(0));
         }

@@ -19,6 +19,7 @@
 //! | [`port_alloc`] | standalone port allocator | port allocator |
 //! | [`rss`] | RSS-style hash→shard routing + batched-probe splitter | NIC receive-side scaling |
 //! | [`expirator`] | dchain+dmap glue that expires old flows | `expirator.c` |
+//! | [`wheel`] | hierarchical timer wheel (O(1) expiry at any scale), proven ≡ the scan drain | Varghese–Lauck wheel behind `expirator.c`'s seam |
 //! | [`time`] | time abstraction (virtual + system clocks) | `nf_time` |
 //! | [`flow`] | NAT flow key hashing | `flow.h` |
 //!
@@ -73,6 +74,7 @@ pub mod rss;
 pub mod spsc;
 pub mod time;
 pub mod vector;
+pub mod wheel;
 
 pub use batcher::Batcher;
 pub use dchain::DoubleChain;
@@ -82,6 +84,7 @@ pub use port_alloc::PortAllocator;
 pub use ring::Ring;
 pub use time::{Clock, SystemClock, Time, VirtualClock};
 pub use vector::Vector;
+pub use wheel::TimerWheel;
 
 /// Error returned by operations whose contract precondition "capacity not
 /// exhausted" does not hold. These are *not* contract violations: the NF is

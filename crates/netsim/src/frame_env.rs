@@ -146,6 +146,13 @@ pub fn frame_l4_dst_port(f: &[u8]) -> u16 {
     rd16(f, l4 + 2)
 }
 
+/// A frame's IPv4 destination address at the env's offsets (zero-filled
+/// when absent) — with a multi-address pool this selects which external
+/// address's port range return traffic resolves against.
+pub fn frame_dst_ip(f: &[u8]) -> vig_packet::Ip4 {
+    vig_packet::Ip4(rd32(f, 30))
+}
+
 /// The RSS classification function a multi-queue NIC's hash unit
 /// computes: frame bytes in, queue index out.
 ///
@@ -162,43 +169,46 @@ pub fn frame_l4_dst_port(f: &[u8]) -> u16 {
 /// * **Internal traffic** routes by [`libvig::rss::shard_of`] over the
 ///   flow-key hash a NIC's RSS unit would compute ([`frame_flow_id`],
 ///   reading the same offsets with the same zero-fill as the env).
-/// * **External (return) traffic** routes by the NAT port partition:
-///   queue `q` owns destination ports
-///   `start_port + q·ports_per_queue ..` — a translated flow's external
-///   port identifies its queue exactly.
-/// * Frames carrying no routable flow (non-TCP/UDP, out-of-range
-///   external port) classify to queue 0; every queue drops them
-///   identically, so the choice is unobservable.
+/// * **External (return) traffic** routes by the NAT endpoint-pool
+///   partition: queue `q` owns the pool slots
+///   `q·slots_per_queue ..` — a translated flow's external
+///   `(address, port)` identifies its pool slot, hence its queue,
+///   exactly. With the paper's single-address pool the destination
+///   address is not consulted (the loop body's external match
+///   canonicalizes it), so this degenerates to the pure port partition.
+/// * Frames carrying no routable flow (non-TCP/UDP, endpoint outside
+///   the pool) classify to queue 0; every queue drops them identically,
+///   so the choice is unobservable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RssClassifier {
     queues: usize,
-    start_port: u16,
-    ports_per_queue: usize,
+    cfg: vig_spec::NatConfig,
+    slots_per_queue: usize,
 }
 
 impl RssClassifier {
-    /// Classifier for `queues` queues over the NAT's port range — the
+    /// Classifier for `queues` queues over the NAT's endpoint pool — the
     /// partition [`vignat::ShardedFlowManager`] would use with `queues`
-    /// shards (`cfg.capacity / queues` ports per queue).
+    /// shards (`cfg.capacity / queues` pool slots per queue).
     pub fn for_nat(cfg: &vig_spec::NatConfig, queues: usize) -> RssClassifier {
         assert!(queues > 0, "need at least one queue");
-        let ports_per_queue = cfg.capacity / queues;
-        assert!(ports_per_queue > 0, "more queues than ports");
+        let slots_per_queue = cfg.capacity / queues;
+        assert!(slots_per_queue > 0, "more queues than pool slots");
         RssClassifier {
             queues,
-            start_port: cfg.start_port,
-            ports_per_queue,
+            cfg: *cfg,
+            slots_per_queue,
         }
     }
 
     /// The classifier matching a sharded flow table's own routing: one
-    /// queue per shard, same port partition — hardware dispatch and
+    /// queue per shard, same pool partition — hardware dispatch and
     /// table routing become one function by construction.
     pub fn for_table(table: &vignat::ShardedFlowManager) -> RssClassifier {
         RssClassifier {
             queues: table.shard_count(),
-            start_port: table.shard_cfg(0).start_port,
-            ports_per_queue: table.per_shard_capacity(),
+            cfg: table.global_cfg(),
+            slots_per_queue: table.per_shard_capacity(),
         }
     }
 
@@ -213,15 +223,35 @@ impl RssClassifier {
             Direction::Internal => frame_flow_id(frame)
                 .map(|fid| libvig::rss::shard_of(fid.key_hash(), self.queues))
                 .unwrap_or(0),
-            Direction::External => self.queue_of_port(frame_l4_dst_port(frame)).unwrap_or(0),
+            Direction::External => self
+                .queue_of_endpoint(frame_dst_ip(frame), frame_l4_dst_port(frame))
+                .unwrap_or(0),
         }
     }
 
-    /// Which queue owns external port `port`, if it is in range at all
-    /// ([`libvig::rss::shard_of_port`] — the shared definition the
-    /// sharded table and queue-fed driver also use).
+    /// Which queue owns the pool endpoint `(dst_ip, dst_port)`, if any.
+    /// Mirrors the loop body's external match exactly: with a
+    /// single-address pool `dst_ip` is canonicalized away (the paper's
+    /// NAT never consults it), otherwise the pair resolves through
+    /// [`vig_spec::NatConfig::slot_of_endpoint`] — the same mapping the
+    /// sharded table routes by.
+    pub fn queue_of_endpoint(&self, dst_ip: vig_packet::Ip4, dst_port: u16) -> Option<usize> {
+        let ip = if self.cfg.num_external_ips() == 1 {
+            self.cfg.external_ip
+        } else {
+            dst_ip
+        };
+        self.cfg
+            .slot_of_endpoint(ip, dst_port)
+            .filter(|&slot| slot < self.slots_per_queue * self.queues)
+            .map(|slot| slot / self.slots_per_queue)
+    }
+
+    /// Which queue owns external port `port` on the pool's first
+    /// address — the single-address special case of
+    /// [`RssClassifier::queue_of_endpoint`].
     pub fn queue_of_port(&self, port: u16) -> Option<usize> {
-        libvig::rss::shard_of_port(port, self.start_port, self.ports_per_queue, self.queues)
+        self.queue_of_endpoint(self.cfg.external_ip, port)
     }
 }
 
@@ -315,20 +345,29 @@ impl<T: FlowTable> NatEnv for FrameEnv<'_, T> {
         self.fm.rejuvenate(slot.0, Time(*now));
     }
 
-    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
+    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16, u32)> {
         // The memoized hash of the just-missed lookup routes the
         // allocation (shard selector on sharded tables).
         let slot = self
             .fm
             .allocate_slot_routed(self.fid_memo.hash_for_alloc(), Time(*now))?;
-        Some((SlotId(slot), slot as u16))
+        let (ip, _) = self.fm.endpoint_of_slot(slot);
+        Some((SlotId(slot), self.fm.port_offset_of_slot(slot), ip.raw()))
     }
 
-    fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: u16, _now: &u64) {
+    fn insert_flow(
+        &mut self,
+        slot: SlotId,
+        fid: FidParts<Self>,
+        ext_ip: u32,
+        ext_port: u16,
+        _now: &u64,
+    ) {
         let key = fid_key(&fid);
         // Reuse the hash memoized by the preceding lookup miss.
         let hash = self.fid_memo.hash_for_insert(&key);
-        self.fm.insert_hashed(slot.0, key, ext_port, hash);
+        self.fm
+            .insert_hashed(slot.0, key, vig_packet::Ip4(ext_ip), ext_port, hash);
     }
 
     fn tx(&mut self, _pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
@@ -506,19 +545,28 @@ impl<T: FlowTable> NatEnv for BurstEnv<'_, T> {
         self.fm.rejuvenate(slot.0, Time(*now));
     }
 
-    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16)> {
+    fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16, u32)> {
         // Routed by the memoized hash of the just-missed lookup.
         let slot = self
             .fm
             .allocate_slot_routed(self.fid_memo.hash_for_alloc(), Time(*now))?;
-        Some((SlotId(slot), slot as u16))
+        let (ip, _) = self.fm.endpoint_of_slot(slot);
+        Some((SlotId(slot), self.fm.port_offset_of_slot(slot), ip.raw()))
     }
 
-    fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: u16, _now: &u64) {
+    fn insert_flow(
+        &mut self,
+        slot: SlotId,
+        fid: FidParts<Self>,
+        ext_ip: u32,
+        ext_port: u16,
+        _now: &u64,
+    ) {
         let key = fid_key(&fid);
         // Reuse the hash memoized by the preceding lookup miss.
         let hash = self.fid_memo.hash_for_insert(&key);
-        self.fm.insert_hashed(slot.0, key, ext_port, hash);
+        self.fm
+            .insert_hashed(slot.0, key, vig_packet::Ip4(ext_ip), ext_port, hash);
     }
 
     fn tx(&mut self, pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {

@@ -397,7 +397,9 @@ impl ParallelShardedNat {
                 b
             })
             .collect();
-        let cfg = self.table.shard_cfg(s);
+        // Global config, like the parallel workers: the shard's
+        // FlowManager returns pool-global port offsets.
+        let cfg = self.table.global_cfg();
         let fm = &mut self.table.shards_mut()[s];
         let scratch = &mut self.scratches[s];
         let mut verdicts = Vec::with_capacity(bufs.len());

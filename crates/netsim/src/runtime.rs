@@ -456,7 +456,11 @@ pub fn with_shard_runtime<R>(
     assert_eq!(pools.len(), n, "one mempool per shard");
     assert_eq!(scratches.len(), n, "one scratch per shard");
     let classifier = RssClassifier::for_table(table);
-    let cfgs: Vec<vig_spec::NatConfig> = (0..n).map(|s| table.shard_cfg(s)).collect();
+    // Every worker runs the loop body with the *global* config: shard
+    // FlowManagers hand out pool-global port offsets (via their slot
+    // base), so the loop's `start_port + offset` arithmetic must use
+    // the global start port on every core.
+    let cfg = table.global_cfg();
     let allowed = host_allowed_cpus();
     let host_cores = allowed.len().max(1);
     let mut job_tx = Vec::with_capacity(n);
@@ -477,9 +481,9 @@ pub fn with_shard_runtime<R>(
             .iter_mut()
             .zip(pools.iter_mut())
             .zip(scratches.iter_mut())
-            .zip(job_rx.into_iter().zip(res_tx).zip(cfgs))
+            .zip(job_rx.into_iter().zip(res_tx))
             .enumerate();
-        for (s, (((fm, pool), scratch), ((mut jobs, mut results), cfg))) in workers {
+        for (s, (((fm, pool), scratch), (mut jobs, mut results))) in workers {
             let pin_cpu = pin.then(|| allowed[s % host_cores]);
             sc.spawn(move || worker_loop(fm, pool, scratch, cfg, &mut jobs, &mut results, pin_cpu));
         }

@@ -86,10 +86,17 @@ impl core::fmt::Display for FlowId {
 }
 
 /// The external-side flow identifier: how a *return* packet addresses the
-/// session. `ext_port` is the port the NAT allocated; the remote endpoint
-/// is the packet's source on the external side.
+/// session. `(ext_ip, ext_port)` is the pool endpoint the NAT allocated;
+/// the remote endpoint is the packet's source on the external side.
+///
+/// With a single-address pool (the paper's configuration) `ext_ip` is
+/// the one external interface address on every key, so matching reduces
+/// to the paper's `(ext_port, remote ip, remote port, proto)` test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExtKey {
+    /// The NAT-allocated external address (the return packet's dst ip,
+    /// canonicalized by the NAT's pool configuration).
+    pub ext_ip: Ip4,
     /// The NAT-allocated external port (the return packet's dst port).
     pub ext_port: u16,
     /// Remote address (the return packet's src ip).
@@ -104,19 +111,21 @@ impl core::fmt::Display for ExtKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "{:?} ext:{} <- {}:{}",
-            self.proto, self.ext_port, self.dst_ip, self.dst_port
+            "{:?} ext {}:{} <- {}:{}",
+            self.proto, self.ext_ip, self.ext_port, self.dst_ip, self.dst_port
         )
     }
 }
 
 /// A complete translation-table entry: the internal 5-tuple plus the
-/// allocated external port. The external key is derived, never stored
+/// allocated external endpoint. The external key is derived, never stored
 /// separately, so the two views can never disagree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Flow {
     /// Internal-side identifier.
     pub int_key: FlowId,
+    /// Allocated external (pool) address.
+    pub ext_ip: Ip4,
     /// Allocated external port.
     pub ext_port: u16,
 }
@@ -125,6 +134,7 @@ impl Flow {
     /// The external-side key under which return traffic finds this flow.
     pub fn ext_key(&self) -> ExtKey {
         ExtKey {
+            ext_ip: self.ext_ip,
             ext_port: self.ext_port,
             dst_ip: self.int_key.dst_ip,
             dst_port: self.int_key.dst_port,
@@ -151,9 +161,11 @@ mod tests {
     fn ext_key_mirrors_remote_endpoint() {
         let flow = Flow {
             int_key: fid(),
+            ext_ip: Ip4::new(10, 1, 0, 1),
             ext_port: 61234,
         };
         let ek = flow.ext_key();
+        assert_eq!(ek.ext_ip, Ip4::new(10, 1, 0, 1));
         assert_eq!(ek.ext_port, 61234);
         assert_eq!(ek.dst_ip, fid().dst_ip);
         assert_eq!(ek.dst_port, fid().dst_port);

@@ -14,10 +14,15 @@
 //!
 //! ## Faithfulness notes
 //!
-//! * External packets are matched purely by `(ext_port, remote ip,
-//!   remote port, proto)` — Fig. 6 does not test the packet's
-//!   destination address against `EXT_IP` (on the paper's testbed, L2
-//!   delivery guarantees it). We mirror that exactly.
+//! * With a single-address pool (the paper's configuration), external
+//!   packets are matched purely by `(ext_port, remote ip, remote port,
+//!   proto)` — Fig. 6 does not test the packet's destination address
+//!   against `EXT_IP` (on the paper's testbed, L2 delivery guarantees
+//!   it). We mirror that exactly: `external_key` canonicalizes the
+//!   external address to `EXT_IP` whenever `num_external_ips() == 1`.
+//!   With a multi-address pool (a beyond-the-paper extension for >64k
+//!   flows) the destination address *must* participate — it selects
+//!   which pool address the mapping lives on.
 //! * `S.data = P.data` (payload untouched) is a byte-level property the
 //!   field-level relation cannot see; the differential tester checks it
 //!   on concrete packets, and the Validator checks it symbolically via
@@ -51,11 +56,21 @@ impl PacketInput {
         }
     }
 
-    /// `F(P)` for an external (return) packet: keyed by the port we
-    /// allocated (the packet's destination port) and the remote endpoint
-    /// (the packet's source).
-    pub fn external_key(&self) -> ExtKey {
+    /// `F(P)` for an external (return) packet: keyed by the endpoint we
+    /// allocated (the packet's destination) and the remote endpoint
+    /// (the packet's source). `cfg` canonicalizes the external address:
+    /// with a single-address pool the packet's destination address is
+    /// *not* consulted (Fig. 6's exact behavior — see the module
+    /// faithfulness notes); with a larger pool it must select which
+    /// pool address the mapping lives on.
+    pub fn external_key(&self, cfg: &crate::state::NatConfig) -> ExtKey {
+        let ext_ip = if cfg.num_external_ips() == 1 {
+            cfg.external_ip
+        } else {
+            self.fields.dst_ip
+        };
         ExtKey {
+            ext_ip,
             ext_port: self.fields.dst_port,
             dst_ip: self.fields.src_ip,
             dst_port: self.fields.src_port,
@@ -114,6 +129,14 @@ pub enum SpecViolation {
         /// Why it is rejected.
         reason: &'static str,
     },
+    /// A freshly allocated external endpoint lies outside the NAT's
+    /// configured address pool.
+    BadEndpointAllocation {
+        /// The offending address (raw u32 form).
+        ip: u32,
+        /// The offending port.
+        port: u16,
+    },
     /// Internal bookkeeping failure — indicates a bug in the spec
     /// client, not the NF (e.g. feeding packets out of time order).
     StateError(&'static str),
@@ -138,6 +161,13 @@ impl core::fmt::Display for SpecViolation {
             }
             SpecViolation::BadPortAllocation { port, reason } => {
                 write!(f, "bad external port {port}: {reason}")
+            }
+            SpecViolation::BadEndpointAllocation { ip, port } => {
+                write!(
+                    f,
+                    "external endpoint {}:{port} outside the configured pool",
+                    vig_packet::Ip4(*ip)
+                )
             }
             SpecViolation::StateError(m) => write!(f, "spec-state error: {m}"),
         }
@@ -221,9 +251,11 @@ pub fn step_allows(
         Direction::Internal => {
             let fid = input.internal_fid();
             if let Some(flow) = state.lookup_internal(&fid).copied() {
-                // Match: rewrite src to (EXT_IP, ext_port), forward east.
+                // Match: rewrite src to the flow's allocated external
+                // endpoint (the pool address — EXT_IP itself when the
+                // pool is one address), forward east.
                 let expected = FlowFields {
-                    src_ip: state.config().external_ip,
+                    src_ip: flow.ext_ip,
                     src_port: flow.ext_port,
                     dst_ip: input.fields.dst_ip,
                     dst_port: input.fields.dst_port,
@@ -246,26 +278,32 @@ pub fn step_allows(
                                 got: *iface,
                             });
                         }
+                        // The endpoint (address + port) is the NF's
+                        // choice; validate its constraints via insert.
                         let port = fields.src_port;
+                        let ip = fields.src_ip;
                         let expected = FlowFields {
-                            src_ip: state.config().external_ip,
+                            src_ip: ip,     // the NF's choice, constrained below
                             src_port: port, // the NF's choice, constrained below
                             dst_ip: input.fields.dst_ip,
                             dst_port: input.fields.dst_port,
                             proto: input.fields.proto,
                         };
                         check_forward_fields(Direction::External, &expected, observed, fid)?;
-                        match state.insert(fid, port, now) {
+                        match state.insert(fid, ip, port, now) {
                             Ok(()) => Ok(state),
                             Err(InsertError::PortZero) => Err(SpecViolation::BadPortAllocation {
                                 port,
                                 reason: "port zero",
                             }),
-                            Err(InsertError::PortInUse(_)) => {
+                            Err(InsertError::EndpointInUse(..)) => {
                                 Err(SpecViolation::BadPortAllocation {
                                     port,
-                                    reason: "port already allocated to another flow",
+                                    reason: "endpoint already allocated to another flow",
                                 })
+                            }
+                            Err(InsertError::EndpointOutsidePool(..)) => {
+                                Err(SpecViolation::BadEndpointAllocation { ip: ip.raw(), port })
                             }
                             Err(InsertError::TableFull) => {
                                 Err(SpecViolation::StateError("insert into full table"))
@@ -286,7 +324,7 @@ pub fn step_allows(
             }
         }
         Direction::External => {
-            let ek = input.external_key();
+            let ek = input.external_key(state.config());
             if let Some(flow) = state.lookup_external(&ek).copied() {
                 // Match: rewrite dst to the internal endpoint, forward west.
                 let expected = FlowFields {

@@ -43,14 +43,73 @@ impl NatConfig {
     pub fn expiry_threshold(&self, now: Time) -> Option<Time> {
         now.nanos().checked_sub(self.expiry_ns).map(Time)
     }
+
+    // --- the external endpoint pool ------------------------------------
+    //
+    // The paper's NAT owns ONE external address, so `capacity` is bounded
+    // by the 65536 − start_port usable ports and slot `i` maps to port
+    // `start_port + i`. A million-flow NAT needs more 5-tuple space than
+    // one address holds; the standard carrier-grade answer is an address
+    // *pool*: consecutive addresses starting at `external_ip`, each
+    // carrying the same port range. Slot `i` maps to the `i`-th endpoint
+    // of the pool in (address, port) lexicographic order — a bijection,
+    // so every slot still owns exactly one external endpoint and the
+    // paper's slot⇄endpoint reasoning survives unchanged. With
+    // `capacity <= ports_per_ip()` the pool is exactly one address and
+    // every function below reduces to the paper's single-IP behavior.
+
+    /// Usable external ports per pool address: `start_port..=65535`.
+    pub fn ports_per_ip(&self) -> usize {
+        65_536 - usize::from(self.start_port)
+    }
+
+    /// Number of consecutive external addresses the pool spans
+    /// (1 while `capacity <= ports_per_ip()` — the paper's setup).
+    pub fn num_external_ips(&self) -> usize {
+        self.capacity.div_ceil(self.ports_per_ip()).max(1)
+    }
+
+    /// The external address slot `slot` translates through.
+    pub fn ext_ip_of_slot(&self, slot: usize) -> Ip4 {
+        debug_assert!(slot < self.capacity, "slot out of range");
+        Ip4(self.external_ip.raw() + (slot / self.ports_per_ip()) as u32)
+    }
+
+    /// The external port slot `slot` translates through.
+    pub fn ext_port_of_slot(&self, slot: usize) -> u16 {
+        debug_assert!(slot < self.capacity, "slot out of range");
+        self.start_port + (slot % self.ports_per_ip()) as u16
+    }
+
+    /// Inverse of the slot→endpoint bijection: which slot owns external
+    /// endpoint `(ip, port)`? `None` when the endpoint is outside the
+    /// pool (return traffic for it can never match a flow).
+    pub fn slot_of_endpoint(&self, ip: Ip4, port: u16) -> Option<usize> {
+        let ip_off = ip.raw().checked_sub(self.external_ip.raw())? as usize;
+        if ip_off >= self.num_external_ips() {
+            return None;
+        }
+        let port_off = usize::from(port.checked_sub(self.start_port)?);
+        let slot = ip_off * self.ports_per_ip() + port_off;
+        (slot < self.capacity).then_some(slot)
+    }
+
+    /// Whether `(ip, port)` is an endpoint this NAT may translate
+    /// through (i.e. some slot owns it).
+    pub fn pool_contains(&self, ip: Ip4, port: u16) -> bool {
+        self.slot_of_endpoint(ip, port).is_some()
+    }
 }
 
 /// One abstract flow-table entry: the internal 5-tuple, the allocated
-/// external port, and the last-activity timestamp.
+/// external endpoint (pool address + port), and the last-activity
+/// timestamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbstractFlow {
     /// Internal-side flow identifier.
     pub fid: FlowId,
+    /// Allocated external (pool) address.
+    pub ext_ip: Ip4,
     /// Allocated external port.
     pub ext_port: u16,
     /// Last time a packet of this flow was seen.
@@ -61,6 +120,7 @@ impl AbstractFlow {
     /// The external key under which return traffic matches this flow.
     pub fn ext_key(&self) -> ExtKey {
         ExtKey {
+            ext_ip: self.ext_ip,
             ext_port: self.ext_port,
             dst_ip: self.fid.dst_ip,
             dst_port: self.fid.dst_port,
@@ -76,7 +136,8 @@ impl AbstractFlow {
 ///
 /// * at most `capacity` flows;
 /// * internal flow ids are pairwise distinct;
-/// * external ports are pairwise distinct (the strong uniqueness VigNAT
+/// * external endpoints `(ext_ip, ext_port)` are pairwise distinct and
+///   drawn from the configured pool (the strong uniqueness VigNAT
 ///   provides; RFC 3022 NAPT only requires distinct external *keys*);
 /// * no flow uses external port 0.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,9 +205,13 @@ impl AbstractNat {
         self.flows.iter().find(|f| f.ext_key() == *ek)
     }
 
-    /// Is this external port already allocated to some flow?
-    pub fn port_in_use(&self, port: u16) -> bool {
-        self.flows.iter().any(|f| f.ext_port == port)
+    /// Is this external endpoint already allocated to some flow? (With
+    /// a single-address pool this is the paper's "port in use" test;
+    /// with a larger pool the same port may serve once per address.)
+    pub fn endpoint_in_use(&self, ip: Ip4, port: u16) -> bool {
+        self.flows
+            .iter()
+            .any(|f| f.ext_ip == ip && f.ext_port == port)
     }
 
     /// Fig. 6 lines 10–12: refresh the timestamp of an existing flow.
@@ -161,10 +226,19 @@ impl AbstractNat {
         }
     }
 
-    /// Fig. 6 line 16: insert a new flow. Enforces the state invariants;
+    /// Fig. 6 line 16: insert a new flow mapped to the external
+    /// endpoint `(ext_ip, ext_port)`. Enforces the state invariants;
     /// an `Err` here means the *caller* (the NF under test, or a buggy
-    /// spec client) violated the RFC.
-    pub fn insert(&mut self, fid: FlowId, ext_port: u16, now: Time) -> Result<(), InsertError> {
+    /// spec client) violated the RFC. The endpoint must belong to the
+    /// configured pool (with a single-address pool: `ext_ip` must be
+    /// `EXT_IP`, exactly the paper's constraint).
+    pub fn insert(
+        &mut self,
+        fid: FlowId,
+        ext_ip: Ip4,
+        ext_port: u16,
+        now: Time,
+    ) -> Result<(), InsertError> {
         if self.is_full() {
             return Err(InsertError::TableFull);
         }
@@ -174,11 +248,25 @@ impl AbstractNat {
         if ext_port == 0 {
             return Err(InsertError::PortZero);
         }
-        if self.port_in_use(ext_port) {
-            return Err(InsertError::PortInUse(ext_port));
+        // With the paper's single-address pool the spec constrains only
+        // the address (Fig. 6 rewrites to EXT_IP; the port is the NF's
+        // free choice). With a multi-address pool the whole endpoint
+        // must come from the pool — the address/port pair is how return
+        // traffic finds its way back.
+        let in_pool = if self.config.num_external_ips() == 1 {
+            ext_ip == self.config.external_ip
+        } else {
+            self.config.pool_contains(ext_ip, ext_port)
+        };
+        if !in_pool {
+            return Err(InsertError::EndpointOutsidePool(ext_ip, ext_port));
+        }
+        if self.endpoint_in_use(ext_ip, ext_port) {
+            return Err(InsertError::EndpointInUse(ext_ip, ext_port));
         }
         self.flows.push(AbstractFlow {
             fid,
+            ext_ip,
             ext_port,
             last_active: now,
         });
@@ -199,12 +287,26 @@ impl AbstractNat {
             if f.ext_port == 0 {
                 return Err("flow uses external port 0".into());
             }
+            let in_pool = if self.config.num_external_ips() == 1 {
+                f.ext_ip == self.config.external_ip
+            } else {
+                self.config.pool_contains(f.ext_ip, f.ext_port)
+            };
+            if !in_pool {
+                return Err(format!(
+                    "flow endpoint {}:{} outside the configured pool",
+                    f.ext_ip, f.ext_port
+                ));
+            }
             for g in &self.flows[i + 1..] {
                 if f.fid == g.fid {
                     return Err(format!("duplicate internal flow id: {}", f.fid));
                 }
-                if f.ext_port == g.ext_port {
-                    return Err(format!("duplicate external port: {}", f.ext_port));
+                if f.ext_ip == g.ext_ip && f.ext_port == g.ext_port {
+                    return Err(format!(
+                        "duplicate external endpoint: {}:{}",
+                        f.ext_ip, f.ext_port
+                    ));
                 }
             }
         }
@@ -221,8 +323,10 @@ pub enum InsertError {
     DuplicateFlowId,
     /// Port 0 is never a valid translation.
     PortZero,
-    /// The external port is already allocated.
-    PortInUse(u16),
+    /// The external endpoint is not in the configured pool.
+    EndpointOutsidePool(Ip4, u16),
+    /// The external endpoint is already allocated.
+    EndpointInUse(Ip4, u16),
 }
 
 #[cfg(test)]
@@ -252,12 +356,15 @@ mod tests {
     #[test]
     fn insert_until_full() {
         let mut n = AbstractNat::new(cfg());
-        n.insert(fid(1), 1000, Time::from_secs(1)).unwrap();
-        n.insert(fid(2), 1001, Time::from_secs(1)).unwrap();
-        n.insert(fid(3), 1002, Time::from_secs(1)).unwrap();
+        n.insert(fid(1), Ip4::new(10, 1, 0, 1), 1000, Time::from_secs(1))
+            .unwrap();
+        n.insert(fid(2), Ip4::new(10, 1, 0, 1), 1001, Time::from_secs(1))
+            .unwrap();
+        n.insert(fid(3), Ip4::new(10, 1, 0, 1), 1002, Time::from_secs(1))
+            .unwrap();
         assert!(n.is_full());
         assert_eq!(
-            n.insert(fid(4), 1003, Time::from_secs(1)),
+            n.insert(fid(4), Ip4::new(10, 1, 0, 1), 1003, Time::from_secs(1)),
             Err(InsertError::TableFull)
         );
         n.check_invariants().unwrap();
@@ -266,17 +373,18 @@ mod tests {
     #[test]
     fn duplicate_detection() {
         let mut n = AbstractNat::new(cfg());
-        n.insert(fid(1), 1000, Time::from_secs(1)).unwrap();
+        n.insert(fid(1), Ip4::new(10, 1, 0, 1), 1000, Time::from_secs(1))
+            .unwrap();
         assert_eq!(
-            n.insert(fid(1), 1001, Time::from_secs(1)),
+            n.insert(fid(1), Ip4::new(10, 1, 0, 1), 1001, Time::from_secs(1)),
             Err(InsertError::DuplicateFlowId)
         );
         assert_eq!(
-            n.insert(fid(2), 1000, Time::from_secs(1)),
-            Err(InsertError::PortInUse(1000))
+            n.insert(fid(2), Ip4::new(10, 1, 0, 1), 1000, Time::from_secs(1)),
+            Err(InsertError::EndpointInUse(Ip4::new(10, 1, 0, 1), 1000))
         );
         assert_eq!(
-            n.insert(fid(2), 0, Time::from_secs(1)),
+            n.insert(fid(2), Ip4::new(10, 1, 0, 1), 0, Time::from_secs(1)),
             Err(InsertError::PortZero)
         );
     }
@@ -284,7 +392,8 @@ mod tests {
     #[test]
     fn expiry_is_exact_per_fig6() {
         let mut n = AbstractNat::new(cfg());
-        n.insert(fid(1), 1000, Time::from_secs(5)).unwrap();
+        n.insert(fid(1), Ip4::new(10, 1, 0, 1), 1000, Time::from_secs(5))
+            .unwrap();
         // timestamp + Texp = 15s; at t=14.999..9 it survives, at 15 it dies
         assert!(n
             .expire_flows(Time(Time::from_secs(15).nanos() - 1))
@@ -299,7 +408,8 @@ mod tests {
         // flows stamped at t=0 (the saturating-subtraction bug this
         // guards against would wrongly kill them).
         let mut n = AbstractNat::new(cfg());
-        n.insert(fid(1), 1000, Time::ZERO).unwrap();
+        n.insert(fid(1), Ip4::new(10, 1, 0, 1), 1000, Time::ZERO)
+            .unwrap();
         assert!(n.expire_flows(Time::from_secs(9)).is_empty());
         assert_eq!(n.expire_flows(Time::from_secs(10)).len(), 1);
     }
@@ -307,7 +417,8 @@ mod tests {
     #[test]
     fn refresh_rescues_flow() {
         let mut n = AbstractNat::new(cfg());
-        n.insert(fid(1), 1000, Time::from_secs(0)).unwrap();
+        n.insert(fid(1), Ip4::new(10, 1, 0, 1), 1000, Time::from_secs(0))
+            .unwrap();
         assert!(n.refresh(&fid(1), Time::from_secs(8)));
         assert!(
             n.expire_flows(Time::from_secs(10)).is_empty(),
@@ -320,7 +431,8 @@ mod tests {
     #[test]
     fn lookup_by_both_keys() {
         let mut n = AbstractNat::new(cfg());
-        n.insert(fid(7), 1002, Time::from_secs(1)).unwrap();
+        n.insert(fid(7), Ip4::new(10, 1, 0, 1), 1002, Time::from_secs(1))
+            .unwrap();
         let f = n.lookup_internal(&fid(7)).copied().unwrap();
         assert_eq!(n.lookup_external(&f.ext_key()).unwrap().fid, fid(7));
         assert!(n
@@ -329,6 +441,63 @@ mod tests {
                 ..f.ext_key()
             })
             .is_none());
+    }
+
+    #[test]
+    fn pool_mapping_is_a_bijection() {
+        // Capacity larger than one address' worth of ports: the pool
+        // spills onto consecutive addresses, and slot -> endpoint ->
+        // slot round-trips for every slot.
+        let c = NatConfig {
+            capacity: 70_000,
+            expiry_ns: Time::from_secs(10).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1024,
+        };
+        assert_eq!(c.ports_per_ip(), 64_512);
+        assert_eq!(c.num_external_ips(), 2);
+        for slot in [0usize, 1, 64_511, 64_512, 69_999] {
+            let (ip, port) = (c.ext_ip_of_slot(slot), c.ext_port_of_slot(slot));
+            assert_eq!(c.slot_of_endpoint(ip, port), Some(slot), "slot {slot}");
+        }
+        assert_eq!(c.ext_ip_of_slot(0), Ip4::new(10, 1, 0, 1));
+        assert_eq!(c.ext_ip_of_slot(64_512), Ip4::new(10, 1, 0, 2));
+        // Out-of-pool endpoints are rejected from every side.
+        assert_eq!(c.slot_of_endpoint(Ip4::new(10, 1, 0, 3), 1024), None);
+        assert_eq!(c.slot_of_endpoint(Ip4::new(10, 1, 0, 1), 1023), None);
+        assert_eq!(
+            c.slot_of_endpoint(Ip4::new(10, 1, 0, 2), 1024 + (70_000 - 64_512) as u16),
+            None,
+            "past the capacity edge on the last address"
+        );
+    }
+
+    #[test]
+    fn multi_ip_insert_enforces_pool_membership() {
+        let c = NatConfig {
+            capacity: 70_000,
+            expiry_ns: Time::from_secs(10).nanos(),
+            external_ip: Ip4::new(10, 1, 0, 1),
+            start_port: 1024,
+        };
+        let mut n = AbstractNat::new(c);
+        n.insert(fid(1), Ip4::new(10, 1, 0, 2), 1024, Time::from_secs(1))
+            .unwrap();
+        assert_eq!(
+            n.insert(fid(2), Ip4::new(10, 1, 0, 9), 1024, Time::from_secs(1)),
+            Err(InsertError::EndpointOutsidePool(
+                Ip4::new(10, 1, 0, 9),
+                1024
+            ))
+        );
+        // Same port on a *different* pool address is a distinct endpoint.
+        n.insert(fid(3), Ip4::new(10, 1, 0, 1), 1024, Time::from_secs(1))
+            .unwrap();
+        assert_eq!(
+            n.insert(fid(4), Ip4::new(10, 1, 0, 2), 1024, Time::from_secs(2)),
+            Err(InsertError::EndpointInUse(Ip4::new(10, 1, 0, 2), 1024))
+        );
+        n.check_invariants().unwrap();
     }
 
     #[test]

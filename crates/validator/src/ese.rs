@@ -50,6 +50,16 @@ impl EseResult {
 /// on the order of 10² paths).
 pub fn run_ese(cfg: &NatConfig, style: ModelStyle, max_paths: usize) -> Result<EseResult, String> {
     vignat::loop_body::check_config(cfg).map_err(|e| format!("bad config: {e}"))?;
+    // The symbolic models cover the paper's single-address pool (see
+    // `SymEnv::new`); multi-address configs are validated
+    // differentially by the concrete suites instead.
+    if cfg.num_external_ips() != 1 {
+        return Err(format!(
+            "symbolic engine covers the single-address pool; capacity {} needs {} addresses",
+            cfg.capacity,
+            cfg.num_external_ips()
+        ));
+    }
     let start = std::time::Instant::now();
     let cfg = *cfg;
     let (traces, stats) = explore(max_paths, |steer| {

@@ -60,7 +60,19 @@ pub struct SymEnv<'s> {
 
 impl<'s> SymEnv<'s> {
     /// Fresh environment for one path run.
+    ///
+    /// The symbolic models cover the paper's NAT, whose pool is a
+    /// single external address: the loop body's config branch
+    /// (`num_external_ips() == 1`) then has a fixed shape and every
+    /// external-address term is the constant `cfg.external_ip`.
+    /// Multi-address pools are proven equivalent differentially (the
+    /// concrete suites), not symbolically.
     pub fn new(steer: &'s mut Steering, cfg: NatConfig, style: ModelStyle) -> SymEnv<'s> {
+        assert_eq!(
+            cfg.num_external_ips(),
+            1,
+            "symbolic models cover the single-address pool"
+        );
         SymEnv {
             arena: TermArena::new(),
             steer,
@@ -313,8 +325,14 @@ impl NatEnv for SymEnv<'_> {
             result: Some((slot, ext_port)),
             assumed,
         });
+        let ext_ip = self
+            .arena
+            .cu(u64::from(self.cfg.external_ip.raw()), Width::W32);
         Some(FlowView {
             slot: SlotId(slot),
+            // invariant: single-address pool — every stored flow's
+            // external address is the configured one
+            ext_ip,
             ext_port,
             // contract: the stored flow's internal key is the fid
             int_ip: fid.src_ip,
@@ -346,7 +364,9 @@ impl NatEnv for SymEnv<'_> {
         });
         Some(FlowView {
             slot: SlotId(slot),
-            // contract: the matched flow's external port is the key's
+            // contract: the matched flow's external endpoint is the
+            // key's (the loop body canonicalized the address already)
+            ext_ip: ek.ext_ip,
             ext_port: ek.ext_port,
             int_ip,
             int_port,
@@ -360,7 +380,7 @@ impl NatEnv for SymEnv<'_> {
         });
     }
 
-    fn allocate_slot(&mut self, _now: &TermId) -> Option<(SlotId, TermId)> {
+    fn allocate_slot(&mut self, _now: &TermId) -> Option<(SlotId, TermId, TermId)> {
         if self.fork_free(2) == 1 {
             self.events.push(Event::AllocateSlot {
                 result: None,
@@ -393,10 +413,23 @@ impl NatEnv for SymEnv<'_> {
             result: Some((slot, idx)),
             assumed,
         });
-        Some((SlotId(slot), idx))
+        // Single-address pool: the allocated slot's external address is
+        // the configured one (constant term), and the returned port
+        // offset is the slot index itself.
+        let ext_ip = self
+            .arena
+            .cu(u64::from(self.cfg.external_ip.raw()), Width::W32);
+        Some((SlotId(slot), idx, ext_ip))
     }
 
-    fn insert_flow(&mut self, slot: SlotId, fid: FidParts<Self>, ext_port: TermId, _now: &TermId) {
+    fn insert_flow(
+        &mut self,
+        slot: SlotId,
+        fid: FidParts<Self>,
+        _ext_ip: TermId,
+        ext_port: TermId,
+        _now: &TermId,
+    ) {
         self.events.push(Event::InsertFlow {
             slot: slot.0,
             fid: [fid.src_ip, fid.src_port, fid.dst_ip, fid.dst_port],

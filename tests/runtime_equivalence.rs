@@ -320,6 +320,87 @@ fn port_exhaustion_parity() {
     assert!(occupancy > 0, "the run must have built flow state");
 }
 
+/// A distinct internal-side frame for flow index `i` (up to 2^24
+/// distinct flows — enough to fill the 2^20-slot table and keep
+/// churning past it).
+fn flow_frame(i: u32) -> Vec<u8> {
+    PacketBuilder::udp(
+        Ip4(0x0a00_0000 | (i & 0x00ff_ffff)),
+        Ip4::new(1, 1, 1, 1),
+        1024 ^ (i >> 16) as u16,
+        53,
+    )
+    .build()
+}
+
+/// Sustained million-flow churn through the persistent pinned runtime:
+/// a 2^20-slot table (the endpoint pool spills across 18 external
+/// addresses) at 1/2/4 workers. Phase 1 fills the table to capacity —
+/// plus a margin, so TableFull parity is exercised at the full
+/// million-flow table — with distinct arrivals; phase 2 is sustained
+/// churn: random arrivals/refreshes from a larger population with
+/// Texp-crossing time jumps forcing mass wheel expiry, verdicts and
+/// frame bytes compared every round and per-flow TX bytes, full LRU
+/// state, and expiry totals at session end. This is the timer-wheel
+/// satellite of `wheel_equivalence.rs` driven through the real
+/// datapath (SPSC rings, burst envs, RSS dispatch) rather than the
+/// table API. Release-only by size: the `nightly-deep` CI job runs it
+/// with `--release -- --ignored million`.
+#[test]
+#[ignore = "million-flow scale; run in release (nightly-deep CI job)"]
+fn sustained_million_flow_churn_session() {
+    const CAP: usize = 1 << 20;
+    const BURST: usize = 256;
+    let fill_rounds = CAP / BURST + 16; // overshoot => TableFull parity
+    for workers in [1usize, 2, 4] {
+        let c = NatConfig {
+            capacity: CAP,
+            expiry_ns: Time::from_secs(2).nanos(),
+            external_ip: Ip4::new(203, 0, 113, 1),
+            start_port: 4096,
+        };
+        let (occupancy, expired) = run_differential(
+            c,
+            workers,
+            fill_rounds + 600,
+            BURST,
+            |rng, round| {
+                if round < fill_rounds {
+                    // Fill: distinct flows, sub-Texp steps — occupancy
+                    // climbs monotonically to the capacity edge.
+                    let base = (round * BURST) as u32;
+                    let frames = (0..BURST as u32).map(|k| flow_frame(base + k)).collect();
+                    (Direction::Internal, frames, 1_000)
+                } else {
+                    // Churn: arrivals/refreshes from a 1.5M-flow
+                    // population; every 150th round jumps past Texp so
+                    // the wheel drains en masse while new flows keep
+                    // arriving.
+                    let frames = (0..BURST)
+                        .map(|_| flow_frame(rng.gen_range(0..1_500_000u32)))
+                        .collect();
+                    let churn_round = round - fill_rounds;
+                    let step = if churn_round > 0 && churn_round.is_multiple_of(150) {
+                        2_500_000_000 // > Texp: mass expiry
+                    } else {
+                        rng.gen_range(100_000..2_000_000)
+                    };
+                    (Direction::Internal, frames, step)
+                }
+            },
+            0x1_000_000 + workers as u64,
+        );
+        assert!(
+            occupancy > 20_000,
+            "the churn phase must leave substantial state ({workers} workers)"
+        );
+        assert!(
+            expired as usize > CAP,
+            "the session must have expired more than a full table ({workers} workers)"
+        );
+    }
+}
+
 #[test]
 fn expiry_racing_parity() {
     // Time jumps past Texp (2 s) plus ~25% empty bursts: the runtime

@@ -186,8 +186,8 @@ fn sharded_table_matches_unsharded_at_98pct() {
         let a = {
             assert!(one.lookup_internal_hashed(&f, h).is_none());
             one.allocate_slot_routed(h, Time::from_secs(1)).map(|slot| {
-                let port = 1000 + slot as u16;
-                one.insert_hashed(slot, f, port, h);
+                let (ip, port) = one.endpoint_of_slot(slot);
+                one.insert_hashed(slot, f, ip, port, h);
                 (slot, port)
             })
         };
@@ -207,7 +207,8 @@ fn sharded_table_matches_unsharded_at_98pct() {
         let a = one
             .allocate_slot_routed(h, Time::from_secs(2))
             .inspect(|&slot| {
-                one.insert_hashed(slot, f, 1000 + slot as u16, h);
+                let (ip, port) = one.endpoint_of_slot(slot);
+                one.insert_hashed(slot, f, ip, port, h);
             });
         let b = plain.allocate(f, Time::from_secs(2)).map(|(slot, _)| slot);
         assert_eq!(a, b, "realloc diverged at flow {j}");
@@ -235,7 +236,8 @@ fn sharded_table_matches_unsharded_at_98pct() {
         let h = f.key_hash();
         if four.lookup_internal_hashed(&f, h).is_none() {
             if let Some(slot) = four.allocate_slot_routed(h, Time::from_secs(1)) {
-                four.insert_hashed(slot, f, 1000 + slot as u16, h);
+                let (ip, port) = four.endpoint_of_slot(slot);
+                four.insert_hashed(slot, f, ip, port, h);
                 n += 1;
             }
         }

@@ -140,15 +140,30 @@ fn verification_covers_edge_configurations() {
 
 #[test]
 fn rejected_configurations_never_reach_the_prover() {
-    // start_port + capacity overflowing u16 would break the port-
-    // arithmetic proof; the config validator must refuse it up front.
+    // An endpoint pool spilling past the top of the IPv4 address space
+    // would break the slot⇄endpoint bijection; the config validator
+    // must refuse it up front.
     let bad = NatConfig {
+        capacity: 1 << 20,
+        expiry_ns: 1,
+        external_ip: Ip4::new(255, 255, 255, 255),
+        start_port: 1024,
+    };
+    assert!(vignat_repro::nat::loop_body::check_config(&bad).is_err());
+    let r = run_ese(&bad, ModelStyle::Faithful, 10_000);
+    assert!(r.is_err(), "ESE must refuse invalid configurations");
+
+    // Valid but multi-address (capacity exceeds one address's ports):
+    // outside the symbolic models' single-address scope, so the engine
+    // must refuse it rather than silently prove the wrong pool shape.
+    // Multi-address behaviour is covered differentially instead.
+    let spill = NatConfig {
         capacity: 65_535,
         expiry_ns: 1,
         external_ip: Ip4::new(1, 1, 1, 1),
         start_port: 2,
     };
-    assert!(vignat_repro::nat::loop_body::check_config(&bad).is_err());
-    let r = run_ese(&bad, ModelStyle::Faithful, 10_000);
-    assert!(r.is_err(), "ESE must refuse invalid configurations");
+    assert!(vignat_repro::nat::loop_body::check_config(&spill).is_ok());
+    let r = run_ese(&spill, ModelStyle::Faithful, 10_000);
+    assert!(r.is_err(), "ESE must refuse multi-address pools");
 }

@@ -441,6 +441,14 @@ fn main() {
         &mq_rows,
     );
 
+    // Cross-the-wire RFC 2544: the same sharded NAT behind the same
+    // event loop, measured three ways — simulated backend, per-frame
+    // AF_PACKET transport, zero-copy mmap-ring transport — with the
+    // OS points crossing real veth wires. Needs CAP_NET_RAW +
+    // CAP_NET_ADMIN; degrades to {"available": false} without them
+    // (which `vig_bench --check` refuses in a committed file).
+    let os_wire_json = vig_bench::os_wire::section_json(4096, throughput_packets() / 4);
+
     // Million-flow churn: sustained rate under continuous arrival and
     // expiry at 2^20 table capacity, timer-wheel vs LRU-scan expiry,
     // plus the Fig. 13-style latency CCDF for the wheel. Both engines
@@ -583,7 +591,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n      ");
     let json = format!(
-        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"workers\": {wall_workers},\n    \"pinning_requested\": {pinning_requested},\n    \"pinned_workers\": {wall_pinned},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"scaling_curve\": {{\n    \"occupancy\": {occupancy},\n    \"host_cores\": {cores},\n    \"pinning_requested\": {pinning_requested},\n    \"runtime\": \"persistent pinned workers over spsc rings (netsim::runtime)\",\n    \"points\": [\n      {curve_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core, backend: sim)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }},\n  {churn_json}\n}}\n",
+        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"workers\": {wall_workers},\n    \"pinning_requested\": {pinning_requested},\n    \"pinned_workers\": {wall_pinned},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"scaling_curve\": {{\n    \"occupancy\": {occupancy},\n    \"host_cores\": {cores},\n    \"pinning_requested\": {pinning_requested},\n    \"runtime\": \"persistent pinned workers over spsc rings (netsim::runtime)\",\n    \"points\": [\n      {curve_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core, backend: sim)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }},\n  \"os_wire_rfc2544\": {os_wire_json},\n  {churn_json}\n}}\n",
         netsim::harness::RATE_CI_TRIALS,
         netsim::harness::RATE_CI_RESAMPLES,
         sweep.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),

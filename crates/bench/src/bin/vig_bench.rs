@@ -1,7 +1,8 @@
-//! The `vig_bench` CLI: trajectory-file validation (`--check`).
+//! The `vig_bench` CLI: trajectory-file validation (`--check`) and
+//! the baseline regression guard (`--check --baseline FILE`).
 //!
 //! ```text
-//! vig_bench --check [FILE...]
+//! vig_bench --check [--baseline FILE] [FILE...]
 //! ```
 //!
 //! With no files, validates the committed `BENCH_flowtable.json` and
@@ -9,40 +10,109 @@
 //! a per-field problem list) when any file is malformed — the cheap CI
 //! step that keeps a bench refactor from silently disarming the perf
 //! gates.
+//!
+//! With `--baseline FILE`, each checked file of the same bench kind is
+//! additionally compared against the baseline document: a rate more
+//! than 10% below the baseline median (or a series that vanished)
+//! fails, a smaller slowdown outside both bootstrap intervals warns,
+//! and series new in this run are listed but never judged.
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vig_bench --check [--baseline FILE] [FILE...]\n\
+         validates committed BENCH_*.json trajectory files \
+         (schema, gate metrics, CI intervals); with --baseline, \
+         additionally guards rates against a committed baseline \
+         (fail >10% drop, warn on CI non-overlap, new series exempt)"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--check") => {
-            let files: Vec<std::path::PathBuf> = if args.len() > 1 {
-                args[1..].iter().map(std::path::PathBuf::from).collect()
-            } else {
-                ["BENCH_flowtable.json", "BENCH_throughput.json"]
-                    .iter()
-                    .map(|n| vig_bench::workspace_root().join(n))
-                    .collect()
-            };
-            let mut failed = false;
-            for f in &files {
-                match vig_bench::check::check_file(f) {
-                    Ok(kind) => println!("ok: {} ({kind})", f.display()),
+    if args.first().map(String::as_str) != Some("--check") {
+        usage();
+    }
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let baseline = match rest.iter().position(|a| a == "--baseline") {
+        Some(i) => {
+            if i + 1 >= rest.len() {
+                usage();
+            }
+            let path = std::path::PathBuf::from(rest.remove(i + 1));
+            rest.remove(i);
+            match vig_bench::check::load(&path) {
+                Ok(doc) => Some((path, doc)),
+                Err(e) => {
+                    eprintln!("FAIL: baseline {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
+    };
+    let files: Vec<std::path::PathBuf> = if !rest.is_empty() {
+        rest.iter().map(std::path::PathBuf::from).collect()
+    } else {
+        ["BENCH_flowtable.json", "BENCH_throughput.json"]
+            .iter()
+            .map(|n| vig_bench::workspace_root().join(n))
+            .collect()
+    };
+    let mut failed = false;
+    for f in &files {
+        match vig_bench::check::check_file(f) {
+            Ok(kind) => {
+                println!("ok: {} ({kind})", f.display());
+                let Some((base_path, base_doc)) = &baseline else {
+                    continue;
+                };
+                // Compare only like against like — a flowtable run has
+                // nothing to say about a throughput baseline.
+                let base_kind = base_doc
+                    .get("bench")
+                    .and_then(vig_bench::check::Json::str)
+                    .unwrap_or("");
+                if base_kind != kind {
+                    println!(
+                        "  baseline: skipped ({} is {base_kind}, this file is {kind})",
+                        base_path.display()
+                    );
+                    continue;
+                }
+                let doc = match vig_bench::check::load(f) {
+                    Ok(d) => d,
                     Err(e) => {
                         eprintln!("FAIL: {e}");
                         failed = true;
+                        continue;
                     }
+                };
+                let report = vig_bench::check::compare_against_baseline(&doc, base_doc);
+                println!(
+                    "  baseline {}: {} rate(s) compared, {} new",
+                    base_path.display(),
+                    report.compared,
+                    report.new_series.len()
+                );
+                for w in &report.warnings {
+                    println!("  warn: {w}");
+                }
+                for n in &report.new_series {
+                    println!("  new (not judged): {n}");
+                }
+                for e in &report.failures {
+                    eprintln!("FAIL: {}: {e}", f.display());
+                    failed = true;
                 }
             }
-            if failed {
-                std::process::exit(1);
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
             }
         }
-        _ => {
-            eprintln!(
-                "usage: vig_bench --check [FILE...]\n\
-                 validates committed BENCH_*.json trajectory files \
-                 (schema, gate metrics, CI intervals)"
-            );
-            std::process::exit(2);
-        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,127 @@
+//! The cross-the-wire RFC 2544 section of `BENCH_throughput.json`.
+//!
+//! One function, [`section_json`], runs the three-way saturation
+//! measurement — simulated backend, per-frame `AF_PACKET` transport,
+//! zero-copy mmap-ring transport — over real veth wires
+//! (`netsim::backend::os::os_wire_rfc2544`) and renders the JSON
+//! object the trajectory file commits. The fig. 14 bench and the CI
+//! example both call it, so the committed section and the CI artifact
+//! can never drift apart in shape.
+//!
+//! The run needs `CAP_NET_RAW` + `CAP_NET_ADMIN` (it creates veth
+//! pairs). Without them — or off Linux — the section degrades to
+//! `{"available": false, "reason": ...}`, which `vig_bench --check`
+//! rejects in a *committed* file: the trajectory must carry a real
+//! wire run.
+
+/// RSS queues per direction for the wire measurement.
+pub const QUEUES: usize = 2;
+/// NAT shards behind the event loop.
+pub const SHARDS: usize = 2;
+/// Descriptor-ring size (frames per queue FIFO).
+pub const RING: usize = 256;
+
+/// Escape a reason string into a JSON literal body.
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn unavailable(reason: &str) -> String {
+    println!("os_wire_rfc2544: SKIPPED ({reason})");
+    format!(r#"{{"available": false, "reason": "{}"}}"#, esc(reason))
+}
+
+/// Run the three-way cross-wire RFC 2544 measurement and render the
+/// `os_wire_rfc2544` JSON section (plus a one-line stdout summary).
+/// `flows` background flows, `packets` measured packets per transport.
+#[cfg(target_os = "linux")]
+pub fn section_json(flows: usize, packets: usize) -> String {
+    use libvig::time::Time;
+    use netsim::backend::os::{os_wire_rfc2544, OsWirePoint};
+    use vig_packet::Ip4;
+    use vig_spec::NatConfig;
+
+    let cfg = NatConfig {
+        capacity: 65_535,
+        expiry_ns: Time::from_secs(60).nanos(), // flows never expire mid-run
+        external_ip: Ip4::new(203, 0, 113, 1),
+        start_port: 1,
+    };
+    let report = match os_wire_rfc2544(&cfg, QUEUES, SHARDS, flows, packets, RING, "vgw") {
+        Ok(r) => r,
+        Err(e) => return unavailable(&format!("wire run failed: {e}")),
+    };
+
+    let point = |p: &OsWirePoint| {
+        format!(
+            r#"{{"mpps": {:.3}, "ci95_mpps": [{:.3}, {:.3}], "mean_ns": {:.1}, "outliers_rejected": {}, "kernel_drops": {}, "tx_errors": {}, "rx_errors": {}}}"#,
+            p.rate.mpps,
+            p.rate.ci95_lo_mpps,
+            p.rate.ci95_hi_mpps,
+            p.rate.mean_ns,
+            p.rate.outliers_rejected,
+            p.kernel_drops,
+            p.tx_errors,
+            p.rx_errors
+        )
+    };
+    let speedup = report.os_mmap.rate.mpps / report.os_frame.rate.mpps;
+    // Recorded so `vig_bench --check` can scale the zero-copy gate to
+    // what the host can express: on a single-core rig every veth
+    // transmit is synchronous on the measured core and shared by both
+    // transports, compressing the achievable ratio (see
+    // docs/BENCHMARKS.md, "Reading the speedup").
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "os_wire_rfc2544: sim {:.2} | per-frame {:.2} | mmap {:.2} Mpps (mmap/per-frame {speedup:.2}x; \
+         drops f={} m={}, tx_err f={} m={})",
+        report.sim.mpps,
+        report.os_frame.rate.mpps,
+        report.os_mmap.rate.mpps,
+        report.os_frame.kernel_drops,
+        report.os_mmap.kernel_drops,
+        report.os_frame.tx_errors,
+        report.os_mmap.tx_errors,
+    );
+    format!(
+        "{{\n    \"available\": true,\n    \"queues\": {QUEUES},\n    \"shards\": {SHARDS},\n    \"ring\": {RING},\n    \"flows\": {flows},\n    \"packets\": {packets},\n    \"host_cores\": {host_cores},\n    \"wire\": \"veth pairs, AF_PACKET both transports\",\n    \"sim\": {{\"mpps\": {:.3}, \"ci95_mpps\": [{:.3}, {:.3}], \"mean_ns\": {:.1}, \"outliers_rejected\": {}}},\n    \"os_frame\": {},\n    \"os_mmap\": {},\n    \"mmap_vs_frame_speedup\": {speedup:.3}\n  }}",
+        report.sim.mpps,
+        report.sim.ci95_lo_mpps,
+        report.sim.ci95_hi_mpps,
+        report.sim.mean_ns,
+        report.sim.outliers_rejected,
+        point(&report.os_frame),
+        point(&report.os_mmap),
+    )
+}
+
+/// Off Linux there is no `AF_PACKET`: the section is honestly absent.
+#[cfg(not(target_os = "linux"))]
+pub fn section_json(_flows: usize, _packets: usize) -> String {
+    unavailable("AF_PACKET transports need Linux")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unavailable_sections_are_valid_json_with_escaped_reasons() {
+        let s = unavailable("veth \"create\" failed\nEPERM");
+        let doc = crate::check::parse(&s).expect("valid JSON");
+        assert_eq!(doc.get("available"), Some(&crate::check::Json::Bool(false)));
+        assert!(doc
+            .get("reason")
+            .and_then(crate::check::Json::str)
+            .unwrap()
+            .contains("EPERM"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Isolates the TX and RX halves of each wire transport so the
+//! whole-loop mmap-vs-per-frame speedup can be read component by
+//! component (documented in `docs/BENCHMARKS.md`, "Reading the
+//! speedup"):
+//!
+//! - **TX blast**: fill + kick through the TPACKET_V2 ring vs one
+//!   `sendto` per frame. On veth both are dominated by the same
+//!   synchronous per-frame xmit + peer-delivery cost, so they land
+//!   within a few percent of each other (~1.3 µs/frame on the dev
+//!   container).
+//! - **RX drain**: frames are staged untimed from the peer, then the
+//!   timed path dequeues them — block-walk + copy for the mmap ring
+//!   (~0.5 µs/frame) vs `recvmmsg` + copy for the per-frame socket
+//!   (~1.0 µs/frame). This is where zero-copy actually wins: the
+//!   kernel's copy into the mmap ring happened during the *tester's*
+//!   send, off the measured path.
+//!
+//! Needs `CAP_NET_RAW`/`CAP_NET_ADMIN` (creates veth pairs):
+//! `sudo -E cargo run --release -p netsim --example wire_micro`
+#![cfg(target_os = "linux")]
+
+use libvig::time::Time;
+use netsim::backend::os::mmap::{MmapBackend, MmapRingConfig};
+use netsim::backend::os::{OsBackend, OsTestRig, VethPair, WireBackend};
+use netsim::backend::PacketIo;
+use netsim::frame_env::RssClassifier;
+use vig_packet::{Direction, Ip4};
+use vig_spec::NatConfig;
+
+const N: usize = 20_000;
+const BATCH: usize = 64;
+
+fn cfg() -> NatConfig {
+    NatConfig {
+        capacity: 65_535,
+        expiry_ns: Time::from_secs(60).nanos(),
+        external_ip: Ip4::new(203, 0, 113, 1),
+        start_port: 1,
+    }
+}
+
+fn frame_bytes(i: usize) -> Vec<u8> {
+    // Minimal UDP frame like FlowGen's, unique src port per i.
+    let mut f = vec![0u8; 64];
+    f[12] = 0x08; // ethertype IPv4
+    f[13] = 0x00;
+    f[14] = 0x45;
+    f[23] = 17; // UDP
+    f[26..30].copy_from_slice(&[10, 0, (i >> 8) as u8, i as u8]); // src ip
+    f[30..34].copy_from_slice(&[203, 0, 113, 9]); // dst ip
+    f[34..36].copy_from_slice(&(((i % 60000) + 1) as u16).to_be_bytes());
+    f[36..38].copy_from_slice(&53u16.to_be_bytes());
+    f
+}
+
+fn tx_blast<B: WireBackend>(rig: &mut OsTestRig<B>, label: &str) {
+    let pre = frame_bytes(7);
+    let t0 = std::time::Instant::now();
+    let mut sent = 0usize;
+    while sent < N {
+        for _ in 0..BATCH {
+            let Some(buf) = rig.pool_mut().get() else {
+                break;
+            };
+            rig.pool_mut().write_frame(buf, &pre);
+            if !rig.tx_put(Direction::External, 0, buf) {
+                rig.flush_tx();
+                if !rig.tx_put(Direction::External, 0, buf) {
+                    rig.pool_mut().put(buf);
+                    break;
+                }
+            }
+        }
+        rig.flush_tx();
+        sent += BATCH;
+    }
+    let el = t0.elapsed();
+    println!(
+        "{label}: tx {} frames in {:.1}ms = {:.0}ns/frame",
+        N,
+        el.as_secs_f64() * 1e3,
+        el.as_nanos() as f64 / N as f64
+    );
+    // Drain tester-side sockets so nothing lingers.
+    use netsim::backend::TesterIo;
+    while !rig.reap(Direction::External).is_empty() {}
+}
+
+fn rx_blast<B: WireBackend>(rig: &mut OsTestRig<B>, label: &str) {
+    use netsim::backend::TesterIo;
+    // Stage in chunks, pump after each chunk (single CPU: delivery
+    // happens inside the tester's send syscalls).
+    let mut total_timed = std::time::Duration::ZERO;
+    let mut got = 0usize;
+    let mut scratch = Vec::new();
+    let mut staged = 0usize;
+    while got < N {
+        let mut k = 0;
+        while k < BATCH && staged < N + 4096 {
+            let f = frame_bytes(staged);
+            if rig
+                .stage(Direction::Internal, |b| {
+                    b[..f.len()].copy_from_slice(&f);
+                    f.len()
+                })
+                .is_some()
+            {
+                k += 1;
+                staged += 1;
+            } else {
+                break;
+            }
+        }
+        let t0 = std::time::Instant::now();
+        rig.pump_rx();
+        for q in 0..rig.queue_count() {
+            scratch.clear();
+            got += rig.rx_burst(Direction::Internal, q, BATCH * 2, &mut scratch);
+            for &b in &scratch {
+                rig.pool_mut().put(b);
+            }
+        }
+        total_timed += t0.elapsed();
+    }
+    println!(
+        "{label}: rx {} frames, timed pump+burst {:.1}ms = {:.0}ns/frame",
+        got,
+        total_timed.as_secs_f64() * 1e3,
+        total_timed.as_nanos() as f64 / got as f64
+    );
+}
+
+fn main() {
+    let c = cfg();
+    let cls = RssClassifier::for_nat(&c, 2);
+    {
+        let int_v = VethPair::create("wmf-i0", "wmf-i1").expect("veth");
+        let ext_v = VethPair::create("wmf-e0", "wmf-e1").expect("veth");
+        let mut rig: OsTestRig<OsBackend> = OsTestRig::open(&int_v, &ext_v, cls, 256).expect("rig");
+        tx_blast(&mut rig, "frame");
+        rx_blast(&mut rig, "frame");
+    }
+    {
+        let int_v = VethPair::create("wmm-i0", "wmm-i1").expect("veth");
+        let ext_v = VethPair::create("wmm-e0", "wmm-e1").expect("veth");
+        let backend = MmapBackend::open(&int_v.a, &ext_v.a, cls, 256, MmapRingConfig::default())
+            .expect("mmap");
+        let mut rig = OsTestRig::with_backend(backend, &int_v, &ext_v).expect("rig");
+        tx_blast(&mut rig, "mmap ");
+        rx_blast(&mut rig, "mmap ");
+    }
+}

@@ -109,6 +109,7 @@ pub trait PacketIo {
                 rx: a.rx + s.rx,
                 rx_dropped: a.rx_dropped + s.rx_dropped,
                 tx: a.tx + s.tx,
+                tx_bytes: a.tx_bytes + s.tx_bytes,
             }
         })
     }

@@ -92,7 +92,8 @@ impl PacketIo for SimBackend {
     }
 
     fn tx_put(&mut self, dir: Direction, q: usize, buf: BufIdx) -> bool {
-        self.dev(dir).tx_put(q, buf)
+        let bytes = self.pool.frame(buf).len();
+        self.dev(dir).tx_put(q, buf, bytes)
     }
 
     /// TX frames stay queued for the tester's [`TesterIo::reap`].

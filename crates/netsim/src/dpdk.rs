@@ -164,6 +164,11 @@ pub struct PortStats {
     pub rx_dropped: u64,
     /// Frames transmitted.
     pub tx: u64,
+    /// Bytes transmitted (`obytes`). Attributed when the frame is
+    /// handed to the transmit path: at `tx_put` for the device models
+    /// (the NIC owns the frame from that point), at flush time for the
+    /// OS backends (only a frame the kernel accepted counts).
+    pub tx_bytes: u64,
 }
 
 /// A simulated NIC port: an RX ring the tester feeds, a TX ring the NF
@@ -222,11 +227,12 @@ impl Device {
         n
     }
 
-    /// NF-side: queue a frame for transmission.
-    pub fn tx_put(&mut self, buf: BufIdx) -> bool {
+    /// NF-side: queue a frame of `bytes` bytes for transmission.
+    pub fn tx_put(&mut self, buf: BufIdx, bytes: usize) -> bool {
         let ok = self.tx.push(buf);
         if ok {
             self.stats.tx += 1;
+            self.stats.tx_bytes += bytes as u64;
         }
         ok
     }
@@ -319,12 +325,13 @@ impl MultiQueueDevice {
         n
     }
 
-    /// NF-side: queue a frame on TX queue `q` (run-to-completion cores
-    /// transmit on their own queue index).
-    pub fn tx_put(&mut self, q: usize, buf: BufIdx) -> bool {
+    /// NF-side: queue a frame of `bytes` bytes on TX queue `q`
+    /// (run-to-completion cores transmit on their own queue index).
+    pub fn tx_put(&mut self, q: usize, buf: BufIdx, bytes: usize) -> bool {
         let ok = self.tx[q].push(buf);
         if ok {
             self.stats[q].tx += 1;
+            self.stats[q].tx_bytes += bytes as u64;
         }
         ok
     }
@@ -348,6 +355,7 @@ impl MultiQueueDevice {
                 rx: a.rx + s.rx,
                 rx_dropped: a.rx_dropped + s.rx_dropped,
                 tx: a.tx + s.tx,
+                tx_bytes: a.tx_bytes + s.tx_bytes,
             })
     }
 }
@@ -412,8 +420,9 @@ mod tests {
         assert_eq!(d.stats.rx, 1);
         assert_eq!(d.stats.rx_dropped, 1);
         let got = d.rx_burst_one().unwrap();
-        assert!(d.tx_put(got));
+        assert!(d.tx_put(got, 64));
         assert_eq!(d.stats.tx, 1);
+        assert_eq!(d.stats.tx_bytes, 64);
         assert_eq!(d.tx_take(), Some(BufIdx(0)));
     }
 
@@ -447,11 +456,13 @@ mod tests {
         assert_eq!(d.rx_burst(0, 2, &mut out), 2);
         assert_eq!(out, vec![BufIdx(0), BufIdx(1)]);
         assert_eq!(d.rx_burst(1, 8, &mut out), 0, "sibling queue is empty");
-        assert!(d.tx_put(0, BufIdx(0)));
+        assert!(d.tx_put(0, BufIdx(0), 128));
         assert_eq!(d.tx_take(0), Some(BufIdx(0)));
         assert_eq!(d.tx_take(1), None);
         assert_eq!(d.queue_stats(0).tx, 1);
+        assert_eq!(d.queue_stats(0).tx_bytes, 128);
         assert_eq!(d.queue_stats(1).tx, 0);
+        assert_eq!(d.port_stats().tx_bytes, 128, "port sum includes bytes");
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl Testbed {
         let frame = self.pool.frame_mut(got);
         let verdict = nf.process(dir, frame, now);
         if let Verdict::Forward(out) = verdict {
-            assert!(self.dev(out).tx_put(got), "tx ring sized for one in flight");
+            let bytes = self.pool.frame(got).len();
+            assert!(
+                self.dev(out).tx_put(got, bytes),
+                "tx ring sized for one in flight"
+            );
         }
         let elapsed = t0.elapsed().as_nanos() as u64;
 
@@ -143,7 +147,11 @@ impl Testbed {
             let frame = self.pool.frame_mut(buf);
             match nf.process(dir, frame, now) {
                 Verdict::Forward(out) => {
-                    assert!(self.dev(out).tx_put(buf), "tx ring holds a full burst");
+                    let bytes = self.pool.frame(buf).len();
+                    assert!(
+                        self.dev(out).tx_put(buf, bytes),
+                        "tx ring holds a full burst"
+                    );
                     forwarded += 1;
                 }
                 Verdict::Drop => {
@@ -200,7 +208,11 @@ impl Testbed {
             for (&buf, v) in batch.iter().zip(&verdicts) {
                 match v {
                     Verdict::Forward(out) => {
-                        assert!(self.dev(*out).tx_put(buf), "tx ring holds a full burst");
+                        let bytes = self.pool.frame(buf).len();
+                        assert!(
+                            self.dev(*out).tx_put(buf, bytes),
+                            "tx ring holds a full burst"
+                        );
                         forwarded += 1;
                     }
                     Verdict::Drop => {

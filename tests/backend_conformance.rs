@@ -7,15 +7,24 @@
 //!    [`BackendDriver`] over the simulated backend is byte-for-byte
 //!    the legacy event-driven drain: same tx sequences (queue and
 //!    bytes, in order), same per-queue rx/drop/tx accounting (including
-//!    under deliberate queue overflow), same NAT state, round by round.
+//!    under deliberate queue overflow and tx byte attribution), same
+//!    NAT state, round by round.
 //! 2. **OS ≡ sim on a recorded trace** (`#[ignore]`, needs
 //!    `CAP_NET_ADMIN`/`CAP_NET_RAW` — CI's `os-backend-integration`
-//!    job): real frames cross a veth pair into the `AF_PACKET` backend
-//!    while the backend records its arrival trace; the trace is then
-//!    replayed through `SimBackend`, and tx order, drop counters, and
-//!    NAT state must match exactly. On this path the kernel is the
-//!    tester — whatever it delivered (including any noise) is replayed
-//!    verbatim, so parity is unconditional.
+//!    job), run for *both* wire transports — the per-frame
+//!    `OsBackend` and the zero-copy mmap-ring `MmapBackend`: real
+//!    frames cross a veth pair into the `AF_PACKET` backend while the
+//!    backend records its arrival trace; the trace is then replayed
+//!    through `SimBackend`, and tx order, per-queue stats (rx, drops,
+//!    tx, tx bytes), and NAT state must match exactly. On this path
+//!    the kernel is the tester — whatever it delivered (including any
+//!    noise) is replayed verbatim, so parity is unconditional, and
+//!    each transport's parity with sim gives the three-way
+//!    mmap ≡ per-frame ≡ sim equivalence.
+//!
+//! The privileged module also pins down the mmap ring's edges: the
+//! partial-block retire timeout, overrun behaviour (kernel drops are
+//! counted, state never corrupts), and leak-free teardown.
 //!
 //! The suite always writes its tx traces to
 //! `target/os-backend-trace/` so the CI job can upload them as
@@ -54,24 +63,25 @@ fn nat_state(nf: &ShardedVigNatMb) -> Vec<(usize, usize, Flow, Time)> {
     out
 }
 
-/// Per-queue stats of both ports, as comparable tuples.
-fn all_queue_stats<B: PacketIo>(io: &B) -> Vec<(u64, u64, u64)> {
+/// Per-queue stats of both ports, as comparable
+/// `(rx, rx_dropped, tx, tx_bytes)` tuples.
+fn all_queue_stats<B: PacketIo>(io: &B) -> Vec<(u64, u64, u64, u64)> {
     let mut out = Vec::new();
     for dir in [Direction::Internal, Direction::External] {
         for q in 0..io.queue_count() {
             let s = io.queue_stats(dir, q);
-            out.push((s.rx, s.rx_dropped, s.tx));
+            out.push((s.rx, s.rx_dropped, s.tx, s.tx_bytes));
         }
     }
     out
 }
 
-fn legacy_queue_stats(tb: &MultiQueueTestbed) -> Vec<(u64, u64, u64)> {
+fn legacy_queue_stats(tb: &MultiQueueTestbed) -> Vec<(u64, u64, u64, u64)> {
     let mut out = Vec::new();
     for dir in [Direction::Internal, Direction::External] {
         for q in 0..tb.queue_count() {
             let s = tb.queue_stats(dir, q);
-            out.push((s.rx, s.rx_dropped, s.tx));
+            out.push((s.rx, s.rx_dropped, s.tx, s.tx_bytes));
         }
     }
     out
@@ -239,7 +249,8 @@ fn weighted_budgets_preserve_equivalence() {
 mod os {
     use super::*;
     use std::io::Write;
-    use vignat_repro::sim::backend::os::{OsTestRig, VethPair};
+    use vignat_repro::sim::backend::os::mmap::{MmapBackend, MmapRingConfig};
+    use vignat_repro::sim::backend::os::{OsTestRig, VethPair, WireBackend};
 
     /// Where the CI job picks up failure artifacts.
     fn trace_dir() -> std::path::PathBuf {
@@ -267,33 +278,50 @@ mod os {
         }
     }
 
-    /// Same packet trace in → same NAT state, tx order, and drop
-    /// counters out, across the sim/OS boundary. The OS side records
-    /// what the kernel actually delivered; the sim side replays that
-    /// recording, so the comparison is exact by construction.
-    #[test]
-    #[ignore = "needs CAP_NET_ADMIN/CAP_NET_RAW (veth + AF_PACKET); run via CI os-backend-integration or sudo"]
-    fn os_backend_matches_sim_on_recorded_trace() {
+    /// Create the two veth pairs a wire test needs, or `None` (skip)
+    /// when the capability is missing. `prefix` ≤ 9 chars keeps the
+    /// interface names under IFNAMSIZ.
+    fn wire(prefix: &str) -> Option<(VethPair, VethPair)> {
+        let int_veth = match VethPair::create(&format!("{prefix}-int0"), &format!("{prefix}-int1"))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("SKIP ({prefix}): {e}");
+                return None;
+            }
+        };
+        let ext_veth = match VethPair::create(&format!("{prefix}-ext0"), &format!("{prefix}-ext1"))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("SKIP ({prefix}): {e}");
+                return None;
+            }
+        };
+        Some((int_veth, ext_veth))
+    }
+
+    /// Same packet trace in → same NAT state, tx order, per-queue
+    /// stats, and drop counters out, across the wire/sim boundary —
+    /// generic over the wire transport, so the per-frame and the
+    /// mmap-ring backends prove the identical property. The wire side
+    /// records what the kernel actually delivered; the sim side
+    /// replays that recording, so the comparison is exact by
+    /// construction.
+    fn recorded_trace_parity<B, F>(label: &str, prefix: &str, open: F)
+    where
+        B: WireBackend,
+        F: FnOnce(&VethPair, &VethPair, RssClassifier, usize) -> std::io::Result<OsTestRig<B>>,
+    {
         const QUEUES: usize = 2;
         const SHARDS: usize = 2;
         const RING: usize = 64;
         let c = cfg(256);
 
-        let int_veth = match VethPair::create("vgcnf-int0", "vgcnf-int1") {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("SKIP os_backend_matches_sim_on_recorded_trace: {e}");
-                return;
-            }
+        let Some((int_veth, ext_veth)) = wire(prefix) else {
+            return;
         };
-        let ext_veth = match VethPair::create("vgcnf-ext0", "vgcnf-ext1") {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("SKIP os_backend_matches_sim_on_recorded_trace: {e}");
-                return;
-            }
-        };
-        let rig = match OsTestRig::open(
+        let rig = match open(
             &int_veth,
             &ext_veth,
             RssClassifier::for_nat(&c, QUEUES),
@@ -301,7 +329,7 @@ mod os {
         ) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("SKIP os_backend_matches_sim_on_recorded_trace: {e}");
+                eprintln!("SKIP {label}: {e}");
                 return;
             }
         };
@@ -404,9 +432,12 @@ mod os {
             // Keep the artifacts current after every round, so the CI
             // job's on-failure upload has them even when a later
             // round's assert (or the delivery deadline) fails first.
-            dump_trace("os_tx_trace.txt", &os_tx);
-            dump_rx("os_rx_trace.txt", &os_rounds);
+            dump_trace(&format!("{label}_tx_trace.txt"), &os_tx);
+            dump_rx(&format!("{label}_rx_trace.txt"), &os_rounds);
         }
+        // A last flush lets a ring transport confirm its final
+        // completions before stats are compared.
+        os_drv.io_mut().flush_tx();
 
         // Replay the recorded arrival trace through the sim backend.
         let mut sim_nf = ShardedVigNatMb::sharded(c, SHARDS);
@@ -430,35 +461,256 @@ mod os {
             }
         }
 
-        // Parity: tx trace (order, queues, bytes), NAT state, drops.
+        // Parity: tx trace (order, queues, bytes), NAT state, and the
+        // complete per-queue ledger — rx, rx drops, and the
+        // flush-attributed tx/tx_bytes against sim's enqueue-attributed
+        // ones (equal because every wire send succeeded; see below).
         let sim_tx = sim_drv.take_tx_log();
-        dump_trace("os_tx_trace.txt", &os_tx);
-        dump_trace("sim_tx_trace.txt", &sim_tx);
+        dump_trace(&format!("{label}_tx_trace.txt"), &os_tx);
+        dump_trace(&format!("{label}_sim_tx_trace.txt"), &sim_tx);
         assert_eq!(
             os_tx, sim_tx,
-            "tx traces diverged (see target/os-backend-trace/)"
+            "{label}: tx traces diverged (see target/os-backend-trace/)"
         );
-        assert_eq!(nat_state(&os_nf), nat_state(&sim_nf), "NAT state diverged");
-        let os_drops: u64 = (0..QUEUES)
-            .flat_map(|q| {
-                [Direction::Internal, Direction::External]
-                    .map(|d| os_drv.io().queue_stats(d, q).rx_dropped)
-            })
-            .sum();
-        let sim_drops: u64 = (0..QUEUES)
-            .flat_map(|q| {
-                [Direction::Internal, Direction::External]
-                    .map(|d| sim_drv.io().queue_stats(d, q).rx_dropped)
-            })
-            .sum();
-        assert_eq!(os_drops, sim_drops, "rx drop accounting diverged");
+        assert_eq!(
+            nat_state(&os_nf),
+            nat_state(&sim_nf),
+            "{label}: NAT state diverged"
+        );
+        assert_eq!(
+            all_queue_stats(os_drv.io()),
+            all_queue_stats(sim_drv.io()),
+            "{label}: per-queue rx/drop/tx/tx_bytes accounting diverged"
+        );
         // NF-level drops: garbage frames the NAT refused.
         assert_eq!(os_nf.occupancy(), sim_nf.occupancy());
         assert!(sim_dropped > 0, "schedule contains garbage the NAT drops");
         assert_eq!(
             os_drv.io().backend().tx_errors(),
             0,
-            "wire sends must succeed"
+            "{label}: wire sends must succeed"
+        );
+        assert_eq!(
+            os_drv.io().backend().rx_errors(),
+            0,
+            "{label}: no receive errors on a live veth"
+        );
+        assert_eq!(
+            os_drv.io_mut().backend_mut().kernel_drops(),
+            0,
+            "{label}: this workload never overruns the kernel side"
+        );
+    }
+
+    #[test]
+    #[ignore = "needs CAP_NET_ADMIN/CAP_NET_RAW (veth + AF_PACKET); run via CI os-backend-integration or sudo"]
+    fn os_backend_matches_sim_on_recorded_trace() {
+        recorded_trace_parity("os", "vgcnf", |i, e, cl, ring| {
+            OsTestRig::open(i, e, cl, ring)
+        });
+    }
+
+    #[test]
+    #[ignore = "needs CAP_NET_ADMIN/CAP_NET_RAW (veth + AF_PACKET mmap rings); run via CI os-backend-integration or sudo"]
+    fn mmap_backend_matches_sim_on_recorded_trace() {
+        recorded_trace_parity("mmap", "vgmmp", |i, e, cl, ring| {
+            OsTestRig::open_mmap(i, e, cl, ring)
+        });
+    }
+
+    /// A partially filled RX block must reach user space within the
+    /// retire timeout — frames must never wait for a block to fill.
+    #[test]
+    #[ignore = "needs CAP_NET_ADMIN/CAP_NET_RAW; run via CI os-backend-integration or sudo"]
+    fn mmap_partial_block_retires_within_timeout() {
+        let c = cfg(64);
+        let Some((int_veth, ext_veth)) = wire("vgret") else {
+            return;
+        };
+        let mut rig =
+            match OsTestRig::open_mmap(&int_veth, &ext_veth, RssClassifier::for_nat(&c, 2), 64) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("SKIP mmap_partial_block_retires_within_timeout: {e}");
+                    return;
+                }
+            };
+        let gen = FlowGen::new(vignat_repro::packet::Proto::Udp);
+        // 3 small frames: a 32 KiB block is nowhere near full.
+        for i in 0..3u32 {
+            let f = gen.background(i);
+            assert!(rig
+                .stage(Direction::Internal, |b| gen.write_frame(&f, b))
+                .is_some());
+        }
+        // The retire timeout is 1 ms; give the kernel a generous
+        // window, then one pump must surface all three frames.
+        let ready = rig
+            .backend()
+            .wait_rx(Direction::Internal, 1000)
+            .expect("poll works");
+        assert!(ready, "retire timeout hands over the partial block");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while rig.backend().rx_seen() < 3 {
+            rig.pump_rx();
+            assert!(
+                std::time::Instant::now() < deadline,
+                "3 frames must arrive via block retire, got {}",
+                rig.backend().rx_seen()
+            );
+        }
+        let rx_total: u64 = (0..2)
+            .map(|q| rig.queue_stats(Direction::Internal, q).rx)
+            .sum();
+        assert_eq!(rx_total, 3, "all three admitted from the partial block");
+    }
+
+    /// Overrunning the RX ring loses frames *in the kernel* — counted
+    /// via `PACKET_STATISTICS` — and must never corrupt backend state:
+    /// after the flood, the rig still forwards cleanly.
+    #[test]
+    #[ignore = "needs CAP_NET_ADMIN/CAP_NET_RAW; run via CI os-backend-integration or sudo"]
+    fn mmap_ring_overrun_counts_kernel_drops_without_corruption() {
+        let c = cfg(256);
+        let Some((int_veth, ext_veth)) = wire("vgovr") else {
+            return;
+        };
+        let classifier = RssClassifier::for_nat(&c, 2);
+        // A deliberately tiny RX ring: two 4 KiB blocks per port.
+        let rc = MmapRingConfig {
+            rx_block_size: 4096,
+            rx_block_count: 2,
+            rx_frame_size: 2048,
+            retire_ms: 1,
+            ..MmapRingConfig::default()
+        };
+        let backend = match MmapBackend::open(&int_veth.a, &ext_veth.a, classifier, 64, rc) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("SKIP mmap_ring_overrun_counts_kernel_drops_without_corruption: {e}");
+                return;
+            }
+        };
+        let mut rig =
+            OsTestRig::with_backend(backend, &int_veth, &ext_veth).expect("peer sockets open");
+        let gen = FlowGen::new(vignat_repro::packet::Proto::Udp);
+
+        // Flood without pumping: the kernel fills both blocks, then
+        // must drop the excess outside the ring.
+        let mut staged = 0u64;
+        for k in 0..4096u32 {
+            let f = gen.background(k % 8);
+            if rig
+                .stage(Direction::Internal, |b| gen.write_frame(&f, b))
+                .is_some()
+            {
+                staged += 1;
+            }
+        }
+        assert!(staged > 1000, "flood must actually inject ({staged})");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        rig.pump_rx();
+        let drops = rig.backend_mut().kernel_drops();
+        let seen = rig.backend().rx_seen();
+        assert!(
+            drops > 0,
+            "a 2-block ring cannot absorb {staged} frames (seen {seen}, kernel drops {drops})"
+        );
+
+        // State intact: the NAT still forwards a fresh flow end to end.
+        let mut nf = ShardedVigNatMb::sharded(c, 2);
+        let mut drv = BackendDriver::new(rig);
+        drv.drain(&mut nf, Time::from_secs(1)); // clear the flood
+        let f = gen.background(9999);
+        assert!(drv
+            .io_mut()
+            .stage(Direction::Internal, |b| gen.write_frame(&f, b))
+            .is_some());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.is_empty() {
+            drv.drain(&mut nf, Time::from_secs(2));
+            got = drv.io_mut().reap_wait(
+                Direction::External,
+                1,
+                std::time::Duration::from_millis(100),
+            );
+            assert!(
+                std::time::Instant::now() < deadline,
+                "post-overrun frame must still be translated and forwarded"
+            );
+        }
+        let (_, ff) = parse_l3l4(&got[0].1).expect("translated frame parses");
+        assert_eq!(ff.src_ip, c.external_ip, "NAT rewrite survived the overrun");
+        assert_eq!(drv.io().backend().tx_errors(), 0);
+    }
+
+    fn open_fds() -> usize {
+        std::fs::read_dir("/proc/self/fd")
+            .map(|d| d.count())
+            .unwrap_or(0)
+    }
+
+    fn mapping_count() -> usize {
+        std::fs::read_to_string("/proc/self/maps")
+            .map(|m| m.lines().count())
+            .unwrap_or(0)
+    }
+
+    /// Ring teardown is leak-free: repeatedly opening and dropping a
+    /// full mmap rig (4 sockets + 4 ring mappings per cycle, traffic
+    /// included) leaves the fd table and the address space flat.
+    #[test]
+    #[ignore = "needs CAP_NET_ADMIN/CAP_NET_RAW; run via CI os-backend-integration or sudo"]
+    fn mmap_teardown_releases_rings_and_sockets() {
+        let c = cfg(64);
+        let Some((int_veth, ext_veth)) = wire("vglk") else {
+            return;
+        };
+        let classifier = RssClassifier::for_nat(&c, 2);
+        let gen = FlowGen::new(vignat_repro::packet::Proto::Udp);
+        let cycle = |drive: bool| {
+            let mut rig =
+                OsTestRig::open_mmap(&int_veth, &ext_veth, classifier, 64).expect("mmap rig opens");
+            if drive {
+                let mut nf = ShardedVigNatMb::sharded(c, 2);
+                let mut drv = BackendDriver::new(rig);
+                let f = gen.background(1);
+                assert!(drv
+                    .io_mut()
+                    .stage(Direction::Internal, |b| gen.write_frame(&f, b))
+                    .is_some());
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                while drv.io().backend().rx_seen() < 1 {
+                    drv.drain(&mut nf, Time::from_secs(1));
+                    assert!(std::time::Instant::now() < deadline);
+                }
+                drv.drain(&mut nf, Time::from_secs(1));
+                drv.io_mut().flush_tx();
+                rig = drv.into_io();
+                assert_eq!(rig.backend().tx_inflight(), 0, "quiescent flush reaps all");
+            }
+            drop(rig);
+        };
+        // Warm up allocator arenas and lazy runtime state first, so
+        // the measured window only sees the rig's own resources.
+        cycle(true);
+        let fds_before = open_fds();
+        let maps_before = mapping_count();
+        for i in 0..5 {
+            cycle(i % 2 == 0);
+        }
+        let fds_after = open_fds();
+        let maps_after = mapping_count();
+        assert_eq!(
+            fds_before, fds_after,
+            "socket fds leaked across open/drop cycles"
+        );
+        // One leaked cycle would add 4 ring mappings; allow a line or
+        // two of allocator jitter but nothing ring-shaped.
+        assert!(
+            maps_after <= maps_before + 2,
+            "ring mappings leaked: {maps_before} -> {maps_after}"
         );
     }
 }

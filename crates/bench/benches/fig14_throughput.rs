@@ -441,6 +441,20 @@ fn main() {
         &mq_rows,
     );
 
+    // Fault-layer identity overhead: the chaos seam (`FaultIo` with
+    // the empty schedule) wrapped around the sim backend vs the bare
+    // backend, driven by the identical event-driven batched loop.
+    // `vig_bench --check` holds the committed overhead under 2% —
+    // the disarmed seam must be free enough to stay compiled into
+    // every chaos-capable build. (`cargo run -p vig-bench --example
+    // fault_overhead` re-measures just this section.)
+    let fault = vig_bench::measure_fault_overhead(&cfg(), 15, throughput_packets());
+    println!(
+        "\nFIG14f: fault-layer identity overhead (empty-schedule FaultIo on the batched \
+         event-driven step): bare {:.2} Mpps, wrapped {:.2} Mpps, overhead {:+.2}% (gate: < 2%)",
+        fault.bare_mpps, fault.faultio_empty_mpps, fault.overhead_pct
+    );
+
     // Cross-the-wire RFC 2544: the same sharded NAT behind the same
     // event loop, measured three ways — simulated backend, per-frame
     // AF_PACKET transport, zero-copy mmap-ring transport — with the
@@ -448,6 +462,7 @@ fn main() {
     // CAP_NET_ADMIN; degrades to {"available": false} without them
     // (which `vig_bench --check` refuses in a committed file).
     let os_wire_json = vig_bench::os_wire::section_json(4096, throughput_packets() / 4);
+    let fault_overhead_json = fault.section_json();
 
     // Million-flow churn: sustained rate under continuous arrival and
     // expiry at 2^20 table capacity, timer-wheel vs LRU-scan expiry,
@@ -591,7 +606,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n      ");
     let json = format!(
-        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"workers\": {wall_workers},\n    \"pinning_requested\": {pinning_requested},\n    \"pinned_workers\": {wall_pinned},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"scaling_curve\": {{\n    \"occupancy\": {occupancy},\n    \"host_cores\": {cores},\n    \"pinning_requested\": {pinning_requested},\n    \"runtime\": \"persistent pinned workers over spsc rings (netsim::runtime)\",\n    \"points\": [\n      {curve_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core, backend: sim)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }},\n  \"os_wire_rfc2544\": {os_wire_json},\n  {churn_json}\n}}\n",
+        "{{\n  \"bench\": \"fig14_throughput\",\n  \"statistics\": {{\"outlier_rejection\": \"mad_z3.5\", \"rejected_total\": {outliers_total}, \"rate_ci\": \"bootstrap pct, {} trials x {} resamples\"}},\n  \"flow_counts\": [{}],\n  \"series\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \"verified_seq\": {{\"p50_ns\": {p50_seq}, \"p99_ns\": {p99_seq}}},\n  \"verified_batched\": {{\"p50_ns\": {p50_bat}, \"p99_ns\": {p99_bat}}},\n  \"sharded_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"cores\": {cores},\n    \"workers\": {wall_workers},\n    \"pinning_requested\": {pinning_requested},\n    \"pinned_workers\": {wall_pinned},\n    \"parallel_wallclock_mpps\": {wall_mpps:.3},\n    \"points\": [\n      {shard_points_json}\n    ]\n  }},\n  \"scaling_curve\": {{\n    \"occupancy\": {occupancy},\n    \"host_cores\": {cores},\n    \"pinning_requested\": {pinning_requested},\n    \"runtime\": \"persistent pinned workers over spsc rings (netsim::runtime)\",\n    \"points\": [\n      {curve_points_json}\n    ]\n  }},\n  \"multiqueue_sweep\": {{\n    \"occupancy\": {occupancy},\n    \"driver\": \"eventloop (poll + wrr, one core, backend: sim)\",\n    \"points\": [\n      {mq_points_json}\n    ]\n  }},\n  {fault_overhead_json},\n  \"os_wire_rfc2544\": {os_wire_json},\n  {churn_json}\n}}\n",
         netsim::harness::RATE_CI_TRIALS,
         netsim::harness::RATE_CI_RESAMPLES,
         sweep.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),

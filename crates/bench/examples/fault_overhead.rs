@@ -1,0 +1,50 @@
+//! Standalone fault-layer identity-overhead measurement.
+//!
+//! Re-measures just the `fault_overhead` section of
+//! `BENCH_throughput.json` — the batched event-driven drive (2 queues
+//! × 2 shards, sim backend) bare vs wrapped in an empty-schedule
+//! `FaultIo`, interleaved trials, medians compared — and prints the
+//! section JSON. Exits non-zero when the measured overhead is at or
+//! above the 2% gate `vig_bench --check` enforces on the committed
+//! trajectory, so the disarmed chaos seam cannot silently get
+//! expensive.
+//!
+//! Sizing via env: `FAULT_OVERHEAD_TRIALS` (default 15),
+//! `FAULT_OVERHEAD_PACKETS` (default `throughput_packets()`).
+//!
+//! Run: `cargo run --release -p vig-bench --example fault_overhead`
+
+use libvig::time::Time;
+use vig_packet::Ip4;
+use vig_spec::NatConfig;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    // Same NF configuration as the fig. 14 bench that commits this
+    // section.
+    let cfg = NatConfig {
+        capacity: 65_535,
+        expiry_ns: Time::from_secs(60).nanos(),
+        external_ip: Ip4::new(203, 0, 113, 1),
+        start_port: 1,
+    };
+    let trials = env_usize("FAULT_OVERHEAD_TRIALS", 15);
+    let packets = env_usize("FAULT_OVERHEAD_PACKETS", vig_bench::throughput_packets());
+    let fault = vig_bench::measure_fault_overhead(&cfg, trials, packets);
+    println!(
+        "fault-layer identity overhead: bare {:.2} Mpps, wrapped {:.2} Mpps, \
+         overhead {:+.2}% (gate: < 2%)",
+        fault.bare_mpps, fault.faultio_empty_mpps, fault.overhead_pct
+    );
+    println!("\n  {},", fault.section_json());
+    if fault.overhead_pct >= 2.0 {
+        eprintln!("fault_overhead: disarmed FaultIo costs >= 2% — identity fast path regressed");
+        std::process::exit(1);
+    }
+}

@@ -521,6 +521,29 @@ pub fn check_throughput(doc: &Json) -> Problems {
         }
         None => p.fail("scaling_curve: missing"),
     }
+    // The fault-layer identity gate: the chaos seam must be free when
+    // disarmed. The committed trajectory carries the measured overhead
+    // of an empty-schedule `FaultIo` on the batched event-driven step,
+    // and it must stay under 2% — negative overhead (wrapped measured
+    // faster) is host noise and passes.
+    match doc.get("fault_overhead") {
+        Some(fo) => {
+            for field in ["bare_mpps", "faultio_empty_mpps"] {
+                if fo.get(field).and_then(Json::num).map(|n| n > 0.0) != Some(true) {
+                    p.fail(format!("fault_overhead.{field}: missing or non-positive"));
+                }
+            }
+            match fo.get("overhead_pct").and_then(Json::num) {
+                Some(o) if o < 2.0 => {}
+                Some(o) => p.fail(format!(
+                    "fault_overhead.overhead_pct: {o}% — empty-schedule FaultIo must stay \
+                     under the 2% identity gate"
+                )),
+                None => p.fail("fault_overhead.overhead_pct: missing"),
+            }
+        }
+        None => p.fail("fault_overhead: missing"),
+    }
     // The cross-the-wire RFC 2544 section: a committed trajectory must
     // carry a *real* wire run (available: true), both OS transports
     // with honest error counters, and the zero-copy speedup the mmap
@@ -1026,6 +1049,7 @@ mod tests {
                     "points":[{{"workers":1,"mpps":5.0,"ci95_mpps":[4.5,5.5],"wallclock_mpps":4.0,"pinned_workers":1}},
                               {{"workers":2,"mpps":6.0,"ci95_mpps":[5.5,6.5],"wallclock_mpps":4.5,"pinned_workers":2}}]}},
                 "multiqueue_sweep":{{"points":[{{"queues":1,"shards":1,"mpps":8.0}}]}},
+                "fault_overhead":{{"trials":5,"bare_mpps":8.0,"faultio_empty_mpps":7.95,"overhead_pct":0.6}},
                 "os_wire_rfc2544":{{"available":true,"queues":2,"shards":2,"host_cores":2,
                     "sim":{{"mpps":4.0,"ci95_mpps":[3.8,4.2]}},
                     "os_frame":{{"mpps":0.5,"ci95_mpps":[0.45,0.55],"kernel_drops":0,"tx_errors":0,"rx_errors":0}},
@@ -1218,6 +1242,28 @@ mod tests {
             .0
             .iter()
             .any(|p| p.contains("os_wire_rfc2544.os_mmap: missing")));
+
+        // The fault-layer identity gate: overhead at or above 2% fails.
+        let broken = minimal_throughput().replace(r#""overhead_pct":0.6"#, r#""overhead_pct":3.4"#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("overhead_pct") && p.contains("2% identity gate")));
+
+        // Negative overhead (wrapped measured faster — host noise) is
+        // honest data and passes.
+        let noisy = minimal_throughput().replace(r#""overhead_pct":0.6"#, r#""overhead_pct":-0.3"#);
+        let probs = check_throughput(&parse(&noisy).unwrap());
+        assert!(probs.0.is_empty(), "{:?}", probs.0);
+
+        // Dropping the section disarms the gate — flagged.
+        let broken = minimal_throughput().replace(r#""fault_overhead""#, r#""renamed_fault""#);
+        let probs = check_throughput(&parse(&broken).unwrap());
+        assert!(probs
+            .0
+            .iter()
+            .any(|p| p.contains("fault_overhead: missing")));
 
         // A one-point CCDF is not a curve.
         let broken = minimal_throughput().replace(r#",{"latency_ns":400,"ccdf":0.01}"#, "");

@@ -58,6 +58,126 @@ pub fn throughput_packets() -> usize {
     }
 }
 
+/// Measured identity price of the disarmed fault layer (the PR 9
+/// `fault_overhead` section of `BENCH_throughput.json`).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultOverhead {
+    /// Interleaved trials per side.
+    pub trials: usize,
+    /// Median rate of the bare sim backend, Mpps.
+    pub bare_mpps: f64,
+    /// Median rate wrapped in `FaultIo(FaultPlan::none())`, Mpps.
+    pub faultio_empty_mpps: f64,
+    /// Median over trials of the paired per-trial delta of *median*
+    /// per-packet service times,
+    /// `(wrapped_median_ns − bare_median_ns) / bare_median_ns`,
+    /// percent. A run's median is untouched by scheduler/steal bursts
+    /// that contaminate under half its samples, and the outer median
+    /// discards the pairs a burst straddled — stable on a shared host
+    /// where mean- or rate-based deltas swing several percent, and
+    /// what the under-2% gate `vig_bench --check` enforces.
+    pub overhead_pct: f64,
+}
+
+impl FaultOverhead {
+    /// The `"fault_overhead": {...}` JSON section, ready to embed.
+    pub fn section_json(&self) -> String {
+        format!(
+            "\"fault_overhead\": {{\n    \"driver\": \"event-driven batched drive, sim backend, \
+             2 queues x 2 shards\",\n    \"trials\": {},\n    \"bare_mpps\": {:.3},\n    \
+             \"faultio_empty_mpps\": {:.3},\n    \"overhead_pct\": {:.3}\n  }}",
+            self.trials, self.bare_mpps, self.faultio_empty_mpps, self.overhead_pct
+        )
+    }
+}
+
+/// Measure the fault layer's identity overhead: the batched
+/// event-driven drive (2 queues × 2 shards, cache-resident flow
+/// working set, sim backend) bare vs wrapped in an empty-schedule
+/// `FaultIo`. `bare_mpps`/`faultio_empty_mpps` come from the same
+/// RFC 2544 rate search as every other trajectory rate; the gated
+/// `overhead_pct` is the noise-robust paired-median statistic (see
+/// [`FaultOverhead::overhead_pct`]). Trials alternate measurement
+/// order so slow host drift hits both sides equally.
+pub fn measure_fault_overhead(
+    cfg: &vig_spec::NatConfig,
+    trials: usize,
+    packets: usize,
+) -> FaultOverhead {
+    use netsim::backend::{FaultIo, FaultPlan, SimBackend};
+    use netsim::eventloop::event_driven_service_times_on;
+    use netsim::frame_env::RssClassifier;
+    use netsim::harness::search_rate_filtered;
+    use netsim::middlebox::ShardedVigNatMb;
+
+    // Small flow working set, deliberately: a cache-resident baseline
+    // is the *strictest* setting for a relative overhead gate (the
+    // wrapper's fixed cost divides by the cheapest per-packet time),
+    // and it keeps the untimed populate phase short so the paired
+    // bare/wrapped runs interleave tightly in wall time.
+    let flows = 1024.min(cfg.capacity / 2);
+    // Per run: (loss-search rate in Mpps, median per-packet ns).
+    let stats_of = |mut svc: netsim::harness::LatencySamples| {
+        let mpps = search_rate_filtered(&svc, 512).0;
+        svc.ns.sort_unstable();
+        (mpps, svc.ns[svc.ns.len() / 2] as f64)
+    };
+    let run_bare = |_: usize| {
+        let mut nf = ShardedVigNatMb::sharded(*cfg, 2);
+        stats_of(event_driven_service_times_on(
+            SimBackend::new(RssClassifier::for_nat(cfg, 2), 512),
+            &mut nf,
+            flows,
+            packets,
+            cfg.expiry_ns,
+        ))
+    };
+    let run_wrapped = |_: usize| {
+        let mut nf = ShardedVigNatMb::sharded(*cfg, 2);
+        stats_of(event_driven_service_times_on(
+            FaultIo::new(
+                SimBackend::new(RssClassifier::for_nat(cfg, 2), 512),
+                FaultPlan::none(),
+            ),
+            &mut nf,
+            flows,
+            packets,
+            cfg.expiry_ns,
+        ))
+    };
+    let mut bare_rates = Vec::with_capacity(trials);
+    let mut fault_rates = Vec::with_capacity(trials);
+    let mut overheads = Vec::with_capacity(trials);
+    for t in 0..trials {
+        // Alternate measurement order within each pair so warm-up and
+        // slow host drift hit both sides equally. Each run's statistic
+        // is the *median* per-packet service time (untouched by
+        // scheduler bursts contaminating under half the run), and the
+        // pairs a burst straddled fall to the outer median below —
+        // far steadier than a delta of means or loss-search rates.
+        let (bare, wrapped) = if t % 2 == 0 {
+            let b = run_bare(t);
+            (b, run_wrapped(t))
+        } else {
+            let w = run_wrapped(t);
+            (run_bare(t), w)
+        };
+        bare_rates.push(bare.0);
+        fault_rates.push(wrapped.0);
+        overheads.push((wrapped.1 - bare.1) / bare.1 * 100.0);
+    }
+    let median_of = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN rates"));
+        v[v.len() / 2]
+    };
+    FaultOverhead {
+        trials,
+        bare_mpps: median_of(&mut bare_rates),
+        faultio_empty_mpps: median_of(&mut fault_rates),
+        overhead_pct: median_of(&mut overheads),
+    }
+}
+
 /// Render an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -236,6 +236,19 @@ impl FlowManager {
         }
     }
 
+    /// Discard every flow and rebuild this table empty, keeping its
+    /// identity (config, slot range, expiry mode). The supervisor's
+    /// recovery primitive: after a worker panic the shard's state is
+    /// suspect — mid-batch, any subset of table/chain/wheel updates may
+    /// have landed — so the restarted worker starts from the one state
+    /// whose invariants are trivially re-established, the empty table.
+    /// Equivalent to (and implemented as) constructing a fresh
+    /// [`FlowManager::for_shard`] with the stored parameters.
+    pub fn reset(&mut self) {
+        *self =
+            FlowManager::for_shard(&self.cfg, self.capacity, self.slot_base, self.expiry_mode());
+    }
+
     /// Debug-only: the wheel-mode clock precondition. Every driver
     /// feeds the table a monotone clock (the NAT has one clock); the
     /// wheel's sorted-bucket invariant leans on it.

@@ -32,7 +32,9 @@
 use crate::dpdk::{BufIdx, Mempool, PortStats};
 use vig_packet::Direction;
 
+pub mod fault;
 mod sim;
+pub use fault::{CorruptKind, FaultIo, FaultPlan, FaultStats, StallWindow, TruncateKind};
 pub use sim::SimBackend;
 
 #[cfg(target_os = "linux")]

@@ -610,6 +610,20 @@ impl WireBackend for MmapBackend {
         self.ext_port.accumulate_kernel_stats();
         self.int_port.counters.kernel_drops + self.ext_port.counters.kernel_drops
     }
+
+    fn io_retries(&self) -> super::IoRetryStats {
+        [
+            self.int_port.rx_sock.retry_stats(),
+            self.int_port.tx_sock.retry_stats(),
+            self.ext_port.rx_sock.retry_stats(),
+            self.ext_port.tx_sock.retry_stats(),
+        ]
+        .iter()
+        .fold(super::IoRetryStats::default(), |a, s| super::IoRetryStats {
+            eintr_retries: a.eintr_retries + s.eintr_retries,
+            enobufs_backoffs: a.enobufs_backoffs + s.enobufs_backoffs,
+        })
+    }
 }
 
 impl PacketIo for MmapBackend {
@@ -784,7 +798,7 @@ impl PacketIo for MmapBackend {
             if port.unkicked > 0 {
                 port.unkicked = 0;
                 // One syscall transmits the whole batch.
-                if sys::send_flush(port.tx_sock.fd()).is_err() {
+                if port.tx_sock.kick_tx_ring().is_err() {
                     port.counters.kick_errors += 1;
                 }
             }

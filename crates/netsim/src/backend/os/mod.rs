@@ -91,6 +91,9 @@ pub fn allowed_cpus() -> io::Result<Vec<usize>> {
 pub struct RawSocket {
     fd: sys::CInt,
     ifname: String,
+    /// Transient-error retries absorbed on this socket (a `Cell`
+    /// because the receive/send paths take `&self`).
+    retries: std::cell::Cell<sys::Retries>,
 }
 
 impl RawSocket {
@@ -105,6 +108,7 @@ impl RawSocket {
         Ok(RawSocket {
             fd,
             ifname: ifname.to_string(),
+            retries: std::cell::Cell::new(sys::Retries::default()),
         })
     }
 
@@ -115,6 +119,7 @@ impl RawSocket {
         RawSocket {
             fd,
             ifname: ifname.to_string(),
+            retries: std::cell::Cell::new(sys::Retries::default()),
         }
     }
 
@@ -132,7 +137,25 @@ impl RawSocket {
     /// waiting. Returns `(frame_len, sll_pkttype)` — callers filter
     /// `pkttype == PACKET_OUTGOING` to ignore their own transmissions.
     pub fn recv_from(&self, buf: &mut [u8]) -> io::Result<Option<(usize, u8)>> {
-        sys::recv_one(self.fd, buf)
+        self.with_retries(|r| sys::recv_one(self.fd, buf, r))
+    }
+
+    /// Run `op` with this socket's retry accumulator checked out of its
+    /// `Cell` and checked back in afterwards.
+    fn with_retries<T>(&self, op: impl FnOnce(&mut sys::Retries) -> T) -> T {
+        let mut r = self.retries.get();
+        let out = op(&mut r);
+        self.retries.set(r);
+        out
+    }
+
+    /// Transient-error retries absorbed on this socket so far.
+    pub(super) fn retry_stats(&self) -> IoRetryStats {
+        let r = self.retries.get();
+        IoRetryStats {
+            eintr_retries: r.eintr,
+            enobufs_backoffs: r.enobufs,
+        }
     }
 
     /// Batched nonblocking receive (`recvmmsg`): up to
@@ -145,12 +168,18 @@ impl RawSocket {
         lens: &mut [usize; sys::BURST_FRAMES],
         pkttypes: &mut [u8; sys::BURST_FRAMES],
     ) -> io::Result<usize> {
-        sys::recv_burst(self.fd, buf, frame_cap, lens, pkttypes)
+        self.with_retries(|r| sys::recv_burst(self.fd, buf, frame_cap, lens, pkttypes, r))
     }
 
     /// Transmit one frame out the bound interface.
     pub fn send(&self, frame: &[u8]) -> io::Result<usize> {
-        sys::send_one(self.fd, frame)
+        self.with_retries(|r| sys::send_one(self.fd, frame, r))
+    }
+
+    /// Kick a TPACKET TX ring attached to this socket (the mmap
+    /// backend's flush path).
+    pub(super) fn kick_tx_ring(&self) -> io::Result<()> {
+        self.with_retries(|r| sys::send_flush(self.fd, r))
     }
 }
 
@@ -200,6 +229,22 @@ pub trait WireBackend: PacketIo {
     /// corrupt backend state — the overrun conformance test pins that
     /// down.
     fn kernel_drops(&mut self) -> u64;
+
+    /// Transient-error retries the hardened syscall layer absorbed on
+    /// this backend's sockets (`EINTR` re-issues, `ENOBUFS` TX
+    /// backoffs) — honesty counters: a wire point reporting zero
+    /// errors *and* zero retries really had a quiet kernel path.
+    fn io_retries(&self) -> IoRetryStats;
+}
+
+/// Syscall-retry honesty counters, summed over a backend's sockets —
+/// see [`WireBackend::io_retries`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoRetryStats {
+    /// Syscalls transparently re-issued after `EINTR`.
+    pub eintr_retries: u64,
+    /// Bounded backoff-sleeps taken on `ENOBUFS` before retrying TX.
+    pub enobufs_backoffs: u64,
 }
 
 /// One port of the per-frame OS backend: a bound socket plus the
@@ -320,6 +365,15 @@ impl WireBackend for OsBackend {
             }
         }
         self.kernel_drops
+    }
+
+    fn io_retries(&self) -> IoRetryStats {
+        let a = self.int_port.sock.retry_stats();
+        let b = self.ext_port.sock.retry_stats();
+        IoRetryStats {
+            eintr_retries: a.eintr_retries + b.eintr_retries,
+            enobufs_backoffs: a.enobufs_backoffs + b.enobufs_backoffs,
+        }
     }
 }
 

@@ -291,22 +291,59 @@ pub fn open_bound(idx: i32) -> io::Result<CInt> {
     Ok(fd)
 }
 
+/// Retry accounting for the hardened wrappers below — the honesty
+/// counters [`WireBackend::io_retries`](super::WireBackend::io_retries)
+/// surfaces. `EINTR` is retried unconditionally (a signal interrupting
+/// a syscall is not an I/O outcome); `ENOBUFS` on TX gets a bounded
+/// exponential backoff before the error is surfaced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Retries {
+    /// Syscalls transparently re-issued after `EINTR`.
+    pub eintr: u64,
+    /// TX backoff-sleeps taken on `ENOBUFS` before retrying.
+    pub enobufs: u64,
+}
+
+/// `ENOBUFS` (no kernel buffer space, errno 105 on Linux) has no
+/// `io::ErrorKind` mapping; match the raw errno.
+const ENOBUFS_ERRNO: i32 = 105;
+
+/// Backoff-retry attempts on `ENOBUFS` TX before surfacing the error:
+/// sleeps of 50 µs doubling per attempt (350 µs worst-case total) ride
+/// out a qdisc burst without turning a dead link into a stall.
+const ENOBUFS_TX_ATTEMPTS: u32 = 3;
+const ENOBUFS_BACKOFF_MIN_US: u64 = 50;
+
+fn enobufs(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(ENOBUFS_ERRNO)
+}
+
 /// Nonblocking receive; returns `(len, sll_pkttype)`, `None` when
-/// no frame is waiting.
-pub fn recv_one(fd: CInt, buf: &mut [u8]) -> io::Result<Option<(usize, u8)>> {
-    let mut from = SockaddrLl::zeroed();
-    let mut fromlen = std::mem::size_of::<SockaddrLl>() as u32;
-    // SAFETY: buf/from/fromlen are valid for the call's duration;
-    // the kernel writes at most `buf.len()` bytes and a sockaddr_ll.
-    let n = unsafe { recvfrom(fd, buf.as_mut_ptr(), buf.len(), 0, &mut from, &mut fromlen) };
-    if n < 0 {
-        let e = io::Error::last_os_error();
-        if e.kind() == io::ErrorKind::WouldBlock {
-            return Ok(None);
+/// no frame is waiting. Retries `EINTR` (counted in `retries`).
+pub fn recv_one(
+    fd: CInt,
+    buf: &mut [u8],
+    retries: &mut Retries,
+) -> io::Result<Option<(usize, u8)>> {
+    loop {
+        let mut from = SockaddrLl::zeroed();
+        let mut fromlen = std::mem::size_of::<SockaddrLl>() as u32;
+        // SAFETY: buf/from/fromlen are valid for the call's duration;
+        // the kernel writes at most `buf.len()` bytes and a sockaddr_ll.
+        let n = unsafe { recvfrom(fd, buf.as_mut_ptr(), buf.len(), 0, &mut from, &mut fromlen) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                retries.eintr += 1;
+                continue;
+            }
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(None);
+            }
+            return Err(e);
         }
-        return Err(e);
+        return Ok(Some((n as usize, from.sll_pkttype)));
     }
-    Ok(Some((n as usize, from.sll_pkttype)))
 }
 
 /// Frames per [`recv_burst`] call — one `recvmmsg` syscall drains up
@@ -324,6 +361,7 @@ pub fn recv_burst(
     frame_cap: usize,
     lens: &mut [usize; BURST_FRAMES],
     pkttypes: &mut [u8; BURST_FRAMES],
+    retries: &mut Retries,
 ) -> io::Result<usize> {
     assert!(frame_cap > 0 && buf.len() >= BURST_FRAMES * frame_cap);
     let mut addrs: [SockaddrLl; BURST_FRAMES] = std::array::from_fn(|_| SockaddrLl::zeroed());
@@ -348,27 +386,33 @@ pub fn recv_burst(
             len: 0,
         })
         .collect();
-    // SAFETY: every pointer in `msgs` (names, iovecs, data buffers)
-    // refers to live, disjoint, properly sized buffers that outlive
-    // the call; vlen matches the array length; timeout NULL is the
-    // documented "no timeout" value.
-    let n = unsafe {
-        recvmmsg(
-            fd,
-            msgs.as_mut_ptr(),
-            BURST_FRAMES as u32,
-            MSG_DONTWAIT,
-            std::ptr::null_mut(),
-        )
-    };
-    if n < 0 {
-        let e = io::Error::last_os_error();
-        if e.kind() == io::ErrorKind::WouldBlock {
-            return Ok(0);
+    let n = loop {
+        // SAFETY: every pointer in `msgs` (names, iovecs, data buffers)
+        // refers to live, disjoint, properly sized buffers that outlive
+        // the call; vlen matches the array length; timeout NULL is the
+        // documented "no timeout" value.
+        let n = unsafe {
+            recvmmsg(
+                fd,
+                msgs.as_mut_ptr(),
+                BURST_FRAMES as u32,
+                MSG_DONTWAIT,
+                std::ptr::null_mut(),
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                retries.eintr += 1;
+                continue;
+            }
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(0);
+            }
+            return Err(e);
         }
-        return Err(e);
-    }
-    let n = n as usize;
+        break n as usize;
+    };
     for i in 0..n {
         lens[i] = msgs[i].len as usize;
         pkttypes[i] = addrs[i].sll_pkttype;
@@ -376,31 +420,72 @@ pub fn recv_burst(
     Ok(n)
 }
 
-/// Send one frame on the bound interface.
-pub fn send_one(fd: CInt, frame: &[u8]) -> io::Result<usize> {
-    // SAFETY: frame is a valid readable buffer for the call.
-    let n = unsafe { send(fd, frame.as_ptr(), frame.len(), 0) };
-    if n < 0 {
-        return Err(io::Error::last_os_error());
+/// Send one frame on the bound interface. Retries `EINTR`
+/// unconditionally; backs off and retries `ENOBUFS` up to
+/// [`ENOBUFS_TX_ATTEMPTS`] times (both counted in `retries`) before
+/// surfacing the error — bounded degradation, never a stall.
+pub fn send_one(fd: CInt, frame: &[u8], retries: &mut Retries) -> io::Result<usize> {
+    let mut enobufs_left = ENOBUFS_TX_ATTEMPTS;
+    let mut backoff_us = ENOBUFS_BACKOFF_MIN_US;
+    loop {
+        // SAFETY: frame is a valid readable buffer for the call.
+        let n = unsafe { send(fd, frame.as_ptr(), frame.len(), 0) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                retries.eintr += 1;
+                continue;
+            }
+            if enobufs(&e) && enobufs_left > 0 {
+                enobufs_left -= 1;
+                retries.enobufs += 1;
+                std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                backoff_us *= 2;
+                continue;
+            }
+            return Err(e);
+        }
+        return Ok(n as usize);
     }
-    Ok(n as usize)
 }
 
 /// Kick a TX ring: `send(fd, NULL, 0, MSG_DONTWAIT)` tells the kernel
 /// to walk the ring and transmit every `TP_STATUS_SEND_REQUEST` slot.
-pub fn send_flush(fd: CInt) -> io::Result<()> {
-    // SAFETY: a NULL buffer of length 0 is the documented TX-ring
-    // flush form; the kernel reads frame data from the shared ring,
-    // not from this pointer.
-    let n = unsafe { send(fd, std::ptr::null(), 0, MSG_DONTWAIT) };
-    if n < 0 {
-        let e = io::Error::last_os_error();
-        if e.kind() == io::ErrorKind::WouldBlock {
-            return Ok(()); // partial progress; re-kicked next flush
+/// Retries `EINTR`; treats `ENOBUFS` like `EWOULDBLOCK` after a
+/// bounded backoff (ring slots stay `SEND_REQUEST` and the next flush
+/// re-kicks them — congestion delays frames, it must not error a
+/// healthy ring).
+pub fn send_flush(fd: CInt, retries: &mut Retries) -> io::Result<()> {
+    let mut enobufs_left = ENOBUFS_TX_ATTEMPTS;
+    let mut backoff_us = ENOBUFS_BACKOFF_MIN_US;
+    loop {
+        // SAFETY: a NULL buffer of length 0 is the documented TX-ring
+        // flush form; the kernel reads frame data from the shared ring,
+        // not from this pointer.
+        let n = unsafe { send(fd, std::ptr::null(), 0, MSG_DONTWAIT) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                retries.eintr += 1;
+                continue;
+            }
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(()); // partial progress; re-kicked next flush
+            }
+            if enobufs(&e) {
+                if enobufs_left > 0 {
+                    enobufs_left -= 1;
+                    retries.enobufs += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                    backoff_us *= 2;
+                    continue;
+                }
+                return Ok(()); // still congested; re-kicked next flush
+            }
+            return Err(e);
         }
-        return Err(e);
+        return Ok(());
     }
-    Ok(())
 }
 
 /// Close the fd (Drop path; errors ignored like stdlib's File).

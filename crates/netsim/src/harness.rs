@@ -479,6 +479,42 @@ impl NatRuntimeSession<'_> {
     pub fn expired(&self) -> u64 {
         self.inner.expired()
     }
+
+    /// Supervisor counters so far this session (see
+    /// [`crate::runtime::SupervisorStats`]): all zero on a fault-free
+    /// session.
+    pub fn supervisor(&self) -> crate::runtime::SupervisorStats {
+        self.inner.supervisor()
+    }
+
+    /// Supervised-failure events so far this session, in order.
+    pub fn down_events(&self) -> &[crate::runtime::WorkerDown] {
+        self.inner.down_events()
+    }
+
+    /// Whether shard `s` is still serving (not retired by the
+    /// supervisor).
+    pub fn shard_alive(&self, s: usize) -> bool {
+        self.inner.shard_alive(s)
+    }
+
+    /// Arm shard `s`'s worker to panic partway through its next job —
+    /// the chaos seam (see [`ShardRuntimeSession::kill_worker`]).
+    pub fn kill_worker(&mut self, s: usize) -> bool {
+        self.inner.kill_worker(s)
+    }
+
+    /// Make shard `s`'s worker exit silently — a simulated hard death
+    /// (see [`ShardRuntimeSession::halt_worker`]).
+    pub fn halt_worker(&mut self, s: usize) -> bool {
+        self.inner.halt_worker(s)
+    }
+
+    /// Replace the supervisor's stall budget (see
+    /// [`ShardRuntimeSession::set_stall_budget`]).
+    pub fn set_stall_budget(&mut self, budget: std::time::Duration) {
+        self.inner.set_stall_budget(budget)
+    }
 }
 
 /// One point of the shard-count throughput sweep

@@ -69,10 +69,14 @@ pub mod middlebox;
 pub mod runtime;
 pub mod tester;
 
-pub use backend::{PacketIo, SimBackend, TesterIo};
+pub use backend::{
+    CorruptKind, FaultIo, FaultPlan, FaultStats, PacketIo, SimBackend, TesterIo, TruncateKind,
+};
 pub use dpdk::{Device, Mempool, MultiQueueDevice, PortStats, Ring};
 pub use eventloop::{BackendDriver, EventLoop, MultiQueueTestbed, Poller, TxRecord, Wrr};
 pub use frame_env::{BurstEnv, FrameEnv, RssClassifier};
 pub use middlebox::{Middlebox, NoopForwarder, SystemClockMb, Verdict, VigNatMb};
-pub use runtime::{with_shard_runtime, PinReport, RuntimeReport, ShardRuntimeSession};
+pub use runtime::{
+    with_shard_runtime, PinReport, RuntimeReport, ShardRuntimeSession, SupervisorStats, WorkerDown,
+};
 pub use tester::{FlowGen, WorkloadMix};

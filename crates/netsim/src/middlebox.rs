@@ -168,6 +168,12 @@ impl<T: FlowTable> VigNatMb<T> {
         &self.fm
     }
 
+    /// The flow table, mutably — the chaos suites use this to mirror a
+    /// supervised shard reset onto the sequential oracle.
+    pub fn flow_manager_mut(&mut self) -> &mut T {
+        &mut self.fm
+    }
+
     /// Total flows expired over the run.
     pub fn expired_total(&self) -> u64 {
         self.expired_total

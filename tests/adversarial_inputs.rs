@@ -165,6 +165,152 @@ fn boundary_valued_headers_are_handled() {
     }
 }
 
+/// Corrupted-frame corpus generated by the fault layer's header
+/// profiles turned up to rate 1: bad IHL nibbles, garbage IP versions,
+/// and truncations inside the L4 header — the exact malformed-header
+/// shapes the motivating CVEs used. The corpus is produced by damaging
+/// *well-formed* staged traffic inside a `FaultIo`-wrapped backend (the
+/// same seam the chaos suites use), so it is deterministic and
+/// regenerates identically on every run. Contract: every corpus frame
+/// fails the parser, every NAT drops it with the bytes unmodified, and
+/// the verified NAT's flow state is bit-identical before and after the
+/// barrage.
+#[test]
+fn fault_layer_corruption_corpus_is_rejected_without_state_mutation() {
+    use vignat_repro::sim::backend::{
+        CorruptKind, FaultIo, FaultPlan, PacketIo, SimBackend, TesterIo, TruncateKind,
+    };
+    use vignat_repro::sim::RssClassifier;
+
+    let c = cfg();
+    let profiles: Vec<(&str, FaultPlan)> = vec![
+        (
+            "bad-ihl",
+            FaultPlan::seeded(0x1).corrupt_1_in(1, CorruptKind::BadIhl),
+        ),
+        (
+            "bad-version",
+            FaultPlan::seeded(0x2).corrupt_1_in(1, CorruptKind::BadVersion),
+        ),
+        (
+            "short-l4",
+            FaultPlan::seeded(0x3).truncate_1_in(1, TruncateKind::ShortL4),
+        ),
+    ];
+    for (name, plan) in profiles {
+        // Generate the corpus: stage valid UDP/TCP frames, let the
+        // fault layer damage every one on its way out of the RX FIFOs.
+        let mut io = FaultIo::new(SimBackend::new(RssClassifier::for_nat(&c, 2), 256), plan);
+        let mut staged = 0usize;
+        for i in 0..48u32 {
+            let frame = if i % 2 == 0 {
+                PacketBuilder::udp(
+                    Ip4::new(10, 0, 0, 1 + (i % 7) as u8),
+                    Ip4::new(1, 1, 1, 1),
+                    2000 + i as u16,
+                    53,
+                )
+                .build()
+            } else {
+                PacketBuilder::tcp(
+                    Ip4::new(10, 0, 1, 1 + (i % 5) as u8),
+                    Ip4::new(8, 8, 8, 8),
+                    3000 + i as u16,
+                    443,
+                )
+                .payload(b"abc")
+                .build()
+            };
+            if io
+                .stage(Direction::Internal, |b| {
+                    b[..frame.len()].copy_from_slice(&frame);
+                    frame.len()
+                })
+                .is_some()
+            {
+                staged += 1;
+            }
+        }
+        let mut corpus: Vec<Vec<u8>> = Vec::new();
+        let mut bufs = Vec::new();
+        for q in 0..2 {
+            bufs.clear();
+            io.rx_burst(Direction::Internal, q, 256, &mut bufs);
+            for &b in &bufs {
+                corpus.push(io.pool().frame(b).to_vec());
+            }
+        }
+        assert_eq!(corpus.len(), staged, "{name}: corpus is complete");
+        let fs = io.fault_stats();
+        assert_eq!(
+            (fs.rx_corrupted + fs.rx_truncated) as usize,
+            staged,
+            "{name}: rate-1 profile must damage every frame"
+        );
+
+        // (a) The parser rejects every corpus frame — no indexing with
+        // a bad IHL, no reads past a truncated L4 header.
+        for f in &corpus {
+            assert!(
+                parse_l3l4(f).is_err(),
+                "{name}: corrupted frame still parses: {f:02x?}"
+            );
+        }
+
+        // (b) All three NATs drop every frame, bytes untouched.
+        for mut nf in nats() {
+            let mut now = Time::from_secs(1);
+            for f in &corpus {
+                now = now.plus(1_000_000);
+                let mut frame = f.clone();
+                let v = nf.process(Direction::Internal, &mut frame, now);
+                assert_eq!(
+                    v,
+                    Verdict::Drop,
+                    "{}: corrupted frame not dropped",
+                    nf.name()
+                );
+                assert_eq!(&frame, f, "{}: dropped frame was mutated", nf.name());
+            }
+        }
+
+        // (c) A warmed verified NAT keeps bit-identical flow state
+        // (slots, flows, stamps, LRU order) across the whole barrage.
+        let mut vig = VigNatMb::new(cfg());
+        let mut now = Time::from_secs(1);
+        for i in 0..8u16 {
+            let mut f =
+                PacketBuilder::udp(Ip4::new(192, 168, 0, 2), Ip4::new(1, 1, 1, 1), 1000 + i, 53)
+                    .build();
+            now = now.plus(1_000);
+            vig.process(Direction::Internal, &mut f, now);
+        }
+        let state_before: Vec<_> = vig
+            .flow_manager()
+            .iter_lru()
+            .map(|(slot, flow, stamp)| (slot, *flow, stamp))
+            .collect();
+        assert_eq!(state_before.len(), 8, "{name}: warm-up admitted 8 flows");
+        for f in &corpus {
+            let mut frame = f.clone();
+            now = now.plus(1_000);
+            vig.process(Direction::Internal, &mut frame, now);
+            let mut frame = f.clone();
+            vig.process(Direction::External, &mut frame, now);
+        }
+        let state_after: Vec<_> = vig
+            .flow_manager()
+            .iter_lru()
+            .map(|(slot, flow, stamp)| (slot, *flow, stamp))
+            .collect();
+        assert_eq!(
+            state_before, state_after,
+            "{name}: corrupted frames mutated NAT state"
+        );
+        vig.flow_manager().check_coherence().unwrap();
+    }
+}
+
 #[test]
 fn sustained_churn_with_expiry_keeps_state_coherent() {
     // Hours of simulated time, thousands of flows cycling through a

@@ -217,9 +217,82 @@ fn run_differential(queues: usize, shards: usize, ring: usize, mk_ev: impl Fn(us
     nf.flow_manager().check_coherence().unwrap();
 }
 
+/// The fault layer's identity theorem on the sim backend: `FaultIo`
+/// with the empty schedule is byte-for-byte the inner backend — same
+/// admissions, TX sequences, per-queue stats, NAT state, pool levels,
+/// and untouched fault counters — across the same adversarial schedule
+/// the legacy-parity suite uses (overflow round included).
+fn run_faultio_identity(queues: usize, shards: usize, ring: usize) {
+    use vignat_repro::sim::backend::{FaultIo, FaultPlan, FaultStats};
+    let c = cfg(256);
+    let gen = FlowGen::new(vignat_repro::packet::Proto::Udp);
+
+    let mut plain_nf = ShardedVigNatMb::sharded(c, shards);
+    let mut plain = BackendDriver::new(SimBackend::new(RssClassifier::for_nat(&c, queues), ring));
+    let mut nf = ShardedVigNatMb::sharded(c, shards);
+    let mut drv = BackendDriver::new(FaultIo::new(
+        SimBackend::new(RssClassifier::for_nat(&c, queues), ring),
+        FaultPlan::none(),
+    ));
+
+    let mut learned: Vec<Vec<u8>> = Vec::new();
+    for round in 0..3 {
+        let frames = mixed_round(&gen, round, &learned);
+        let now = Time::from_secs(1 + round as u64);
+        for (dir, bytes) in &frames {
+            let a = plain.io_mut().stage(*dir, |b| {
+                b[..bytes.len()].copy_from_slice(bytes);
+                bytes.len()
+            });
+            let b = drv.io_mut().stage(*dir, |b| {
+                b[..bytes.len()].copy_from_slice(bytes);
+                bytes.len()
+            });
+            assert_eq!(a, b, "admission diverged in round {round}");
+        }
+        let ps = plain.drain(&mut plain_nf, now);
+        let fs = drv.drain(&mut nf, now);
+        assert_eq!(
+            (ps.forwarded, ps.dropped, ps.tx_dropped, ps.bursts, ps.polls),
+            (fs.forwarded, fs.dropped, fs.tx_dropped, fs.bursts, fs.polls),
+            "drain stats diverged in round {round}"
+        );
+        for dir in [Direction::External, Direction::Internal] {
+            let pt = plain.io_mut().reap(dir);
+            let ft = drv.io_mut().reap(dir);
+            assert_eq!(pt, ft, "tx sequence diverged in round {round} on {dir:?}");
+            if round == 0 && dir == Direction::External {
+                learned = pt.iter().map(|(_, f)| f.clone()).collect();
+            }
+        }
+        assert_eq!(
+            all_queue_stats(plain.io()),
+            all_queue_stats(drv.io()),
+            "per-queue accounting diverged in round {round}"
+        );
+        assert_eq!(nat_state(&plain_nf), nat_state(&nf));
+        assert_eq!(
+            plain.io().pool_available(),
+            drv.io().inner().pool_available()
+        );
+    }
+    assert_eq!(drv.io().fault_stats(), FaultStats::default());
+    nf.flow_manager().check_coherence().unwrap();
+}
+
 #[test]
 fn sim_backend_matches_legacy_testbed_byte_for_byte() {
     run_differential(4, 2, 8, EventLoop::new);
+}
+
+#[test]
+fn faultio_empty_schedule_is_identity_on_sim_backend() {
+    run_faultio_identity(4, 2, 8);
+}
+
+#[test]
+fn faultio_identity_holds_under_queue_overflow() {
+    run_faultio_identity(2, 2, 2);
 }
 
 #[test]
@@ -515,6 +588,33 @@ mod os {
     fn mmap_backend_matches_sim_on_recorded_trace() {
         recorded_trace_parity("mmap", "vgmmp", |i, e, cl, ring| {
             OsTestRig::open_mmap(i, e, cl, ring)
+        });
+    }
+
+    /// The fault layer's identity theorem on the per-frame wire
+    /// backend: `FaultIo(FaultPlan::none())` wrapped around a live
+    /// `OsBackend` passes the same recorded-trace parity proof the
+    /// bare backend does, so an empty schedule changes nothing on a
+    /// real kernel packet path either.
+    #[test]
+    #[ignore = "needs CAP_NET_ADMIN/CAP_NET_RAW (veth + AF_PACKET); run via CI os-backend-integration or sudo"]
+    fn faultio_identity_holds_on_os_backend() {
+        use vignat_repro::sim::backend::os::OsBackend;
+        use vignat_repro::sim::backend::{FaultIo, FaultPlan};
+        recorded_trace_parity("fault-os", "vgfos", |i, e, cl, ring| {
+            let inner = OsBackend::open(&i.a, &e.a, cl, ring)?;
+            OsTestRig::with_backend(FaultIo::new(inner, FaultPlan::none()), i, e)
+        });
+    }
+
+    /// Identity theorem on the zero-copy mmap-ring wire backend.
+    #[test]
+    #[ignore = "needs CAP_NET_ADMIN/CAP_NET_RAW (veth + AF_PACKET mmap rings); run via CI os-backend-integration or sudo"]
+    fn faultio_identity_holds_on_mmap_backend() {
+        use vignat_repro::sim::backend::{FaultIo, FaultPlan};
+        recorded_trace_parity("fault-mmap", "vgfmm", |i, e, cl, ring| {
+            let inner = MmapBackend::open(&i.a, &e.a, cl, ring, MmapRingConfig::default())?;
+            OsTestRig::with_backend(FaultIo::new(inner, FaultPlan::none()), i, e)
         });
     }
 

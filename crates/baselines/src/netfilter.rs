@@ -18,6 +18,14 @@
 //!   non-matching rules before the masquerade rule matches.
 //! * **timer bookkeeping** — conntrack re-arms a timeout on every packet;
 //!   we maintain a `BTreeMap` timer tree with remove+insert per packet.
+//!   The re-armed duration is **per-class**, as the kernel's
+//!   `nf_conntrack_tcp_timeout_*` sysctls make it: each TCP connection
+//!   carries a state-machine state (`vig_spec::tcp`), every segment
+//!   steps it *before* the timer is re-armed, and the deadline is
+//!   `now + lifetime(class(state))` — established connections get the
+//!   long timeout, half-open/closing ones the short transitory timeout,
+//!   UDP its own. With a homogeneous config all classes collapse to
+//!   `Texp` and the pre-TCP behaviour is preserved bit for bit.
 //! * **router duties** — TTL decrement + checksum fixup (a NAT box in
 //!   the kernel is a router; DPDK NATs in the paper do not route).
 //!
@@ -31,6 +39,7 @@ use netsim::middlebox::{Middlebox, Verdict};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use vig_packet::ipv4::Ipv4Packet;
 use vig_packet::{parse_l3l4, Direction, FlowId, Ip4, Proto};
+use vig_spec::tcp::{class_of, initial_state, transition, TcpState};
 use vig_spec::NatConfig;
 
 /// A normalized conntrack tuple (as-seen packet 5-tuple).
@@ -54,6 +63,9 @@ struct Conn {
     fid: FlowId,
     ext_port: u16,
     deadline: u64,
+    /// TCP tracker state (`None` for non-TCP connections); selects the
+    /// timeout class the next re-arm uses.
+    tcp: Option<TcpState>,
 }
 
 /// An iptables-style rule: match fields, then a target. Only the last
@@ -304,10 +316,18 @@ impl NetfilterNat {
         }
     }
 
-    fn rearm(&mut self, idx: usize, now: Time) {
+    /// Step the TCP tracker for a segment seen from `dir` carrying
+    /// `tcp_flags`, then re-arm the timer with the (possibly new)
+    /// class's lifetime — conntrack's per-state timeout re-arm.
+    fn rearm(&mut self, idx: usize, now: Time, dir: Direction, tcp_flags: u8) {
         let old = self.slab[idx].as_ref().unwrap().deadline;
         self.timers.remove(&(old, idx));
-        let new = now.nanos().saturating_add(self.cfg.expiry_ns);
+        let conn = self.slab[idx].as_mut().unwrap();
+        if let Some(st) = conn.tcp {
+            conn.tcp = Some(transition(st, dir, tcp_flags));
+        }
+        let lifetime = self.cfg.lifetime_ns(class_of(conn.fid.proto, conn.tcp));
+        let new = now.nanos().saturating_add(lifetime);
         self.slab[idx].as_mut().unwrap().deadline = new;
         self.timers.insert((new, idx), ());
     }
@@ -341,18 +361,22 @@ impl NetfilterNat {
         None
     }
 
-    fn new_conn(&mut self, fid: FlowId, now: Time) -> Option<u16> {
+    fn new_conn(&mut self, fid: FlowId, now: Time, tcp_flags: u8) -> Option<u16> {
         let idx = self.free.pop()?;
         let Some(port) = self.pick_port(fid.src_port) else {
             self.free.push(idx);
             return None;
         };
         self.used_ports.insert(port);
-        let deadline = now.nanos().saturating_add(self.cfg.expiry_ns);
+        let tcp = (fid.proto == Proto::Tcp).then(|| initial_state(tcp_flags));
+        let deadline = now
+            .nanos()
+            .saturating_add(self.cfg.lifetime_ns(class_of(fid.proto, tcp)));
         self.slab[idx] = Some(Conn {
             fid,
             ext_port: port,
             deadline,
+            tcp,
         });
         self.timers.insert((deadline, idx), ());
         self.conns.insert(Self::orig_tuple(&fid), (idx, Hand::Orig));
@@ -377,8 +401,14 @@ impl Middlebox for NetfilterNat {
         self.expire(now);
 
         let verdict = (|skb: &mut Vec<u8>, this: &mut Self| -> Verdict {
-            let Ok((_off, ff)) = parse_l3l4(skb) else {
+            let Ok((off, ff)) = parse_l3l4(skb) else {
                 return Verdict::Drop;
+            };
+            // The TCP flag byte steers conntrack's per-state timeout.
+            let tcp_flags = if ff.proto == Proto::Tcp {
+                skb[off.l4 + 13]
+            } else {
+                0
             };
             let tuple = Tuple {
                 src_ip: ff.src_ip.raw(),
@@ -398,14 +428,14 @@ impl Middlebox for NetfilterNat {
             let hit = this.conns.get(&tuple).copied();
             match (dir, hit) {
                 (Direction::Internal, Some((idx, Hand::Orig))) => {
-                    this.rearm(idx, now);
+                    this.rearm(idx, now, Direction::Internal, tcp_flags);
                     let port = this.slab[idx].as_ref().unwrap().ext_port;
                     let ext_ip = this.cfg.external_ip;
                     kernel_forward(skb, ff.proto, Some((ext_ip, port)), None);
                     Verdict::Forward(Direction::External)
                 }
                 (Direction::External, Some((idx, Hand::Reply))) => {
-                    this.rearm(idx, now);
+                    this.rearm(idx, now, Direction::External, tcp_flags);
                     let (int_ip, int_port) = {
                         let c = this.slab[idx].as_ref().unwrap();
                         (c.fid.src_ip, c.fid.src_port)
@@ -432,7 +462,7 @@ impl Middlebox for NetfilterNat {
                         dst_port: ff.dst_port,
                         proto: ff.proto,
                     };
-                    match this.new_conn(fid, now) {
+                    match this.new_conn(fid, now, tcp_flags) {
                         Some(port) => {
                             let ext_ip = this.cfg.external_ip;
                             kernel_forward(skb, ff.proto, Some((ext_ip, port)), None);
@@ -522,6 +552,7 @@ mod tests {
             expiry_ns: Time::from_secs(2).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 3000,
+            ..NatConfig::paper_default()
         }
     }
 
@@ -606,6 +637,60 @@ mod tests {
             Verdict::Drop,
             "conntrack table full"
         );
+    }
+
+    #[test]
+    fn tcp_lifetimes_per_state() {
+        use vig_packet::tcp::flags;
+        let c = NatConfig {
+            tcp_transitory_ns: Time::from_secs(2).nanos(),
+            tcp_established_ns: Time::from_secs(60).nanos(),
+            ..cfg()
+        };
+        let mut nat = NetfilterNat::new(c);
+        let lan = |h: u8| Ip4::new(192, 168, 0, h);
+        let wan = Ip4::new(9, 9, 9, 9);
+
+        // Conn A: half-open (SYN only) — transitory, dies at t+2.
+        let mut syn = PacketBuilder::tcp(lan(1), wan, 4000, 80)
+            .tcp_flags(flags::SYN)
+            .build();
+        nat.process(Direction::Internal, &mut syn, Time::from_secs(1));
+
+        // Conn B: full handshake — established, lives until t+60.
+        let mut syn2 = PacketBuilder::tcp(lan(2), wan, 4000, 80)
+            .tcp_flags(flags::SYN)
+            .build();
+        nat.process(Direction::Internal, &mut syn2, Time::from_secs(1));
+        let (_, of) = parse_l3l4(&syn2).unwrap();
+        let mut synack = PacketBuilder::tcp(wan, Ip4::new(10, 1, 0, 1), 80, of.src_port)
+            .tcp_flags(flags::SYN | flags::ACK)
+            .build();
+        nat.process(Direction::External, &mut synack, Time::from_secs(1));
+        let mut ack = PacketBuilder::tcp(lan(2), wan, 4000, 80)
+            .tcp_flags(flags::ACK)
+            .build();
+        nat.process(Direction::Internal, &mut ack, Time::from_secs(1));
+        assert_eq!(nat.len(), 2);
+
+        // t=5: past transitory, inside established. Only A dies.
+        let mut tick = PacketBuilder::udp(lan(9), wan, 100, 53).build();
+        nat.process(Direction::Internal, &mut tick, Time::from_secs(5));
+        assert_eq!(
+            nat.expired_total(),
+            1,
+            "half-open dies at the transitory timeout; established survives"
+        );
+
+        // Mid-stream RST demotes B to transitory: dead two seconds on.
+        let mut rst = PacketBuilder::tcp(lan(2), wan, 4000, 80)
+            .tcp_flags(flags::RST)
+            .build();
+        nat.process(Direction::Internal, &mut rst, Time::from_secs(5));
+        let mut tick2 = PacketBuilder::udp(lan(10), wan, 100, 53).build();
+        nat.process(Direction::Internal, &mut tick2, Time::from_secs(9));
+        // B (rst'd, deadline 7) and the t=5 UDP tick (deadline 7) died.
+        assert_eq!(nat.expired_total(), 3, "RST cuts the established timer");
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(60).nanos(), // flows never expire mid-run
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -116,6 +117,7 @@ fn churn_cfg() -> NatConfig {
         expiry_ns: CHURN_TEXP_NS,
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1024,
+        ..NatConfig::paper_default()
     }
 }
 

@@ -54,6 +54,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(3600).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -308,6 +309,7 @@ fn churn_cfg() -> NatConfig {
         expiry_ns: CHURN_TEXP_NS,
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1024,
+        ..NatConfig::paper_default()
     }
 }
 

@@ -31,6 +31,7 @@ fn cfg(texp_s: u64) -> NatConfig {
         expiry_ns: Time::from_secs(texp_s).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     }
 }
 

@@ -33,6 +33,7 @@ fn main() {
         expiry_ns: Time::from_secs(60).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     };
     let trials = env_usize("FAULT_OVERHEAD_TRIALS", 15);
     let packets = env_usize("FAULT_OVERHEAD_PACKETS", vig_bench::throughput_packets());

@@ -1,39 +1,134 @@
-//! The `vig_bench` CLI: trajectory-file validation (`--check`) and
-//! the baseline regression guard (`--check --baseline FILE`).
+//! The `vig_bench` CLI: trajectory-file validation (`--check`), the
+//! baseline regression guard (`--check --baseline FILE`), and the
+//! scenario-matrix runner (`--matrix`).
 //!
 //! ```text
-//! vig_bench --check [--baseline FILE] [FILE...]
+//! vig_bench --check [--baseline FILE] [--fail-under PCT] [--warn-under PCT]
+//!                   [--min-samples N] [FILE...]
+//! vig_bench --matrix [--packets N]
 //! ```
 //!
-//! With no files, validates the committed `BENCH_flowtable.json` and
-//! `BENCH_throughput.json` at the workspace root. Exits non-zero (with
-//! a per-field problem list) when any file is malformed — the cheap CI
+//! With no files, `--check` validates the committed
+//! `BENCH_flowtable.json`, `BENCH_throughput.json` and
+//! `BENCH_matrix.json` at the workspace root. Exits non-zero (with a
+//! per-field problem list) when any file is malformed — the cheap CI
 //! step that keeps a bench refactor from silently disarming the perf
 //! gates.
 //!
 //! With `--baseline FILE`, each checked file of the same bench kind is
-//! additionally compared against the baseline document: a rate more
-//! than 10% below the baseline median (or a series that vanished)
-//! fails, a smaller slowdown outside both bootstrap intervals warns,
-//! and series new in this run are listed but never judged.
+//! additionally compared against the baseline document under the
+//! configured policy: a rate more than `--fail-under` percent (default
+//! 10) below the baseline median — or a series that vanished — fails;
+//! a smaller slowdown outside both bootstrap intervals, or past
+//! `--warn-under` percent, warns; series new in this run are listed
+//! but never judged; series shorter than `--min-samples` (in either
+//! run) are suppressed as too short to judge.
+//!
+//! `--matrix` measures the full occupancy × shards × queues × backend
+//! × TCP/UDP-mix scenario matrix and writes `BENCH_matrix.json` at the
+//! workspace root (see `vig_bench::matrix`).
+
+use vig_bench::check::BaselinePolicy;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vig_bench --check [--baseline FILE] [FILE...]\n\
-         validates committed BENCH_*.json trajectory files \
+        "usage: vig_bench --check [--baseline FILE] [--fail-under PCT] \
+         [--warn-under PCT] [--min-samples N] [FILE...]\n       \
+         vig_bench --matrix [--packets N]\n\
+         --check validates committed BENCH_*.json trajectory files \
          (schema, gate metrics, CI intervals); with --baseline, \
          additionally guards rates against a committed baseline \
-         (fail >10% drop, warn on CI non-overlap, new series exempt)"
+         (fail past --fail-under %, default 10; warn on CI non-overlap \
+         or past --warn-under %; series shorter than --min-samples \
+         suppressed; new series exempt).\n\
+         --matrix runs the occupancy x shards x queues x backend x \
+         TCP-mix scenario matrix and writes BENCH_matrix.json"
     );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("--check") {
+/// Pull `--flag VALUE` out of `rest`, parsed as `T`.
+fn take_opt<T: std::str::FromStr>(rest: &mut Vec<String>, flag: &str) -> Option<T> {
+    let i = rest.iter().position(|a| a == flag)?;
+    if i + 1 >= rest.len() {
         usage();
     }
+    let raw = rest.remove(i + 1);
+    rest.remove(i);
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("bad value for {flag}: {raw}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_matrix(mut rest: Vec<String>) -> ! {
+    let packets: usize =
+        take_opt(&mut rest, "--packets").unwrap_or(vig_bench::throughput_packets() / 8);
+    if !rest.is_empty() {
+        usage();
+    }
+    let cells = vig_bench::matrix::run_matrix(packets);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}%", c.occupancy_pct),
+                format!("{}", c.queues),
+                format!("{}", c.shards),
+                c.backend.to_string(),
+                format!("{}", c.tcp_permille),
+                format!("{}", c.flows),
+                format!(
+                    "{:.2} [{:.2},{:.2}]",
+                    c.est.mpps, c.est.ci95_lo_mpps, c.est.ci95_hi_mpps
+                ),
+                format!("{:.1}", c.est.mean_ns),
+            ]
+        })
+        .collect();
+    vig_bench::print_table(
+        &format!(
+            "scenario matrix: {} cells x {packets} packets (RFC 2544, mad_z3.5)",
+            cells.len()
+        ),
+        &[
+            "occ",
+            "queues",
+            "shards",
+            "backend",
+            "tcp\u{2030}",
+            "flows",
+            "Mpps [ci95]",
+            "mean ns",
+        ],
+        &rows,
+    );
+    vig_bench::write_result_json(
+        "BENCH_matrix.json",
+        &vig_bench::matrix::matrix_json(&cells, packets),
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {}
+        Some("--matrix") => run_matrix(args[1..].to_vec()),
+        _ => usage(),
+    }
     let mut rest: Vec<String> = args[1..].to_vec();
+    let mut policy = BaselinePolicy::default();
+    if let Some(pct) = take_opt::<f64>(&mut rest, "--fail-under") {
+        policy.fail_under_pct = pct;
+    }
+    policy.warn_under_pct = take_opt::<f64>(&mut rest, "--warn-under");
+    if let Some(n) = take_opt::<f64>(&mut rest, "--min-samples") {
+        policy.min_samples = n;
+    }
     let baseline = match rest.iter().position(|a| a == "--baseline") {
         Some(i) => {
             if i + 1 >= rest.len() {
@@ -51,13 +146,20 @@ fn main() {
         }
         None => None,
     };
+    if rest.iter().any(|a| a.starts_with("--")) {
+        usage();
+    }
     let files: Vec<std::path::PathBuf> = if !rest.is_empty() {
         rest.iter().map(std::path::PathBuf::from).collect()
     } else {
-        ["BENCH_flowtable.json", "BENCH_throughput.json"]
-            .iter()
-            .map(|n| vig_bench::workspace_root().join(n))
-            .collect()
+        [
+            "BENCH_flowtable.json",
+            "BENCH_throughput.json",
+            "BENCH_matrix.json",
+        ]
+        .iter()
+        .map(|n| vig_bench::workspace_root().join(n))
+        .collect()
     };
     let mut failed = false;
     for f in &files {
@@ -88,18 +190,23 @@ fn main() {
                         continue;
                     }
                 };
-                let report = vig_bench::check::compare_against_baseline(&doc, base_doc);
+                let report =
+                    vig_bench::check::compare_against_baseline_with(&doc, base_doc, &policy);
                 println!(
-                    "  baseline {}: {} rate(s) compared, {} new",
+                    "  baseline {}: {} rate(s) compared, {} new, {} suppressed",
                     base_path.display(),
                     report.compared,
-                    report.new_series.len()
+                    report.new_series.len(),
+                    report.suppressed.len()
                 );
                 for w in &report.warnings {
                     println!("  warn: {w}");
                 }
                 for n in &report.new_series {
                     println!("  new (not judged): {n}");
+                }
+                for s in &report.suppressed {
+                    println!("  suppressed (too short): {s}");
                 }
                 for e in &report.failures {
                     eprintln!("FAIL: {}: {e}", f.display());

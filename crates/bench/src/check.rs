@@ -1,6 +1,6 @@
 //! `vig_bench --check`: schema validation for the committed
 //! perf-trajectory files (`BENCH_flowtable.json`,
-//! `BENCH_throughput.json`).
+//! `BENCH_throughput.json`, `BENCH_matrix.json`).
 //!
 //! The trajectory files gate performance regressions across PRs, so a
 //! bench refactor that silently emits a malformed file — a missing
@@ -12,10 +12,14 @@
 //! consumer assumes. CI runs it as a cheap PR step.
 //!
 //! With `--baseline <file>`, a fresh run is additionally compared
-//! against a committed baseline ([`compare_against_baseline`]): any
-//! named rate that dropped more than 10% below the baseline median
-//! fails, a smaller slowdown with non-overlapping bootstrap intervals
-//! warns, and series new in this run are reported but never judged.
+//! against a committed baseline ([`compare_against_baseline`]) under a
+//! [`BaselinePolicy`]: any named rate that dropped more than
+//! `fail_under_pct` (default 10%) below the baseline median fails, a
+//! smaller slowdown with non-overlapping bootstrap intervals (or past
+//! the optional `warn_under_pct` median threshold) warns, series new
+//! in this run are reported but never judged, and series whose
+//! retained sample count is below `min_samples` are suppressed — too
+//! short to judge honestly.
 
 use std::fmt::Write as _;
 
@@ -720,6 +724,164 @@ pub fn check_throughput(doc: &Json) -> Problems {
     p
 }
 
+/// Validate `BENCH_matrix.json`: identity, the declared axes, and —
+/// the property the scenario matrix exists for — that the cells cover
+/// the axes' cross product *exactly*: every combination present
+/// exactly once, no extras. A matrix runner that silently dropped a
+/// cell class (an occupancy that stopped being swept, a backend that
+/// fell out of the loop) would otherwise keep validating forever on
+/// stale coverage. Per-cell statistics must be well-formed (positive
+/// rate, `0 < lo <= hi` bootstrap interval, flows within capacity).
+pub fn check_matrix(doc: &Json) -> Problems {
+    let mut p = Problems::default();
+    if doc.get("bench").and_then(Json::str) != Some("scenario_matrix") {
+        p.fail("bench: expected \"scenario_matrix\"");
+    }
+    let capacity = p.require_num(doc, "table_capacity", 0.0);
+    p.require_num(doc, "packets_per_cell", 0.0);
+    // Per-class lifetimes: the matrix must run the heterogeneous
+    // config (distinct TCP classes), or the TCP-mix axis silently
+    // stops exercising the per-class wheels.
+    let udp = p.require_num(doc, "expiry_ns", 0.0);
+    let transitory = p.require_num(doc, "tcp_transitory_ns", 0.0);
+    let established = p.require_num(doc, "tcp_established_ns", 0.0);
+    if let (Some(u), Some(t), Some(e)) = (udp, transitory, established) {
+        if u == t && t == e {
+            p.fail(
+                "expiry_ns/tcp_transitory_ns/tcp_established_ns: all equal — the matrix \
+                 must run heterogeneous per-class lifetimes",
+            );
+        }
+    }
+    // The declared axes. `backend` holds strings, the rest numbers;
+    // axis values are rendered to strings so coverage keys are uniform.
+    let axis = |p: &mut Problems, name: &str| -> Vec<String> {
+        let Some(vals) = doc
+            .get("axes")
+            .and_then(|a| a.get(name))
+            .and_then(Json::arr)
+        else {
+            p.fail(format!("axes.{name}: missing or not an array"));
+            return Vec::new();
+        };
+        if vals.is_empty() {
+            p.fail(format!("axes.{name}: empty"));
+        }
+        vals.iter()
+            .filter_map(|v| match v {
+                Json::Num(n) => Some(format!("{n}")),
+                Json::Str(s) => Some(s.clone()),
+                _ => {
+                    p.fail(format!("axes.{name}: non-scalar axis value"));
+                    None
+                }
+            })
+            .collect()
+    };
+    let axes: Vec<(&str, Vec<String>)> = [
+        "occupancy_pct",
+        "shards",
+        "queues",
+        "backend",
+        "tcp_permille",
+    ]
+    .into_iter()
+    .map(|name| (name, axis(&mut p, name)))
+    .collect();
+    let expected: usize = axes.iter().map(|(_, v)| v.len()).product();
+    let cell_key = |cell: &Json| -> Option<String> {
+        let mut key = Vec::with_capacity(axes.len());
+        for (name, _) in &axes {
+            match cell.get(name) {
+                Some(Json::Num(n)) => key.push(format!("{n}")),
+                Some(Json::Str(s)) => key.push(s.clone()),
+                _ => return None,
+            }
+        }
+        Some(key.join("/"))
+    };
+    match doc.get("cells").and_then(Json::arr) {
+        Some(cells) if !cells.is_empty() => {
+            let mut seen = std::collections::BTreeMap::<String, usize>::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let ctx = format!("cells[{i}]");
+                match cell_key(cell) {
+                    Some(k) => *seen.entry(k).or_insert(0) += 1,
+                    None => p.fail(format!("{ctx}: missing an axis coordinate")),
+                }
+                match (cell.get("flows").and_then(Json::num), capacity) {
+                    (Some(f), Some(c)) if 1.0 <= f && f <= c => {}
+                    (Some(_), None) => {}
+                    _ => p.fail(format!("{ctx}.flows: missing or not in 1..=table_capacity")),
+                }
+                if cell.get("mpps").and_then(Json::num).map(|n| n > 0.0) != Some(true) {
+                    p.fail(format!("{ctx}.mpps: missing or non-positive"));
+                }
+                if cell.get("mean_ns").and_then(Json::num).map(|n| n > 0.0) != Some(true) {
+                    p.fail(format!("{ctx}.mean_ns: missing or non-positive"));
+                }
+                if cell.get("samples").and_then(Json::num).map(|n| n >= 1.0) != Some(true) {
+                    p.fail(format!("{ctx}.samples: missing or < 1"));
+                }
+                let ci: Vec<f64> = cell
+                    .get("ci95_mpps")
+                    .and_then(Json::arr)
+                    .map(|a| a.iter().filter_map(Json::num).collect())
+                    .unwrap_or_default();
+                match ci.as_slice() {
+                    [lo, hi] if 0.0 < *lo && lo <= hi => {}
+                    _ => p.fail(format!(
+                        "{ctx}.ci95_mpps: not a [lo, hi] pair with 0 < lo <= hi"
+                    )),
+                }
+            }
+            // Exact cross-product coverage: every declared combination
+            // exactly once, nothing undeclared.
+            if expected > 0 {
+                for combo in cross_product(&axes) {
+                    match seen.get(&combo).copied().unwrap_or(0) {
+                        1 => {}
+                        0 => p.fail(format!(
+                            "cells: declared combination {combo} missing — coverage hole"
+                        )),
+                        n => p.fail(format!("cells: combination {combo} appears {n} times")),
+                    }
+                }
+                if cells.len() != expected {
+                    p.fail(format!(
+                        "cells: {} cells for a {} -combination axis product",
+                        cells.len(),
+                        expected
+                    ));
+                }
+            }
+        }
+        _ => p.fail("cells: missing or empty"),
+    }
+    p
+}
+
+/// All axis-value combinations, each rendered as the `/`-joined key
+/// [`check_matrix`] indexes cells by.
+fn cross_product(axes: &[(&str, Vec<String>)]) -> Vec<String> {
+    let mut combos = vec![String::new()];
+    for (_, vals) in axes {
+        combos = combos
+            .iter()
+            .flat_map(|prefix| {
+                vals.iter().map(move |v| {
+                    if prefix.is_empty() {
+                        v.clone()
+                    } else {
+                        format!("{prefix}/{v}")
+                    }
+                })
+            })
+            .collect();
+    }
+    combos
+}
+
 /// Check one file against the validator picked by its `bench` field.
 /// Returns a human-readable failure report, or `Ok(bench_name)`.
 pub fn check_file(path: &std::path::Path) -> Result<String, String> {
@@ -734,9 +896,11 @@ pub fn check_file(path: &std::path::Path) -> Result<String, String> {
     let problems = match bench.as_str() {
         "micro_flowtable" => check_flowtable(&doc),
         "fig14_throughput" => check_throughput(&doc),
+        "scenario_matrix" => check_matrix(&doc),
         other => {
             return Err(format!(
-                "{}: unknown bench kind '{other}' (expected micro_flowtable or fig14_throughput)",
+                "{}: unknown bench kind '{other}' (expected micro_flowtable, \
+                 fig14_throughput or scenario_matrix)",
                 path.display()
             ))
         }
@@ -764,9 +928,23 @@ fn median(v: &mut [f64]) -> f64 {
     v[v.len() / 2]
 }
 
-/// One named rate with its optional bootstrap CI, as flattened out of
-/// a trajectory document for baseline comparison.
-type RatePoint = (String, f64, Option<(f64, f64)>);
+/// One named rate as flattened out of a trajectory document for
+/// baseline comparison.
+#[derive(Debug, Clone)]
+struct RatePoint {
+    /// Stable series name (coordinates only, no measured values).
+    name: String,
+    /// The rate (Mpps or ops/s — whatever the series' unit is).
+    rate: f64,
+    /// Bootstrap 95% CI, where the document carries one.
+    ci: Option<(f64, f64)>,
+    /// Series length, where the document states one: the retained
+    /// sample count for single-point series, the axis length for
+    /// per-flow-count sweeps. `None` means unknown — such a series is
+    /// judged normally (the `min_samples` suppress rule only fires on
+    /// series *known* to be short).
+    samples: Option<f64>,
+}
 
 /// A two-element `ci95_mpps` array, or `None` for any other shape.
 fn ci_pair(v: &Json) -> Option<(f64, f64)> {
@@ -807,10 +985,20 @@ fn rate_points(doc: &Json) -> Vec<RatePoint> {
                         }
                         (!lo.is_empty()).then(|| (median(&mut lo), median(&mut hi)))
                     });
-                out.push((format!("series.{name}"), median(&mut vals), ci));
+                out.push(RatePoint {
+                    name: format!("series.{name}"),
+                    rate: median(&mut vals),
+                    ci,
+                    samples: Some(v.len() as f64),
+                });
             } else if let Some(ops) = row.get("ops_per_sec").and_then(Json::num) {
                 // micro_flowtable series: ops/s point estimate.
-                out.push((format!("series.{name}"), ops, None));
+                out.push(RatePoint {
+                    name: format!("series.{name}"),
+                    rate: ops,
+                    ci: None,
+                    samples: row.get("samples").and_then(Json::num),
+                });
             }
         }
     }
@@ -825,7 +1013,12 @@ fn rate_points(doc: &Json) -> Vec<RatePoint> {
                 pt.get("mpps").and_then(Json::num),
             ) {
                 let ci = pt.get("ci95_mpps").and_then(ci_pair);
-                out.push((format!("scaling_curve.workers{w}"), m, ci));
+                out.push(RatePoint {
+                    name: format!("scaling_curve.workers{w}"),
+                    rate: m,
+                    ci,
+                    samples: None,
+                });
             }
         }
     }
@@ -840,7 +1033,12 @@ fn rate_points(doc: &Json) -> Vec<RatePoint> {
                 row.get("mpps").and_then(Json::num),
             ) {
                 let ci = row.get("ci95_mpps").and_then(ci_pair);
-                out.push((format!("churn.{engine}"), m, ci));
+                out.push(RatePoint {
+                    name: format!("churn.{engine}"),
+                    rate: m,
+                    ci,
+                    samples: None,
+                });
             }
         }
     }
@@ -864,7 +1062,12 @@ fn rate_points(doc: &Json) -> Vec<RatePoint> {
                     Some(b) => format!("{section}.{key_a}{a}x{b}"),
                     None => format!("{section}.{key_a}{a}"),
                 };
-                out.push((name, m, None));
+                out.push(RatePoint {
+                    name,
+                    rate: m,
+                    ci: None,
+                    samples: None,
+                });
             }
         }
     }
@@ -873,66 +1076,174 @@ fn rate_points(doc: &Json) -> Vec<RatePoint> {
             if let Some(pt) = w.get(transport) {
                 if let Some(m) = pt.get("mpps").and_then(Json::num) {
                     let ci = pt.get("ci95_mpps").and_then(ci_pair);
-                    out.push((format!("os_wire.{transport}"), m, ci));
+                    out.push(RatePoint {
+                        name: format!("os_wire.{transport}"),
+                        rate: m,
+                        ci,
+                        samples: None,
+                    });
                 }
             }
+        }
+    }
+    // Scenario-matrix cells: one rate per cell, named by coordinates,
+    // so the baseline gate covers the whole scenario space.
+    if let Some(cells) = doc.get("cells").and_then(Json::arr) {
+        for cell in cells {
+            let (Some(o), Some(q), Some(s), Some(b), Some(t), Some(m)) = (
+                cell.get("occupancy_pct").and_then(Json::num),
+                cell.get("queues").and_then(Json::num),
+                cell.get("shards").and_then(Json::num),
+                cell.get("backend").and_then(Json::str),
+                cell.get("tcp_permille").and_then(Json::num),
+                cell.get("mpps").and_then(Json::num),
+            ) else {
+                continue;
+            };
+            out.push(RatePoint {
+                name: format!("cell.o{o}.q{q}.s{s}.{b}.tcp{t}"),
+                rate: m,
+                ci: cell.get("ci95_mpps").and_then(ci_pair),
+                samples: cell.get("samples").and_then(Json::num),
+            });
         }
     }
     out
 }
 
+/// Thresholds and suppress rules for the baseline comparison — the
+/// knobs `vig_bench --check --baseline` exposes as `--fail-under`,
+/// `--warn-under` and `--min-samples`.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselinePolicy {
+    /// Hard-failure threshold on the median delta, percent: a rate
+    /// more than this far below the baseline fails the gate.
+    pub fail_under_pct: f64,
+    /// Optional soft threshold on the median delta, percent: a drop
+    /// past it warns even when bootstrap intervals overlap (or are
+    /// absent). `None` keeps the CI-overlap rule as the only warning
+    /// source.
+    pub warn_under_pct: Option<f64>,
+    /// Suppress series whose *known* retained sample count (or sweep
+    /// length) is below this — a handful of samples cannot honestly
+    /// judge a 10% delta. Series of unknown length are judged
+    /// normally; `0.0` disables the rule.
+    pub min_samples: f64,
+}
+
+impl Default for BaselinePolicy {
+    fn default() -> BaselinePolicy {
+        BaselinePolicy {
+            fail_under_pct: 10.0,
+            warn_under_pct: None,
+            min_samples: 0.0,
+        }
+    }
+}
+
 /// Outcome of comparing a fresh run against a committed baseline.
 #[derive(Debug, Default)]
 pub struct BaselineReport {
-    /// Hard regressions: a rate dropped more than 10% below baseline,
-    /// or a baseline series vanished from this run. Non-empty fails
+    /// Hard regressions: a rate dropped past the fail threshold, or a
+    /// baseline series vanished from this run. Non-empty fails
     /// `vig_bench --check --baseline`.
     pub failures: Vec<String>,
     /// Soft signals: the run is slower and the bootstrap intervals
-    /// don't overlap, but the drop is within the 10% budget.
+    /// don't overlap (or the drop passed the warn threshold), but it
+    /// stays within the failure budget.
     pub warnings: Vec<String>,
     /// Series present in this run but not in the baseline — reported,
     /// never judged (a new series has no history to regress against).
     pub new_series: Vec<String>,
+    /// Series present in both but too short to judge under the
+    /// policy's `min_samples` — reported, never judged.
+    pub suppressed: Vec<String>,
     /// Series compared against the baseline.
     pub compared: usize,
 }
 
+/// [`compare_against_baseline_with`] under the default policy (fail
+/// past 10%, CI-overlap warnings only, no length suppression) — the
+/// behavior of plain `--baseline` with no threshold flags.
+pub fn compare_against_baseline(current: &Json, baseline: &Json) -> BaselineReport {
+    compare_against_baseline_with(current, baseline, &BaselinePolicy::default())
+}
+
 /// Compare a freshly generated trajectory document against a committed
 /// baseline of the same bench kind: fail any rate that dropped more
-/// than 10% below the baseline median (or vanished outright), warn
-/// when a smaller slowdown is still outside both bootstrap intervals,
-/// and suppress series that are new in this run.
-pub fn compare_against_baseline(current: &Json, baseline: &Json) -> BaselineReport {
+/// than `policy.fail_under_pct` below the baseline median (or vanished
+/// outright), warn when a smaller slowdown is still outside both
+/// bootstrap intervals or past `policy.warn_under_pct`, suppress
+/// series shorter than `policy.min_samples` (in either run), and
+/// report — never judge — series that are new in this run.
+pub fn compare_against_baseline_with(
+    current: &Json,
+    baseline: &Json,
+    policy: &BaselinePolicy,
+) -> BaselineReport {
     let mut report = BaselineReport::default();
     let cur = rate_points(current);
     let base = rate_points(baseline);
-    for (name, b_rate, b_ci) in &base {
-        let Some((_, c_rate, c_ci)) = cur.iter().find(|(n, _, _)| n == name) else {
+    let fail_frac = 1.0 - policy.fail_under_pct / 100.0;
+    let too_short = |samples: Option<f64>| samples.is_some_and(|n| n < policy.min_samples);
+    for b in &base {
+        let name = &b.name;
+        let Some(c) = cur.iter().find(|c| c.name == *name) else {
             report.failures.push(format!(
                 "{name}: present in baseline but missing from this run — a vanished series \
                  disarms the gate"
             ));
             continue;
         };
-        report.compared += 1;
-        if *c_rate < b_rate * 0.9 {
-            report.failures.push(format!(
-                "{name}: {c_rate:.3} is {:.1}% below baseline {b_rate:.3} (budget: 10%)",
-                (1.0 - c_rate / b_rate) * 100.0
+        // Too short to judge — on either side: a truncated fresh run
+        // must not be held to the gate, and a truncated baseline is no
+        // reference to judge against.
+        if too_short(c.samples) || too_short(b.samples) {
+            report.suppressed.push(format!(
+                "{name}: {} sample(s) vs baseline {} — below the {:.0}-sample floor",
+                c.samples.map_or("?".into(), |n| format!("{n:.0}")),
+                b.samples.map_or("?".into(), |n| format!("{n:.0}")),
+                policy.min_samples
             ));
-        } else if let (Some((b_lo, _)), Some((_, c_hi))) = (b_ci, c_ci) {
-            if c_rate < b_rate && c_hi < b_lo {
-                report.warnings.push(format!(
-                    "{name}: {c_rate:.3} vs baseline {b_rate:.3} — slower with \
-                     non-overlapping 95% intervals (within the 10% budget)"
-                ));
-            }
+            continue;
+        }
+        report.compared += 1;
+        if c.rate < b.rate * fail_frac {
+            report.failures.push(format!(
+                "{name}: {:.3} is {:.1}% below baseline {:.3} (budget: {:.0}%)",
+                c.rate,
+                (1.0 - c.rate / b.rate) * 100.0,
+                b.rate,
+                policy.fail_under_pct
+            ));
+            continue;
+        }
+        let ci_gap = match (b.ci, c.ci) {
+            (Some((b_lo, _)), Some((_, c_hi))) => c.rate < b.rate && c_hi < b_lo,
+            _ => false,
+        };
+        let past_warn = policy
+            .warn_under_pct
+            .is_some_and(|w| c.rate < b.rate * (1.0 - w / 100.0));
+        if ci_gap {
+            report.warnings.push(format!(
+                "{name}: {:.3} vs baseline {:.3} — slower with non-overlapping 95% \
+                 intervals (within the {:.0}% budget)",
+                c.rate, b.rate, policy.fail_under_pct
+            ));
+        } else if past_warn {
+            report.warnings.push(format!(
+                "{name}: {:.3} is {:.1}% below baseline {:.3} (warn threshold: {:.0}%)",
+                c.rate,
+                (1.0 - c.rate / b.rate) * 100.0,
+                b.rate,
+                policy.warn_under_pct.unwrap_or(0.0)
+            ));
         }
     }
-    for (name, _, _) in &cur {
-        if !base.iter().any(|(n, _, _)| n == name) {
-            report.new_series.push(name.clone());
+    for c in &cur {
+        if !base.iter().any(|b| b.name == c.name) {
+            report.new_series.push(c.name.clone());
         }
     }
     report
@@ -1356,11 +1667,194 @@ mod tests {
             .any(|f| f.contains("series.lookup_batched_98pct")));
     }
 
+    fn matrix_cell(backend: &str, tcp: u16, mpps: f64) -> String {
+        format!(
+            r#"{{"occupancy_pct":25,"shards":1,"queues":1,"backend":"{backend}","tcp_permille":{tcp},"flows":16383,"mpps":{mpps},"ci95_mpps":[{:.3},{:.3}],"mean_ns":150.0,"samples":7000,"outliers_rejected":64}}"#,
+            mpps * 0.95,
+            mpps * 1.05
+        )
+    }
+
+    fn minimal_matrix() -> String {
+        format!(
+            r#"{{"bench":"scenario_matrix","table_capacity":65535,"packets_per_cell":7064,
+                "expiry_ns":60000000000,"tcp_transitory_ns":4000000000,"tcp_established_ns":120000000000,
+                "axes":{{"occupancy_pct":[25],"shards":[1],"queues":[1],"backend":["sim","faultio"],"tcp_permille":[0,1000]}},
+                "cells":[{},{},{},{}]}}"#,
+            matrix_cell("sim", 0, 6.0),
+            matrix_cell("sim", 1000, 5.5),
+            matrix_cell("faultio", 0, 5.9),
+            matrix_cell("faultio", 1000, 5.4)
+        )
+    }
+
+    #[test]
+    fn matrix_validator_accepts_good_and_flags_broken() {
+        let good = parse(&minimal_matrix()).unwrap();
+        assert!(
+            check_matrix(&good).0.is_empty(),
+            "{:?}",
+            check_matrix(&good).0
+        );
+
+        // A dropped cell is a coverage hole, not a smaller valid file.
+        let broken =
+            minimal_matrix().replace(&format!(",{}", matrix_cell("faultio", 1000, 5.4)), "");
+        assert_ne!(broken, minimal_matrix(), "fixture must contain the cell");
+        let probs = check_matrix(&parse(&broken).unwrap());
+        assert!(
+            probs.0.iter().any(|p| p.contains("coverage hole")),
+            "{:?}",
+            probs.0
+        );
+
+        // A duplicated cell must be flagged too (same combination
+        // twice means some other combination is missing or the runner
+        // double-counted).
+        let broken = minimal_matrix().replace(
+            &matrix_cell("faultio", 1000, 5.4),
+            &matrix_cell("faultio", 0, 5.4),
+        );
+        let probs = check_matrix(&parse(&broken).unwrap());
+        assert!(
+            probs.0.iter().any(|p| p.contains("appears 2 times")),
+            "{:?}",
+            probs.0
+        );
+
+        // An undeclared axis value in a cell: the combination key
+        // misses every declared combination.
+        let broken = minimal_matrix().replace(
+            r#""occupancy_pct":25,"shards":1,"queues":1,"backend":"faultio","tcp_permille":1000"#,
+            r#""occupancy_pct":90,"shards":1,"queues":1,"backend":"faultio","tcp_permille":1000"#,
+        );
+        let probs = check_matrix(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("coverage hole")));
+
+        // Inverted bootstrap interval on a cell.
+        let broken = minimal_matrix().replace("[5.225,5.775]", "[5.775,5.225]");
+        assert_ne!(broken, minimal_matrix());
+        let probs = check_matrix(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("lo <= hi")));
+
+        // Homogeneous lifetimes: the TCP-mix axis would stop
+        // exercising the per-class wheels.
+        let broken = minimal_matrix()
+            .replace(
+                r#""tcp_transitory_ns":4000000000"#,
+                r#""tcp_transitory_ns":60000000000"#,
+            )
+            .replace(
+                r#""tcp_established_ns":120000000000"#,
+                r#""tcp_established_ns":60000000000"#,
+            );
+        let probs = check_matrix(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("heterogeneous")));
+
+        // A missing axis must be flagged.
+        let broken = minimal_matrix().replace(r#""queues":[1]"#, r#""queues_renamed":[1]"#);
+        let probs = check_matrix(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("axes.queues")));
+
+        // Zero-sample cells are not measurements.
+        let broken = minimal_matrix().replace(r#""samples":7000"#, r#""samples":0"#);
+        let probs = check_matrix(&parse(&broken).unwrap());
+        assert!(probs.0.iter().any(|p| p.contains("samples")));
+    }
+
+    #[test]
+    fn baseline_policy_thresholds_and_suppression() {
+        let baseline = parse(&minimal_matrix()).unwrap();
+
+        // A 7% drop on one cell: passes the default 10% gate...
+        let slow7 = minimal_matrix().replace(
+            &matrix_cell("sim", 1000, 5.5),
+            &matrix_cell("sim", 1000, 5.5 * 0.93),
+        );
+        let doc7 = parse(&slow7).unwrap();
+        let report = compare_against_baseline(&doc7, &baseline);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+
+        // ...fails a tightened --fail-under 5...
+        let tight = BaselinePolicy {
+            fail_under_pct: 5.0,
+            ..BaselinePolicy::default()
+        };
+        let report = compare_against_baseline_with(&doc7, &baseline, &tight);
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("cell.o25.q1.s1.sim.tcp1000") && f.contains("budget: 5%")),
+            "{:?}",
+            report.failures
+        );
+
+        // ...and warns under --warn-under 3 even though the shifted
+        // bootstrap intervals still overlap the baseline's.
+        let soft = BaselinePolicy {
+            warn_under_pct: Some(3.0),
+            ..BaselinePolicy::default()
+        };
+        let report = compare_against_baseline_with(&doc7, &baseline, &soft);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("cell.o25.q1.s1.sim.tcp1000") && w.contains("warn threshold")),
+            "{:?}",
+            report.warnings
+        );
+
+        // A big drop on a series the current run measured with too few
+        // samples is suppressed under --min-samples, not failed — and
+        // the suppression is visible in the report.
+        let short = slow7.replace(
+            &matrix_cell("sim", 1000, 5.5 * 0.93),
+            &matrix_cell("sim", 1000, 2.0).replace(r#""samples":7000"#, r#""samples":3"#),
+        );
+        let doc_short = parse(&short).unwrap();
+        let floor = BaselinePolicy {
+            min_samples: 100.0,
+            ..BaselinePolicy::default()
+        };
+        let report = compare_against_baseline_with(&doc_short, &baseline, &floor);
+        assert!(
+            !report
+                .failures
+                .iter()
+                .any(|f| f.contains("cell.o25.q1.s1.sim.tcp1000")),
+            "{:?}",
+            report.failures
+        );
+        assert!(
+            report
+                .suppressed
+                .iter()
+                .any(|s| s.contains("cell.o25.q1.s1.sim.tcp1000") && s.contains("100-sample floor")),
+            "{:?}",
+            report.suppressed
+        );
+        // Without the floor, the same short series fails — suppression
+        // is opt-in.
+        let report = compare_against_baseline(&doc_short, &baseline);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("cell.o25.q1.s1.sim.tcp1000")));
+    }
+
     #[test]
     fn the_committed_trajectory_files_pass() {
-        // The actual gate CI runs: the two files at the workspace root
-        // must validate (if this fails, a bench refactor broke them).
-        for name in ["BENCH_flowtable.json", "BENCH_throughput.json"] {
+        // The actual gate CI runs: the trajectory files at the
+        // workspace root must validate (if this fails, a bench
+        // refactor broke them).
+        for name in [
+            "BENCH_flowtable.json",
+            "BENCH_throughput.json",
+            "BENCH_matrix.json",
+        ] {
             let path = crate::workspace_root().join(name);
             match check_file(&path) {
                 Ok(_) => {}

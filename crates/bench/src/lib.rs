@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod matrix;
 pub mod os_wire;
 
 /// Documented constant added when reporting *absolute* latencies

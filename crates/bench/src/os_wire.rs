@@ -54,6 +54,7 @@ pub fn section_json(flows: usize, packets: usize) -> String {
         expiry_ns: Time::from_secs(60).nanos(), // flows never expire mid-run
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     };
     let report = match os_wire_rfc2544(&cfg, QUEUES, SHARDS, flows, packets, RING, "vgw") {
         Ok(r) => r,

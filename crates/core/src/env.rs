@@ -72,6 +72,11 @@ pub struct RxPacket<D: Domain + ?Sized> {
     pub src_port: D::U16,
     /// L4 destination port (zero-filled if the frame is short).
     pub dst_port: D::U16,
+    /// TCP flags byte (zero-filled for non-TCP packets and frames too
+    /// short to carry it). The loop body never branches on it — it is
+    /// carried opaquely into the stateful half, whose TCP tracker
+    /// selects the flow's timeout class from it.
+    pub tcp_flags: D::U8,
 }
 
 /// The internal flow identifier, in domain values. The protocol is
@@ -300,7 +305,13 @@ pub trait NatEnv: Domain {
     fn lookup_external(&mut self, ek: &ExtParts<Self>) -> Option<FlowView<Self>>;
 
     /// Refresh a matched flow's timestamp (Fig. 6 lines 10–12).
-    fn rejuvenate(&mut self, slot: SlotId, now: &Self::U64);
+    ///
+    /// `dir` and `tcp_flags` feed the stateful half's TCP connection
+    /// tracker (per-class lifetimes); the stateless code never branches
+    /// on either — `dir` is concrete per path already, and the flags
+    /// byte is carried opaquely. The symbolic environment ignores both,
+    /// so the verified path shapes are unchanged.
+    fn rejuvenate(&mut self, slot: SlotId, now: &Self::U64, dir: Direction, tcp_flags: &Self::U8);
 
     /// Reserve a flow slot, returning its id, the slot's **port
     /// offset** within its pool address (so the loop body's
@@ -315,6 +326,9 @@ pub trait NatEnv: Domain {
     fn allocate_slot(&mut self, now: &Self::U64) -> Option<(SlotId, Self::U16, Self::U32)>;
 
     /// Populate a reserved slot with the new flow (Fig. 6 line 16).
+    /// `tcp_flags` seeds the TCP tracker's initial state for TCP flows
+    /// (opaque to the stateless code, ignored symbolically — see
+    /// [`NatEnv::rejuvenate`]).
     fn insert_flow(
         &mut self,
         slot: SlotId,
@@ -322,6 +336,7 @@ pub trait NatEnv: Domain {
         ext_ip: Self::U32,
         ext_port: Self::U16,
         now: &Self::U64,
+        tcp_flags: &Self::U8,
     );
 
     /// Transmit the packet on `out` with rewritten headers. Consumes the

@@ -33,6 +33,33 @@
 //! `tests/wheel_equivalence.rs` prove this differentially; the only
 //! precondition is the monotone clock every driver already guarantees
 //! (asserted here in debug builds).
+//!
+//! ## Per-class lifetimes (TCP-aware expiry)
+//!
+//! With per-class TCP lifetimes configured (`!cfg.is_homogeneous()`)
+//! each slot additionally carries its tracker state
+//! ([`vig_spec::TcpState`], `None` for UDP) and its current
+//! [`vig_spec::TimeoutClass`]; rejuvenation steps the tracker
+//! ([`vig_spec::tcp::transition`]) and may *migrate* the slot between
+//! classes. Expiry then runs **one engine per class**:
+//!
+//! * scan mode walks the whole LRU list applying each slot's own
+//!   class lifetime (`expirator::expire_items_classed`);
+//! * wheel mode keeps one [`TimerWheel`] *per class* — each wheel only
+//!   ever sees monotone stamps, preserving its insert contract — and
+//!   drains each against its own class threshold
+//!   (`expirator::expire_items_wheels`).
+//!
+//! Both free due slots in the canonical ascending
+//! `(deadline, class, within-class LRU)` order, so scan and wheels stay
+//! byte-identical (free-list order included) and the scan remains the
+//! wheel's differential oracle for every class mix.
+//!
+//! Homogeneous configurations (the paper's, and every config where the
+//! TCP lifetimes inherit `expiry_ns`) keep the **literal legacy
+//! single-wheel/scan path**: the classed engines break equal-deadline
+//! ties by class rank rather than global LRU order, so they are *not*
+//! a drop-in for the legacy order even when all lifetimes coincide.
 
 use libvig::dchain::DoubleChain;
 use libvig::dmap::DoubleMap;
@@ -40,8 +67,9 @@ use libvig::expirator;
 use libvig::map::MapKey;
 use libvig::time::Time;
 use libvig::wheel::TimerWheel;
-use vig_packet::{ExtKey, Flow, FlowId, Ip4};
-use vig_spec::NatConfig;
+use vig_packet::{Direction, ExtKey, Flow, FlowId, Ip4, Proto};
+use vig_spec::tcp::{class_of, initial_state, transition};
+use vig_spec::{NatConfig, TcpState, TimeoutClass};
 
 /// How a flow table finds its expired flows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -117,7 +145,10 @@ pub trait FlowTable {
     fn lookup_external_hashed(&self, ek: &ExtKey, hash: u64) -> Option<(usize, &Flow)>;
 
     /// Refresh the activity timestamp of an allocated (global) slot.
-    fn rejuvenate(&mut self, slot: usize, now: Time);
+    /// `dir`/`tcp_flags` step the slot's TCP tracker (when it has one),
+    /// which may migrate the flow between timeout classes; UDP slots
+    /// ignore them (pass `tcp_flags == 0`).
+    fn rejuvenate(&mut self, slot: usize, now: Time, dir: Direction, tcp_flags: u8);
 
     /// Reserve a slot for a new flow whose internal key hashes to
     /// `fid_hash`, stamped `now`. Returns the *global* slot, or `None`
@@ -143,6 +174,8 @@ pub trait FlowTable {
 
     /// Populate a reserved slot; `fid_hash == fid.key_hash()`, and
     /// `(ext_ip, ext_port) == endpoint_of_slot(slot)` (globally).
+    /// `tcp_flags` seeds the TCP tracker for TCP flows
+    /// ([`vig_spec::tcp::initial_state`]); ignored for UDP.
     fn insert_hashed(
         &mut self,
         slot: usize,
@@ -150,6 +183,7 @@ pub trait FlowTable {
         ext_ip: Ip4,
         ext_port: u16,
         fid_hash: u64,
+        tcp_flags: u8,
     );
 
     /// Assert the table's cross-structure coherence invariant
@@ -162,8 +196,19 @@ pub trait FlowTable {
 pub struct FlowManager {
     table: DoubleMap<Flow>,
     chain: DoubleChain,
-    /// Deadline index for [`ExpiryMode::Wheel`]; `None` in scan mode.
+    /// Deadline index for [`ExpiryMode::Wheel`] on a *homogeneous*
+    /// config; `None` in scan mode and on per-class configs.
     wheel: Option<TimerWheel>,
+    /// One wheel per [`TimeoutClass`] for [`ExpiryMode::Wheel`] on a
+    /// *heterogeneous* config (module docs); empty otherwise. Indexed
+    /// by `TimeoutClass::index()`.
+    class_wheels: Vec<TimerWheel>,
+    /// Per-slot TCP tracker state; `None` for UDP flows (and for free
+    /// slots — stale values are overwritten on insert, never read).
+    tcp_state: Vec<Option<TcpState>>,
+    /// Per-slot timeout class (`TimeoutClass::index()` of the flow).
+    /// Only consulted by the heterogeneous expiry engines.
+    class: Vec<u8>,
     /// The *global* pool configuration the endpoint mapping runs on.
     cfg: NatConfig,
     /// This table's first global slot (0 standalone; `s * per_shard`
@@ -216,8 +261,19 @@ impl FlowManager {
             chain: DoubleChain::new(capacity),
             wheel: match mode {
                 ExpiryMode::Scan => None,
-                ExpiryMode::Wheel => Some(TimerWheel::new(capacity)),
+                ExpiryMode::Wheel if cfg.is_homogeneous() => Some(TimerWheel::new(capacity)),
+                ExpiryMode::Wheel => None, // per-class wheels below
             },
+            class_wheels: if mode == ExpiryMode::Wheel && !cfg.is_homogeneous() {
+                TimeoutClass::ALL
+                    .iter()
+                    .map(|_| TimerWheel::new(capacity))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            tcp_state: vec![None; capacity],
+            class: vec![0; capacity],
             cfg: *cfg,
             slot_base,
             capacity,
@@ -229,7 +285,7 @@ impl FlowManager {
 
     /// The expiry mode this table runs.
     pub fn expiry_mode(&self) -> ExpiryMode {
-        if self.wheel.is_some() {
+        if self.wheel.is_some() || !self.class_wheels.is_empty() {
             ExpiryMode::Wheel
         } else {
             ExpiryMode::Scan
@@ -256,7 +312,7 @@ impl FlowManager {
     fn note_clock(&mut self, now: Time) {
         #[cfg(debug_assertions)]
         {
-            if self.wheel.is_some() {
+            if self.wheel.is_some() || !self.class_wheels.is_empty() {
                 debug_assert!(
                     self.clock_high <= now,
                     "wheel mode requires a monotone clock: {:?} after {:?}",
@@ -312,15 +368,54 @@ impl FlowManager {
         ((self.slot_base + slot) % self.cfg.ports_per_ip()) as u16
     }
 
-    /// Expire every flow with `last_active <= threshold`. Returns how
-    /// many were removed.
+    /// Expire due flows. Returns how many were removed.
+    ///
+    /// `threshold` is what the loop body computes: `now -
+    /// min_lifetime_ns()`. On a homogeneous config that *is* the
+    /// paper's `last_active <= threshold` test, on the literal legacy
+    /// engines. On a per-class config the manager reconstructs `now`
+    /// and applies each class's own lifetime (module docs) — a flow is
+    /// due iff `last_active + lifetime(class) <= now`.
     pub fn expire(&mut self, threshold: Time) -> usize {
-        match self.wheel.as_mut() {
-            Some(wheel) => {
-                expirator::expire_items_wheel(wheel, &mut self.chain, &mut self.table, threshold)
-            }
-            None => expirator::expire_items(&mut self.chain, &mut self.table, threshold),
+        if self.cfg.is_homogeneous() {
+            return match self.wheel.as_mut() {
+                Some(wheel) => expirator::expire_items_wheel(
+                    wheel,
+                    &mut self.chain,
+                    &mut self.table,
+                    threshold,
+                ),
+                None => expirator::expire_items(&mut self.chain, &mut self.table, threshold),
+            };
         }
+        let now = Time(threshold.nanos().saturating_add(self.cfg.min_lifetime_ns()));
+        let lifetimes = self.lifetimes();
+        if self.class_wheels.is_empty() {
+            expirator::expire_items_classed(
+                &mut self.chain,
+                &mut self.table,
+                &self.class,
+                &lifetimes,
+                now,
+            )
+        } else {
+            expirator::expire_items_wheels(
+                &mut self.class_wheels,
+                &mut self.chain,
+                &mut self.table,
+                &lifetimes,
+                now,
+            )
+        }
+    }
+
+    /// Per-class lifetimes, indexed by `TimeoutClass::index()`.
+    fn lifetimes(&self) -> [u64; 3] {
+        let mut out = [0u64; 3];
+        for c in TimeoutClass::ALL {
+            out[c.index()] = self.cfg.lifetime_ns(c);
+        }
+        out
     }
 
     /// Find a flow by its internal 5-tuple.
@@ -370,17 +465,55 @@ impl FlowManager {
         self.table.get(slot).map(|f| (slot, f))
     }
 
-    /// Refresh a flow's activity timestamp.
+    /// Refresh a flow's activity timestamp without stepping its TCP
+    /// tracker (equivalent to [`FlowManager::rejuvenate_with`] with an
+    /// empty flag set, which transitions no state).
     ///
     /// Precondition (P4, validated by the Vigor pipeline): `slot` was
     /// returned by a lookup on this same iteration, hence allocated.
     pub fn rejuvenate(&mut self, slot: usize, now: Time) {
+        self.rejuvenate_with(slot, now, Direction::Internal, 0);
+    }
+
+    /// Refresh a flow's activity timestamp and step its TCP tracker
+    /// with a segment's flags from `dir`. A state change can migrate
+    /// the flow between timeout classes, re-arming it on its new
+    /// class's wheel (stamped `now`, so each wheel still only ever
+    /// sees monotone stamps).
+    ///
+    /// Precondition (P4) as for [`FlowManager::rejuvenate`].
+    pub fn rejuvenate_with(&mut self, slot: usize, now: Time, dir: Direction, tcp_flags: u8) {
         self.note_clock(now);
         let ok = self.chain.rejuvenate(slot, now);
         debug_assert!(ok, "rejuvenate of unallocated slot {slot}");
+        if let Some(st) = self.tcp_state[slot] {
+            let next = transition(st, dir, tcp_flags);
+            self.tcp_state[slot] = Some(next);
+            let old_class = self.class[slot];
+            let new_class = class_of(Proto::Tcp, Some(next)).index() as u8;
+            self.class[slot] = new_class;
+            if !self.class_wheels.is_empty() {
+                if new_class == old_class {
+                    self.class_wheels[usize::from(new_class)].refresh(slot, now);
+                } else {
+                    let removed = self.class_wheels[usize::from(old_class)].remove(slot);
+                    debug_assert!(removed, "slot {slot} missing from class-{old_class} wheel");
+                    self.class_wheels[usize::from(new_class)].insert(slot, now);
+                }
+            }
+        } else if !self.class_wheels.is_empty() {
+            self.class_wheels[usize::from(self.class[slot])].refresh(slot, now);
+        }
         if let Some(wheel) = self.wheel.as_mut() {
             wheel.refresh(slot, now);
         }
+    }
+
+    /// The TCP tracker state of an occupied slot (`None` for UDP
+    /// flows). Diagnostic/test accessor.
+    pub fn tcp_state_of(&self, slot: usize) -> Option<TcpState> {
+        debug_assert!(self.chain.is_allocated(slot));
+        self.tcp_state.get(slot).copied().flatten()
     }
 
     /// Reserve a slot for a new flow, stamped `now`. `None` when full.
@@ -402,13 +535,14 @@ impl FlowManager {
     /// present; `(ext_ip, ext_port)` is the slot's pool endpoint.
     pub fn insert(&mut self, slot: usize, fid: FlowId, ext_ip: Ip4, ext_port: u16) {
         let hash = fid.key_hash();
-        self.insert_hashed(slot, fid, ext_ip, ext_port, hash);
+        self.insert_hashed(slot, fid, ext_ip, ext_port, hash, 0);
     }
 
     /// [`FlowManager::insert`] with a caller-computed `FlowId` hash
     /// (`fid_hash == fid.key_hash()`): the lookup miss that precedes
     /// every insert already hashed the key, and this entry point reuses
-    /// that work instead of hashing a second time.
+    /// that work instead of hashing a second time. `tcp_flags` (the
+    /// creating segment's flag byte; 0 for UDP) seeds the TCP tracker.
     pub fn insert_hashed(
         &mut self,
         slot: usize,
@@ -416,6 +550,7 @@ impl FlowManager {
         ext_ip: Ip4,
         ext_port: u16,
         fid_hash: u64,
+        tcp_flags: u8,
     ) {
         debug_assert_eq!(
             ext_port,
@@ -427,6 +562,8 @@ impl FlowManager {
             self.ip_of_slot(slot),
             "slot/address bijection violated"
         );
+        let st = (fid.proto == Proto::Tcp).then(|| initial_state(tcp_flags));
+        let class = class_of(fid.proto, st).index() as u8;
         let flow = Flow {
             int_key: fid,
             ext_ip,
@@ -434,6 +571,18 @@ impl FlowManager {
         };
         let ok = self.table.put_with_hash(slot, flow, fid_hash);
         debug_assert!(ok.is_ok(), "insert into occupied slot {slot}");
+        self.tcp_state[slot] = st;
+        self.class[slot] = class;
+        if !self.class_wheels.is_empty() {
+            // The slot was stamped by `allocate_slot` (same iteration,
+            // P4); arm its class's wheel with that same stamp so wheel
+            // deadlines and chain stamps stay equal.
+            let stamp = self
+                .chain
+                .timestamp_of(slot)
+                .expect("insert into unallocated slot");
+            self.class_wheels[usize::from(class)].insert(slot, stamp);
+        }
     }
 
     /// Convenience: allocate + insert in one step, returning the slot
@@ -492,6 +641,18 @@ impl FlowManager {
                 ));
             }
         }
+        if !self.class_wheels.is_empty() {
+            let armed: usize = self.class_wheels.iter().map(TimerWheel::len).sum();
+            if armed != self.chain.size() {
+                return Err(format!(
+                    "class wheels arm {armed} slots, dchain {}",
+                    self.chain.size()
+                ));
+            }
+            for w in &self.class_wheels {
+                w.check_consistency();
+            }
+        }
         for slot in 0..self.capacity {
             let in_map = self.table.get(slot).is_some();
             let in_chain = self.chain.is_allocated(slot);
@@ -514,6 +675,39 @@ impl FlowManager {
                 }
             }
             if let Some(f) = self.table.get(slot) {
+                // TCP tracker coherence: tracked iff TCP, class derived
+                // from the tracker, and (per-class wheel mode) armed on
+                // exactly its class's wheel at the chain's stamp.
+                if self.tcp_state[slot].is_some() != (f.int_key.proto == Proto::Tcp) {
+                    return Err(format!(
+                        "slot {slot}: tcp_state {:?} for proto {:?}",
+                        self.tcp_state[slot], f.int_key.proto
+                    ));
+                }
+                let want_class = class_of(f.int_key.proto, self.tcp_state[slot]).index() as u8;
+                if self.class[slot] != want_class {
+                    return Err(format!(
+                        "slot {slot}: class {} != tracker class {want_class}",
+                        self.class[slot]
+                    ));
+                }
+                for (ci, w) in self.class_wheels.iter().enumerate() {
+                    let should_arm = ci == usize::from(self.class[slot]);
+                    if w.contains(slot) != should_arm {
+                        return Err(format!(
+                            "slot {slot}: class-{ci} wheel membership {} (class {})",
+                            w.contains(slot),
+                            self.class[slot]
+                        ));
+                    }
+                    if should_arm && w.deadline_of(slot) != self.chain.timestamp_of(slot) {
+                        return Err(format!(
+                            "slot {slot}: class-{ci} wheel stamp {:?} != chain stamp {:?}",
+                            w.deadline_of(slot),
+                            self.chain.timestamp_of(slot)
+                        ));
+                    }
+                }
                 if f.ext_port != self.port_of_slot(slot) {
                     return Err(format!(
                         "slot {slot}: ext_port {} != pool port {}",
@@ -569,8 +763,8 @@ impl FlowTable for FlowManager {
         FlowManager::lookup_external_hashed(self, ek, hash)
     }
 
-    fn rejuvenate(&mut self, slot: usize, now: Time) {
-        FlowManager::rejuvenate(self, slot, now);
+    fn rejuvenate(&mut self, slot: usize, now: Time, dir: Direction, tcp_flags: u8) {
+        FlowManager::rejuvenate_with(self, slot, now, dir, tcp_flags);
     }
 
     fn allocate_slot_routed(&mut self, _fid_hash: u64, now: Time) -> Option<usize> {
@@ -593,8 +787,9 @@ impl FlowTable for FlowManager {
         ext_ip: Ip4,
         ext_port: u16,
         fid_hash: u64,
+        tcp_flags: u8,
     ) {
-        FlowManager::insert_hashed(self, slot, fid, ext_ip, ext_port, fid_hash);
+        FlowManager::insert_hashed(self, slot, fid, ext_ip, ext_port, fid_hash, tcp_flags);
     }
 
     fn check_coherence(&self) -> Result<(), String> {
@@ -614,6 +809,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1000,
+            ..NatConfig::paper_default()
         }
     }
 
@@ -683,6 +879,135 @@ mod tests {
         fm.allocate(fid(1, 100), Time::from_secs(1)).unwrap();
         assert_eq!(fm.allocate(fid(1, 100), Time::from_secs(2)), None);
         assert_eq!(fm.len(), 1);
+    }
+
+    fn classed_cfg() -> NatConfig {
+        NatConfig {
+            capacity: 8,
+            tcp_transitory_ns: Time::from_secs(2).nanos(),
+            tcp_established_ns: Time::from_secs(30).nanos(),
+            ..cfg()
+        }
+    }
+
+    fn tcp_fid(h: u8, p: u16) -> FlowId {
+        FlowId {
+            proto: Proto::Tcp,
+            ..fid(h, p)
+        }
+    }
+
+    #[test]
+    fn heterogeneous_config_selects_per_class_engines() {
+        let fm = FlowManager::new(&classed_cfg());
+        assert_eq!(fm.expiry_mode(), ExpiryMode::Wheel);
+        let fm = FlowManager::with_expiry(&classed_cfg(), ExpiryMode::Scan);
+        assert_eq!(fm.expiry_mode(), ExpiryMode::Scan);
+        // Homogeneous keeps the legacy single wheel.
+        let fm = FlowManager::new(&cfg());
+        assert!(fm.wheel.is_some() && fm.class_wheels.is_empty());
+    }
+
+    #[test]
+    fn established_outlives_transitory_and_udp() {
+        use vig_packet::tcp::flags;
+        let c = classed_cfg();
+        let mut fm = FlowManager::new(&c);
+        // Half-open TCP (created by a SYN), established TCP (created by
+        // a bare-ACK mid-stream pickup), and a UDP flow.
+        let f1 = tcp_fid(1, 100);
+        let half = fm.allocate_slot(Time::from_secs(1)).unwrap();
+        let (ip, port) = (fm.ip_of_slot(half), fm.port_of_slot(half));
+        fm.insert_hashed(half, f1, ip, port, f1.key_hash(), flags::SYN);
+        assert_eq!(fm.tcp_state_of(half), Some(TcpState::SynSent));
+        let (est, _) = fm.allocate(tcp_fid(2, 100), Time::from_secs(1)).unwrap();
+        assert_eq!(fm.tcp_state_of(est), Some(TcpState::Established));
+        let (udp, _) = fm.allocate(fid(3, 100), Time::from_secs(1)).unwrap();
+        assert_eq!(fm.tcp_state_of(udp), None);
+        fm.check_coherence().unwrap();
+        // The loop body's threshold at t is `t - min_lifetime` (2s).
+        // t=4s: the half-open flow (2s lifetime, stamped 1s) is due.
+        assert_eq!(fm.expire(Time::from_secs(2)), 1);
+        assert!(fm.lookup_internal(&tcp_fid(1, 100)).is_none());
+        // t=12s: the UDP flow (10s) dies, established survives.
+        assert_eq!(fm.expire(Time::from_secs(10)), 1);
+        assert!(fm.lookup_internal(&fid(3, 100)).is_none());
+        assert!(fm.lookup_internal(&tcp_fid(2, 100)).is_some());
+        // t=31s: the established flow (30s) finally dies.
+        assert_eq!(fm.expire(Time::from_secs(29)), 1);
+        assert!(fm.is_empty());
+        fm.check_coherence().unwrap();
+    }
+
+    #[test]
+    fn rst_demotes_established_to_transitory() {
+        use vig_packet::tcp::flags;
+        let mut fm = FlowManager::new(&classed_cfg());
+        let (slot, _) = fm.allocate(tcp_fid(1, 100), Time::from_secs(1)).unwrap();
+        assert_eq!(fm.tcp_state_of(slot), Some(TcpState::Established));
+        fm.rejuvenate_with(slot, Time::from_secs(5), Direction::External, flags::RST);
+        assert_eq!(fm.tcp_state_of(slot), Some(TcpState::Closed));
+        fm.check_coherence().unwrap();
+        // Now on the 2s transitory timer: dead by t=8s.
+        assert_eq!(fm.expire(Time::from_secs(6)), 1);
+        assert!(fm.is_empty());
+    }
+
+    /// One rejuvenate/expire trace, on a per-class config, against both
+    /// expiry engines in lockstep.
+    fn classed_trace(mode: ExpiryMode) -> Vec<(usize, u16, Time)> {
+        use vig_packet::tcp::flags;
+        let c = classed_cfg();
+        let mut fm = FlowManager::with_expiry(&c, mode);
+        let mk = |i: u8| {
+            if i.is_multiple_of(2) {
+                fid(i, 100)
+            } else {
+                tcp_fid(i, 100)
+            }
+        };
+        let mut now = Time::ZERO;
+        for i in 0..6u8 {
+            now = now.plus(500_000_000);
+            fm.allocate(mk(i), now).unwrap();
+        }
+        // Steer the TCP flows through distinct states.
+        for (i, fl) in [(1u8, flags::SYN), (3, flags::FIN), (5, flags::ACK)] {
+            if let Some((slot, _)) = fm.lookup_internal(&mk(i)) {
+                now = now.plus(100_000_000);
+                fm.rejuvenate_with(slot, now, Direction::Internal, fl);
+            }
+        }
+        let mut log = Vec::new();
+        for step in 0..40u64 {
+            now = now.plus(1_000_000_000);
+            let thr = now.minus(c.min_lifetime_ns());
+            fm.expire(thr);
+            fm.check_coherence().unwrap();
+            if step % 7 == 0 {
+                if let Some((slot, _)) = fm.lookup_internal(&mk(5)) {
+                    fm.rejuvenate_with(slot, now, Direction::Internal, flags::ACK);
+                }
+            }
+            for (slot, f, t) in fm.iter_lru() {
+                log.push((slot, f.ext_port, t));
+            }
+        }
+        // Free-list drain order: refill and log the assignment order.
+        let mut i = 100u8;
+        while let Some((slot, port)) = fm.allocate(fid(i, 200), now) {
+            log.push((slot, port, now));
+            i += 1;
+        }
+        log
+    }
+
+    #[test]
+    fn per_class_wheels_equal_per_class_scan() {
+        assert_eq!(
+            classed_trace(ExpiryMode::Wheel),
+            classed_trace(ExpiryMode::Scan)
+        );
     }
 
     proptest! {

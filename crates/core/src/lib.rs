@@ -50,6 +50,7 @@
 //!     expiry_ns: Time::from_secs(60).nanos(),
 //!     external_ip: Ip4::new(203, 0, 113, 1),
 //!     start_port: 1024,
+//!     ..NatConfig::paper_default()
 //! };
 //! let mut fm = FlowManager::new(&cfg);
 //! let fid = FlowId {

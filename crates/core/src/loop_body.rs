@@ -95,8 +95,16 @@ pub fn nat_loop_iteration<E: NatEnv + ?Sized>(env: &mut E, cfg: &NatConfig) -> I
 
 /// `expire_flows(t)` with the `now >= Texp` guard (Fig. 6 line 2):
 /// threshold = now - Texp, the subtraction made safe by the guard.
+///
+/// `Texp` is the **shortest** configured lifetime
+/// ([`NatConfig::min_lifetime_ns`]): with per-class TCP/UDP lifetimes
+/// the flow table reconstructs `now = threshold + min_lifetime` and
+/// applies each class's own threshold internally, keeping this seam's
+/// single-threshold shape (and the symbolic path count) unchanged.
+/// With the paper's homogeneous configuration `min_lifetime_ns()` *is*
+/// `expiry_ns` and this is Fig. 6 verbatim.
 fn expire_guarded<E: NatEnv + ?Sized>(env: &mut E, cfg: &NatConfig, now: &E::U64) {
-    let texp = env.c_u64(cfg.expiry_ns);
+    let texp = env.c_u64(cfg.min_lifetime_ns());
     let expirable = env.le_u64(&texp, now);
     if env.branch(expirable) {
         let threshold = env.sub_u64(now, &texp); // safe: texp <= now
@@ -242,20 +250,23 @@ fn translate_internal<E: NatEnv + ?Sized>(
     now: E::U64,
     hint: Option<FlowView<E>>,
 ) -> IterationOutcome {
-    let fid = FidParts {
-        src_ip: pkt.src_ip.clone(),
-        src_port: pkt.src_port.clone(),
-        dst_ip: pkt.dst_ip.clone(),
-        dst_port: pkt.dst_port.clone(),
-        proto,
-    };
+    // Hairpinning (RFC 4787 REQ-9): an internal packet aimed at one of
+    // the NAT's *own* pool endpoints is looped back to the internal
+    // host that holds that mapping, instead of being sent out. The
+    // membership test is a concrete-config-shaped ladder of domain
+    // comparisons; the branch on `cfg.hairpinning` itself is concrete,
+    // so the paper's default configuration keeps its exact path set.
+    if cfg.hairpinning && dst_is_pool_endpoint(env, cfg, pkt) {
+        return hairpin_internal(env, cfg, pkt, proto, now, hint);
+    }
+    let fid = internal_fid(env, cfg, pkt, proto);
     let found = match hint {
         Some(flow) => Some(flow),
         None => env.lookup_internal(&fid),
     };
     match found {
         Some(flow) => {
-            env.rejuvenate(flow.slot, &now);
+            env.rejuvenate(flow.slot, &now, Direction::Internal, &pkt.tcp_flags);
             let hdr = TxHdr {
                 src_ip: flow.ext_ip,
                 src_port: flow.ext_port,
@@ -276,7 +287,14 @@ fn translate_internal<E: NatEnv + ?Sized>(
                 // by construction of the pool mapping.
                 let start = env.c_u16(cfg.start_port);
                 let ext_port = env.add_u16(&start, &offset);
-                env.insert_flow(slot, fid, ext_ip.clone(), ext_port.clone(), &now);
+                env.insert_flow(
+                    slot,
+                    fid,
+                    ext_ip.clone(),
+                    ext_port.clone(),
+                    &now,
+                    &pkt.tcp_flags,
+                );
                 let hdr = TxHdr {
                     src_ip: ext_ip,
                     src_port: ext_port,
@@ -316,16 +334,25 @@ fn translate_external<E: NatEnv + ?Sized>(
     } else {
         pkt.dst_ip.clone()
     };
+    // Under endpoint-independent mapping the mapping is keyed by the
+    // allocated endpoint alone — the remote fields are the canonical
+    // zeros, so any external sender matches (full-cone). Concrete-config
+    // branch, like the pool-address selection above.
+    let (rem_ip, rem_port) = if cfg.eim {
+        (env.c_u32(0), env.c_u16(0))
+    } else {
+        (pkt.src_ip.clone(), pkt.src_port.clone())
+    };
     let ek = ExtParts {
         ext_ip,
         ext_port: pkt.dst_port.clone(),
-        dst_ip: pkt.src_ip.clone(),
-        dst_port: pkt.src_port.clone(),
+        dst_ip: rem_ip,
+        dst_port: rem_port,
         proto,
     };
     match env.lookup_external(&ek) {
         Some(flow) => {
-            env.rejuvenate(flow.slot, &now);
+            env.rejuvenate(flow.slot, &now, Direction::External, &pkt.tcp_flags);
             let hdr = TxHdr {
                 src_ip: pkt.src_ip.clone(),
                 src_port: pkt.src_port.clone(),
@@ -339,6 +366,151 @@ fn translate_external<E: NatEnv + ?Sized>(
             env.drop_pkt(pkt.handle);
             IterationOutcome::Dropped(DropReason::NoFlow)
         }
+    }
+}
+
+/// Build the internal match key for a packet. Under RFC 4787
+/// endpoint-independent mapping (`cfg.eim`) the remote endpoint does
+/// not participate in the mapping — the key's destination fields are
+/// canonicalized to zero, so every remote peer reuses the same
+/// mapping. The branch is on concrete configuration, so each config
+/// has a fixed key shape (and a fixed symbolic path set).
+fn internal_fid<E: NatEnv + ?Sized>(
+    env: &mut E,
+    cfg: &NatConfig,
+    pkt: &RxPacket<E>,
+    proto: Proto,
+) -> FidParts<E> {
+    let (dst_ip, dst_port) = if cfg.eim {
+        (env.c_u32(0), env.c_u16(0))
+    } else {
+        (pkt.dst_ip.clone(), pkt.dst_port.clone())
+    };
+    FidParts {
+        src_ip: pkt.src_ip.clone(),
+        src_port: pkt.src_port.clone(),
+        dst_ip,
+        dst_port,
+        proto,
+    }
+}
+
+/// Is the packet's destination one of the NAT's own pool endpoints?
+/// Mirrors [`NatConfig::slot_of_endpoint`]'s membership test for the
+/// single-address pool that hairpinning requires (enforced by
+/// [`check_config`]): `dst_ip == external_ip && start_port <= dst_port
+/// < start_port + capacity`. Built as a ladder of domain comparisons —
+/// each conjunct is its own [`NatEnv::branch`], the same shape the
+/// validation ladder uses.
+fn dst_is_pool_endpoint<E: NatEnv + ?Sized>(
+    env: &mut E,
+    cfg: &NatConfig,
+    pkt: &RxPacket<E>,
+) -> bool {
+    debug_assert_eq!(
+        cfg.num_external_ips(),
+        1,
+        "hairpinning requires a single-address pool (check_config)"
+    );
+    let ext = env.c_u32(cfg.external_ip.raw());
+    let ip_match = env.eq_u32(&pkt.dst_ip, &ext);
+    if !env.branch(ip_match) {
+        return false;
+    }
+    let start = env.c_u16(cfg.start_port);
+    let below = env.lt_u16(&pkt.dst_port, &start);
+    if env.branch(below) {
+        return false;
+    }
+    // start_port + capacity <= 65536 by the pool-fits-IPv4 invariant;
+    // when it is exactly 65536 every port >= start_port is in the pool
+    // and the upper test vanishes (concrete-config branch).
+    let end = usize::from(cfg.start_port) + cfg.capacity;
+    if end <= 65535 {
+        let endv = env.c_u16(end as u16);
+        let in_range = env.lt_u16(&pkt.dst_port, &endv);
+        if !env.branch(in_range) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The RFC 4787 hairpin leg (REQ-9): `pkt` is an internal packet
+/// addressed to one of the NAT's own pool endpoints. Resolve the
+/// *target* mapping by external lookup (EIM wildcard remote — the
+/// config check requires EIM), resolve or create the *sender's*
+/// mapping exactly as the outbound path would, and forward back on the
+/// internal interface: source rewritten to the sender's external
+/// endpoint (the receiving host sees the same address an external peer
+/// would), destination rewritten to the target's internal endpoint.
+/// No target mapping → unroutable → drop; no room for the sender's
+/// mapping → drop. Only the sender's flow is rejuvenated — the target
+/// merely *receives* traffic, which no more refreshes its mapping than
+/// any other inbound packet creates state. Mirrors the spec's
+/// `hairpin_allows` leg clause-for-clause.
+fn hairpin_internal<E: NatEnv + ?Sized>(
+    env: &mut E,
+    cfg: &NatConfig,
+    pkt: &RxPacket<E>,
+    proto: Proto,
+    now: E::U64,
+    hint: Option<FlowView<E>>,
+) -> IterationOutcome {
+    let target_key = ExtParts {
+        ext_ip: env.c_u32(cfg.external_ip.raw()),
+        ext_port: pkt.dst_port.clone(),
+        dst_ip: env.c_u32(0),
+        dst_port: env.c_u16(0),
+        proto,
+    };
+    let Some(target) = env.lookup_external(&target_key) else {
+        env.drop_pkt(pkt.handle);
+        return IterationOutcome::Dropped(DropReason::NoFlow);
+    };
+    let fid = internal_fid(env, cfg, pkt, proto);
+    let sender = match hint {
+        Some(flow) => Some(flow),
+        None => env.lookup_internal(&fid),
+    };
+    match sender {
+        Some(flow) => {
+            env.rejuvenate(flow.slot, &now, Direction::Internal, &pkt.tcp_flags);
+            let hdr = TxHdr {
+                src_ip: flow.ext_ip,
+                src_port: flow.ext_port,
+                dst_ip: target.int_ip,
+                dst_port: target.int_port,
+            };
+            env.tx(pkt.handle, Direction::Internal, hdr);
+            IterationOutcome::Forwarded(Direction::Internal)
+        }
+        None => match env.allocate_slot(&now) {
+            Some((slot, offset, ext_ip)) => {
+                let start = env.c_u16(cfg.start_port);
+                let ext_port = env.add_u16(&start, &offset);
+                env.insert_flow(
+                    slot,
+                    fid,
+                    ext_ip.clone(),
+                    ext_port.clone(),
+                    &now,
+                    &pkt.tcp_flags,
+                );
+                let hdr = TxHdr {
+                    src_ip: ext_ip,
+                    src_port: ext_port,
+                    dst_ip: target.int_ip,
+                    dst_port: target.int_port,
+                };
+                env.tx(pkt.handle, Direction::Internal, hdr);
+                IterationOutcome::Forwarded(Direction::Internal)
+            }
+            None => {
+                env.drop_pkt(pkt.handle);
+                IterationOutcome::Dropped(DropReason::TableFull)
+            }
+        },
     }
 }
 
@@ -411,17 +583,15 @@ pub fn nat_process_batch<E: NatEnv + ?Sized>(
     // (On a sharded flow table this is the dispatch point: the env
     // splits these queries into per-shard sub-batches by their
     // memoized hashes — see the function docs.)
+    // Keys are built by `internal_fid`, so EIM canonicalization applies
+    // to batched probes exactly as to sequence-point lookups. (On the
+    // hairpin path the sender's key is this same fid, so a batched hit
+    // stays a valid hint there too.)
     let mut queries: Vec<FidParts<E>> = Vec::with_capacity(pkts.len());
     for (pkt, v) in pkts.iter().zip(&verdicts) {
         if let Ok(proto) = v {
             if pkt.dir == Direction::Internal {
-                queries.push(FidParts {
-                    src_ip: pkt.src_ip.clone(),
-                    src_port: pkt.src_port.clone(),
-                    dst_ip: pkt.dst_ip.clone(),
-                    dst_port: pkt.dst_port.clone(),
-                    proto: *proto,
-                });
+                queries.push(internal_fid(env, cfg, pkt, *proto));
             }
         }
     }
@@ -493,6 +663,22 @@ pub fn check_config(cfg: &NatConfig) -> Result<(), String> {
     if cfg.expiry_ns == 0 {
         return Err("expiry must be non-zero (flows would die instantly)".into());
     }
+    // Per-class TCP lifetimes: zero means "inherit expiry_ns", so
+    // lifetime_ns() is non-zero for every class once expiry_ns is —
+    // nothing further to check there. Hairpinning, however, has two
+    // structural prerequisites:
+    if cfg.hairpinning && !cfg.eim {
+        // The hairpin target is resolved by its allocated endpoint
+        // alone — without EIM the mapping is keyed by a specific remote
+        // endpoint and the hairpinned sender can never match it.
+        return Err("hairpinning requires endpoint-independent mapping (eim)".into());
+    }
+    if cfg.hairpinning && cfg.num_external_ips() > 1 {
+        // Pool membership is a port-range test only when the pool is
+        // one address; RFC 4787's reference NAT has a single external
+        // address, and multi-address hairpinning is out of scope.
+        return Err("hairpinning requires a single-address pool".into());
+    }
     Ok(())
 }
 
@@ -514,6 +700,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1000,
+            ..NatConfig::paper_default()
         }
     }
 
@@ -566,5 +753,33 @@ mod tests {
         })
         .unwrap_err();
         check_config(&NatConfig::paper_default()).unwrap();
+        // Hairpinning needs EIM and a single-address pool.
+        check_config(&NatConfig {
+            hairpinning: true,
+            eim: false,
+            ..cfg()
+        })
+        .unwrap_err();
+        check_config(&NatConfig {
+            hairpinning: true,
+            eim: true,
+            capacity: 70_000, // spills onto a second pool address
+            ..cfg()
+        })
+        .unwrap_err();
+        check_config(&NatConfig {
+            hairpinning: true,
+            eim: true,
+            ..cfg()
+        })
+        .unwrap();
+        // EIM alone is fine, with or without per-class TCP lifetimes.
+        check_config(&NatConfig {
+            eim: true,
+            tcp_transitory_ns: 1,
+            tcp_established_ns: u64::MAX,
+            ..cfg()
+        })
+        .unwrap();
     }
 }

@@ -287,9 +287,9 @@ impl FlowTable for ShardedFlowManager {
         Some((self.global(s, slot), flow))
     }
 
-    fn rejuvenate(&mut self, slot: usize, now: Time) {
+    fn rejuvenate(&mut self, slot: usize, now: Time, dir: Direction, tcp_flags: u8) {
         let (s, local) = self.local(slot);
-        self.shards[s].rejuvenate(local, now);
+        self.shards[s].rejuvenate_with(local, now, dir, tcp_flags);
     }
 
     fn allocate_slot_routed(&mut self, fid_hash: u64, now: Time) -> Option<usize> {
@@ -318,6 +318,7 @@ impl FlowTable for ShardedFlowManager {
         ext_ip: Ip4,
         ext_port: u16,
         fid_hash: u64,
+        tcp_flags: u8,
     ) {
         let (s, local) = self.local(slot);
         debug_assert_eq!(
@@ -327,7 +328,7 @@ impl FlowTable for ShardedFlowManager {
         );
         // The shard's own FlowManager asserts its local slot⇄endpoint
         // bijection, which composes to the global one (module docs).
-        self.shards[s].insert_hashed(local, fid, ext_ip, ext_port, fid_hash);
+        self.shards[s].insert_hashed(local, fid, ext_ip, ext_port, fid_hash, tcp_flags);
     }
 
     fn check_coherence(&self) -> Result<(), String> {
@@ -537,6 +538,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1000,
+            ..NatConfig::paper_default()
         }
     }
 
@@ -556,7 +558,7 @@ mod tests {
         assert!(t.lookup_internal_hashed(&f, hash).is_none());
         let slot = t.allocate_slot_routed(hash, now)?;
         let (ip, port) = t.endpoint_of_slot(slot);
-        t.insert_hashed(slot, f, ip, port, hash);
+        t.insert_hashed(slot, f, ip, port, hash, 0);
         Some((slot, port))
     }
 
@@ -682,7 +684,7 @@ mod tests {
                 match t.allocate_slot_routed(hash, Time::from_secs(1)) {
                     Some(slot) => {
                         let (ip, port) = t.endpoint_of_slot(slot);
-                        t.insert_hashed(slot, f, ip, port, hash);
+                        t.insert_hashed(slot, f, ip, port, hash, 0);
                         filled += 1;
                     }
                     None => {

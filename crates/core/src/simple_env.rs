@@ -52,10 +52,13 @@ pub struct RawRx {
     pub src_port: u16,
     /// L4 destination port.
     pub dst_port: u16,
+    /// TCP flag byte (ignored for non-TCP packets).
+    pub tcp_flags: u8,
 }
 
 impl RawRx {
-    /// A well-formed 64-byte TCP/UDP frame carrying `fields`.
+    /// A well-formed 64-byte TCP/UDP frame carrying `fields` (empty
+    /// TCP flag byte; see [`RawRx::with_tcp_flags`]).
     pub fn well_formed(dir: Direction, fields: FlowFields) -> RawRx {
         let l4 = match fields.proto {
             vig_packet::Proto::Tcp => 20,
@@ -74,7 +77,13 @@ impl RawRx {
             dst_ip: fields.dst_ip.raw(),
             src_port: fields.src_port,
             dst_port: fields.dst_port,
+            tcp_flags: 0,
         }
+    }
+
+    /// The same frame with a TCP flag byte.
+    pub fn with_tcp_flags(self, tcp_flags: u8) -> RawRx {
+        RawRx { tcp_flags, ..self }
     }
 }
 
@@ -206,8 +215,20 @@ impl<T: FlowTable> SimpleEnv<T> {
     /// at time `t`, run one iteration, and return the NF's decision in
     /// the spec's vocabulary.
     pub fn step(&mut self, dir: Direction, fields: FlowFields, t: Time) -> vig_spec::Output {
+        self.step_flags(dir, fields, 0, t)
+    }
+
+    /// [`SimpleEnv::step`] with a TCP flag byte (the connection-tracker
+    /// input; ignored on UDP packets).
+    pub fn step_flags(
+        &mut self,
+        dir: Direction,
+        fields: FlowFields,
+        tcp_flags: u8,
+        t: Time,
+    ) -> vig_spec::Output {
         self.set_time(t);
-        self.inject(RawRx::well_formed(dir, fields));
+        self.inject(RawRx::well_formed(dir, fields).with_tcp_flags(tcp_flags));
         let before = self.events.len();
         let outcome = self.run_one();
         assert_eq!(
@@ -269,6 +290,8 @@ impl<T: FlowTable> NatEnv for SimpleEnv<T> {
             dst_ip: raw.dst_ip,
             src_port: raw.src_port,
             dst_port: raw.dst_port,
+            // Zero-filled for non-TCP frames, per the RxPacket contract.
+            tcp_flags: if raw.proto == 6 { raw.tcp_flags } else { 0 },
         })
     }
 
@@ -307,8 +330,8 @@ impl<T: FlowTable> NatEnv for SimpleEnv<T> {
         Some(view(slot, flow))
     }
 
-    fn rejuvenate(&mut self, slot: SlotId, now: &u64) {
-        self.fm.rejuvenate(slot.0, Time(*now));
+    fn rejuvenate(&mut self, slot: SlotId, now: &u64, dir: Direction, tcp_flags: &u8) {
+        self.fm.rejuvenate(slot.0, Time(*now), dir, *tcp_flags);
     }
 
     fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16, u32)> {
@@ -328,13 +351,20 @@ impl<T: FlowTable> NatEnv for SimpleEnv<T> {
         ext_ip: u32,
         ext_port: u16,
         _now: &u64,
+        tcp_flags: &u8,
     ) {
         let key = fid_key(&fid);
         // Reuse the hash memoized by the lookup miss that precedes
         // every insert on the same packet.
         let hash = self.fid_memo.hash_for_insert(&key);
-        self.fm
-            .insert_hashed(slot.0, key, vig_packet::Ip4(ext_ip), ext_port, hash);
+        self.fm.insert_hashed(
+            slot.0,
+            key,
+            vig_packet::Ip4(ext_ip),
+            ext_port,
+            hash,
+            *tcp_flags,
+        );
     }
 
     fn tx(&mut self, pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
@@ -378,6 +408,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1000,
+            ..NatConfig::paper_default()
         }
     }
 
@@ -638,30 +669,135 @@ mod tests {
         assert!(env.run_burst().is_empty());
     }
 
+    /// Drive one randomized schedule through the real loop body and the
+    /// RFC 3022 spec in lockstep — the shared body of the differential
+    /// properties below.
+    fn run_differential(
+        c: NatConfig,
+        steps: Vec<(u8, u8, u16, bool, u8, u64)>,
+    ) -> Result<(), TestCaseError> {
+        let mut env = SimpleEnv::new(c);
+        let mut spec = SpecChecker::new(c);
+        let mut now = Time::from_secs(1);
+        for (kind, host, ext_port, tcp, raw_flags, dt) in steps {
+            now = now.plus(dt * 1_500_000_000);
+            let proto = if tcp { Proto::Tcp } else { Proto::Udp };
+            // FIN/SYN/RST/ACK bits only; anything else is noise the
+            // tracker ignores anyway.
+            let tcp_flags = if tcp { raw_flags & 0x17 } else { 0 };
+            let (dir, f) = match kind {
+                // internal traffic from a small host pool (drives
+                // repeats and new flows)
+                0 | 1 => (Direction::Internal, fields(host, 100, proto)),
+                // return traffic to a port that may or may not be live
+                2 => (
+                    Direction::External,
+                    FlowFields {
+                        src_ip: Ip4::new(1, 1, 1, 1),
+                        dst_ip: Ip4::new(10, 1, 0, 1),
+                        src_port: 80,
+                        dst_port: ext_port,
+                        proto,
+                    },
+                ),
+                // junk external traffic from a different remote
+                _ => (
+                    Direction::External,
+                    FlowFields {
+                        src_ip: Ip4::new(7, 7, 7, 7),
+                        dst_ip: Ip4::new(10, 1, 0, 1),
+                        src_port: 9999,
+                        dst_port: ext_port,
+                        proto,
+                    },
+                ),
+            };
+            let output = env.step_flags(dir, f, tcp_flags, now);
+            let input = PacketInput {
+                dir,
+                fields: f,
+                tcp_flags,
+            };
+            spec.observe(&input, now, &output).map_err(|v| {
+                TestCaseError::fail(format!("spec violation at step {}: {v}", spec.steps()))
+            })?;
+            prop_assert!(env.flow_manager().check_coherence().is_ok());
+        }
+        Ok(())
+    }
+
     // The workhorse: the real loop body + real libVig vs. the RFC 3022
     // spec, on randomized workloads mixing new flows, repeats, valid
-    // and junk return traffic, and time jumps that trigger expiry.
+    // and junk return traffic, TCP flag storms, and time jumps that
+    // trigger expiry.
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
         fn differential_vs_rfc3022_spec(
             steps in proptest::collection::vec(
-                (0u8..4, 0u8..6, 1000u16..1012, any::<bool>(), 0u64..8),
+                (0u8..4, 0u8..6, 1000u16..1012, any::<bool>(), any::<u8>(), 0u64..8),
                 1..300,
             ),
         ) {
-            let mut env = SimpleEnv::new(cfg());
-            let mut spec = SpecChecker::new(cfg());
+            run_differential(cfg(), steps)?;
+        }
+
+        /// The same relation on a per-class config: the TCP tracker
+        /// picks the lifetime (transitory 3s, established 30s, UDP
+        /// 10s), so flag sequences now change *which* packets expire.
+        #[test]
+        fn differential_vs_spec_with_tcp_lifetimes(
+            steps in proptest::collection::vec(
+                (0u8..4, 0u8..6, 1000u16..1012, any::<bool>(), any::<u8>(), 0u64..8),
+                1..300,
+            ),
+        ) {
+            let c = NatConfig {
+                tcp_transitory_ns: Time::from_secs(3).nanos(),
+                tcp_established_ns: Time::from_secs(30).nanos(),
+                ..cfg()
+            };
+            run_differential(c, steps)?;
+        }
+
+        /// And with EIM + hairpinning on: remote-independent mappings,
+        /// pool-addressed internal packets looping back inside.
+        #[test]
+        fn differential_vs_spec_with_eim_hairpinning(
+            steps in proptest::collection::vec(
+                (0u8..5, 0u8..6, 1000u16..1012, any::<bool>(), any::<u8>(), 0u64..8),
+                1..300,
+            ),
+        ) {
+            let c = NatConfig {
+                eim: true,
+                hairpinning: true,
+                tcp_transitory_ns: Time::from_secs(3).nanos(),
+                tcp_established_ns: Time::from_secs(30).nanos(),
+                ..cfg()
+            };
+            let mut env = SimpleEnv::new(c);
+            let mut spec = SpecChecker::new(c);
             let mut now = Time::from_secs(1);
-            for (kind, host, ext_port, tcp, dt) in steps {
+            for (kind, host, ext_port, tcp, raw_flags, dt) in steps {
                 now = now.plus(dt * 1_500_000_000);
                 let proto = if tcp { Proto::Tcp } else { Proto::Udp };
+                let tcp_flags = if tcp { raw_flags & 0x17 } else { 0 };
                 let (dir, f) = match kind {
-                    // internal traffic from a small host pool (drives
-                    // repeats and new flows)
                     0 | 1 => (Direction::Internal, fields(host, 100, proto)),
-                    // return traffic to a port that may or may not be live
+                    // hairpin attempt: an internal host aims at a pool
+                    // endpoint (live or dangling)
                     2 => (
+                        Direction::Internal,
+                        FlowFields {
+                            src_ip: Ip4::new(192, 168, 0, host),
+                            dst_ip: Ip4::new(10, 1, 0, 1),
+                            src_port: 100,
+                            dst_port: ext_port,
+                            proto,
+                        },
+                    ),
+                    3 => (
                         Direction::External,
                         FlowFields {
                             src_ip: Ip4::new(1, 1, 1, 1),
@@ -671,7 +807,6 @@ mod tests {
                             proto,
                         },
                     ),
-                    // junk external traffic from a different remote
                     _ => (
                         Direction::External,
                         FlowFields {
@@ -683,8 +818,8 @@ mod tests {
                         },
                     ),
                 };
-                let output = env.step(dir, f, now);
-                let input = PacketInput { dir, fields: f };
+                let output = env.step_flags(dir, f, tcp_flags, now);
+                let input = PacketInput { dir, fields: f, tcp_flags };
                 spec.observe(&input, now, &output).map_err(|v| {
                     TestCaseError::fail(format!("spec violation at step {}: {v}", spec.steps()))
                 })?;

@@ -79,6 +79,99 @@ pub fn expire_items_wheel<V: DmapValue + Clone>(
     count
 }
 
+/// Expire under **per-class lifetimes** by scanning the chain's LRU
+/// list: a flow of class `classes[slot]` stamped `ts` is dead once
+/// `ts + lifetimes[class] <= now`. Due flows are freed in the canonical
+/// merge order — ascending `(deadline, class, LRU position)` — which
+/// [`expire_items_wheels`] reproduces exactly, so the two engines leave
+/// byte-identical chain state (free-list order, hence future slot and
+/// port assignment, included), mirroring the single-lifetime
+/// [`expire_items`]/[`expire_items_wheel`] pair.
+///
+/// Note that with all lifetimes equal this does **not** reduce to
+/// [`expire_items`]: equal-deadline ties across classes break by class
+/// rank here, by global LRU order there. Callers therefore keep the
+/// single-lifetime engines for homogeneous configurations and use the
+/// classed engines only when lifetimes actually differ (the flow
+/// manager does exactly this).
+pub fn expire_items_classed<V: DmapValue + Clone>(
+    chain: &mut DoubleChain,
+    map: &mut DoubleMap<V>,
+    classes: &[u8],
+    lifetimes: &[u64],
+    now: Time,
+) -> usize {
+    let mut due: Vec<(u64, u8, usize)> = Vec::new();
+    for (slot, stamp) in chain.iter_lru() {
+        let class = classes[slot];
+        let lifetime = lifetimes[usize::from(class)];
+        // checked_add: a deadline past u64::MAX can never be due.
+        if let Some(deadline) = stamp.nanos().checked_add(lifetime) {
+            if deadline <= now.nanos() {
+                due.push((deadline, class, slot));
+            }
+        }
+    }
+    // Stable by (deadline, class): each class's subsequence keeps its
+    // LRU order — exactly the per-class wheel pop order.
+    due.sort_by_key(|&(deadline, class, _)| (deadline, class));
+    for &(_, _, slot) in &due {
+        let freed = chain.free_index(slot);
+        debug_assert!(freed, "classed expiry: slot {slot} not allocated");
+        let erased = map.erase(slot);
+        debug_assert!(
+            erased.is_some(),
+            "chain/map coherence: expired slot {slot} had no map slot"
+        );
+    }
+    due.len()
+}
+
+/// Per-class-lifetime expiry driven by **one [`TimerWheel`] per class**,
+/// each keyed by last-activity stamp: class `c` is due once its stamp
+/// is `<= now - lifetimes[c]`. Pops of all classes are merged in
+/// ascending `(deadline, class, within-class pop order)` before any
+/// slot is freed, which — because each wheel's pop order equals its
+/// class's LRU subsequence — is byte-identical to
+/// [`expire_items_classed`], free-list order included. `wheels[c]` must
+/// be armed with exactly the allocated slots of class `c`.
+pub fn expire_items_wheels<V: DmapValue + Clone>(
+    wheels: &mut [TimerWheel],
+    chain: &mut DoubleChain,
+    map: &mut DoubleMap<V>,
+    lifetimes: &[u64],
+    now: Time,
+) -> usize {
+    debug_assert_eq!(wheels.len(), lifetimes.len());
+    let mut due: Vec<(u64, u8, usize)> = Vec::new();
+    for (class, wheel) in wheels.iter_mut().enumerate() {
+        let lifetime = lifetimes[class];
+        // checked_sub: while now < lifetime nothing of this class can
+        // have expired yet (the spec's expiry_threshold_for shape).
+        let Some(threshold) = now.nanos().checked_sub(lifetime) else {
+            continue;
+        };
+        while let Some(slot) = wheel.pop_expired(Time::ZERO.plus(threshold)) {
+            let stamp = chain
+                .timestamp_of(slot)
+                .expect("wheel/chain coherence: popped slot not allocated");
+            // No overflow: stamp <= threshold = now - lifetime.
+            due.push((stamp.nanos() + lifetime, class as u8, slot));
+        }
+    }
+    due.sort_by_key(|&(deadline, class, _)| (deadline, class));
+    for &(_, _, slot) in &due {
+        let freed = chain.free_index(slot);
+        debug_assert!(freed, "classed expiry: slot {slot} not allocated");
+        let erased = map.erase(slot);
+        debug_assert!(
+            erased.is_some(),
+            "wheel/map coherence: expired slot {slot} had no map slot"
+        );
+    }
+    due.len()
+}
+
 /// Expire at most `limit` items (some NFs bound per-packet expiry work to
 /// keep worst-case latency flat; VigNAT expires exhaustively, which is
 /// why its probe-flow latency stays flat only while expiry is cheap).
@@ -241,6 +334,74 @@ mod tests {
             wheel.check_consistency();
             // Free-list order: drain both chains dry and compare the
             // allocation sequences.
+            let t_next = Time::from_secs(clock + 1);
+            loop {
+                let a = chain_s.allocate(t_next);
+                let b = chain_w.allocate(t_next);
+                prop_assert_eq!(&a, &b, "free-list order diverged");
+                if a.is_err() { break; }
+            }
+        }
+
+        /// The per-class engines agree byte for byte: same expired
+        /// count, same surviving LRU sequence, same map contents, and
+        /// the same free-list order — for arbitrary class assignments,
+        /// lifetime triples, rejuvenation storms, and thresholds.
+        #[test]
+        fn classed_wheels_equal_classed_scan(
+            arrivals in proptest::collection::vec((0u64..60, 0u8..3), 1..28),
+            rejuv in proptest::collection::vec((0usize..28, 0u64..60), 0..16),
+            lifetimes in (1u64..40, 1u64..40, 1u64..40),
+            now in 0u64..120,
+        ) {
+            let cap = 32;
+            let mut chain_s = DoubleChain::new(cap);
+            let mut map_s: DoubleMap<Item> = DoubleMap::new(cap);
+            let mut chain_w = DoubleChain::new(cap);
+            let mut map_w: DoubleMap<Item> = DoubleMap::new(cap);
+            let mut wheels: Vec<crate::wheel::TimerWheel> =
+                (0..3).map(|_| crate::wheel::TimerWheel::new(cap)).collect();
+            let mut classes = vec![0u8; cap];
+
+            let mut sorted = arrivals;
+            sorted.sort_unstable_by_key(|&(s, _)| s);
+            let mut clock = 0u64;
+            for (i, &(s, class)) in sorted.iter().enumerate() {
+                clock = clock.max(s);
+                let t = Time::from_secs(clock);
+                let a = insert(&mut chain_s, &mut map_s, i as u64, t);
+                let b = insert(&mut chain_w, &mut map_w, i as u64, t);
+                prop_assert_eq!(a, b);
+                classes[b] = class;
+                wheels[class as usize].insert(b, t);
+            }
+            for (pick, bump) in rejuv {
+                if pick < sorted.len() && chain_s.is_allocated(pick) {
+                    clock += bump;
+                    let t = Time::from_secs(clock);
+                    chain_s.rejuvenate(pick, t);
+                    chain_w.rejuvenate(pick, t);
+                    wheels[classes[pick] as usize].refresh(pick, t);
+                }
+            }
+
+            let lifetimes_ns: Vec<u64> = [lifetimes.0, lifetimes.1, lifetimes.2]
+                .iter().map(|l| Time::from_secs(*l).nanos()).collect();
+            let now_t = Time::from_secs(now);
+            let n_scan = expire_items_classed(
+                &mut chain_s, &mut map_s, &classes, &lifetimes_ns, now_t);
+            let n_wheel = expire_items_wheels(
+                &mut wheels, &mut chain_w, &mut map_w, &lifetimes_ns, now_t);
+            prop_assert_eq!(n_scan, n_wheel);
+            let lru_s: Vec<_> = chain_s.iter_lru().collect();
+            let lru_w: Vec<_> = chain_w.iter_lru().collect();
+            prop_assert_eq!(lru_s, lru_w);
+            prop_assert_eq!(map_s.size(), map_w.size());
+            for w in &wheels {
+                w.check_consistency();
+            }
+            // Free-list order: drain both chains dry and compare the
+            // allocation sequences (this is what pins port-reuse order).
             let t_next = Time::from_secs(clock + 1);
             loop {
                 let a = chain_s.allocate(t_next);

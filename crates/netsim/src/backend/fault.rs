@@ -594,6 +594,7 @@ mod tests {
             expiry_ns: 1_000_000_000,
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1000,
+            ..NatConfig::paper_default()
         }
     }
 

@@ -162,6 +162,7 @@ mod tests {
             expiry_ns: Time::from_secs(60).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1,
+            ..NatConfig::paper_default()
         }
     }
 

@@ -762,6 +762,21 @@ pub fn event_driven_service_times_on<B: TesterIo>(
     event_driven_service_times_io(io, nf, flows, packets, texp_ns).0
 }
 
+/// [`event_driven_service_times_on`] with the flow universe made
+/// explicit — the scenario matrix sweeps mixed TCP/UDP universes
+/// ([`FlowGen::mixed`]) through the identical measurement loop, so a
+/// protocol-mix axis changes only the workload, never the methodology.
+pub fn event_driven_service_times_gen<B: TesterIo>(
+    io: B,
+    nf: &mut dyn Middlebox,
+    gen: &FlowGen,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+) -> LatencySamples {
+    event_driven_service_times_io_gen(io, nf, gen, flows, packets, texp_ns).0
+}
+
 /// [`event_driven_service_times_on`], but hand the backend back with
 /// the samples — the cross-wire RFC 2544 harness reads its honesty
 /// counters (kernel drops, tx errors) after the measurement.
@@ -772,9 +787,23 @@ pub fn event_driven_service_times_io<B: TesterIo>(
     packets: usize,
     texp_ns: u64,
 ) -> (LatencySamples, B) {
+    let gen = FlowGen::new(vig_packet::Proto::Udp);
+    event_driven_service_times_io_gen(io, nf, &gen, flows, packets, texp_ns)
+}
+
+/// The common body behind [`event_driven_service_times_io`] and
+/// [`event_driven_service_times_gen`]: populate `flows` flows from
+/// `gen`'s universe, then timed all-hit rounds.
+fn event_driven_service_times_io_gen<B: TesterIo>(
+    io: B,
+    nf: &mut dyn Middlebox,
+    gen: &FlowGen,
+    flows: usize,
+    packets: usize,
+    texp_ns: u64,
+) -> (LatencySamples, B) {
     const ROUND: usize = 64;
     let mut drv = BackendDriver::new(io);
-    let gen = FlowGen::new(vig_packet::Proto::Udp);
     let mut now = Time::from_secs(1);
 
     // Populate (untimed): establish every flow.
@@ -941,6 +970,7 @@ mod tests {
             expiry_ns: Time::from_secs(60).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1,
+            ..NatConfig::paper_default()
         }
     }
 

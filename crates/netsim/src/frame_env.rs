@@ -114,6 +114,15 @@ where
         // L4 ports at 14 + IHL; zero-filled when absent.
         src_port: rd16(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4),
         dst_port: rd16(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4 + 2),
+        // TCP flag byte (offset 13 of the TCP header); zero for
+        // non-TCP frames per the RxPacket contract, and zero-filled
+        // when the frame is short (the loop body's ShortL4 guard drops
+        // such frames before the tracker ever sees the flags).
+        tcp_flags: if rd8(f, 23) == vig_packet::ipv4::PROTO_TCP {
+            rd8(f, 14 + usize::from(rd8(f, 14) & 0x0f) * 4 + 13)
+        } else {
+            0
+        },
     }
 }
 
@@ -341,8 +350,8 @@ impl<T: FlowTable> NatEnv for FrameEnv<'_, T> {
         Some(view(slot, flow))
     }
 
-    fn rejuvenate(&mut self, slot: SlotId, now: &u64) {
-        self.fm.rejuvenate(slot.0, Time(*now));
+    fn rejuvenate(&mut self, slot: SlotId, now: &u64, dir: Direction, tcp_flags: &u8) {
+        self.fm.rejuvenate(slot.0, Time(*now), dir, *tcp_flags);
     }
 
     fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16, u32)> {
@@ -362,12 +371,19 @@ impl<T: FlowTable> NatEnv for FrameEnv<'_, T> {
         ext_ip: u32,
         ext_port: u16,
         _now: &u64,
+        tcp_flags: &u8,
     ) {
         let key = fid_key(&fid);
         // Reuse the hash memoized by the preceding lookup miss.
         let hash = self.fid_memo.hash_for_insert(&key);
-        self.fm
-            .insert_hashed(slot.0, key, vig_packet::Ip4(ext_ip), ext_port, hash);
+        self.fm.insert_hashed(
+            slot.0,
+            key,
+            vig_packet::Ip4(ext_ip),
+            ext_port,
+            hash,
+            *tcp_flags,
+        );
     }
 
     fn tx(&mut self, _pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
@@ -541,8 +557,8 @@ impl<T: FlowTable> NatEnv for BurstEnv<'_, T> {
         Some(view(slot, flow))
     }
 
-    fn rejuvenate(&mut self, slot: SlotId, now: &u64) {
-        self.fm.rejuvenate(slot.0, Time(*now));
+    fn rejuvenate(&mut self, slot: SlotId, now: &u64, dir: Direction, tcp_flags: &u8) {
+        self.fm.rejuvenate(slot.0, Time(*now), dir, *tcp_flags);
     }
 
     fn allocate_slot(&mut self, now: &u64) -> Option<(SlotId, u16, u32)> {
@@ -561,12 +577,19 @@ impl<T: FlowTable> NatEnv for BurstEnv<'_, T> {
         ext_ip: u32,
         ext_port: u16,
         _now: &u64,
+        tcp_flags: &u8,
     ) {
         let key = fid_key(&fid);
         // Reuse the hash memoized by the preceding lookup miss.
         let hash = self.fid_memo.hash_for_insert(&key);
-        self.fm
-            .insert_hashed(slot.0, key, vig_packet::Ip4(ext_ip), ext_port, hash);
+        self.fm.insert_hashed(
+            slot.0,
+            key,
+            vig_packet::Ip4(ext_ip),
+            ext_port,
+            hash,
+            *tcp_flags,
+        );
     }
 
     fn tx(&mut self, pkt: PktHandle, out: Direction, hdr: TxHdr<Self>) {
@@ -603,6 +626,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 2000,
+            ..NatConfig::paper_default()
         }
     }
 

@@ -310,6 +310,7 @@ mod tests {
             expiry_ns: Time::from_secs(2).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 4000,
+            ..NatConfig::paper_default()
         }
     }
 

@@ -946,6 +946,7 @@ mod tests {
             expiry_ns: Time::from_secs(2).nanos(),
             external_ip: Ip4::new(203, 0, 113, 1),
             start_port: 4096,
+            ..vig_spec::NatConfig::paper_default()
         }
     }
 

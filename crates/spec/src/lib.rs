@@ -38,6 +38,8 @@
 pub mod discard;
 pub mod rfc3022;
 pub mod state;
+pub mod tcp;
 
 pub use rfc3022::{step_allows, Output, PacketInput, SpecChecker, SpecViolation};
 pub use state::{AbstractFlow, AbstractNat, NatConfig};
+pub use tcp::{TcpState, TimeoutClass};

@@ -32,27 +32,45 @@ use crate::state::{AbstractNat, InsertError};
 use libvig::time::Time;
 use vig_packet::{Direction, ExtKey, FlowFields, FlowId};
 
-/// A packet presented to the NAT: which interface it arrived on plus its
-/// 5-tuple. (Non-TCP/UDP and malformed packets never reach the spec —
-/// Fig. 6's "P is accepted" premise; the parse-and-drop paths are
-/// covered by the low-level properties, not the semantic ones.)
+/// A packet presented to the NAT: which interface it arrived on, its
+/// 5-tuple, and — for TCP — the segment's flag byte, which drives the
+/// connection tracker. (Non-TCP/UDP and malformed packets never reach
+/// the spec — Fig. 6's "P is accepted" premise; the parse-and-drop
+/// paths are covered by the low-level properties, not the semantic
+/// ones.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketInput {
     /// Arrival interface.
     pub dir: Direction,
     /// The packet's 5-tuple as read off the wire.
     pub fields: FlowFields,
+    /// The TCP flag byte (0 for UDP packets; an empty flag set never
+    /// steps the tracker, so the two encodings coincide).
+    pub tcp_flags: u8,
 }
 
 impl PacketInput {
-    /// `F(P)` for an internal packet: the 5-tuple is the flow id.
-    pub fn internal_fid(&self) -> FlowId {
-        FlowId {
-            src_ip: self.fields.src_ip,
-            src_port: self.fields.src_port,
-            dst_ip: self.fields.dst_ip,
-            dst_port: self.fields.dst_port,
-            proto: self.fields.proto,
+    /// `F(P)` for an internal packet: the 5-tuple is the flow id. With
+    /// RFC 4787 endpoint-independent mapping the remote endpoint does
+    /// not participate — the id is the internal endpoint alone, with
+    /// the remote fields canonicalized to zero.
+    pub fn internal_fid(&self, cfg: &crate::state::NatConfig) -> FlowId {
+        if cfg.eim {
+            FlowId {
+                src_ip: self.fields.src_ip,
+                src_port: self.fields.src_port,
+                dst_ip: vig_packet::Ip4(0),
+                dst_port: 0,
+                proto: self.fields.proto,
+            }
+        } else {
+            FlowId {
+                src_ip: self.fields.src_ip,
+                src_port: self.fields.src_port,
+                dst_ip: self.fields.dst_ip,
+                dst_port: self.fields.dst_port,
+                proto: self.fields.proto,
+            }
         }
     }
 
@@ -62,19 +80,31 @@ impl PacketInput {
     /// with a single-address pool the packet's destination address is
     /// *not* consulted (Fig. 6's exact behavior — see the module
     /// faithfulness notes); with a larger pool it must select which
-    /// pool address the mapping lives on.
+    /// pool address the mapping lives on. Under endpoint-independent
+    /// mapping the remote endpoint is canonicalized to zero, so *any*
+    /// external sender matches the mapping (full-cone).
     pub fn external_key(&self, cfg: &crate::state::NatConfig) -> ExtKey {
         let ext_ip = if cfg.num_external_ips() == 1 {
             cfg.external_ip
         } else {
             self.fields.dst_ip
         };
-        ExtKey {
-            ext_ip,
-            ext_port: self.fields.dst_port,
-            dst_ip: self.fields.src_ip,
-            dst_port: self.fields.src_port,
-            proto: self.fields.proto,
+        if cfg.eim {
+            ExtKey {
+                ext_ip,
+                ext_port: self.fields.dst_port,
+                dst_ip: vig_packet::Ip4(0),
+                dst_port: 0,
+                proto: self.fields.proto,
+            }
+        } else {
+            ExtKey {
+                ext_ip,
+                ext_port: self.fields.dst_port,
+                dst_ip: self.fields.src_ip,
+                dst_port: self.fields.src_port,
+                proto: self.fields.proto,
+            }
         }
     }
 }
@@ -249,7 +279,16 @@ pub fn step_allows(
 
     match input.dir {
         Direction::Internal => {
-            let fid = input.internal_fid();
+            let fid = input.internal_fid(state.config());
+            // RFC 4787 hairpinning: an internal packet addressed to a
+            // pool endpoint is translated back inside (when enabled).
+            if state.config().hairpinning
+                && state
+                    .config()
+                    .pool_contains(input.fields.dst_ip, input.fields.dst_port)
+            {
+                return hairpin_allows(state, input, fid, now, observed);
+            }
             if let Some(flow) = state.lookup_internal(&fid).copied() {
                 // Match: rewrite src to the flow's allocated external
                 // endpoint (the pool address — EXT_IP itself when the
@@ -262,7 +301,7 @@ pub fn step_allows(
                     proto: input.fields.proto,
                 };
                 check_forward_fields(Direction::External, &expected, observed, fid)?;
-                if !state.refresh(&fid, now) {
+                if !state.refresh_with(&fid, now, Direction::Internal, input.tcp_flags) {
                     return Err(SpecViolation::StateError("refresh of matched flow failed"));
                 }
                 Ok(state)
@@ -290,7 +329,7 @@ pub fn step_allows(
                             proto: input.fields.proto,
                         };
                         check_forward_fields(Direction::External, &expected, observed, fid)?;
-                        match state.insert(fid, ip, port, now) {
+                        match state.insert_with_flags(fid, ip, port, now, input.tcp_flags) {
                             Ok(()) => Ok(state),
                             Err(InsertError::PortZero) => Err(SpecViolation::BadPortAllocation {
                                 port,
@@ -336,7 +375,7 @@ pub fn step_allows(
                 };
                 let fid = flow.fid;
                 check_forward_fields(Direction::Internal, &expected, observed, fid)?;
-                if !state.refresh(&fid, now) {
+                if !state.refresh_with(&fid, now, Direction::External, input.tcp_flags) {
                     return Err(SpecViolation::StateError("refresh of matched flow failed"));
                 }
                 Ok(state)
@@ -347,6 +386,110 @@ pub fn step_allows(
                     Output::Forward { .. } => Err(SpecViolation::ShouldDrop),
                 }
             }
+        }
+    }
+}
+
+/// The RFC 4787 hairpin leg of the relation: `input` is an internal
+/// packet whose destination is a pool endpoint. The NAT resolves the
+/// target mapping by external lookup, resolves (or creates) the
+/// *sender's* mapping exactly as for an outbound packet, and forwards
+/// back on the internal interface with source rewritten to the
+/// sender's external endpoint ("external source address and port", the
+/// RFC's hairpinning of type EIM) and destination rewritten to the
+/// target's internal endpoint. No target mapping, or no room for the
+/// sender's mapping, means a drop. Only the sender's flow is
+/// refreshed — the target sees traffic *to* it, which no more refreshes
+/// its mapping than any other inbound packet creates state.
+fn hairpin_allows(
+    mut state: AbstractNat,
+    input: &PacketInput,
+    fid: FlowId,
+    now: Time,
+    observed: &Output,
+) -> Result<AbstractNat, SpecViolation> {
+    // Which internal host owns the targeted pool endpoint?
+    let target_key = ExtKey {
+        ext_ip: if state.config().num_external_ips() == 1 {
+            state.config().external_ip
+        } else {
+            input.fields.dst_ip
+        },
+        ext_port: input.fields.dst_port,
+        // Hairpinning requires EIM (enforced at config check), so the
+        // mapping's remote fields are always the canonical zeros.
+        dst_ip: vig_packet::Ip4(0),
+        dst_port: 0,
+        proto: input.fields.proto,
+    };
+    let Some(target) = state.lookup_external(&target_key).copied() else {
+        // Nobody owns the endpoint: the packet is unroutable inside.
+        return match observed {
+            Output::Drop => Ok(state),
+            Output::Forward { .. } => Err(SpecViolation::ShouldDrop),
+        };
+    };
+    let expected_dst = (target.fid.src_ip, target.fid.src_port);
+    if let Some(sender) = state.lookup_internal(&fid).copied() {
+        let expected = FlowFields {
+            src_ip: sender.ext_ip,
+            src_port: sender.ext_port,
+            dst_ip: expected_dst.0,
+            dst_port: expected_dst.1,
+            proto: input.fields.proto,
+        };
+        check_forward_fields(Direction::Internal, &expected, observed, fid)?;
+        if !state.refresh_with(&fid, now, Direction::Internal, input.tcp_flags) {
+            return Err(SpecViolation::StateError("refresh of matched flow failed"));
+        }
+        Ok(state)
+    } else if !state.is_full() {
+        match observed {
+            Output::Drop => Err(SpecViolation::ShouldForward { fid }),
+            Output::Forward { iface, fields } => {
+                if *iface != Direction::Internal {
+                    return Err(SpecViolation::WrongInterface {
+                        expected: Direction::Internal,
+                        got: *iface,
+                    });
+                }
+                // The sender's external endpoint is the NF's choice,
+                // constrained through insert as in the outbound case.
+                let (ip, port) = (fields.src_ip, fields.src_port);
+                let expected = FlowFields {
+                    src_ip: ip,
+                    src_port: port,
+                    dst_ip: expected_dst.0,
+                    dst_port: expected_dst.1,
+                    proto: input.fields.proto,
+                };
+                check_forward_fields(Direction::Internal, &expected, observed, fid)?;
+                match state.insert_with_flags(fid, ip, port, now, input.tcp_flags) {
+                    Ok(()) => Ok(state),
+                    Err(InsertError::PortZero) => Err(SpecViolation::BadPortAllocation {
+                        port,
+                        reason: "port zero",
+                    }),
+                    Err(InsertError::EndpointInUse(..)) => Err(SpecViolation::BadPortAllocation {
+                        port,
+                        reason: "endpoint already allocated to another flow",
+                    }),
+                    Err(InsertError::EndpointOutsidePool(..)) => {
+                        Err(SpecViolation::BadEndpointAllocation { ip: ip.raw(), port })
+                    }
+                    Err(InsertError::TableFull) => {
+                        Err(SpecViolation::StateError("insert into full table"))
+                    }
+                    Err(InsertError::DuplicateFlowId) => {
+                        Err(SpecViolation::StateError("duplicate fid on insert"))
+                    }
+                }
+            }
+        }
+    } else {
+        match observed {
+            Output::Drop => Ok(state),
+            Output::Forward { .. } => Err(SpecViolation::ShouldDrop),
         }
     }
 }
@@ -433,6 +576,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: EXT_IP,
             start_port: 1000,
+            ..NatConfig::paper_default()
         }
     }
 
@@ -446,6 +590,7 @@ mod tests {
                 dst_port: 80,
                 proto: Proto::Tcp,
             },
+            tcp_flags: 0,
         }
     }
 
@@ -459,6 +604,7 @@ mod tests {
                 dst_port: ext_port,
                 proto: Proto::Tcp,
             },
+            tcp_flags: 0,
         }
     }
 
@@ -635,6 +781,174 @@ mod tests {
             .observe(&a, Time::from_secs(4), &fwd_ext(1000, &a))
             .unwrap_err();
         assert!(matches!(err, SpecViolation::StateError(_)));
+    }
+
+    #[test]
+    fn tcp_lifetimes_follow_the_tracker_through_the_relation() {
+        // Transitory 2s, established 30s, UDP 10s.
+        let c = NatConfig {
+            tcp_transitory_ns: Time::from_secs(2).nanos(),
+            tcp_established_ns: Time::from_secs(30).nanos(),
+            ..cfg()
+        };
+        use vig_packet::tcp::flags;
+        let pre = AbstractNat::new(c);
+        let mut syn = internal_pkt(5, 4000);
+        syn.tcp_flags = flags::SYN;
+        let s = step_allows(&pre, &syn, Time::from_secs(1), &fwd_ext(1000, &syn)).unwrap();
+        // Half-open: dies on the transitory timer. The SYN-ACK at 2s
+        // must still translate (stamped 1s, dead only at 3s)...
+        let mut synack = return_pkt(1000);
+        synack.tcp_flags = flags::SYN | flags::ACK;
+        let back_fields = FlowFields {
+            src_ip: Ip4::new(1, 1, 1, 1),
+            src_port: 80,
+            dst_ip: Ip4::new(192, 168, 0, 5),
+            dst_port: 4000,
+            proto: Proto::Tcp,
+        };
+        let fwd_back = Output::Forward {
+            iface: Direction::Internal,
+            fields: back_fields,
+        };
+        let s = step_allows(&s, &synack, Time::from_secs(2), &fwd_back).unwrap();
+        // ...and the handshake ACK establishes: the flow now survives
+        // far past the transitory horizon.
+        let mut ack = internal_pkt(5, 4000);
+        ack.tcp_flags = flags::ACK;
+        let s = step_allows(&s, &ack, Time::from_secs(3), &fwd_ext(1000, &ack)).unwrap();
+        assert_eq!(
+            s.flows()[0].tcp_state,
+            Some(crate::tcp::TcpState::Established)
+        );
+        // At 20s (17s idle > 2s transitory) the established flow still
+        // translates; a half-open one would be long dead.
+        assert!(step_allows(&s, &ack, Time::from_secs(20), &fwd_ext(1000, &ack)).is_ok());
+        // An RST demotes it; 2s later it no longer translates and the
+        // same 5-tuple is a fresh flow.
+        let mut rst = internal_pkt(5, 4000);
+        rst.tcp_flags = flags::RST;
+        let s = step_allows(&s, &rst, Time::from_secs(21), &fwd_ext(1000, &rst)).unwrap();
+        let s2 = step_allows(&s, &ack, Time::from_secs(23), &fwd_ext(1009, &ack)).unwrap();
+        assert_eq!(s2.flows()[0].ext_port, 1009);
+    }
+
+    #[test]
+    fn eim_maps_by_internal_endpoint_alone() {
+        let c = NatConfig { eim: true, ..cfg() };
+        let pre = AbstractNat::new(c);
+        // Host 5:4000 talks to 1.1.1.1:80...
+        let a = internal_pkt(5, 4000);
+        let s = step_allows(&pre, &a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
+        assert_eq!(s.len(), 1);
+        // ...then to a different remote: SAME mapping, same port — and
+        // a different port is a FieldMismatch, not a fresh allocation.
+        let mut b = internal_pkt(5, 4000);
+        b.fields.dst_ip = Ip4::new(2, 2, 2, 2);
+        b.fields.dst_port = 443;
+        let s = step_allows(&s, &b, Time::from_secs(2), &fwd_ext(1000, &b)).unwrap();
+        assert_eq!(s.len(), 1, "EIM: one mapping per internal endpoint");
+        assert!(matches!(
+            step_allows(&s, &b, Time::from_secs(2), &fwd_ext(1001, &b)).unwrap_err(),
+            SpecViolation::FieldMismatch {
+                field: "src_port",
+                ..
+            }
+        ));
+        // Full-cone: an unsolicited remote the host never contacted
+        // reaches it through the mapping.
+        let stranger = PacketInput {
+            dir: Direction::External,
+            fields: FlowFields {
+                src_ip: Ip4::new(9, 9, 9, 9),
+                src_port: 1234,
+                dst_ip: EXT_IP,
+                dst_port: 1000,
+                proto: Proto::Tcp,
+            },
+            tcp_flags: 0,
+        };
+        let deliver = Output::Forward {
+            iface: Direction::Internal,
+            fields: FlowFields {
+                src_ip: Ip4::new(9, 9, 9, 9),
+                src_port: 1234,
+                dst_ip: Ip4::new(192, 168, 0, 5),
+                dst_port: 4000,
+                proto: Proto::Tcp,
+            },
+        };
+        step_allows(&s, &stranger, Time::from_secs(3), &deliver).unwrap();
+    }
+
+    #[test]
+    fn without_eim_distinct_remotes_are_distinct_flows() {
+        let pre = AbstractNat::new(cfg());
+        let a = internal_pkt(5, 4000);
+        let s = step_allows(&pre, &a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
+        let mut b = internal_pkt(5, 4000);
+        b.fields.dst_ip = Ip4::new(2, 2, 2, 2);
+        let s = step_allows(&s, &b, Time::from_secs(2), &fwd_ext(1001, &b)).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn hairpin_reaches_the_mapped_internal_host() {
+        let c = NatConfig {
+            capacity: 3,
+            eim: true,
+            hairpinning: true,
+            ..cfg()
+        };
+        let pre = AbstractNat::new(c);
+        // Host 7 opens a mapping (the hairpin target).
+        let a = internal_pkt(7, 4000);
+        let s = step_allows(&pre, &a, Time::from_secs(1), &fwd_ext(1000, &a)).unwrap();
+        // Host 5 sends to the pool endpoint EXT_IP:1000. The NAT must
+        // allocate host 5 a mapping (NF picks 1001) and deliver back
+        // inside: src = host 5's external endpoint, dst = host 7.
+        let hairpin = PacketInput {
+            dir: Direction::Internal,
+            fields: FlowFields {
+                src_ip: Ip4::new(192, 168, 0, 5),
+                src_port: 5000,
+                dst_ip: EXT_IP,
+                dst_port: 1000,
+                proto: Proto::Tcp,
+            },
+            tcp_flags: 0,
+        };
+        let delivered = Output::Forward {
+            iface: Direction::Internal,
+            fields: FlowFields {
+                src_ip: EXT_IP,
+                src_port: 1001,
+                dst_ip: Ip4::new(192, 168, 0, 7),
+                dst_port: 4000,
+                proto: Proto::Tcp,
+            },
+        };
+        let s = step_allows(&s, &hairpin, Time::from_secs(2), &delivered).unwrap();
+        assert_eq!(s.len(), 2, "hairpin created the sender's mapping");
+        // Dropping a resolvable hairpin packet violates the spec.
+        assert!(matches!(
+            step_allows(&s, &hairpin, Time::from_secs(3), &Output::Drop).unwrap_err(),
+            SpecViolation::ShouldForward { .. }
+        ));
+        // A pool endpoint nobody owns is unroutable: must drop.
+        // (Port 1002 is inside the 3-slot pool but unallocated; a port
+        // outside the pool entirely would take the normal outbound
+        // path instead.)
+        let dangling = PacketInput {
+            fields: FlowFields {
+                dst_port: 1002,
+                ..hairpin.fields
+            },
+            ..hairpin
+        };
+        assert!(step_allows(&s, &dangling, Time::from_secs(3), &Output::Drop).is_ok());
+        let err = step_allows(&s, &dangling, Time::from_secs(3), &delivered).unwrap_err();
+        assert_eq!(err, SpecViolation::ShouldDrop);
     }
 
     #[test]

@@ -6,35 +6,92 @@
 //! is what has to be fast, and the whole point of the methodology is to
 //! prove the fast thing refines this slow, obvious thing.
 
+use crate::tcp::{class_of, initial_state, transition, TcpState, TimeoutClass};
 use libvig::time::Time;
-use vig_packet::{ExtKey, FlowId, Ip4};
+use vig_packet::{Direction, ExtKey, FlowId, Ip4, Proto};
 
 /// The three static configuration parameters of the paper's Fig. 6,
 /// plus the first external port (a VigNAT implementation parameter the
-/// spec needs in order to state port-range facts).
+/// spec needs in order to state port-range facts), the RFC 5382
+/// per-class TCP lifetimes, and the RFC 4787 mapping-behavior switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NatConfig {
     /// `CAP`: flow-table capacity.
     pub capacity: usize,
     /// `Texp` in nanoseconds: a flow expires when
-    /// `timestamp + expiry <= now`.
+    /// `timestamp + expiry <= now`. With the TCP tracker enabled this
+    /// is the UDP class's lifetime; TCP classes use the fields below.
     pub expiry_ns: u64,
     /// `EXT_IP`: the address of the external interface.
     pub external_ip: Ip4,
     /// First port of the NAT's external port range. VigNAT maps flow
     /// slot `i` to port `start_port + i`.
     pub start_port: u16,
+    /// Lifetime of TCP flows in a non-established state (RFC 5382's
+    /// transitory timer). `0` inherits `expiry_ns` — the paper's
+    /// homogeneous single-`Texp` configuration.
+    pub tcp_transitory_ns: u64,
+    /// Lifetime of established TCP flows (RFC 5382 requires ≥ 2h 4min
+    /// in deployments; tests use small values). `0` inherits
+    /// `expiry_ns`.
+    pub tcp_established_ns: u64,
+    /// RFC 4787 endpoint-independent mapping: when set, a mapping is
+    /// keyed by the internal endpoint alone (full-cone), so every
+    /// remote peer reaches the host through the same external endpoint.
+    pub eim: bool,
+    /// RFC 4787 hairpinning: internal→internal traffic addressed to a
+    /// pool endpoint is translated back inside. Requires `eim` (the
+    /// external lookup that resolves the target is endpoint-wide).
+    pub hairpinning: bool,
 }
 
 impl NatConfig {
-    /// The paper's evaluation configuration: 65,535 flows, 2 s expiry.
+    /// The paper's evaluation configuration: 65,535 flows, 2 s expiry,
+    /// homogeneous lifetimes, address-and-port-dependent mapping.
     pub fn paper_default() -> NatConfig {
         NatConfig {
             capacity: 65_535,
             expiry_ns: Time::from_secs(2).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1, // slots 0..65534 -> ports 1..65535, like VigNAT
+            tcp_transitory_ns: 0,
+            tcp_established_ns: 0,
+            eim: false,
+            hairpinning: false,
         }
+    }
+
+    /// The lifetime (ns) of a flow in timeout class `class`. The TCP
+    /// fields inherit `expiry_ns` while unset (0), so a config that
+    /// never mentions them behaves exactly like the paper's.
+    pub fn lifetime_ns(&self, class: TimeoutClass) -> u64 {
+        let inherit = |ns: u64| if ns == 0 { self.expiry_ns } else { ns };
+        match class {
+            TimeoutClass::Udp => self.expiry_ns,
+            TimeoutClass::TcpTransitory => inherit(self.tcp_transitory_ns),
+            TimeoutClass::TcpEstablished => inherit(self.tcp_established_ns),
+        }
+    }
+
+    /// The shortest configured lifetime across all classes. The loop
+    /// body passes `now - min_lifetime` to `expire_flows`, and the flow
+    /// table reconstructs `now` (and each class's threshold) from it —
+    /// keeping the environment seam's single-threshold shape intact.
+    pub fn min_lifetime_ns(&self) -> u64 {
+        TimeoutClass::ALL
+            .into_iter()
+            .map(|c| self.lifetime_ns(c))
+            .min()
+            .expect("ALL is non-empty")
+    }
+
+    /// True when every class shares `expiry_ns` — the paper's original
+    /// configuration, on which the per-class machinery must reduce to
+    /// the verified single-lifetime behavior bit for bit.
+    pub fn is_homogeneous(&self) -> bool {
+        TimeoutClass::ALL
+            .into_iter()
+            .all(|c| self.lifetime_ns(c) == self.expiry_ns)
     }
 
     /// Expiry threshold for packets arriving at `now`: flows stamped at
@@ -42,6 +99,13 @@ impl NatConfig {
     /// `None` while `now < Texp`, when nothing can have expired yet.
     pub fn expiry_threshold(&self, now: Time) -> Option<Time> {
         now.nanos().checked_sub(self.expiry_ns).map(Time)
+    }
+
+    /// Per-class expiry threshold: a class-`c` flow stamped at or
+    /// before this is dead at `now`. Same `checked_sub` shape as
+    /// [`NatConfig::expiry_threshold`].
+    pub fn expiry_threshold_for(&self, class: TimeoutClass, now: Time) -> Option<Time> {
+        now.nanos().checked_sub(self.lifetime_ns(class)).map(Time)
     }
 
     // --- the external endpoint pool ------------------------------------
@@ -102,8 +166,9 @@ impl NatConfig {
 }
 
 /// One abstract flow-table entry: the internal 5-tuple, the allocated
-/// external endpoint (pool address + port), and the last-activity
-/// timestamp.
+/// external endpoint (pool address + port), the last-activity
+/// timestamp, and — for TCP flows — the connection-tracker state that
+/// selects the flow's timeout class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbstractFlow {
     /// Internal-side flow identifier.
@@ -114,6 +179,8 @@ pub struct AbstractFlow {
     pub ext_port: u16,
     /// Last time a packet of this flow was seen.
     pub last_active: Time,
+    /// TCP tracker state; `None` for UDP flows.
+    pub tcp_state: Option<TcpState>,
 }
 
 impl AbstractFlow {
@@ -126,6 +193,11 @@ impl AbstractFlow {
             dst_port: self.fid.dst_port,
             proto: self.fid.proto,
         }
+    }
+
+    /// The timeout class this flow currently expires under.
+    pub fn class(&self) -> TimeoutClass {
+        class_of(self.fid.proto, self.tcp_state)
     }
 }
 
@@ -180,17 +252,20 @@ impl AbstractNat {
         &self.flows
     }
 
-    /// Fig. 6 `expire_flows(t)`: remove every flow with
-    /// `timestamp + Texp <= t`. Returns the removed flows.
+    /// Fig. 6 `expire_flows(t)`, per timeout class: remove every flow
+    /// with `timestamp + lifetime(class) <= t`. With homogeneous
+    /// lifetimes every class shares `Texp` and this is exactly the
+    /// paper's rule. Returns the removed flows.
     pub fn expire_flows(&mut self, now: Time) -> Vec<AbstractFlow> {
-        let Some(threshold) = self.config.expiry_threshold(now) else {
-            return Vec::new();
-        };
-        let (dead, live): (Vec<_>, Vec<_>) = self
-            .flows
-            .iter()
-            .copied()
-            .partition(|f| f.last_active <= threshold);
+        let config = self.config;
+        let (dead, live): (Vec<_>, Vec<_>) = self.flows.iter().copied().partition(|f| {
+            match config.expiry_threshold_for(f.class(), now) {
+                Some(threshold) => f.last_active <= threshold,
+                // now < lifetime: flows of this class cannot have
+                // expired yet.
+                None => false,
+            }
+        });
         self.flows = live;
         dead
     }
@@ -217,9 +292,19 @@ impl AbstractNat {
     /// Fig. 6 lines 10–12: refresh the timestamp of an existing flow.
     /// Returns `false` if the flow is absent (caller error).
     pub fn refresh(&mut self, fid: &FlowId, now: Time) -> bool {
+        self.refresh_with(fid, now, Direction::Internal, 0)
+    }
+
+    /// [`AbstractNat::refresh`] plus the TCP tracker step: the packet
+    /// arrived from `dir` carrying `tcp_flags` (0 for UDP — the tracker
+    /// never fires on an empty flag set).
+    pub fn refresh_with(&mut self, fid: &FlowId, now: Time, dir: Direction, tcp_flags: u8) -> bool {
         match self.flows.iter_mut().find(|f| f.fid == *fid) {
             Some(f) => {
                 f.last_active = now;
+                if let Some(st) = f.tcp_state {
+                    f.tcp_state = Some(transition(st, dir, tcp_flags));
+                }
                 true
             }
             None => false,
@@ -238,6 +323,20 @@ impl AbstractNat {
         ext_ip: Ip4,
         ext_port: u16,
         now: Time,
+    ) -> Result<(), InsertError> {
+        self.insert_with_flags(fid, ext_ip, ext_port, now, 0)
+    }
+
+    /// [`AbstractNat::insert`] plus the TCP tracker: the mapping is
+    /// created by a segment carrying `tcp_flags` (ignored for UDP),
+    /// which selects the flow's initial tracker state.
+    pub fn insert_with_flags(
+        &mut self,
+        fid: FlowId,
+        ext_ip: Ip4,
+        ext_port: u16,
+        now: Time,
+        tcp_flags: u8,
     ) -> Result<(), InsertError> {
         if self.is_full() {
             return Err(InsertError::TableFull);
@@ -269,6 +368,7 @@ impl AbstractNat {
             ext_ip,
             ext_port,
             last_active: now,
+            tcp_state: (fid.proto == Proto::Tcp).then(|| initial_state(tcp_flags)),
         });
         Ok(())
     }
@@ -340,6 +440,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1000,
+            ..NatConfig::paper_default()
         }
     }
 
@@ -453,6 +554,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1024,
+            ..NatConfig::paper_default()
         };
         assert_eq!(c.ports_per_ip(), 64_512);
         assert_eq!(c.num_external_ips(), 2);
@@ -479,6 +581,7 @@ mod tests {
             expiry_ns: Time::from_secs(10).nanos(),
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1024,
+            ..NatConfig::paper_default()
         };
         let mut n = AbstractNat::new(c);
         n.insert(fid(1), Ip4::new(10, 1, 0, 2), 1024, Time::from_secs(1))
@@ -498,6 +601,116 @@ mod tests {
             Err(InsertError::EndpointInUse(Ip4::new(10, 1, 0, 2), 1024))
         );
         n.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn per_class_lifetimes_expire_independently() {
+        // UDP 10s, TCP transitory 2s, TCP established 30s.
+        let c = NatConfig {
+            tcp_transitory_ns: Time::from_secs(2).nanos(),
+            tcp_established_ns: Time::from_secs(30).nanos(),
+            ..cfg()
+        };
+        assert!(!c.is_homogeneous());
+        assert_eq!(c.min_lifetime_ns(), Time::from_secs(2).nanos());
+        let tcp_fid = |h: u8| FlowId {
+            proto: Proto::Tcp,
+            ..fid(h)
+        };
+        let mut n = AbstractNat::new(c);
+        let t1 = Time::from_secs(1);
+        n.insert(fid(1), Ip4::new(10, 1, 0, 1), 1000, t1).unwrap();
+        n.insert_with_flags(
+            tcp_fid(2),
+            Ip4::new(10, 1, 0, 1),
+            1001,
+            t1,
+            vig_packet::tcp::flags::SYN,
+        )
+        .unwrap();
+        n.insert_with_flags(
+            tcp_fid(3),
+            Ip4::new(10, 1, 0, 1),
+            1002,
+            t1,
+            vig_packet::tcp::flags::ACK, // mid-stream pickup: established
+        )
+        .unwrap();
+        assert_eq!(n.flows()[1].tcp_state, Some(TcpState::SynSent));
+        assert_eq!(n.flows()[2].tcp_state, Some(TcpState::Established));
+        // t=3s: only the half-open TCP flow (transitory, 2s) dies.
+        let dead = n.expire_flows(Time::from_secs(3));
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].fid, tcp_fid(2));
+        // t=11s: the UDP flow (10s) dies; established TCP survives.
+        let dead = n.expire_flows(Time::from_secs(11));
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].fid, fid(1));
+        // t=31s: the established flow finally dies.
+        assert_eq!(n.expire_flows(Time::from_secs(31)).len(), 1);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn rst_demotes_established_to_transitory_lifetime() {
+        let c = NatConfig {
+            tcp_transitory_ns: Time::from_secs(2).nanos(),
+            tcp_established_ns: Time::from_secs(30).nanos(),
+            ..cfg()
+        };
+        let tfid = FlowId {
+            proto: Proto::Tcp,
+            ..fid(1)
+        };
+        let mut n = AbstractNat::new(c);
+        n.insert_with_flags(
+            tfid,
+            Ip4::new(10, 1, 0, 1),
+            1000,
+            Time::from_secs(1),
+            vig_packet::tcp::flags::ACK,
+        )
+        .unwrap();
+        // Established at 1s would live to 31s; the RST at 5s demotes it
+        // to the transitory class, so it dies at 7s.
+        assert!(n.refresh_with(
+            &tfid,
+            Time::from_secs(5),
+            Direction::External,
+            vig_packet::tcp::flags::RST
+        ));
+        assert_eq!(n.flows()[0].tcp_state, Some(TcpState::Closed));
+        assert!(n
+            .expire_flows(Time(Time::from_secs(7).nanos() - 1))
+            .is_empty());
+        assert_eq!(n.expire_flows(Time::from_secs(7)).len(), 1);
+    }
+
+    #[test]
+    fn homogeneous_config_ignores_tcp_state_for_expiry() {
+        // All lifetimes equal: a SynSent TCP flow and a UDP flow expire
+        // at exactly the same tick — the paper's single-Texp behavior.
+        let c = cfg();
+        assert!(c.is_homogeneous());
+        let tfid = FlowId {
+            proto: Proto::Tcp,
+            ..fid(1)
+        };
+        let mut n = AbstractNat::new(c);
+        let t1 = Time::from_secs(1);
+        n.insert_with_flags(
+            tfid,
+            Ip4::new(10, 1, 0, 1),
+            1000,
+            t1,
+            vig_packet::tcp::flags::SYN,
+        )
+        .unwrap();
+        n.insert(fid(2), Ip4::new(10, 1, 0, 1), 1001, t1).unwrap();
+        assert!(n
+            .expire_flows(Time(Time::from_secs(11).nanos() - 1))
+            .is_empty());
+        assert_eq!(n.expire_flows(Time::from_secs(11)).len(), 2);
     }
 
     #[test]

@@ -86,7 +86,11 @@ pub fn check_p4(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
     checks += 1;
 
     // Expiry discipline: threshold must be exactly now - Texp, and the
-    // guard Texp <= now must be on the path.
+    // guard Texp <= now must be on the path. Texp is the minimum
+    // configured lifetime: the flow manager reconstructs `now` from the
+    // threshold and applies the per-class deadlines itself, and for the
+    // homogeneous configs the symbolic engine covers this is just
+    // `expiry_ns`.
     let now_term = trace.events.iter().find_map(|e| match e {
         Event::Now(t) => Some(*t),
         _ => None,
@@ -101,7 +105,7 @@ pub fn check_p4(trace: &mut SymTrace, cfg: &NatConfig) -> Result<usize, CheckFai
         .collect();
     for thr in expire_thresholds {
         let now = now_term.ok_or_else(|| fail("expire_flows before reading the clock".into()))?;
-        let texp = trace.arena.cu(cfg.expiry_ns, Width::W64);
+        let texp = trace.arena.cu(cfg.min_lifetime_ns(), Width::W64);
         let expected = trace.arena.sub(now, texp);
         if thr != expected {
             let eq = trace.arena.eq(thr, expected);

@@ -86,6 +86,7 @@ mod tests {
             expiry_ns: 2_000_000_000,
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1,
+            ..NatConfig::paper_default()
         }
     }
 

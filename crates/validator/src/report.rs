@@ -196,6 +196,7 @@ mod tests {
             expiry_ns: 2_000_000_000,
             external_ip: Ip4::new(10, 1, 0, 1),
             start_port: 1,
+            ..NatConfig::paper_default()
         }
     }
 
@@ -257,7 +258,8 @@ mod tests {
             capacity: 1_024,
             expiry_ns: 60_000_000_000,
             external_ip: Ip4::new(203, 0, 113, 7),
-            start_port: 64_512, // 64512 + 1024 = 65536: flush fit
+            start_port: 64_512, // 64512 + 1024 = 65536: flush fit,
+            ..NatConfig::paper_default()
         };
         let r = run_verification(&tight, ModelStyle::Faithful, 2);
         assert!(r.ok(), "verification failed:\n{:#?}", r.failures);

@@ -73,6 +73,11 @@ impl<'s> SymEnv<'s> {
             1,
             "symbolic models cover the single-address pool"
         );
+        assert!(
+            cfg.is_homogeneous() && !cfg.eim && !cfg.hairpinning,
+            "symbolic models cover the paper's baseline NAT; per-class \
+             lifetimes, EIM and hairpinning are proven differentially"
+        );
         SymEnv {
             arena: TermArena::new(),
             steer,
@@ -272,6 +277,12 @@ impl NatEnv for SymEnv<'_> {
             dst_ip: rx.dst_ip,
             src_port: rx.src_port,
             dst_port: rx.dst_port,
+            // Symbolic but unused: the baseline configs the symbolic
+            // engine covers are homogeneous, so the loop body threads
+            // the flags through without ever branching on them — the
+            // path count is unchanged and the trace Event shapes stay
+            // as they were.
+            tcp_flags: self.arena.var("tcp_flags", Width::W8),
         })
     }
 
@@ -373,7 +384,10 @@ impl NatEnv for SymEnv<'_> {
         })
     }
 
-    fn rejuvenate(&mut self, slot: SlotId, now: &TermId) {
+    fn rejuvenate(&mut self, slot: SlotId, now: &TermId, _dir: Direction, _tcp_flags: &TermId) {
+        // Direction and flags only steer the per-class timeout choice,
+        // which homogeneous configs (the symbolic coverage) collapse to
+        // a single lifetime — the observable event is unchanged.
         self.events.push(Event::Rejuvenate {
             slot: slot.0,
             now: *now,
@@ -429,6 +443,7 @@ impl NatEnv for SymEnv<'_> {
         _ext_ip: TermId,
         ext_port: TermId,
         _now: &TermId,
+        _tcp_flags: &TermId,
     ) {
         self.events.push(Event::InsertFlow {
             slot: slot.0,

@@ -28,6 +28,7 @@ fn main() {
         expiry_ns: Time::from_secs(60).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     };
     println!("event-driven driver: {queues} RX queues -> {shards}-shard verified NAT");
 

@@ -31,6 +31,7 @@ fn main() {
         expiry_ns: Time::from_secs(30).nanos(),
         external_ip: Ip4::new(198, 51, 100, 9),
         start_port: 50_000,
+        ..NatConfig::paper_default()
     };
     let mut nat = VigNatMb::new(cfg);
     let dns = Ip4::new(9, 9, 9, 9);

@@ -166,6 +166,7 @@ mod linux {
             expiry_ns: Time::from_secs(60).nanos(),
             external_ip: Ip4::new(10, 99, 1, 1),
             start_port: 10_000,
+            ..NatConfig::paper_default()
         };
         let io = match OsBackend::open(int_if, ext_if, RssClassifier::for_nat(&cfg, queues), 512) {
             Ok(io) => io,

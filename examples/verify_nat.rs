@@ -27,6 +27,7 @@ fn main() {
         expiry_ns: Time::from_secs(2).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     };
 
     println!("=== VigNAT verification (faithful models) ===");

@@ -21,6 +21,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(2).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 4096,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -309,6 +310,196 @@ fn fault_layer_corruption_corpus_is_rejected_without_state_mutation() {
         );
         vig.flow_manager().check_coherence().unwrap();
     }
+}
+
+/// Per-class lifetimes for the TCP-segment attacks: short transitory,
+/// long established — the split a flood tries to confuse.
+fn tcp_cfg() -> NatConfig {
+    NatConfig {
+        tcp_transitory_ns: Time::from_secs(1).nanos(),
+        tcp_established_ns: Time::from_secs(60).nanos(),
+        ..cfg()
+    }
+}
+
+/// Every TCP flag byte — all 256 values, including out-of-window
+/// nonsense for whatever state a connection is in (SYN on established,
+/// ACK on closed, SYN+FIN, CWR/ECE/URG/PSH noise bits) — fired at the
+/// tracker from both directions. The state machine is total: no flag
+/// soup may panic, corrupt the flow table, or push occupancy past
+/// capacity.
+#[test]
+fn tcp_flag_soup_keeps_flow_state_coherent() {
+    let mut vig = VigNatMb::new(tcp_cfg());
+    let mut netf = NetfilterNat::new(tcp_cfg());
+    let mut rng = StdRng::seed_from_u64(0x50_0F);
+    let mut now = Time::from_secs(1);
+    for step in 0..6_000u32 {
+        now = now.plus(rng.gen_range(1_000_000..400_000_000));
+        let fl: u8 = rng.gen(); // the full byte, noise bits included
+        let (dir, mut frame) = if rng.gen_bool(0.6) {
+            let host = rng.gen_range(1..24u8);
+            (
+                Direction::Internal,
+                PacketBuilder::tcp(Ip4::new(10, 3, 0, host), Ip4::new(1, 1, 1, 1), 7000, 443)
+                    .tcp_flags(fl)
+                    .build(),
+            )
+        } else {
+            let port = 4096 + rng.gen_range(0..80u16); // straddles the range
+            (
+                Direction::External,
+                PacketBuilder::tcp(Ip4::new(1, 1, 1, 1), Ip4::new(203, 0, 113, 1), 443, port)
+                    .tcp_flags(fl)
+                    .build(),
+            )
+        };
+        let mut copy = frame.clone();
+        vig.process(dir, &mut frame, now);
+        netf.process(dir, &mut copy, now);
+        assert!(vig.occupancy() <= 64, "occupancy blew capacity at {step}");
+        if step % 500 == 0 {
+            vig.flow_manager().check_coherence().unwrap_or_else(|e| {
+                panic!("flag soup broke coherence at step {step}: {e}");
+            });
+        }
+    }
+    vig.flow_manager().check_coherence().unwrap();
+}
+
+/// An RST flood against established mappings: the flood demotes the
+/// connections to the transitory timer (that is correct RFC 5382
+/// behaviour, not corruption) but must not crash, must not create
+/// state, must not break the port bijection, and must still let the
+/// mappings translate until the transitory timer fires.
+#[test]
+fn rst_flood_against_established_mappings() {
+    let mut vig = VigNatMb::new(tcp_cfg());
+    let lan = |h: u8| Ip4::new(10, 4, 0, h);
+    let wan = Ip4::new(1, 1, 1, 1);
+    let t = Time::from_secs(1);
+
+    // Establish 8 connections with full handshakes.
+    let mut mapped = Vec::new();
+    for h in 1..=8u8 {
+        let mut syn = PacketBuilder::tcp(lan(h), wan, 40_000, 443)
+            .tcp_flags(vignat_repro::packet::tcp::flags::SYN)
+            .build();
+        assert!(matches!(
+            vig.process(Direction::Internal, &mut syn, t),
+            Verdict::Forward(_)
+        ));
+        let (_, of) = parse_l3l4(&syn).unwrap();
+        let mut synack = PacketBuilder::tcp(wan, Ip4::new(203, 0, 113, 1), 443, of.src_port)
+            .tcp_flags(
+                vignat_repro::packet::tcp::flags::SYN | vignat_repro::packet::tcp::flags::ACK,
+            )
+            .build();
+        vig.process(Direction::External, &mut synack, t);
+        let mut ack = PacketBuilder::tcp(lan(h), wan, 40_000, 443)
+            .tcp_flags(vignat_repro::packet::tcp::flags::ACK)
+            .build();
+        vig.process(Direction::Internal, &mut ack, t);
+        mapped.push(of.src_port);
+    }
+    assert_eq!(vig.occupancy(), 8);
+
+    // Flood: 5,000 RSTs from spoofed external sources at mapped and
+    // unmapped ports, a few microseconds apart.
+    let mut rng = StdRng::seed_from_u64(0xF100D);
+    let mut now = t.plus(1_000);
+    for _ in 0..5_000 {
+        now = now.plus(rng.gen_range(1_000..100_000)); // ≪ transitory
+        let port = if rng.gen_bool(0.5) {
+            mapped[rng.gen_range(0..mapped.len())]
+        } else {
+            4096 + rng.gen_range(0..80u16)
+        };
+        let src = Ip4::new(rng.gen_range(1..200u8), 2, 3, 4);
+        let mut rst = PacketBuilder::tcp(src, Ip4::new(203, 0, 113, 1), 443, port)
+            .tcp_flags(vignat_repro::packet::tcp::flags::RST)
+            .build();
+        vig.process(Direction::External, &mut rst, now);
+    }
+    vig.flow_manager().check_coherence().unwrap();
+    assert_eq!(
+        vig.occupancy(),
+        8,
+        "a flood must not create or drop mappings while the timers run"
+    );
+
+    // The spoofed flood cannot demote: mapping keys include the remote
+    // endpoint (no EIM here), so every spoofed-source RST missed. Two
+    // seconds on — past transitory, inside established — all 8 still
+    // stand and still translate.
+    let later = now.plus(Time::from_secs(2).nanos());
+    let mut tick = PacketBuilder::udp(lan(99), wan, 100, 53).build();
+    vig.process(Direction::Internal, &mut tick, later);
+    assert_eq!(
+        vig.occupancy(),
+        9,
+        "spoofed RSTs must not demote established mappings"
+    );
+    let mut data = PacketBuilder::tcp(lan(1), wan, 40_000, 443)
+        .tcp_flags(vignat_repro::packet::tcp::flags::ACK)
+        .build();
+    assert!(matches!(
+        vig.process(Direction::Internal, &mut data, later),
+        Verdict::Forward(_)
+    ));
+
+    // Genuine RSTs (from the connections' true remote) do demote —
+    // and then the transitory timer, not the established one, decides.
+    for &p in &mapped {
+        let mut rst = PacketBuilder::tcp(wan, Ip4::new(203, 0, 113, 1), 443, p)
+            .tcp_flags(vignat_repro::packet::tcp::flags::RST)
+            .build();
+        vig.process(Direction::External, &mut rst, later);
+    }
+    vig.flow_manager().check_coherence().unwrap();
+    let end = later.plus(Time::from_secs(2).nanos());
+    let mut tick2 = PacketBuilder::udp(lan(98), wan, 100, 53).build();
+    vig.process(Direction::Internal, &mut tick2, end);
+    assert_eq!(
+        vig.occupancy(),
+        1,
+        "RST-demoted mappings must expire at the transitory pace"
+    );
+    vig.flow_manager().check_coherence().unwrap();
+}
+
+/// SYN+FIN churn (the classic scrubber-confusing combination): each
+/// segment opens a transitory mapping; cycling thousands through a
+/// 64-slot table exercises allocate/expire under the shortest class
+/// without ever breaking coherence or capacity.
+#[test]
+fn syn_fin_churn_cycles_cleanly_through_the_table() {
+    let mut vig = VigNatMb::new(tcp_cfg());
+    let mut rng = StdRng::seed_from_u64(0x51F1);
+    let mut now = Time::from_secs(1);
+    for step in 0..8_000u32 {
+        now = now.plus(rng.gen_range(5_000_000..300_000_000));
+        let host = rng.gen_range(1..=200u8);
+        let port = rng.gen_range(1024..2048u16);
+        let mut frame =
+            PacketBuilder::tcp(Ip4::new(10, 5, 0, host), Ip4::new(1, 1, 1, 1), port, 25)
+                .tcp_flags(
+                    vignat_repro::packet::tcp::flags::SYN | vignat_repro::packet::tcp::flags::FIN,
+                )
+                .build();
+        vig.process(Direction::Internal, &mut frame, now);
+        assert!(vig.occupancy() <= 64, "capacity breached at step {step}");
+        if step % 1_000 == 0 {
+            vig.flow_manager().check_coherence().unwrap_or_else(|e| {
+                panic!("SYN+FIN churn broke coherence at step {step}: {e}");
+            });
+        }
+    }
+    assert!(
+        vig.expired_total() > 1_000,
+        "the churn must have cycled the short transitory class"
+    );
+    vig.flow_manager().check_coherence().unwrap();
 }
 
 #[test]

@@ -25,6 +25,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(2).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 4096,
+        ..NatConfig::paper_default()
     }
 }
 

@@ -49,6 +49,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(60).nanos(),
         external_ip: Ip4::new(10, 1, 0, 1),
         start_port: 1000,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -356,6 +357,7 @@ fn worker_kill_reports_down_restarts_and_keeps_survivor_parity() {
         expiry_ns: Time::from_secs(60).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 4096,
+        ..NatConfig::paper_default()
     };
     const KILL_ROUND: usize = 5;
     let mut seq = ShardedVigNatMb::sharded(c, SHARDS);

@@ -5,12 +5,22 @@
 //! specification. Byte-level properties (checksum validity, payload
 //! preservation — the spec's `S.data = P.data`) are checked on the
 //! actual output frames.
+//!
+//! The TCP-aware configurations run the same machinery with per-class
+//! lifetimes (RFC 5382 transitory vs established timers): random TCP
+//! flag mixes — handshakes, mid-stream RSTs, SYN+FIN oddities,
+//! simultaneous closes — must drive the verified NAT and the
+//! NetFilter analog through *identical* tracker transitions, proven
+//! both against the spec (every decision) and against each other
+//! (verdict + occupancy lockstep, which pins the per-class expiry
+//! schedules to be equal).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vignat_repro::baselines::{NetfilterNat, UnverifiedNat};
 use vignat_repro::libvig::time::Time;
 use vignat_repro::nat::NatConfig;
+use vignat_repro::packet::tcp::flags;
 use vignat_repro::packet::{builder::PacketBuilder, parse_l3l4, Direction, FlowFields, Ip4, Proto};
 use vignat_repro::sim::harness::Testbed;
 use vignat_repro::sim::middlebox::{Middlebox, Verdict, VigNatMb};
@@ -24,14 +34,29 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(5).nanos(),
         external_ip: EXT_IP,
         start_port: 60_000,
+        ..NatConfig::paper_default()
+    }
+}
+
+/// The TCP-aware configuration: short transitory, long established,
+/// UDP in between — every class boundary is exercised by the random
+/// 1 ms..2 s time steps.
+fn tcp_cfg() -> NatConfig {
+    NatConfig {
+        tcp_transitory_ns: Time::from_secs(1).nanos(),
+        tcp_established_ns: Time::from_secs(30).nanos(),
+        ..cfg()
     }
 }
 
 /// Drive `nf` with `steps` randomized packets, checking every decision
-/// against the spec and every forwarded frame at byte level.
-fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64) {
+/// against the spec and every forwarded frame at byte level. TCP
+/// segments carry random flag mixes (any subset of FIN|SYN|RST|ACK —
+/// including adversarial combinations like SYN+FIN), so under a
+/// per-class `c` the whole tracker state space is walked.
+fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64, c: NatConfig) {
     let mut tb = Testbed::new(64);
-    let mut spec = SpecChecker::new(cfg());
+    let mut spec = SpecChecker::new(c);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut now = Time::from_secs(1);
     let payload = b"payload-under-test";
@@ -42,6 +67,11 @@ fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64) {
             Proto::Tcp
         } else {
             Proto::Udp
+        };
+        let tcp_flags = if proto == Proto::Tcp {
+            rng.gen::<u8>() & (flags::FIN | flags::SYN | flags::RST | flags::ACK)
+        } else {
+            0
         };
         let (dir, fields) = if rng.gen_bool(0.6) {
             // internal traffic from a small pool of hosts/ports
@@ -83,7 +113,8 @@ fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64) {
                         fields.dst_ip,
                         fields.src_port,
                         fields.dst_port,
-                    ),
+                    )
+                    .tcp_flags(tcp_flags),
                     Proto::Udp => PacketBuilder::udp(
                         fields.src_ip,
                         fields.dst_ip,
@@ -127,7 +158,11 @@ fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64) {
                 }
             }
         };
-        let input = PacketInput { dir, fields };
+        let input = PacketInput {
+            dir,
+            fields,
+            tcp_flags,
+        };
         if let Err(v) = spec.observe(&input, now, &output) {
             panic!("{}: RFC 3022 violation at step {step}: {v}", nf.name());
         }
@@ -139,7 +174,7 @@ fn differential_run(nf: &mut dyn Middlebox, steps: usize, seed: u64) {
 fn verified_nat_meets_the_spec_on_random_workloads() {
     for seed in 0..4 {
         let mut nf = VigNatMb::new(cfg());
-        differential_run(&mut nf, 500, seed);
+        differential_run(&mut nf, 500, seed, cfg());
     }
 }
 
@@ -147,7 +182,7 @@ fn verified_nat_meets_the_spec_on_random_workloads() {
 fn unverified_nat_meets_the_spec_on_random_workloads() {
     for seed in 0..4 {
         let mut nf = UnverifiedNat::new(cfg());
-        differential_run(&mut nf, 500, seed);
+        differential_run(&mut nf, 500, seed, cfg());
     }
 }
 
@@ -155,7 +190,157 @@ fn unverified_nat_meets_the_spec_on_random_workloads() {
 fn netfilter_nat_meets_the_spec_on_random_workloads() {
     for seed in 0..4 {
         let mut nf = NetfilterNat::new(cfg());
-        differential_run(&mut nf, 500, seed);
+        differential_run(&mut nf, 500, seed, cfg());
+    }
+}
+
+/// The tentpole differential: the verified NAT under per-class TCP
+/// lifetimes, checked decision-by-decision against the spec over mixed
+/// TCP/UDP schedules with random flag combinations.
+#[test]
+fn verified_nat_meets_the_spec_with_tcp_lifetimes() {
+    for seed in 0..4 {
+        let mut nf = VigNatMb::new(tcp_cfg());
+        differential_run(&mut nf, 500, 0x7c9 + seed, tcp_cfg());
+    }
+}
+
+/// The extended NetFilter analog models the same per-class timers, so
+/// the same spec run must hold for it too.
+#[test]
+fn netfilter_nat_meets_the_spec_with_tcp_lifetimes() {
+    for seed in 0..4 {
+        let mut nf = NetfilterNat::new(tcp_cfg());
+        differential_run(&mut nf, 500, 0x43f + seed, tcp_cfg());
+    }
+}
+
+/// Verified ≡ NetFilter under per-class TCP lifetimes: internal-only
+/// traffic (so port-selection differences can't skew external hits)
+/// with random flag mixes, verdicts and occupancy compared in
+/// lockstep after every packet. Occupancy equality is the sharp claim:
+/// it holds only if both NATs put every connection in the same timeout
+/// class at every instant — i.e. their TCP trackers and per-class
+/// expiry schedules are identical.
+#[test]
+fn verified_and_netfilter_agree_under_tcp_lifetimes() {
+    let mut rng = StdRng::seed_from_u64(0x7cb1);
+    let mut vig = VigNatMb::new(tcp_cfg());
+    let mut netf = NetfilterNat::new(tcp_cfg());
+    let mut now = Time::from_secs(1);
+
+    for step in 0..1_500 {
+        now = now.plus(rng.gen_range(1_000_000..2_500_000_000));
+        let host = rng.gen_range(1..48u8);
+        let port = 30_000 + rng.gen_range(0..2u16);
+        let proto = if rng.gen_bool(0.7) {
+            Proto::Tcp
+        } else {
+            Proto::Udp
+        };
+        let fl = rng.gen::<u8>() & (flags::FIN | flags::SYN | flags::RST | flags::ACK);
+
+        let decide = |nf: &mut dyn Middlebox| -> bool {
+            let src = Ip4::new(10, 0, 0, host);
+            let dst = Ip4::new(9, 9, 9, 9);
+            let mut frame = match proto {
+                Proto::Tcp => PacketBuilder::tcp(src, dst, port, 443)
+                    .tcp_flags(fl)
+                    .build(),
+                Proto::Udp => PacketBuilder::udp(src, dst, port, 53).build(),
+            };
+            matches!(
+                nf.process(Direction::Internal, &mut frame, now),
+                Verdict::Forward(_)
+            )
+        };
+
+        let f1 = decide(&mut vig);
+        let f2 = decide(&mut netf);
+        assert_eq!(f1, f2, "verified vs netfilter diverged at step {step}");
+        assert_eq!(
+            vig.occupancy(),
+            netf.occupancy(),
+            "per-class expiry schedules diverged at step {step}"
+        );
+    }
+}
+
+/// Directed TCP races, each NAT driven through its own mapping and the
+/// pair compared through occupancy: a mid-stream RST must demote an
+/// established connection to the transitory timer, and a simultaneous
+/// close (FIN from both sides in the same instant) must do the same —
+/// in both the verified NAT and the NetFilter analog.
+#[test]
+fn tcp_races_rst_and_simultaneous_close() {
+    for race_rst in [true, false] {
+        let run = |nf: &mut dyn Middlebox| -> (usize, usize, usize) {
+            let lan = Ip4::new(10, 0, 0, 1);
+            let wan = Ip4::new(9, 9, 9, 9);
+            let t = Time::from_secs(1);
+            // Full handshake -> Established (30 s timer).
+            let mut syn = PacketBuilder::tcp(lan, wan, 40_000, 443)
+                .tcp_flags(flags::SYN)
+                .build();
+            assert!(matches!(
+                nf.process(Direction::Internal, &mut syn, t),
+                Verdict::Forward(_)
+            ));
+            let (_, of) = parse_l3l4(&syn).unwrap();
+            let mut synack = PacketBuilder::tcp(wan, EXT_IP, 443, of.src_port)
+                .tcp_flags(flags::SYN | flags::ACK)
+                .build();
+            assert!(matches!(
+                nf.process(Direction::External, &mut synack, t),
+                Verdict::Forward(_)
+            ));
+            let mut ack = PacketBuilder::tcp(lan, wan, 40_000, 443)
+                .tcp_flags(flags::ACK)
+                .build();
+            nf.process(Direction::Internal, &mut ack, t);
+            let established = nf.occupancy();
+
+            // The race at t+2: RST from inside, or FINs crossing.
+            let t2 = t.plus(Time::from_secs(2).nanos());
+            if race_rst {
+                let mut rst = PacketBuilder::tcp(lan, wan, 40_000, 443)
+                    .tcp_flags(flags::RST)
+                    .build();
+                nf.process(Direction::Internal, &mut rst, t2);
+            } else {
+                let mut fin_in = PacketBuilder::tcp(lan, wan, 40_000, 443)
+                    .tcp_flags(flags::FIN | flags::ACK)
+                    .build();
+                nf.process(Direction::Internal, &mut fin_in, t2);
+                let mut fin_out = PacketBuilder::tcp(wan, EXT_IP, 443, of.src_port)
+                    .tcp_flags(flags::FIN | flags::ACK)
+                    .build();
+                nf.process(Direction::External, &mut fin_out, t2);
+            }
+
+            // t+4: past the transitory timer (1 s), far inside the
+            // established one (30 s). A UDP tick triggers expiry.
+            let t3 = t.plus(Time::from_secs(4).nanos());
+            let mut tick = PacketBuilder::udp(Ip4::new(10, 0, 0, 9), wan, 100, 53).build();
+            nf.process(Direction::Internal, &mut tick, t3);
+            let after_race = nf.occupancy();
+
+            // Control: without the race the mapping would still be
+            // alive at t+4 — prove it by opening a fresh connection and
+            // replaying the schedule's tail in a second NAT is overkill;
+            // instead just assert below that the raced mapping is gone
+            // while the tick's own mapping is present.
+            (established, after_race, 1)
+        };
+
+        let vig = run(&mut VigNatMb::new(tcp_cfg()));
+        let netf = run(&mut NetfilterNat::new(tcp_cfg()));
+        assert_eq!(vig.0, 1, "handshake built one mapping");
+        assert_eq!(
+            vig.1, 1,
+            "raced connection dead at transitory pace; only the tick's mapping lives (rst={race_rst})"
+        );
+        assert_eq!(vig, netf, "verified vs netfilter diverged (rst={race_rst})");
     }
 }
 

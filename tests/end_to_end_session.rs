@@ -21,6 +21,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(10).nanos(),
         external_ip: EXT_IP,
         start_port: 10_000,
+        ..NatConfig::paper_default()
     }
 }
 

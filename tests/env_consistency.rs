@@ -25,6 +25,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(3).nanos(),
         external_ip: EXT_IP,
         start_port: 7000,
+        ..NatConfig::paper_default()
     }
 }
 

@@ -49,6 +49,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(2).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 4096,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -293,6 +294,7 @@ fn port_exhaustion_parity() {
         expiry_ns: Time::from_secs(2).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 4096,
+        ..NatConfig::paper_default()
     };
     let (occupancy, _) = run_differential(
         c,
@@ -358,6 +360,7 @@ fn sustained_million_flow_churn_session() {
             expiry_ns: Time::from_secs(2).nanos(),
             external_ip: Ip4::new(203, 0, 113, 1),
             start_port: 4096,
+            ..NatConfig::paper_default()
         };
         let (occupancy, expired) = run_differential(
             c,

@@ -34,6 +34,7 @@ fn cfg(capacity: usize) -> NatConfig {
         expiry_ns: Time::from_secs(10).nanos(),
         external_ip: Ip4::new(10, 1, 0, 1),
         start_port: 1000,
+        ..NatConfig::paper_default()
     }
 }
 

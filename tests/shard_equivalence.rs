@@ -43,6 +43,7 @@ fn cfg() -> NatConfig {
         expiry_ns: Time::from_secs(2).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 4096,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -302,6 +303,7 @@ fn sharded_nat_satisfies_rfc3022_spec() {
         expiry_ns: Time::from_secs(10).nanos(),
         external_ip: Ip4::new(10, 1, 0, 1),
         start_port: 1000,
+        ..NatConfig::paper_default()
     };
     let mut env = SimpleEnv::sharded(c, 4);
     let mut spec = SpecChecker::new(c);
@@ -338,7 +340,12 @@ fn sharded_nat_satisfies_rfc3022_spec() {
             )
         };
         let output = env.step(dir, fields, now);
-        spec.observe(&PacketInput { dir, fields }, now, &output)
+        let input = PacketInput {
+            dir,
+            fields,
+            tcp_flags: 0,
+        };
+        spec.observe(&input, now, &output)
             .unwrap_or_else(|v| panic!("RFC 3022 violation at step {}: {v}", spec.steps()));
         assert!(FlowTable::check_coherence(env.flow_manager()).is_ok());
     }

@@ -24,6 +24,7 @@ fn cfg(capacity: usize) -> NatConfig {
         expiry_ns: Time::from_secs(10).nanos(),
         external_ip: Ip4::new(10, 1, 0, 1),
         start_port: 1000,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -187,7 +188,7 @@ fn sharded_table_matches_unsharded_at_98pct() {
             assert!(one.lookup_internal_hashed(&f, h).is_none());
             one.allocate_slot_routed(h, Time::from_secs(1)).map(|slot| {
                 let (ip, port) = one.endpoint_of_slot(slot);
-                one.insert_hashed(slot, f, ip, port, h);
+                one.insert_hashed(slot, f, ip, port, h, 0);
                 (slot, port)
             })
         };
@@ -208,7 +209,7 @@ fn sharded_table_matches_unsharded_at_98pct() {
             .allocate_slot_routed(h, Time::from_secs(2))
             .inspect(|&slot| {
                 let (ip, port) = one.endpoint_of_slot(slot);
-                one.insert_hashed(slot, f, ip, port, h);
+                one.insert_hashed(slot, f, ip, port, h, 0);
             });
         let b = plain.allocate(f, Time::from_secs(2)).map(|(slot, _)| slot);
         assert_eq!(a, b, "realloc diverged at flow {j}");
@@ -237,7 +238,7 @@ fn sharded_table_matches_unsharded_at_98pct() {
         if four.lookup_internal_hashed(&f, h).is_none() {
             if let Some(slot) = four.allocate_slot_routed(h, Time::from_secs(1)) {
                 let (ip, port) = four.endpoint_of_slot(slot);
-                four.insert_hashed(slot, f, ip, port, h);
+                four.insert_hashed(slot, f, ip, port, h, 0);
                 n += 1;
             }
         }

@@ -13,6 +13,7 @@ fn paper_cfg() -> NatConfig {
         expiry_ns: Time::from_secs(2).nanos(),
         external_ip: Ip4::new(203, 0, 113, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -125,6 +126,7 @@ fn verification_covers_edge_configurations() {
         expiry_ns: 1,
         external_ip: Ip4::new(1, 1, 1, 1),
         start_port: 1,
+        ..NatConfig::paper_default()
     };
     assert!(run_verification(&tight, ModelStyle::Faithful, 2).ok());
 
@@ -134,6 +136,7 @@ fn verification_covers_edge_configurations() {
         expiry_ns: u64::MAX,
         external_ip: Ip4::new(1, 1, 1, 1),
         start_port: 65_535,
+        ..NatConfig::paper_default()
     };
     assert!(run_verification(&tiny, ModelStyle::Faithful, 2).ok());
 }
@@ -148,6 +151,7 @@ fn rejected_configurations_never_reach_the_prover() {
         expiry_ns: 1,
         external_ip: Ip4::new(255, 255, 255, 255),
         start_port: 1024,
+        ..NatConfig::paper_default()
     };
     assert!(vignat_repro::nat::loop_body::check_config(&bad).is_err());
     let r = run_ese(&bad, ModelStyle::Faithful, 10_000);
@@ -162,6 +166,7 @@ fn rejected_configurations_never_reach_the_prover() {
         expiry_ns: 1,
         external_ip: Ip4::new(1, 1, 1, 1),
         start_port: 2,
+        ..NatConfig::paper_default()
     };
     assert!(vignat_repro::nat::loop_body::check_config(&spill).is_ok());
     let r = run_ese(&spill, ModelStyle::Faithful, 10_000);

@@ -43,6 +43,7 @@ fn cfg(capacity: usize, expiry_ns: u64) -> NatConfig {
         expiry_ns,
         external_ip: Ip4::new(10, 1, 0, 1),
         start_port: 1024,
+        ..NatConfig::paper_default()
     }
 }
 
@@ -298,12 +299,12 @@ fn sharded_churn(capacity: usize, shards: usize, waves: usize, wave_flows: u32, 
     let arrive = |t: &mut ShardedFlowManager, f: FlowId, now: Time| -> Option<usize> {
         let h = f.key_hash();
         if let Some((slot, _)) = t.lookup_internal_hashed(&f, h) {
-            t.rejuvenate(slot, now);
+            t.rejuvenate(slot, now, Direction::Internal, 0);
             return Some(slot);
         }
         let slot = t.allocate_slot_routed(h, now)?;
         let (ip, port) = t.endpoint_of_slot(slot);
-        t.insert_hashed(slot, f, ip, port, h);
+        t.insert_hashed(slot, f, ip, port, h, 0);
         Some(slot)
     };
 
